@@ -1,0 +1,86 @@
+// Ablation study over the Table 1 special-case rules and taint granularity
+// (DESIGN.md §5).  For each policy variant:
+//   * false positives over the benign corpus + SPEC surrogates;
+//   * detection over the attack corpus.
+// Shows which compatibility rules are load-bearing (disable one and benign
+// code starts alerting) and that per-word taint does not change detection
+// on this corpus while coarsening propagation.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/attack.hpp"
+#include "core/spec_workloads.hpp"
+
+using namespace ptaint;
+using namespace ptaint::core;
+
+namespace {
+
+struct Variant {
+  std::string name;
+  cpu::TaintPolicy policy;
+};
+
+std::vector<Variant> variants() {
+  std::vector<Variant> out;
+  out.push_back({"paper (all rules on)", {}});
+  {
+    cpu::TaintPolicy p;
+    p.compare_untaints = false;
+    out.push_back({"no compare-untaint", p});
+  }
+  {
+    cpu::TaintPolicy p;
+    p.and_zero_untaints = false;
+    out.push_back({"no AND-zero untaint", p});
+  }
+  {
+    cpu::TaintPolicy p;
+    p.xor_self_untaints = false;
+    out.push_back({"no XOR-self untaint", p});
+  }
+  {
+    cpu::TaintPolicy p;
+    p.shift_smear = false;
+    out.push_back({"no shift smear", p});
+  }
+  {
+    cpu::TaintPolicy p;
+    p.per_word_taint = true;
+    out.push_back({"per-word taint", p});
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: Table 1 rules and taint granularity ==\n\n");
+  std::printf("%-24s %18s %18s\n", "variant", "SPEC false pos.",
+              "attacks detected");
+
+  const auto workloads = make_spec_workloads(1);
+  for (const auto& v : variants()) {
+    int spec_fp = 0;
+    for (const auto& w : workloads) {
+      if (run_spec_workload(w, v.policy).alert) ++spec_fp;
+    }
+    int detected = 0, detectable = 0;
+    for (const auto& scenario : make_attack_corpus()) {
+      if (!scenario->expected_detected()) continue;
+      ++detectable;
+      auto r = scenario->run_attack_with(v.policy);
+      if (r.outcome == Outcome::kDetected) ++detected;
+    }
+    std::printf("%-24s %12d / %zu %14d / %d\n", v.name.c_str(), spec_fp,
+                workloads.size(), detected, detectable);
+  }
+
+  std::printf(
+      "\nreading: the compare-untaint rule is the compatibility-critical "
+      "one — without it, validated indices stay tainted and benign table "
+      "lookups false-positive (the paper keeps it and accepts the Table 4 "
+      "false negatives in exchange).\n");
+  return 0;
+}

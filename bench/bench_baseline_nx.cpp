@@ -1,0 +1,71 @@
+// Baseline comparison (the paper's introduction): NX page protection and
+// control-flow-integrity baselines vs pointer-taintedness detection,
+// across the attack delivery techniques.
+//
+//   attack                      NX-only    ctrl-only   ptr-taint
+//   injected shellcode          DETECTED   DETECTED    DETECTED
+//   return-to-existing-code     missed     DETECTED    DETECTED
+//   non-control-data (uid, cfg, missed     missed      DETECTED
+//     URL pointer, links...)
+#include <cstdio>
+
+#include "core/attack.hpp"
+
+using namespace ptaint;
+using namespace ptaint::core;
+
+namespace {
+
+cpu::TaintPolicy nx_only() {
+  cpu::TaintPolicy p;
+  p.mode = cpu::DetectionMode::kOff;
+  p.nx_protection = true;
+  return p;
+}
+
+cpu::TaintPolicy mode_only(cpu::DetectionMode m) {
+  cpu::TaintPolicy p;
+  p.mode = m;
+  return p;
+}
+
+const char* cell(const ScenarioResult& r) {
+  return r.outcome == Outcome::kDetected ? "DETECTED" : "missed";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Baselines: NX / control-data-only / pointer taintedness ==\n\n");
+  std::printf("%-28s %-10s %-10s %-10s\n", "attack", "NX-only", "ctrl-only",
+              "ptr-taint");
+
+  const AttackId ids[] = {
+      AttackId::kExp1Shellcode, AttackId::kExp1Stack, AttackId::kExp2Heap,
+      AttackId::kExp3Format,    AttackId::kWuFtpdFormat,
+      AttackId::kNullHttpdHeap, AttackId::kGhttpdStack,
+      AttackId::kTracerouteDoubleFree, AttackId::kGlobExpansion,
+  };
+  int nx_hits = 0, ctrl_hits = 0, pt_hits = 0, total = 0;
+  for (AttackId id : ids) {
+    auto scenario = make_scenario(id);
+    auto nx = scenario->run_attack_with(nx_only());
+    auto ctrl =
+        scenario->run_attack_with(mode_only(cpu::DetectionMode::kControlDataOnly));
+    auto pt =
+        scenario->run_attack_with(mode_only(cpu::DetectionMode::kPointerTaint));
+    std::printf("%-28s %-10s %-10s %-10s\n", scenario->name().c_str(),
+                cell(nx), cell(ctrl), cell(pt));
+    ++total;
+    nx_hits += nx.outcome == Outcome::kDetected;
+    ctrl_hits += ctrl.outcome == Outcome::kDetected;
+    pt_hits += pt.outcome == Outcome::kDetected;
+  }
+  std::printf("\ncoverage: NX %d/%d, control-data %d/%d, "
+              "pointer-taintedness %d/%d\n",
+              nx_hits, total, ctrl_hits, total, pt_hits, total);
+  std::printf("\npaper framing reproduced: each older baseline guards one\n"
+              "delivery technique; tainted-pointer dereference subsumes "
+              "them.\n");
+  return pt_hits == total ? 0 : 1;
+}

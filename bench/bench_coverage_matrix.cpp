@@ -1,0 +1,41 @@
+// Section 5.1.2 headline result — the security-coverage matrix.
+//
+// Runs every attack of the corpus under the three detection modes and the
+// benign twin under the full policy:
+//   * unprotected:        every attack lands (or crashes the victim);
+//   * control-data-only:  only the control-data attack is caught — all
+//                         non-control-data attacks still succeed;
+//   * pointer-taintedness: every pointer-dereference attack is caught;
+//   * benign runs:        zero false positives.
+#include <cstdio>
+
+#include "core/coverage.hpp"
+
+using namespace ptaint::core;
+
+int main() {
+  std::printf("== Security coverage: pointer taintedness vs control-data "
+              "baselines ==\n\n");
+  CoverageMatrix matrix = run_coverage_matrix();
+  std::printf("%s\n", matrix.to_table().c_str());
+
+  std::printf("alert details under the paper policy:\n");
+  for (const auto& row : matrix.rows) {
+    const auto& cell = row.cell(ptaint::cpu::DetectionMode::kPointerTaint);
+    if (cell.outcome == Outcome::kDetected) {
+      std::printf("  %-28s %s\n", row.name.c_str(), cell.detail.c_str());
+    }
+  }
+
+  const bool shape_holds =
+      matrix.detected_count(ptaint::cpu::DetectionMode::kPointerTaint) ==
+          matrix.expected_detectable() &&
+      matrix.detected_count(ptaint::cpu::DetectionMode::kControlDataOnly) <
+          matrix.expected_detectable() &&
+      matrix.false_positives() == 0;
+  std::printf("\npaper shape %s: pointer-taintedness detects all attacks "
+              "(control and non-control data); the control-data baseline "
+              "misses the non-control-data ones; no false positives.\n",
+              shape_holds ? "REPRODUCED" : "NOT reproduced");
+  return shape_holds ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// Detection latency (beyond the paper): how many instructions execute
+// between the first byte of external input entering the process and the
+// security exception.  The paper argues the process is stopped before the
+// corruption can be weaponized; this quantifies the window per attack.
+#include <cstdio>
+
+#include "core/machine.hpp"
+#include "guest/apps/apps.hpp"
+#include "guest/runtime.hpp"
+
+using namespace ptaint;
+using namespace ptaint::core;
+
+namespace {
+
+// Drives the machine one instruction at a time, recording the retirement
+// index of the first tainted input byte and of the alert.
+void measure_stepped(const char* name, const asmgen::Source& app,
+                     const std::string& stdin_data,
+                     const std::vector<std::string>& session) {
+  Machine m;
+  m.load_sources(guest::link_with_runtime(app));
+  if (!stdin_data.empty()) m.os().set_stdin(stdin_data);
+  if (!session.empty()) m.os().net().add_session(session);
+
+  uint64_t first_input = 0;
+  while (m.cpu().stop_reason() == cpu::StopReason::kRunning) {
+    m.run_for(1);
+    if (first_input == 0 && m.os().stats().input_bytes_tainted > 0) {
+      first_input = m.cpu().stats().instructions;
+    }
+  }
+  const auto rep = m.report();
+  if (rep.detected()) {
+    std::printf("%-28s %10llu %14llu %16llu\n", name,
+                static_cast<unsigned long long>(first_input),
+                static_cast<unsigned long long>(rep.cpu_stats.instructions),
+                static_cast<unsigned long long>(rep.cpu_stats.instructions -
+                                                first_input));
+  } else {
+    std::printf("%-28s NOT DETECTED\n", name);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Detection latency: instructions from first input byte to "
+              "the alert ==\n\n");
+  std::printf("%-28s %10s %14s %16s\n", "attack", "input at", "alert at",
+              "exposure window");
+
+  measure_stepped("exp1-stack-smash", guest::apps::exp1_stack(),
+                  std::string(24, 'a'), {});
+  measure_stepped("exp2-heap-corruption", guest::apps::exp2_heap(),
+                  std::string(12, 'a') + "bbbb" + "cccc", {});
+  measure_stepped("exp3-format-string", guest::apps::exp3_format(), "",
+                  {"abcd%x%x%x%n"});
+  {
+    // WU-FTPD with the Table 2 command.
+    Machine probe;
+    probe.load_sources(guest::link_with_runtime(guest::apps::wu_ftpd()));
+    const uint32_t uid = probe.program().symbols.at("login_uid");
+    std::string cmd = "site exec ";
+    for (int i = 0; i < 4; ++i) cmd += static_cast<char>(uid >> (8 * i));
+    cmd += "%x%x%x%x%x%x%n";
+    measure_stepped("wu-ftpd-site-exec", guest::apps::wu_ftpd(), "",
+                    {"user user1\r\n", "pass xxxxxxx\r\n", cmd + "\r\n"});
+  }
+
+  std::printf(
+      "\nreading: the exposure window is the library code between the\n"
+      "receiving syscall and the first tainted dereference (scanf/recv\n"
+      "parsing, heap bookkeeping, vfprintf's walk) — thousands of\n"
+      "instructions, none of which could weaponize the corruption before\n"
+      "the retirement-stage exception fired.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Mitigation comparison (beyond the paper): the exp2 heap overflow against
+// four defensive configurations, quantifying where the paper's architecture
+// sits relative to the software mitigation that later became standard
+// (glibc safe unlinking).
+//
+//   defense                         outcome for the attacker
+//   none                            arbitrary-write primitive fires
+//   safe unlink only                write denied, process aborts/crashes
+//   pointer taintedness only        detected at the unlink store
+//   both                            detected at the check's load — the
+//                                   exact `lw ...,($3)` alert shape the
+//                                   paper reports for exp2
+#include <cstdio>
+#include <string>
+
+#include "core/machine.hpp"
+#include "guest/apps/apps.hpp"
+#include "guest/runtime.hpp"
+
+using namespace ptaint;
+using namespace ptaint::core;
+
+namespace {
+
+struct Config {
+  const char* name;
+  bool hardened_heap;
+  cpu::DetectionMode mode;
+};
+
+void run_config(const Config& cfg) {
+  MachineConfig mc;
+  mc.policy.mode = cfg.mode;
+  Machine m(mc);
+  auto app = guest::apps::exp2_heap();
+  m.load_sources(cfg.hardened_heap
+                     ? guest::link_with_hardened_runtime(app)
+                     : guest::link_with_runtime(app));
+  // Aligned crafted links so every configuration reaches its decision
+  // point (an unaligned link would crash earlier in some configs).
+  m.os().set_stdin(std::string(12, 'a') + "bbbb" + "dddd");
+  auto r = m.run();
+
+  const char* outcome;
+  std::string detail;
+  if (r.detected()) {
+    outcome = "DETECTED";
+    detail = r.alert_line();
+  } else if (r.stop == cpu::StopReason::kExit && r.exit_status == 134) {
+    outcome = "ABORTED";
+    detail = "safe unlink refused the corrupted chunk";
+  } else if (r.stop == cpu::StopReason::kFault) {
+    outcome = "CRASHED";
+    detail = r.fault;
+  } else {
+    outcome = "WRITE LANDED";
+    detail = "attacker's unlink write primitive executed";
+  }
+  std::printf("%-34s %-13s %s\n", cfg.name, outcome, detail.c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== exp2 heap overflow vs defensive configurations ==\n\n");
+  const Config configs[] = {
+      {"no defense", false, cpu::DetectionMode::kOff},
+      {"safe unlink only", true, cpu::DetectionMode::kOff},
+      {"pointer taintedness only", false, cpu::DetectionMode::kPointerTaint},
+      {"safe unlink + pointer taint", true, cpu::DetectionMode::kPointerTaint},
+  };
+  for (const auto& cfg : configs) run_config(cfg);
+  std::printf(
+      "\nreading: the software mitigation denies this particular write but\n"
+      "is check-shaped (bypassable when the attacker can satisfy the\n"
+      "back-pointer test — see HardenedHeap tests); the paper's detector\n"
+      "fires on the tainted dereference itself, independent of allocator\n"
+      "hygiene, and composes with the mitigation.\n");
+  return 0;
+}

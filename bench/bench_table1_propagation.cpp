@@ -1,0 +1,138 @@
+// Table 1 — ALU taintedness propagation rules.
+//
+// Measures the taint-tracking logic's software cost per instruction class
+// (google-benchmark) and the end-to-end simulator throughput with tracking
+// on/off, and prints the Table 1 rule map the hardware implements.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/machine.hpp"
+#include "cpu/taint_unit.hpp"
+
+namespace {
+
+using namespace ptaint;
+using cpu::TaintOpInputs;
+using cpu::TaintPolicy;
+using cpu::TaintUnit;
+using isa::Op;
+
+TaintOpInputs make_inputs(Op op, uint8_t ta, uint8_t tb) {
+  TaintOpInputs in;
+  in.inst.op = op;
+  in.inst.rs = 4;
+  in.inst.rt = 5;
+  in.inst.rd = 2;
+  in.a = {0x61626364, ta};
+  in.b = {0x00000fff, tb};
+  return in;
+}
+
+void BM_PropagateDefaultAlu(benchmark::State& state) {
+  TaintPolicy policy;
+  TaintUnit unit(policy);
+  auto in = make_inputs(Op::kAddu, 0b0001, 0b1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unit.propagate(in).result_taint);
+  }
+}
+BENCHMARK(BM_PropagateDefaultAlu);
+
+void BM_PropagateShiftSmear(benchmark::State& state) {
+  TaintPolicy policy;
+  TaintUnit unit(policy);
+  auto in = make_inputs(Op::kSll, 0b0001, 0);
+  in.b_is_immediate = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unit.propagate(in).result_taint);
+  }
+}
+BENCHMARK(BM_PropagateShiftSmear);
+
+void BM_PropagateAndZeroRule(benchmark::State& state) {
+  TaintPolicy policy;
+  TaintUnit unit(policy);
+  auto in = make_inputs(Op::kAnd, 0b1111, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unit.propagate(in).result_taint);
+  }
+}
+BENCHMARK(BM_PropagateAndZeroRule);
+
+void BM_PropagateCompareUntaint(benchmark::State& state) {
+  TaintPolicy policy;
+  TaintUnit unit(policy);
+  auto in = make_inputs(Op::kSlt, 0b1111, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unit.propagate(in).untaint_sources);
+  }
+}
+BENCHMARK(BM_PropagateCompareUntaint);
+
+// End-to-end: simulated instructions/second over an ALU-heavy kernel with
+// the paper policy vs detection off.
+void run_kernel(cpu::DetectionMode mode, benchmark::State& state) {
+  core::MachineConfig cfg;
+  cfg.policy.mode = mode;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::Machine m(cfg);
+    m.load_source(R"(
+      .text
+      _start:
+        li $t0, 0
+        li $t1, 60000
+      loop:
+        addu $t2, $t0, $t1
+        xor $t3, $t2, $t0
+        sll $t4, $t3, 3
+        and $t5, $t4, $t2
+        slt $t6, $t5, $t1
+        addiu $t0, $t0, 1
+        bne $t0, $t1, loop
+        li $v0, 1
+        li $a0, 0
+        syscall
+    )");
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(m.run().cpu_stats.instructions);
+  }
+  state.SetItemsProcessed(state.iterations() * 420000);
+}
+
+void BM_SimThroughputPaperPolicy(benchmark::State& state) {
+  run_kernel(cpu::DetectionMode::kPointerTaint, state);
+}
+BENCHMARK(BM_SimThroughputPaperPolicy);
+
+void BM_SimThroughputDetectionOff(benchmark::State& state) {
+  run_kernel(cpu::DetectionMode::kOff, state);
+}
+BENCHMARK(BM_SimThroughputDetectionOff);
+
+void print_table1() {
+  std::printf("== Table 1: Taintedness Propagation by ALU Instructions ==\n");
+  std::printf("%-34s %s\n", "ALU instruction type", "taintedness propagation");
+  std::printf("%-34s %s\n", "default (e.g. op R1,R2,R3)",
+              "T(R1) = T(R2) OR T(R3), per byte");
+  std::printf("%-34s %s\n", "shift",
+              "adjacent byte along shift direction also tainted");
+  std::printf("%-34s %s\n", "AND",
+              "byte AND-ed with an untainted zero is untainted");
+  std::printf("%-34s %s\n", "XOR R1,R2,R2", "T(R1) = 0000 (zeroing idiom)");
+  std::printf("%-34s %s\n", "compare",
+              "operand registers untainted (validated data)");
+  std::printf("tracking-logic gate estimate: ~%d NAND-equivalents "
+              "(vs ~1500+ for a 32-bit adder)\n\n",
+              ptaint::cpu::TaintUnit::gate_cost());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Table 2 — Attacking WU-FTPD on the proposed architecture.
+//
+// Regenerates the paper's attack/detection transcript: the FTP dialogue
+// (greeting, USER, PASS, the malicious SITE EXEC) and the resulting alert
+//   sw $21,0($3)   $3=0x1002bc20
+#include <cstdio>
+
+#include "core/attack.hpp"
+
+using namespace ptaint;
+using namespace ptaint::core;
+
+int main() {
+  std::printf("== Table 2: Attacking WU-FTPD on the Proposed Architecture ==\n\n");
+
+  auto scenario = make_scenario(AttackId::kWuFtpdFormat);
+  auto r = scenario->run_attack(cpu::DetectionMode::kPointerTaint);
+
+  // Client commands, as the paper lists them.
+  std::printf("%-11s %s\n", "FTP Client", "user user1");
+  std::printf("%-11s %s\n", "FTP Client", "pass xxxxxxx");
+  std::printf("%-11s %s\n", "FTP Client",
+              "site exec \\x20\\xbc\\x02\\x10%x%x%x%x%x%x%n");
+  std::printf("\nServer replies (virtual network transcript):\n");
+  if (!r.report.net_transcripts.empty()) {
+    std::printf("%s\n", r.report.net_transcripts[0].c_str());
+  }
+
+  std::printf("Result: %s\n", to_string(r.outcome));
+  if (r.report.alert) {
+    std::printf("Alert:  %s\n", r.report.alert_line().c_str());
+    std::printf("        (paper: \"44d7b0: sw $21,0($3)   $3=0x1002bc20\")\n");
+  }
+
+  std::printf("\n-- same attack under the control-data-only baseline --\n");
+  auto base = scenario->run_attack(cpu::DetectionMode::kControlDataOnly);
+  std::printf("Result: %s — %s\n", to_string(base.outcome),
+              base.detail.c_str());
+
+  std::printf("\n-- same attack unprotected --\n");
+  auto off = scenario->run_attack(cpu::DetectionMode::kOff);
+  std::printf("Result: %s — %s\n", to_string(off.outcome), off.detail.c_str());
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Table 3 — False-positive study over the SPEC 2000 INT surrogates.
+//
+// Regenerates the table's rows: program size, input bytes (all tainted at
+// the SYS_READ boundary), instructions executed, and the alert count —
+// which must be zero for every program.
+#include <cstdio>
+
+#include "core/spec_workloads.hpp"
+
+using namespace ptaint;
+using namespace ptaint::core;
+
+int main(int argc, char** argv) {
+  const int scale = argc > 1 ? std::atoi(argv[1]) : 4;
+  std::printf(
+      "== Table 3: False Positive Rate over SPEC 2000 Surrogates "
+      "(scale %d) ==\n\n",
+      scale);
+  std::printf("%-8s %14s %14s %16s %14s %8s %s\n", "program", "image bytes",
+              "input bytes", "instructions", "tainted loads", "alerts",
+              "result");
+
+  uint64_t total_size = 0, total_input = 0, total_instr = 0;
+  int alerts = 0;
+  for (const auto& w : make_spec_workloads(scale)) {
+    SpecRunRow row = run_spec_workload(w);
+    std::printf("%-8s %14llu %14llu %16llu %14llu %8d %s",
+                row.name.c_str(),
+                static_cast<unsigned long long>(row.program_bytes),
+                static_cast<unsigned long long>(row.input_bytes),
+                static_cast<unsigned long long>(row.instructions),
+                static_cast<unsigned long long>(row.tainted_loads),
+                row.alert ? 1 : 0, row.output.c_str());
+    total_size += row.program_bytes;
+    total_input += row.input_bytes;
+    total_instr += row.instructions;
+    alerts += row.alert ? 1 : 0;
+  }
+  std::printf("%-8s %14llu %14llu %16llu %14s %8d\n", "total",
+              static_cast<unsigned long long>(total_size),
+              static_cast<unsigned long long>(total_input),
+              static_cast<unsigned long long>(total_instr), "", alerts);
+  std::printf(
+      "\npaper: 6586KB programs, 2186KB input, 15,139M instructions, "
+      "0 alerts.\n"
+      "shape reproduced: every input byte tainted, %d false positives.\n",
+      alerts);
+  return alerts == 0 ? 0 : 1;
+}

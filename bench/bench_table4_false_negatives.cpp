@@ -1,0 +1,47 @@
+// Table 4 — False-negative scenarios.
+//
+// Regenerates the three scenarios that escape pointer-taintedness
+// detection, demonstrating that (a) the damage really happens with the
+// detector ON, and (b) the closely related pointer-dereferencing variant
+// of scenario (C) is still caught.
+#include <cstdio>
+
+#include "core/attack.hpp"
+#include "guest/apps/apps.hpp"
+#include "guest/runtime.hpp"
+
+using namespace ptaint;
+using namespace ptaint::core;
+
+namespace {
+
+void run_case(const char* label, AttackId id) {
+  auto r = make_scenario(id)->run_attack(cpu::DetectionMode::kPointerTaint);
+  std::printf("%-34s  outcome=%-12s %s\n", label, to_string(r.outcome),
+              r.detail.c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Table 4: False Negative Scenarios "
+              "(detector ON, attacks still land) ==\n\n");
+  run_case("(A) integer overflow index", AttackId::kFnIntOverflow);
+  run_case("(B) auth-flag overwrite", AttackId::kFnAuthFlag);
+  run_case("(C) format-string info leak", AttackId::kFnFormatLeak);
+
+  std::printf("\ncontrast: the WRITE variant of (C) is detected:\n");
+  MachineConfig cfg;
+  Machine m(cfg);
+  m.load_sources(guest::link_with_runtime(guest::apps::fn_format_leak()));
+  m.os().net().add_session({"abcd%x%x%x%x%n"});
+  auto rep = m.run();
+  std::printf("  %%x%%x%%x%%x%%n -> %s\n",
+              rep.detected() ? rep.alert_line().c_str() : "NOT DETECTED (!)");
+
+  std::printf(
+      "\npaper: all three scenarios escape any generic runtime detector;\n"
+      "they corrupt or leak plain data without ever dereferencing a tainted "
+      "word.\n");
+  return 0;
+}

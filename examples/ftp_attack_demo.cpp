@@ -1,0 +1,50 @@
+// WU-FTPD SITE EXEC demo (the paper's Table 2 scenario, end to end).
+//
+// Runs the mini FTP server on the simulated architecture three times:
+//   1. a benign session (login + SITE EXEC with harmless text);
+//   2. the format-string attack with the pointer-taintedness detector ON;
+//   3. the same attack with detection OFF, showing the privilege state
+//      being corrupted.
+#include <cstdio>
+
+#include "core/attack.hpp"
+
+using namespace ptaint;
+using namespace ptaint::core;
+
+namespace {
+
+void banner(const char* title) { std::printf("\n===== %s =====\n", title); }
+
+}  // namespace
+
+int main() {
+  auto scenario = make_scenario(AttackId::kWuFtpdFormat);
+
+  banner("benign session, detector ON");
+  auto benign = scenario->run_benign();
+  std::printf("outcome: %s\n", to_string(benign.outcome));
+  if (!benign.report.net_transcripts.empty()) {
+    std::printf("server replies:\n%s",
+                benign.report.net_transcripts[0].c_str());
+  }
+
+  banner("SITE EXEC format-string attack, detector ON");
+  auto protected_run = scenario->run_attack(cpu::DetectionMode::kPointerTaint);
+  std::printf("outcome: %s\n", to_string(protected_run.outcome));
+  std::printf("client sends: site exec \\x20\\xbc\\x02\\x10%%x%%x%%x%%x%%x%%x%%n\n");
+  if (protected_run.report.alert) {
+    std::printf("alert:        %s\n",
+                protected_run.report.alert_line().c_str());
+    std::printf("the tainted pointer IS the uid word's address — the %%n\n"
+                "write was stopped before any privilege state changed.\n");
+  }
+
+  banner("same attack, detector OFF");
+  auto exposed = scenario->run_attack(cpu::DetectionMode::kOff);
+  std::printf("outcome: %s\n%s\n", to_string(exposed.outcome),
+              exposed.detail.c_str());
+  std::printf("(a control-flow-integrity baseline also misses this: the\n"
+              " attack never touches a return address or function pointer)\n");
+  return 0;
+}

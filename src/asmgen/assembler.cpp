@@ -1,0 +1,762 @@
+#include "asmgen/assembler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <sstream>
+
+#include "asmgen/lexer.hpp"
+
+namespace ptaint::asmgen {
+namespace {
+
+using isa::Instruction;
+using isa::Op;
+namespace layout = isa::layout;
+
+/// How a pending instruction's immediate is patched once symbols resolve.
+enum class Fixup : uint8_t {
+  kNone,
+  kBranch,    // imm <- (value - (pc + 4)) >> 2
+  kJump,      // target <- value
+  kAbsHi,     // imm <- value >> 16            (la: lui)
+  kAbsLo,     // imm <- value & 0xffff         (la: ori)
+  kSignedHi,  // imm <- (value + 0x8000) >> 16 (lw label: lui)
+  kSignedLo,  // imm <- sign-adjusted low half (lw label: mem offset)
+};
+
+struct PendingInst {
+  Instruction inst;
+  Fixup fixup = Fixup::kNone;
+  std::string symbol;   // expression base symbol (may be empty: pure value)
+  int64_t addend = 0;   // expression addend, or resolved pure value
+  SourceLoc loc;
+};
+
+struct Diag {
+  SourceLoc loc;
+  std::string message;
+};
+
+// An operand expression is `sym`, `sym+N`, `sym-N`, or a literal.
+struct Expr {
+  std::string symbol;  // empty for a pure literal
+  int64_t addend = 0;
+};
+
+class Assembler {
+ public:
+  Program run(const std::vector<Source>& sources) {
+    for (int pass = 1; pass <= 2; ++pass) {
+      pass_ = pass;
+      text_pc_ = layout::kTextBase;
+      data_pc_ = layout::kDataBase;
+      in_text_ = true;
+      for (const auto& src : sources) {
+        file_ = src.name;
+        for (const Line& line : lex(src.text)) {
+          line_no_ = line.line_no;
+          process(line);
+        }
+      }
+      if (!diags_.empty()) fail();
+    }
+    resolve_fixups();
+    if (!diags_.empty()) fail();
+
+    Program prog;
+    for (const auto& p : pending_) prog.text.push_back(isa::encode(p.inst));
+    prog.data = std::move(data_);
+    prog.symbols = symbols_;
+    prog.data_end = data_pc_;
+    prog.entry = symbols_.count("_start") ? symbols_.at("_start")
+                                          : layout::kTextBase;
+    for (uint32_t i = 0; i < pending_.size(); ++i) {
+      prog.text_locs[layout::kTextBase + 4 * i] = pending_[i].loc;
+    }
+    prog.text_labels = text_labels_;
+    std::sort(prog.text_labels.begin(), prog.text_labels.end());
+    // Functions = jal targets (+ the conventional entry points).
+    std::set<std::string> fn_names;
+    for (const auto& p : pending_) {
+      if (p.inst.op == Op::kJal && !p.symbol.empty()) fn_names.insert(p.symbol);
+    }
+    fn_names.insert("_start");
+    fn_names.insert("main");
+    for (const auto& [addr, name] : prog.text_labels) {
+      if (fn_names.count(name)) prog.function_labels.emplace_back(addr, name);
+    }
+    return prog;
+  }
+
+ private:
+  // ---- diagnostics ----
+  void error(std::string message) {
+    diags_.push_back({{file_, line_no_}, std::move(message)});
+  }
+
+  [[noreturn]] void fail() {
+    std::ostringstream os;
+    size_t shown = 0;
+    for (const auto& d : diags_) {
+      if (shown++ == 20) {
+        os << "... (" << diags_.size() - 20 << " more)\n";
+        break;
+      }
+      os << d.loc.file << ":" << d.loc.line << ": " << d.message << "\n";
+    }
+    throw AssemblyError(os.str());
+  }
+
+  SourceLoc here() const { return {file_, line_no_}; }
+
+  // ---- symbol/expression handling ----
+  std::optional<Expr> parse_expr(std::string_view s) const {
+    if (auto v = parse_int(s)) return Expr{"", *v};
+    size_t split = std::string_view::npos;
+    for (size_t i = 1; i < s.size(); ++i) {
+      if (s[i] == '+' || s[i] == '-') split = i;
+    }
+    std::string_view base = s, rest;
+    int64_t addend = 0;
+    if (split != std::string_view::npos) {
+      base = s.substr(0, split);
+      rest = s.substr(split);  // includes sign
+      auto v = parse_int(rest);
+      if (!v) return std::nullopt;
+      addend = *v;
+    }
+    if (base.empty()) return std::nullopt;
+    for (char c : base) {
+      if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '.')) {
+        return std::nullopt;
+      }
+    }
+    return Expr{std::string(base), addend};
+  }
+
+  // Resolves an expression, if possible right now.  Constants (.equ) are
+  // available in both passes; labels only reliably in pass 2.
+  std::optional<int64_t> eval(const Expr& e) const {
+    if (e.symbol.empty()) return e.addend;
+    auto it = symbols_.find(e.symbol);
+    if (it == symbols_.end()) return std::nullopt;
+    return static_cast<int64_t>(it->second) + e.addend;
+  }
+
+  void define_symbol(const std::string& name, uint32_t value) {
+    if (pass_ == 1) {
+      if (!symbols_.emplace(name, value).second) {
+        error("duplicate symbol '" + name + "'");
+      }
+    } else {
+      // Pass 2 sanity: the two passes must agree on layout.
+      [[maybe_unused]] auto it = symbols_.find(name);
+      assert(it != symbols_.end() && it->second == value &&
+             "pass 1 / pass 2 layout divergence");
+    }
+  }
+
+  // ---- emission ----
+  void emit(Instruction inst, Fixup fixup = Fixup::kNone, Expr expr = Expr()) {
+    if (pass_ == 2) {
+      PendingInst p;
+      p.inst = inst;
+      p.fixup = fixup;
+      p.symbol = expr.symbol;
+      p.addend = expr.addend;
+      p.loc = here();
+      p.loc.line = line_no_;
+      pending_.push_back(std::move(p));
+    }
+    text_pc_ += 4;
+  }
+
+  void emit_r(Op op, uint8_t rd, uint8_t rs, uint8_t rt, uint8_t shamt = 0) {
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs = rs;
+    i.rt = rt;
+    i.shamt = shamt;
+    emit(i);
+  }
+
+  void emit_i(Op op, uint8_t rt, uint8_t rs, int32_t imm,
+              Fixup fixup = Fixup::kNone, Expr expr = Expr()) {
+    Instruction i;
+    i.op = op;
+    i.rt = rt;
+    i.rs = rs;
+    i.imm = imm;
+    emit(i, fixup, expr);
+  }
+
+  void data_put(uint8_t byte) {
+    if (pass_ == 2) {
+      size_t off = data_pc_ - layout::kDataBase;
+      if (data_.size() <= off) data_.resize(off + 1, 0);
+      data_[off] = byte;
+    }
+    ++data_pc_;
+  }
+
+  // ---- operand parsing helpers ----
+  std::optional<uint8_t> reg(const std::string& s) {
+    auto r = isa::parse_reg(s);
+    if (!r) error("expected register, got '" + s + "'");
+    return r;
+  }
+
+  // `off(reg)`, `(reg)` or bare `reg` memory operand.
+  struct MemOperand {
+    uint8_t base = 0;
+    int32_t offset = 0;
+    bool ok = false;
+  };
+
+  std::optional<MemOperand> parse_mem(const std::string& s) {
+    size_t open = s.find('(');
+    if (open == std::string::npos || s.back() != ')') return std::nullopt;
+    std::string off_str = s.substr(0, open);
+    std::string reg_str = s.substr(open + 1, s.size() - open - 2);
+    auto base = isa::parse_reg(reg_str);
+    if (!base) return std::nullopt;
+    int64_t off = 0;
+    if (!off_str.empty()) {
+      auto expr = parse_expr(off_str);
+      if (!expr) return std::nullopt;
+      auto v = eval(*expr);
+      if (!v) {
+        if (pass_ == 2) error("unresolved offset '" + off_str + "'");
+        v = 0;
+      }
+      off = *v;
+    }
+    if (off < -32768 || off > 32767) {
+      error("memory offset out of 16-bit range");
+      off = 0;
+    }
+    MemOperand m;
+    m.base = *base;
+    m.offset = static_cast<int32_t>(off);
+    m.ok = true;
+    return m;
+  }
+
+  // ---- statement processing ----
+  void process(const Line& line) {
+    for (const auto& label : line.labels) {
+      uint32_t addr = in_text_ ? text_pc_ : data_pc_;
+      define_symbol(label, addr);
+      if (in_text_ && pass_ == 1) text_labels_.emplace_back(addr, label);
+    }
+    if (line.mnemonic.empty()) return;
+    if (line.mnemonic[0] == '.') {
+      directive(line);
+      return;
+    }
+    if (!in_text_) {
+      error("instruction outside .text");
+      return;
+    }
+    instruction(line);
+  }
+
+  void directive(const Line& line) {
+    const std::string& d = line.mnemonic;
+    const auto& ops = line.operands;
+    if (d == ".text") { in_text_ = true; return; }
+    if (d == ".data") { in_text_ = false; return; }
+    if (d == ".globl" || d == ".global" || d == ".ent" || d == ".end") return;
+    if (d == ".equ" || d == ".set") {
+      if (ops.size() != 2) { error(d + " needs NAME, EXPR"); return; }
+      auto expr = parse_expr(ops[1]);
+      auto v = expr ? eval(*expr) : std::nullopt;
+      if (!v) { error("cannot evaluate " + d + " expression"); return; }
+      define_symbol(ops[0], static_cast<uint32_t>(*v));
+      return;
+    }
+    if (in_text_ && d != ".align") {
+      error("data directive '" + d + "' in .text");
+      return;
+    }
+    if (d == ".word" || d == ".half" || d == ".byte") {
+      int width = d == ".word" ? 4 : d == ".half" ? 2 : 1;
+      for (const auto& op : ops) {
+        auto expr = parse_expr(op);
+        auto v = expr ? eval(*expr) : std::nullopt;
+        if (!v && pass_ == 2) error("unresolved expression '" + op + "'");
+        uint32_t value = static_cast<uint32_t>(v.value_or(0));
+        for (int i = 0; i < width; ++i) {
+          data_put(static_cast<uint8_t>(value >> (8 * i)));
+        }
+      }
+      return;
+    }
+    if (d == ".ascii" || d == ".asciiz") {
+      if (ops.size() != 1) { error(d + " needs one string"); return; }
+      auto s = parse_string_literal(ops[0]);
+      if (!s) { error("malformed string literal"); return; }
+      for (char c : *s) data_put(static_cast<uint8_t>(c));
+      if (d == ".asciiz") data_put(0);
+      return;
+    }
+    if (d == ".space") {
+      auto v = ops.size() == 1 ? parse_int(ops[0]) : std::nullopt;
+      if (!v || *v < 0) { error(".space needs a non-negative count"); return; }
+      for (int64_t i = 0; i < *v; ++i) data_put(0);
+      return;
+    }
+    if (d == ".align") {
+      auto v = ops.size() == 1 ? parse_int(ops[0]) : std::nullopt;
+      if (!v || *v < 0 || *v > 12) { error(".align needs 0..12"); return; }
+      uint32_t align = 1u << *v;
+      uint32_t& pc = in_text_ ? text_pc_ : data_pc_;
+      while (pc % align != 0) {
+        if (in_text_) {
+          emit_r(Op::kSll, 0, 0, 0);  // nop padding
+        } else {
+          data_put(0);
+        }
+      }
+      return;
+    }
+    if (d == ".org") {
+      auto expr = ops.size() == 1 ? parse_expr(ops[0]) : std::nullopt;
+      auto v = expr ? eval(*expr) : std::nullopt;
+      if (!v) { error(".org needs an absolute address"); return; }
+      if (in_text_) { error(".org is only supported in .data"); return; }
+      if (static_cast<uint32_t>(*v) < data_pc_) {
+        error(".org cannot move backwards");
+        return;
+      }
+      while (data_pc_ < static_cast<uint32_t>(*v)) data_put(0);
+      return;
+    }
+    error("unknown directive '" + d + "'");
+  }
+
+  // Emits `li` and returns its size-determining expansion.
+  void emit_li(uint8_t rd, int64_t value) {
+    const auto v32 = static_cast<uint32_t>(value);
+    if (value >= -32768 && value <= 32767) {
+      emit_i(Op::kAddiu, rd, isa::kZero, static_cast<int32_t>(value));
+    } else if ((v32 & 0xffff0000u) == 0) {
+      emit_i(Op::kOri, rd, isa::kZero, static_cast<int32_t>(v32));
+    } else {
+      emit_i(Op::kLui, rd, 0, static_cast<int32_t>(v32 >> 16));
+      if ((v32 & 0xffffu) != 0) {
+        emit_i(Op::kOri, rd, rd, static_cast<int32_t>(v32 & 0xffffu));
+      }
+    }
+  }
+
+  void branch_expr(Op op, uint8_t rs, uint8_t rt, const std::string& target) {
+    auto expr = parse_expr(target);
+    if (!expr) { error("bad branch target '" + target + "'"); return; }
+    Instruction i;
+    i.op = op;
+    i.rs = rs;
+    i.rt = rt;
+    emit(i, Fixup::kBranch, *expr);
+  }
+
+  void instruction(const Line& line) {
+    const std::string& m = line.mnemonic;
+    const auto& ops = line.operands;
+    auto need = [&](size_t n) {
+      if (ops.size() != n) {
+        error("'" + m + "' expects " + std::to_string(n) + " operands");
+        return false;
+      }
+      return true;
+    };
+
+    // ---- pseudo-instructions ----
+    if (m == "nop") { emit_r(Op::kSll, 0, 0, 0); return; }
+    if (m == "li") {
+      if (!need(2)) return;
+      auto rd = reg(ops[0]);
+      auto expr = parse_expr(ops[1]);
+      auto v = expr ? eval(*expr) : std::nullopt;
+      if (!rd) return;
+      if (!v) { error("li needs a constant known at this point"); return; }
+      emit_li(*rd, *v);
+      return;
+    }
+    if (m == "la") {
+      if (!need(2)) return;
+      auto rd = reg(ops[0]);
+      auto expr = parse_expr(ops[1]);
+      if (!rd || !expr) { error("la needs REG, SYMBOL[+OFF]"); return; }
+      emit_i(Op::kLui, *rd, 0, 0, Fixup::kAbsHi, *expr);
+      emit_i(Op::kOri, *rd, *rd, 0, Fixup::kAbsLo, *expr);
+      return;
+    }
+    if (m == "move") {
+      if (!need(2)) return;
+      auto rd = reg(ops[0]), rs = reg(ops[1]);
+      if (rd && rs) emit_r(Op::kAddu, *rd, *rs, isa::kZero);
+      return;
+    }
+    if (m == "not") {
+      if (!need(2)) return;
+      auto rd = reg(ops[0]), rs = reg(ops[1]);
+      if (rd && rs) emit_r(Op::kNor, *rd, *rs, isa::kZero);
+      return;
+    }
+    if (m == "neg" || m == "negu") {
+      if (!need(2)) return;
+      auto rd = reg(ops[0]), rs = reg(ops[1]);
+      if (rd && rs) emit_r(Op::kSubu, *rd, isa::kZero, *rs);
+      return;
+    }
+    if (m == "b") {
+      if (!need(1)) return;
+      branch_expr(Op::kBeq, isa::kZero, isa::kZero, ops[0]);
+      return;
+    }
+    if (m == "beqz" || m == "bnez") {
+      if (!need(2)) return;
+      auto rs = reg(ops[0]);
+      if (!rs) return;
+      branch_expr(m == "beqz" ? Op::kBeq : Op::kBne, *rs, isa::kZero, ops[1]);
+      return;
+    }
+    if (m == "blt" || m == "bge" || m == "bgt" || m == "ble" || m == "bltu" ||
+        m == "bgeu" || m == "bgtu" || m == "bleu") {
+      if (!need(3)) return;
+      const bool unsigned_cmp = m.back() == 'u';
+      const std::string body = unsigned_cmp ? m.substr(0, m.size() - 1) : m;
+      auto ra = reg(ops[0]);
+      if (!ra) return;
+      // Second operand: register if $-prefixed, else a constant expression
+      // (.equ names allowed).
+      std::optional<int64_t> imm;
+      if (ops[1].empty() || ops[1][0] != '$') {
+        auto expr = parse_expr(ops[1]);
+        if (expr) imm = eval(*expr);
+      }
+      if (imm) {
+        // Immediate comparison: slti/sltiu $at against the (possibly
+        // adjusted) bound, then branch on the flag.
+        int64_t bound = *imm;
+        bool taken_if_set = true;
+        if (body == "blt") {                 // a < imm
+          taken_if_set = true;
+        } else if (body == "bge") {          // a >= imm  ==  !(a < imm)
+          taken_if_set = false;
+        } else if (body == "ble") {          // a <= imm  ==  a < imm+1
+          bound += 1;
+          taken_if_set = true;
+        } else {                             // bgt: a > imm == !(a < imm+1)
+          bound += 1;
+          taken_if_set = false;
+        }
+        if (bound < -32768 || bound > 32767) {
+          error("branch immediate out of range");
+          return;
+        }
+        emit_i(unsigned_cmp ? Op::kSltiu : Op::kSlti, isa::kAt, *ra,
+               static_cast<int32_t>(bound));
+        branch_expr(taken_if_set ? Op::kBne : Op::kBeq, isa::kAt, isa::kZero,
+                    ops[2]);
+        return;
+      }
+      auto rb = reg(ops[1]);
+      if (!rb) return;
+      uint8_t lhs = *ra, rhs = *rb;
+      // bgt a,b == blt b,a ; ble a,b == bge b,a
+      if (body == "bgt" || body == "ble") std::swap(lhs, rhs);
+      emit_r(unsigned_cmp ? Op::kSltu : Op::kSlt, isa::kAt, lhs, rhs);
+      const bool taken_if_set = (body == "blt" || body == "bgt");
+      branch_expr(taken_if_set ? Op::kBne : Op::kBeq, isa::kAt, isa::kZero,
+                  ops[2]);
+      return;
+    }
+    if (m == "mul") {
+      if (!need(3)) return;
+      auto rd = reg(ops[0]), rs = reg(ops[1]), rt = reg(ops[2]);
+      if (!rd || !rs || !rt) return;
+      emit_r(Op::kMult, 0, *rs, *rt);
+      emit_r(Op::kMflo, *rd, 0, 0);
+      return;
+    }
+    if ((m == "div" || m == "divu" || m == "rem" || m == "remu") &&
+        ops.size() == 3) {
+      auto rd = reg(ops[0]), rs = reg(ops[1]), rt = reg(ops[2]);
+      if (!rd || !rs || !rt) return;
+      emit_r(m == "div" || m == "rem" ? Op::kDiv : Op::kDivu, 0, *rs, *rt);
+      emit_r(m.substr(0, 3) == "rem" ? Op::kMfhi : Op::kMflo, *rd, 0, 0);
+      return;
+    }
+    if (m == "push") {
+      if (!need(1)) return;
+      auto rs = reg(ops[0]);
+      if (!rs) return;
+      emit_i(Op::kAddiu, isa::kSp, isa::kSp, -4);
+      emit_i(Op::kSw, *rs, isa::kSp, 0);
+      return;
+    }
+    if (m == "pop") {
+      if (!need(1)) return;
+      auto rd = reg(ops[0]);
+      if (!rd) return;
+      emit_i(Op::kLw, *rd, isa::kSp, 0);
+      emit_i(Op::kAddiu, isa::kSp, isa::kSp, 4);
+      return;
+    }
+
+    auto op = isa::op_from_mnemonic(m);
+    if (!op) {
+      error("unknown instruction '" + m + "'");
+      return;
+    }
+
+    switch (*op) {
+      case Op::kSll: case Op::kSrl: case Op::kSra: {
+        if (!need(3)) return;
+        auto rd = reg(ops[0]), rt = reg(ops[1]);
+        auto sh = parse_int(ops[2]);
+        if (!rd || !rt) return;
+        if (!sh || *sh < 0 || *sh > 31) { error("bad shift amount"); return; }
+        emit_r(*op, *rd, 0, *rt, static_cast<uint8_t>(*sh));
+        return;
+      }
+      case Op::kSllv: case Op::kSrlv: case Op::kSrav: {
+        if (!need(3)) return;
+        auto rd = reg(ops[0]), rt = reg(ops[1]), rs = reg(ops[2]);
+        if (rd && rt && rs) emit_r(*op, *rd, *rs, *rt);
+        return;
+      }
+      case Op::kAdd: case Op::kAddu: case Op::kSub: case Op::kSubu:
+      case Op::kAnd: case Op::kOr: case Op::kXor: case Op::kNor:
+      case Op::kSlt: case Op::kSltu: {
+        if (!need(3)) return;
+        auto rd = reg(ops[0]), rs = reg(ops[1]), rt = reg(ops[2]);
+        if (rd && rs && rt) emit_r(*op, *rd, *rs, *rt);
+        return;
+      }
+      case Op::kMult: case Op::kMultu: case Op::kDiv: case Op::kDivu: {
+        if (!need(2)) return;
+        auto rs = reg(ops[0]), rt = reg(ops[1]);
+        if (rs && rt) emit_r(*op, 0, *rs, *rt);
+        return;
+      }
+      case Op::kMfhi: case Op::kMflo: {
+        if (!need(1)) return;
+        auto rd = reg(ops[0]);
+        if (rd) emit_r(*op, *rd, 0, 0);
+        return;
+      }
+      case Op::kMthi: case Op::kMtlo: {
+        if (!need(1)) return;
+        auto rs = reg(ops[0]);
+        if (rs) emit_r(*op, 0, *rs, 0);
+        return;
+      }
+      case Op::kJr: {
+        if (!need(1)) return;
+        auto rs = reg(ops[0]);
+        if (rs) emit_r(*op, 0, *rs, 0);
+        return;
+      }
+      case Op::kTaintSet:
+      case Op::kTaintClr: {
+        if (!need(2)) return;
+        auto rd = reg(ops[0]), rs = reg(ops[1]);
+        if (rd && rs) emit_r(*op, *rd, *rs, 0);
+        return;
+      }
+      case Op::kJalr: {
+        if (ops.size() == 1) {
+          auto rs = reg(ops[0]);
+          if (rs) emit_r(*op, isa::kRa, *rs, 0);
+        } else if (need(2)) {
+          auto rd = reg(ops[0]), rs = reg(ops[1]);
+          if (rd && rs) emit_r(*op, *rd, *rs, 0);
+        }
+        return;
+      }
+      case Op::kSyscall: case Op::kBreak:
+        emit_r(*op, 0, 0, 0);
+        return;
+      case Op::kAddi: case Op::kAddiu: case Op::kSlti: case Op::kSltiu:
+      case Op::kAndi: case Op::kOri: case Op::kXori: {
+        if (!need(3)) return;
+        auto rt = reg(ops[0]), rs = reg(ops[1]);
+        auto expr = parse_expr(ops[2]);
+        auto v = expr ? eval(*expr) : std::nullopt;
+        if (!rt || !rs) return;
+        if (!v) { error("immediate must be a known constant"); return; }
+        if (*v < -32768 || *v > 65535) { error("immediate out of range"); return; }
+        emit_i(*op, *rt, *rs, static_cast<int32_t>(*v));
+        return;
+      }
+      case Op::kLui: {
+        if (!need(2)) return;
+        auto rt = reg(ops[0]);
+        auto v = parse_int(ops[1]);
+        if (!rt) return;
+        if (!v || *v < 0 || *v > 0xffff) { error("lui needs 0..0xffff"); return; }
+        emit_i(*op, *rt, 0, static_cast<int32_t>(*v));
+        return;
+      }
+      case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLbu: case Op::kLhu:
+      case Op::kSb: case Op::kSh: case Op::kSw: {
+        if (!need(2)) return;
+        auto rt = reg(ops[0]);
+        if (!rt) return;
+        if (auto mem = parse_mem(ops[1])) {
+          emit_i(*op, *rt, mem->base, mem->offset);
+          return;
+        }
+        // Bare-label form: expands through $at.
+        auto expr = parse_expr(ops[1]);
+        if (!expr || expr->symbol.empty()) {
+          error("bad memory operand '" + ops[1] + "'");
+          return;
+        }
+        emit_i(Op::kLui, isa::kAt, 0, 0, Fixup::kSignedHi, *expr);
+        emit_i(*op, *rt, isa::kAt, 0, Fixup::kSignedLo, *expr);
+        return;
+      }
+      case Op::kBeq: case Op::kBne: {
+        if (!need(3)) return;
+        auto rs = reg(ops[0]), rt = reg(ops[1]);
+        if (rs && rt) branch_expr(*op, *rs, *rt, ops[2]);
+        return;
+      }
+      case Op::kBlez: case Op::kBgtz: case Op::kBltz: case Op::kBgez:
+      case Op::kBltzal: case Op::kBgezal: {
+        if (!need(2)) return;
+        auto rs = reg(ops[0]);
+        if (rs) branch_expr(*op, *rs, 0, ops[1]);
+        return;
+      }
+      case Op::kJ: case Op::kJal: {
+        if (!need(1)) return;
+        auto expr = parse_expr(ops[0]);
+        if (!expr) { error("bad jump target"); return; }
+        Instruction i;
+        i.op = *op;
+        emit(i, Fixup::kJump, *expr);
+        return;
+      }
+      default:
+        error("cannot assemble '" + m + "'");
+        return;
+    }
+  }
+
+  void resolve_fixups() {
+    for (uint32_t idx = 0; idx < pending_.size(); ++idx) {
+      PendingInst& p = pending_[idx];
+      if (p.fixup == Fixup::kNone) continue;
+      int64_t value = p.addend;
+      if (!p.symbol.empty()) {
+        auto it = symbols_.find(p.symbol);
+        if (it == symbols_.end()) {
+          diags_.push_back({p.loc, "undefined symbol '" + p.symbol + "'"});
+          continue;
+        }
+        value += it->second;
+      }
+      const uint32_t pc = layout::kTextBase + 4 * idx;
+      const auto v32 = static_cast<uint32_t>(value);
+      switch (p.fixup) {
+        case Fixup::kBranch: {
+          int64_t delta = value - (static_cast<int64_t>(pc) + 4);
+          if (delta % 4 != 0 || delta < -131072 || delta > 131068) {
+            diags_.push_back({p.loc, "branch target out of range"});
+            continue;
+          }
+          p.inst.imm = static_cast<int32_t>(delta >> 2);
+          break;
+        }
+        case Fixup::kJump:
+          p.inst.target = v32;
+          break;
+        case Fixup::kAbsHi:
+          p.inst.imm = static_cast<int32_t>(v32 >> 16);
+          break;
+        case Fixup::kAbsLo:
+          p.inst.imm = static_cast<int32_t>(v32 & 0xffff);
+          break;
+        case Fixup::kSignedHi:
+          p.inst.imm = static_cast<int32_t>((v32 + 0x8000) >> 16);
+          break;
+        case Fixup::kSignedLo:
+          p.inst.imm = static_cast<int16_t>(v32 & 0xffff);
+          break;
+        case Fixup::kNone:
+          break;
+      }
+    }
+  }
+
+  int pass_ = 1;
+  bool in_text_ = true;
+  uint32_t text_pc_ = layout::kTextBase;
+  uint32_t data_pc_ = layout::kDataBase;
+  std::string file_;
+  int line_no_ = 0;
+  std::map<std::string, uint32_t> symbols_;
+  std::vector<PendingInst> pending_;
+  std::vector<uint8_t> data_;
+  std::vector<std::pair<uint32_t, std::string>> text_labels_;
+  std::vector<Diag> diags_;
+};
+
+}  // namespace
+
+std::string Program::symbol_for(uint32_t pc) const {
+  std::string best;
+  for (const auto& [addr, name] : function_labels) {
+    if (addr > pc) break;
+    best = name;
+  }
+  if (!best.empty()) return best;
+  for (const auto& [addr, name] : text_labels) {
+    if (addr > pc) break;
+    best = name;
+  }
+  return best;
+}
+
+Program assemble(const std::vector<Source>& sources) {
+  Assembler as;
+  return as.run(sources);
+}
+
+Program assemble(std::string_view text, std::string name) {
+  return assemble(std::vector<Source>{{std::move(name), std::string(text)}});
+}
+
+std::string listing(const Program& program) {
+  std::string out;
+  size_t label_idx = 0;
+  char line[128];
+  for (size_t i = 0; i < program.text.size(); ++i) {
+    const uint32_t addr =
+        isa::layout::kTextBase + 4 * static_cast<uint32_t>(i);
+    while (label_idx < program.text_labels.size() &&
+           program.text_labels[label_idx].first == addr) {
+      out += program.text_labels[label_idx].second + ":\n";
+      ++label_idx;
+    }
+    const uint32_t word = program.text[i];
+    std::snprintf(line, sizeof line, "  %08x:  %08x  %s\n", addr, word,
+                  isa::disassemble(isa::decode(word), addr).c_str());
+    out += line;
+  }
+  std::snprintf(line, sizeof line,
+                "\n.text %zu instructions, .data %zu bytes, entry 0x%x\n",
+                program.text.size(), program.data.size(), program.entry);
+  out += line;
+  return out;
+}
+
+}  // namespace ptaint::asmgen

@@ -1,0 +1,85 @@
+// Two-pass assembler for PTA-32.
+//
+// The guest runtime (libc, heap, printf) and every guest application in this
+// repository are written in this assembly dialect, which is deliberately
+// close to classic MIPS gas syntax:
+//
+//   .text / .data            segment selection
+//   .word/.half/.byte e,...  data emission (expressions allowed)
+//   .ascii/.asciiz "s"       strings with C escapes
+//   .space N                 N zero bytes
+//   .align N                 align to 2^N
+//   .org ADDR                place the location counter at an absolute
+//                            address (forward only; gap is zero-filled) —
+//                            used to pin globals at paper-matching addresses
+//   .equ NAME, EXPR          assemble-time constant
+//   .globl NAME              accepted, no-op (single link unit)
+//
+// Pseudo-instructions expand to fixed sequences chosen to have the same
+// taint-propagation behaviour real compilers emit (e.g. blt expands to
+// slt+bne, which exercises the paper's compare-untaints rule):
+//   li, la, move, nop, not, neg, b, beqz, bnez, blt/bgt/ble/bge[u],
+//   mul/div/rem (3-operand), push, pop, lw/sw with a bare label.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace ptaint::asmgen {
+
+struct SourceLoc {
+  std::string file;
+  int line = 0;
+};
+
+/// One named assembly source ("translation unit"); units are concatenated
+/// into a single program with a shared symbol table.
+struct Source {
+  std::string name;
+  std::string text;
+};
+
+/// Assembled program image.
+struct Program {
+  std::vector<uint32_t> text;   // instruction words, loaded at kTextBase
+  std::vector<uint8_t> data;    // data segment image, loaded at kDataBase
+  uint32_t entry = 0;           // `_start` if defined, else first text word
+  uint32_t data_end = 0;        // first address past .data (initial brk)
+  std::map<std::string, uint32_t> symbols;
+  std::map<uint32_t, SourceLoc> text_locs;       // text addr -> source line
+  std::vector<std::pair<uint32_t, std::string>> text_labels;  // sorted
+  /// Labels that are functions: jal targets plus _start/main.  Local jump
+  /// labels inside a function body are excluded, so alert attribution maps
+  /// a PC to the enclosing function the way the paper's transcripts do.
+  std::vector<std::pair<uint32_t, std::string>> function_labels;  // sorted
+
+  /// Name of the function (nearest preceding function label) containing
+  /// `pc`; falls back to the nearest text label of any kind.
+  std::string symbol_for(uint32_t pc) const;
+};
+
+/// Thrown when assembly fails; `what()` lists every diagnostic.
+class AssemblyError : public std::runtime_error {
+ public:
+  explicit AssemblyError(std::string message)
+      : std::runtime_error(std::move(message)) {}
+};
+
+/// Assembles the concatenation of `sources`.  Throws AssemblyError.
+Program assemble(const std::vector<Source>& sources);
+
+/// Convenience for a single anonymous unit (tests, examples).
+Program assemble(std::string_view text, std::string name = "<input>");
+
+/// Human-readable listing of the text segment: address, encoded word and
+/// disassembly, with label lines interleaved.  `ptaint-run --listing`
+/// prints this.
+std::string listing(const Program& program);
+
+}  // namespace ptaint::asmgen

@@ -1,0 +1,205 @@
+#include "asmgen/lexer.hpp"
+
+#include <cctype>
+
+namespace ptaint::asmgen {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+// Strips a trailing # comment, respecting quotes.
+std::string_view strip_comment(std::string_view line) {
+  bool in_string = false;
+  bool in_char = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (c == '\\' && (in_string || in_char)) {
+      ++i;
+      continue;
+    }
+    if (c == '"' && !in_char) in_string = !in_string;
+    if (c == '\'' && !in_string) in_char = !in_char;
+    if (c == '#' && !in_string && !in_char) return line.substr(0, i);
+  }
+  return line;
+}
+
+// Splits operands on commas that are outside quotes and parentheses.
+std::vector<std::string> split_operands(std::string_view s) {
+  std::vector<std::string> out;
+  bool in_string = false;
+  bool in_char = false;
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i < s.size()) {
+      char c = s[i];
+      if (c == '\\' && (in_string || in_char)) {
+        ++i;
+        continue;
+      }
+      if (c == '"' && !in_char) in_string = !in_string;
+      else if (c == '\'' && !in_string) in_char = !in_char;
+      else if (!in_string && !in_char) {
+        if (c == '(') ++depth;
+        else if (c == ')') --depth;
+      }
+      if (!(c == ',' && !in_string && !in_char && depth == 0)) continue;
+    }
+    auto piece = trim(s.substr(start, i - start));
+    if (!piece.empty()) out.emplace_back(piece);
+    start = i + 1;
+  }
+  return out;
+}
+
+std::optional<int> decode_escape(char c) {
+  switch (c) {
+    case 'n': return '\n';
+    case 't': return '\t';
+    case 'r': return '\r';
+    case '0': return '\0';
+    case '\\': return '\\';
+    case '"': return '"';
+    case '\'': return '\'';
+    case 'a': return '\a';
+    case 'b': return '\b';
+    case 'f': return '\f';
+    case 'v': return '\v';
+    default: return std::nullopt;
+  }
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::vector<Line> lex(std::string_view text) {
+  std::vector<Line> lines;
+  int line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    ++line_no;
+    std::string_view raw = trim(strip_comment(text.substr(pos, eol - pos)));
+    pos = eol + 1;
+    if (raw.empty()) continue;
+
+    Line line;
+    line.line_no = line_no;
+    // Peel leading labels:  name:
+    for (;;) {
+      size_t colon = std::string_view::npos;
+      bool in_string = false, in_char = false;
+      for (size_t i = 0; i < raw.size(); ++i) {
+        char c = raw[i];
+        if (c == '\\' && (in_string || in_char)) { ++i; continue; }
+        if (c == '"' && !in_char) in_string = !in_string;
+        if (c == '\'' && !in_string) in_char = !in_char;
+        if (in_string || in_char) continue;
+        if (std::isspace(static_cast<unsigned char>(c))) break;  // word ended
+        if (c == ':') { colon = i; break; }
+      }
+      if (colon == std::string_view::npos) break;
+      line.labels.emplace_back(trim(raw.substr(0, colon)));
+      raw = trim(raw.substr(colon + 1));
+      if (raw.empty()) break;
+    }
+    if (!raw.empty()) {
+      size_t sp = 0;
+      while (sp < raw.size() && !std::isspace(static_cast<unsigned char>(raw[sp]))) {
+        ++sp;
+      }
+      line.mnemonic = to_lower(raw.substr(0, sp));
+      line.operands = split_operands(trim(raw.substr(sp)));
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+std::optional<int64_t> parse_int(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  // Char literal.
+  if (s.front() == '\'') {
+    if (s.size() >= 3 && s.back() == '\'') {
+      std::string_view body = s.substr(1, s.size() - 2);
+      if (body.size() == 1) return static_cast<unsigned char>(body[0]);
+      if (body.size() == 2 && body[0] == '\\') {
+        if (auto e = decode_escape(body[1])) return *e;
+      }
+    }
+    return std::nullopt;
+  }
+  bool negative = false;
+  if (s.front() == '-' || s.front() == '+') {
+    negative = s.front() == '-';
+    s.remove_prefix(1);
+    if (s.empty()) return std::nullopt;
+  }
+  int base = 10;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    base = 16;
+    s.remove_prefix(2);
+    if (s.empty()) return std::nullopt;
+  }
+  int64_t value = 0;
+  for (char c : s) {
+    int d = hex_digit(c);
+    if (d < 0 || d >= base) return std::nullopt;
+    value = value * base + d;
+    if (value > int64_t{0x1'0000'0000}) return std::nullopt;  // overflow guard
+  }
+  return negative ? -value : value;
+}
+
+std::optional<std::string> parse_string_literal(std::string_view s) {
+  s = trim(s);
+  if (s.size() < 2 || s.front() != '"' || s.back() != '"') return std::nullopt;
+  std::string out;
+  for (size_t i = 1; i + 1 < s.size(); ++i) {
+    char c = s[i];
+    if (c != '\\') {
+      out.push_back(c);
+      continue;
+    }
+    ++i;
+    if (i + 1 >= s.size() + 1) return std::nullopt;
+    char e = s[i];
+    if (e == 'x') {
+      int hi = i + 1 < s.size() ? hex_digit(s[i + 1]) : -1;
+      int lo = i + 2 < s.size() ? hex_digit(s[i + 2]) : -1;
+      if (hi < 0 || lo < 0) return std::nullopt;
+      out.push_back(static_cast<char>(hi * 16 + lo));
+      i += 2;
+      continue;
+    }
+    auto d = decode_escape(e);
+    if (!d) return std::nullopt;
+    out.push_back(static_cast<char>(*d));
+  }
+  return out;
+}
+
+}  // namespace ptaint::asmgen

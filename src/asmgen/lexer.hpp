@@ -1,0 +1,32 @@
+// Line-oriented lexer for the PTA-32 assembly dialect.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ptaint::asmgen {
+
+/// One source line reduced to structural pieces.  A line can carry any
+/// number of leading `name:` labels followed by at most one statement.
+struct Line {
+  std::vector<std::string> labels;
+  std::string mnemonic;                // lower-cased; empty if labels only
+  std::vector<std::string> operands;   // split on top-level commas, trimmed
+  int line_no = 0;
+};
+
+/// Splits source text into structural lines.  Strips `#` comments (except
+/// inside string literals).  Blank lines are dropped.
+std::vector<Line> lex(std::string_view text);
+
+/// Parses an integer literal: decimal, 0x hex, -negative, or 'c' char with
+/// C escapes.  Returns nullopt when `s` is not a literal.
+std::optional<int64_t> parse_int(std::string_view s);
+
+/// Decodes a double-quoted string literal with C escapes (\n \t \r \0 \\ \"
+/// \xHH).  Returns nullopt on malformed input.
+std::optional<std::string> parse_string_literal(std::string_view s);
+
+}  // namespace ptaint::asmgen

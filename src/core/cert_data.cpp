@@ -1,0 +1,45 @@
+#include "core/cert_data.hpp"
+
+#include <map>
+
+#include "core/attack.hpp"
+
+namespace ptaint::core {
+
+const std::vector<CertCategory>& cert_breakdown() {
+  // 107 advisories, 2000-2003.  Memory-corruption categories total 72/107
+  // = 67% (the paper's figure); the split across them is approximate.
+  static const std::vector<CertCategory> kData = {
+      {"buffer overflow", 47, true},     // unchecked buffer writes
+      {"format string", 10, true},       // printf-family misuse
+      {"heap corruption", 7, true},      // heap overflow / double free
+      {"integer overflow", 5, true},     // signedness / truncation
+      {"globbing", 3, true},             // LibC glob() misuse
+      {"other (non-memory)", 35, false}, // everything else
+  };
+  return kData;
+}
+
+int cert_total_advisories() {
+  int n = 0;
+  for (const auto& c : cert_breakdown()) n += c.advisories;
+  return n;
+}
+
+double cert_memory_corruption_share() {
+  int mem = 0;
+  for (const auto& c : cert_breakdown()) {
+    if (c.memory_corruption) mem += c.advisories;
+  }
+  return static_cast<double>(mem) / cert_total_advisories();
+}
+
+std::vector<std::pair<std::string, int>> corpus_by_category() {
+  std::map<std::string, int> counts;
+  for (const auto& scenario : make_attack_corpus()) {
+    ++counts[scenario->category()];
+  }
+  return {counts.begin(), counts.end()};
+}
+
+}  // namespace ptaint::core

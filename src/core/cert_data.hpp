@@ -1,0 +1,34 @@
+// Figure 1 dataset: breakdown of the leading programming vulnerabilities in
+// the 107 CERT advisories of 2000-2003 (paper Section 3).
+//
+// The paper states the memory-corruption categories collectively account
+// for 67% of the 107 advisories; the per-category splits below are
+// reconstructed from the figure to be consistent with that total and are
+// marked approximate in the bench output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ptaint::core {
+
+struct CertCategory {
+  std::string name;
+  int advisories;      // of the 107 advisories, 2000-2003
+  bool memory_corruption;
+};
+
+/// The Figure 1 categories.
+const std::vector<CertCategory>& cert_breakdown();
+
+/// Total advisories surveyed (107).
+int cert_total_advisories();
+
+/// Share of memory-corruption advisories (the paper's 67%).
+double cert_memory_corruption_share();
+
+/// Maps each attack-corpus category onto the Figure 1 taxonomy and counts
+/// how many corpus attacks exercise it.
+std::vector<std::pair<std::string, int>> corpus_by_category();
+
+}  // namespace ptaint::core

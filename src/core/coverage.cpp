@@ -1,0 +1,100 @@
+#include "core/coverage.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace ptaint::core {
+
+namespace {
+constexpr cpu::DetectionMode kModes[] = {
+    cpu::DetectionMode::kOff,
+    cpu::DetectionMode::kControlDataOnly,
+    cpu::DetectionMode::kPointerTaint,
+};
+}  // namespace
+
+const CoverageCell& CoverageRow::cell(cpu::DetectionMode mode) const {
+  for (const auto& c : cells) {
+    if (c.mode == mode) return c;
+  }
+  return cells.front();
+}
+
+int CoverageMatrix::detected_count(cpu::DetectionMode mode) const {
+  int n = 0;
+  for (const auto& row : rows) {
+    if (row.expected_detected &&
+        row.cell(mode).outcome == Outcome::kDetected) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+int CoverageMatrix::expected_detectable() const {
+  int n = 0;
+  for (const auto& row : rows) n += row.expected_detected ? 1 : 0;
+  return n;
+}
+
+int CoverageMatrix::false_positives() const {
+  int n = 0;
+  for (const auto& row : rows) {
+    if (row.benign_outcome == Outcome::kDetected) ++n;
+  }
+  return n;
+}
+
+std::string CoverageMatrix::to_table() const {
+  std::ostringstream os;
+  char line[256];
+  std::snprintf(line, sizeof line, "%-28s %-16s %-8s %-13s %-13s %-13s %s\n",
+                "attack", "category", "ctrl?", "unprotected", "ctrl-only",
+                "ptr-taint", "benign");
+  os << line;
+  os << std::string(110, '-') << "\n";
+  for (const auto& row : rows) {
+    std::snprintf(line, sizeof line, "%-28s %-16s %-8s %-13s %-13s %-13s %s\n",
+                  row.name.c_str(), row.category.c_str(),
+                  row.control_data ? "yes" : "no",
+                  to_string(row.cell(cpu::DetectionMode::kOff).outcome),
+                  to_string(
+                      row.cell(cpu::DetectionMode::kControlDataOnly).outcome),
+                  to_string(row.cell(cpu::DetectionMode::kPointerTaint).outcome),
+                  to_string(row.benign_outcome));
+    os << line;
+  }
+  os << std::string(110, '-') << "\n";
+  std::snprintf(line, sizeof line,
+                "detected: unprotected %d/%d, control-data-only %d/%d, "
+                "pointer-taintedness %d/%d; false positives: %d\n",
+                detected_count(cpu::DetectionMode::kOff),
+                expected_detectable(),
+                detected_count(cpu::DetectionMode::kControlDataOnly),
+                expected_detectable(),
+                detected_count(cpu::DetectionMode::kPointerTaint),
+                expected_detectable(), false_positives());
+  os << line;
+  return os.str();
+}
+
+CoverageMatrix run_coverage_matrix() {
+  CoverageMatrix matrix;
+  for (const auto& scenario : make_attack_corpus()) {
+    CoverageRow row;
+    row.id = scenario->id();
+    row.name = scenario->name();
+    row.category = scenario->category();
+    row.control_data = scenario->corrupts_control_data();
+    row.expected_detected = scenario->expected_detected();
+    for (cpu::DetectionMode mode : kModes) {
+      auto result = scenario->run_attack(mode);
+      row.cells.push_back({mode, result.outcome, result.detail});
+    }
+    row.benign_outcome = scenario->run_benign().outcome;
+    matrix.rows.push_back(std::move(row));
+  }
+  return matrix;
+}
+
+}  // namespace ptaint::core

@@ -1,0 +1,46 @@
+// Security-coverage matrix (paper Section 5.1.2, the headline comparison):
+// every attack in the corpus run under every detection mode.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/attack.hpp"
+
+namespace ptaint::core {
+
+struct CoverageCell {
+  cpu::DetectionMode mode{};
+  Outcome outcome{};
+  std::string detail;
+};
+
+struct CoverageRow {
+  AttackId id{};
+  std::string name;
+  std::string category;
+  bool control_data = false;
+  bool expected_detected = false;
+  std::vector<CoverageCell> cells;  // one per mode, in mode order
+  Outcome benign_outcome{};         // must be kBenign (no false positive)
+
+  const CoverageCell& cell(cpu::DetectionMode mode) const;
+};
+
+struct CoverageMatrix {
+  std::vector<CoverageRow> rows;
+
+  /// Detection counts per mode over attacks the paper expects detected.
+  int detected_count(cpu::DetectionMode mode) const;
+  int expected_detectable() const;
+  /// False positives over the benign runs (expected 0).
+  int false_positives() const;
+
+  /// Renders the matrix as an aligned text table.
+  std::string to_table() const;
+};
+
+/// Runs the full corpus under all three modes (plus benign runs).
+CoverageMatrix run_coverage_matrix();
+
+}  // namespace ptaint::core

@@ -1,0 +1,171 @@
+#include "core/machine.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ptaint::core {
+
+using mem::TaintedWord;
+namespace layout = isa::layout;
+
+std::string RunReport::alert_line() const {
+  if (!alert) return "(no alert)";
+  std::string line = alert->to_string();
+  if (!alert_function.empty()) line += "  [in " + alert_function + "]";
+  return line;
+}
+
+Machine::Machine(MachineConfig config) : config_(std::move(config)) {
+  os_ = std::make_unique<os::SimOs>();
+  cpu_ = std::make_unique<cpu::Cpu>(memory_, config_.policy);
+  cpu_->set_os(os_.get());
+  if (config_.pipeline_model) {
+    pipeline_ = std::make_unique<cpu::Pipeline>(config_.pipeline);
+  }
+  install_retire_hook();
+}
+
+void Machine::install_retire_hook() {
+  if (!pipeline_ && !tracer_ && !profiler_) return;
+  cpu_->set_retire_hook([p = pipeline_.get(), t = tracer_.get(),
+                         prof = profiler_.get()](
+                            const isa::Instruction& inst, uint32_t pc,
+                            bool taken, bool is_mem, uint32_t ea) {
+    if (p) p->on_retire(inst, pc, taken, is_mem, ea);
+    if (t) t->record(inst, pc, taken, is_mem, ea);
+    if (prof) prof->record(pc);
+  });
+}
+
+void Machine::enable_trace(size_t capacity) {
+  tracer_ = std::make_unique<trace::Tracer>(capacity);
+  install_retire_hook();
+}
+
+void Machine::enable_profile() {
+  profiler_ = std::make_unique<trace::Profiler>(program_);
+  install_retire_hook();
+}
+
+Machine::~Machine() = default;
+
+void Machine::load_source(std::string_view source, std::string name) {
+  load_program(asmgen::assemble(source, std::move(name)));
+}
+
+void Machine::load_sources(const std::vector<asmgen::Source>& sources) {
+  load_program(asmgen::assemble(sources));
+}
+
+void Machine::load_program(asmgen::Program program) {
+  program_ = std::move(program);
+  // Text segment.
+  for (size_t i = 0; i < program_.text.size(); ++i) {
+    memory_.store_word(layout::kTextBase + 4 * static_cast<uint32_t>(i),
+                       TaintedWord{program_.text[i]});
+  }
+  // Data segment.
+  memory_.write_block(layout::kDataBase, program_.data, /*tainted=*/false);
+  // Program break starts past .data, 8-byte aligned.
+  os_->set_initial_brk((program_.data_end + 7) & ~7u);
+  cpu_->set_executable_range(
+      layout::kTextBase,
+      layout::kTextBase + 4 * static_cast<uint32_t>(program_.text.size()));
+  cpu_->set_pc(program_.entry);
+  cpu_->regs().set(isa::kSp, TaintedWord{layout::kStackTop - aslr_offset()});
+  setup_argv();
+}
+
+uint32_t Machine::aslr_offset() const {
+  if (config_.aslr_entropy_bits <= 0) return 0;
+  const int bits = std::min(config_.aslr_entropy_bits, 20);
+  // xorshift over the seed, then word-align within the entropy window.
+  uint32_t x = config_.aslr_seed * 2654435761u + 0x9e3779b9u;
+  x ^= x << 13;
+  x ^= x >> 17;
+  x ^= x << 5;
+  return (x & ((1u << bits) - 1)) & ~3u;
+}
+
+void Machine::setup_argv() {
+  // The argv/env block lives above the initial stack pointer:
+  //   [argc][argv0..argvN-1][0][env0..envM-1][0][string bytes...]
+  // Pointer cells are kernel-built (never tainted); the string bytes come
+  // from the outside world and are tainted like any other external input
+  // (paper Section 4.4 lists command line and environment as taint sources).
+  const auto& argv = config_.argv;
+  const auto& env = config_.env;
+  const uint32_t cells = 1 + static_cast<uint32_t>(argv.size()) + 1 +
+                         static_cast<uint32_t>(env.size()) + 1;
+  uint32_t str_addr = layout::kArgBase + 4 * cells;
+  uint32_t cell_addr = layout::kArgBase;
+
+  memory_.store_word(cell_addr, TaintedWord{static_cast<uint32_t>(argv.size())});
+  cell_addr += 4;
+  auto emit_strings = [&](const std::vector<std::string>& items) {
+    for (const auto& s : items) {
+      memory_.store_word(cell_addr, TaintedWord{str_addr});
+      cell_addr += 4;
+      std::vector<uint8_t> bytes(s.begin(), s.end());
+      bytes.push_back(0);
+      memory_.write_block(str_addr, bytes, config_.taint_argv);
+      if (config_.taint_argv) {
+        // The terminating NUL is kernel-added, not attacker data.
+        memory_.set_taint(str_addr + static_cast<uint32_t>(s.size()), 1, false);
+      }
+      str_addr += static_cast<uint32_t>(bytes.size());
+    }
+    memory_.store_word(cell_addr, TaintedWord{0});
+    cell_addr += 4;
+  };
+  emit_strings(argv);
+  emit_strings(env);
+
+  cpu_->regs().set(isa::kA0, TaintedWord{static_cast<uint32_t>(argv.size())});
+  cpu_->regs().set(isa::kA1, TaintedWord{layout::kArgBase + 4});
+  cpu_->regs().set(
+      isa::kA2,
+      TaintedWord{layout::kArgBase + 4 * (2 + static_cast<uint32_t>(argv.size()))});
+}
+
+void Machine::protect_symbol(const std::string& symbol, uint32_t len) {
+  cpu_->protect_region(program_.symbols.at(symbol), len, symbol);
+}
+
+cpu::StopReason Machine::run_for(uint64_t n) {
+  // Unlike run(), exhausting the step budget here is not a stop condition —
+  // the machine stays resumable for incremental driving.
+  cpu::StopReason reason = cpu_->stop_reason();
+  for (uint64_t i = 0; i < n && reason == cpu::StopReason::kRunning; ++i) {
+    reason = cpu_->step();
+  }
+  return reason;
+}
+
+RunReport Machine::report() const {
+  RunReport r;
+  r.stop = cpu_->stop_reason();
+  r.exit_status = cpu_->exit_status();
+  r.alert = cpu_->alert();
+  if (r.alert) r.alert_function = program_.symbol_for(r.alert->pc);
+  r.fault = cpu_->fault_message();
+  r.stdout_text = os_->stdout_text();
+  r.stderr_text = os_->stderr_text();
+  for (size_t i = 0; i < os_->net().session_count(); ++i) {
+    r.net_transcripts.push_back(os_->net().transcript(i));
+  }
+  r.cpu_stats = cpu_->stats();
+  r.taint_stats = cpu_->taint_unit().stats();
+  r.os_stats = os_->stats();
+  if (pipeline_) r.pipeline_stats = pipeline_->stats();
+  r.tainted_memory_bytes = memory_.tainted_byte_count();
+  if (tracer_) r.trace_tail = tracer_->format(&program_);
+  return r;
+}
+
+RunReport Machine::run() {
+  cpu_->run(config_.max_instructions);
+  return report();
+}
+
+}  // namespace ptaint::core

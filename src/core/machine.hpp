@@ -1,0 +1,138 @@
+// Machine — the top-level public API of the library.
+//
+// A Machine bundles the tainted memory, the CPU with its taint policy, the
+// simulated OS (VFS, virtual network, taint boundary) and the program
+// loader.  Typical use:
+//
+//   ptaint::core::MachineConfig cfg;                 // paper defaults
+//   ptaint::core::Machine m(cfg);
+//   m.load_source(my_assembly);
+//   m.os().set_stdin("aaaaaaaaaaaaaaaaaaaaaaaa\n");
+//   ptaint::core::RunReport r = m.run();
+//   if (r.detected()) std::cout << r.alert->to_string() << "\n";
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asmgen/assembler.hpp"
+#include "cpu/cpu.hpp"
+#include "cpu/pipeline.hpp"
+#include "mem/tainted_memory.hpp"
+#include "os/syscalls.hpp"
+#include "trace/profiler.hpp"
+#include "trace/tracer.hpp"
+
+namespace ptaint::core {
+
+struct MachineConfig {
+  cpu::TaintPolicy policy;           // paper defaults
+  bool pipeline_model = false;       // enable the cycle/cache timing model
+  cpu::PipelineConfig pipeline;
+  uint64_t max_instructions = 200'000'000;
+  std::vector<std::string> argv;     // guest command line
+  std::vector<std::string> env;      // guest environment ("K=V")
+  bool taint_argv = true;            // argv/env bytes are external input
+
+  /// Stack ASLR baseline (paper §2 related work): the initial stack
+  /// pointer is lowered by a seed-derived, word-aligned offset drawn from
+  /// `aslr_entropy_bits` bits of entropy.  0 disables randomization.
+  /// Models the low-entropy limitation the paper cites (16-20 bits on
+  /// 32-bit systems, brute-forceable) — see bench_baseline_aslr.
+  int aslr_entropy_bits = 0;
+  uint32_t aslr_seed = 0;
+};
+
+/// Everything a run produced.
+struct RunReport {
+  cpu::StopReason stop = cpu::StopReason::kRunning;
+  int exit_status = 0;
+  std::optional<cpu::SecurityAlert> alert;
+  std::string alert_function;  // guest function containing the alert PC
+  std::string fault;           // message when stop == kFault
+  std::string stdout_text;
+  std::string stderr_text;
+  std::vector<std::string> net_transcripts;  // per client session, in order
+  cpu::CpuStats cpu_stats;
+  cpu::TaintUnit::Stats taint_stats;
+  os::OsStats os_stats;
+  std::optional<cpu::PipelineStats> pipeline_stats;
+  uint64_t tainted_memory_bytes = 0;  // tainted bytes at stop
+  std::string trace_tail;  // recent disassembly, when tracing is enabled
+
+  /// True when the pointer-taintedness detector terminated the program.
+  bool detected() const { return stop == cpu::StopReason::kSecurityAlert; }
+  bool exited_cleanly() const {
+    return stop == cpu::StopReason::kExit && exit_status == 0;
+  }
+
+  /// Alert line in the paper's transcript format plus the guest function,
+  /// e.g. "44d7b0: sw $21,0($3)  $3=0x1002bc20  [in vfprintf]".
+  std::string alert_line() const;
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig config = {});
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  /// Assembles and loads; throws asmgen::AssemblyError on bad input.
+  void load_source(std::string_view source, std::string name = "<input>");
+  void load_sources(const std::vector<asmgen::Source>& sources);
+  void load_program(asmgen::Program program);
+
+  /// Keeps a ring of the last `capacity` retired instructions; the report's
+  /// trace_tail then shows the path into an alert.
+  void enable_trace(size_t capacity = 64);
+  const trace::Tracer* tracer() const { return tracer_.get(); }
+
+  /// Attributes every retired instruction to its guest function
+  /// (sim-profile style).  Call after load_*.
+  void enable_profile();
+  const trace::Profiler* profiler() const { return profiler_.get(); }
+
+  os::SimOs& os() { return *os_; }
+  cpu::Cpu& cpu() { return *cpu_; }
+  mem::TaintedMemory& memory() { return memory_; }
+  const asmgen::Program& program() const { return program_; }
+  const MachineConfig& config() const { return config_; }
+  cpu::Pipeline* pipeline() { return pipeline_.get(); }
+
+  /// §5.3 extension: marks the data-segment symbol (of `len` bytes) as
+  /// never-tainted; a tainted write into it raises an annotation alert.
+  /// Call after load_*; throws std::out_of_range for unknown symbols.
+  void protect_symbol(const std::string& symbol, uint32_t len);
+
+  /// Runs until exit/alert/fault or the instruction budget is exhausted.
+  RunReport run();
+
+  /// Runs at most `n` more instructions (incremental driving).
+  cpu::StopReason run_for(uint64_t n);
+
+  /// Builds the report for the current state (after run_for driving).
+  RunReport report() const;
+
+  /// The stack displacement applied by the ASLR baseline for this config.
+  uint32_t aslr_offset() const;
+
+ private:
+  void setup_argv();
+  void install_retire_hook();
+
+  MachineConfig config_;
+  mem::TaintedMemory memory_;
+  std::unique_ptr<os::SimOs> os_;
+  std::unique_ptr<cpu::Cpu> cpu_;
+  std::unique_ptr<cpu::Pipeline> pipeline_;
+  std::unique_ptr<trace::Tracer> tracer_;
+  std::unique_ptr<trace::Profiler> profiler_;
+  asmgen::Program program_;
+};
+
+}  // namespace ptaint::core

@@ -1,0 +1,546 @@
+#include "cpu/cpu.hpp"
+
+#include <cstdio>
+
+namespace ptaint::cpu {
+
+using isa::Instruction;
+using isa::Op;
+using mem::TaintBits;
+using mem::TaintedWord;
+
+std::string SecurityAlert::to_string() const {
+  char buf[200];
+  if (kind == AlertKind::kAnnotatedRegionTainted) {
+    std::snprintf(buf, sizeof buf,
+                  "%x: %s\ttainted write into annotated region '%s'", pc,
+                  disasm.c_str(), region.c_str());
+  } else {
+    std::snprintf(buf, sizeof buf, "%x: %s\t$%d=0x%x", pc, disasm.c_str(),
+                  reg, reg_value);
+  }
+  return buf;
+}
+
+Cpu::Cpu(mem::TaintedMemory& memory, const TaintPolicy& policy)
+    : memory_(memory), policy_(policy), taint_unit_(policy) {
+  regs_.set(isa::kSp, TaintedWord{isa::layout::kStackTop});
+}
+
+void Cpu::request_exit(int status) {
+  exit_status_ = status;
+  stop_ = StopReason::kExit;
+}
+
+void Cpu::request_fault(std::string message) { fault(std::move(message)); }
+
+void Cpu::fault(std::string message) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, " (pc=0x%x)", pc_);
+  fault_message_ = std::move(message) + buf;
+  stop_ = StopReason::kFault;
+}
+
+void Cpu::raise_alert(const Instruction& inst, uint8_t reg, TaintedWord value,
+                      AlertKind kind) {
+  SecurityAlert alert;
+  alert.kind = kind;
+  alert.pc = pc_;
+  alert.inst = inst;
+  alert.disasm = isa::disassemble(inst, pc_);
+  alert.reg = reg;
+  alert.reg_value = value.value;
+  alert.taint = value.taint;
+  alert_ = std::move(alert);
+  stop_ = StopReason::kSecurityAlert;
+}
+
+void Cpu::protect_region(uint32_t addr, uint32_t len, std::string name) {
+  protected_regions_.push_back({addr, addr + len, std::move(name)});
+}
+
+bool Cpu::annotation_kernel_write(uint32_t addr, uint32_t len) {
+  if (protected_regions_.empty() || len == 0) return false;
+  if (policy_.mode == DetectionMode::kOff) return false;
+  for (const auto& region : protected_regions_) {
+    if (addr < region.end && addr + len > region.begin) {
+      SecurityAlert alert;
+      alert.kind = AlertKind::kAnnotatedRegionTainted;
+      alert.pc = pc_;
+      alert.disasm = "syscall (input copy)";
+      alert.region = region.name;
+      alert_ = std::move(alert);
+      stop_ = StopReason::kSecurityAlert;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Cpu::detect_annotation(const Instruction& inst, uint32_t ea, uint32_t len,
+                            TaintedWord value) {
+  if (protected_regions_.empty() || !value.tainted()) return false;
+  if (policy_.mode == DetectionMode::kOff) return false;
+  for (const auto& region : protected_regions_) {
+    if (ea < region.end && ea + len > region.begin) {
+      SecurityAlert alert;
+      alert.kind = AlertKind::kAnnotatedRegionTainted;
+      alert.pc = pc_;
+      alert.inst = inst;
+      alert.disasm = isa::disassemble(inst, pc_);
+      alert.reg = inst.rt;
+      alert.reg_value = value.value;
+      alert.taint = value.taint;
+      alert.region = region.name;
+      alert_ = std::move(alert);
+      stop_ = StopReason::kSecurityAlert;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Cpu::detect_pointer(const Instruction& inst, uint8_t reg,
+                         TaintedWord value, AlertKind kind) {
+  if (!value.tainted()) return false;
+  const bool is_control = kind == AlertKind::kTaintedJumpTarget;
+  switch (policy_.mode) {
+    case DetectionMode::kOff:
+      return false;
+    case DetectionMode::kControlDataOnly:
+      if (!is_control) return false;
+      break;
+    case DetectionMode::kPointerTaint:
+      break;
+  }
+  raise_alert(inst, reg, value, kind);
+  return true;
+}
+
+void Cpu::alu_write(const Instruction& inst, uint8_t dest, uint32_t value,
+                    TaintedWord a, TaintedWord b, bool b_imm) {
+  TaintOpInputs in;
+  in.inst = inst;
+  in.a = a;
+  in.b = b;
+  in.b_is_immediate = b_imm;
+  const TaintOpResult res = taint_unit_.propagate(in);
+  if (res.untaint_sources) {
+    // Table 1 compare rule: validated data is trusted afterwards.
+    regs_.untaint(inst.rs);
+    if (!b_imm) regs_.untaint(inst.rt);
+    ++stats_.compare_untaints;
+  }
+  regs_.set(dest, TaintedWord{value, res.result_taint});
+}
+
+StopReason Cpu::step() {
+  if (stop_ != StopReason::kRunning) return stop_;
+  if (pc_ % 4 != 0) {
+    fault("misaligned instruction fetch");
+    return stop_;
+  }
+  if (policy_.nx_protection && (pc_ < text_begin_ || pc_ >= text_end_)) {
+    SecurityAlert alert;
+    alert.kind = AlertKind::kNxViolation;
+    alert.pc = pc_;
+    alert.disasm = "(fetch from non-executable memory)";
+    alert.reg_value = pc_;
+    alert_ = std::move(alert);
+    stop_ = StopReason::kSecurityAlert;
+    return stop_;
+  }
+  const uint32_t word = memory_.load_word(pc_).value;
+  const Instruction inst = isa::decode(word);
+  if (inst.op == Op::kInvalid) {
+    fault("invalid instruction encoding");
+    return stop_;
+  }
+  return execute(inst);
+}
+
+StopReason Cpu::run(uint64_t max_instructions) {
+  for (uint64_t i = 0; i < max_instructions; ++i) {
+    if (step() != StopReason::kRunning) return stop_;
+  }
+  if (stop_ == StopReason::kRunning) stop_ = StopReason::kInstLimit;
+  return stop_;
+}
+
+StopReason Cpu::execute(const Instruction& inst) {
+  uint32_t next_pc = pc_ + 4;
+  bool taken = false;
+  bool is_mem = false;
+  uint32_t ea = 0;
+
+  const auto rs = regs_.get(inst.rs);
+  const auto rt = regs_.get(inst.rt);
+  const auto imm_word = [&](uint32_t v) { return TaintedWord{v}; };
+
+  switch (inst.op) {
+    // ---- shifts ----
+    case Op::kSll:
+      alu_write(inst, inst.rd, rt.value << inst.shamt, rt,
+                imm_word(inst.shamt), true);
+      ++stats_.alu_ops;
+      break;
+    case Op::kSrl:
+      alu_write(inst, inst.rd, rt.value >> inst.shamt, rt,
+                imm_word(inst.shamt), true);
+      ++stats_.alu_ops;
+      break;
+    case Op::kSra:
+      alu_write(inst, inst.rd,
+                static_cast<uint32_t>(static_cast<int32_t>(rt.value) >>
+                                      inst.shamt),
+                rt, imm_word(inst.shamt), true);
+      ++stats_.alu_ops;
+      break;
+    case Op::kSllv:
+      alu_write(inst, inst.rd, rt.value << (rs.value & 31), rt, rs, false);
+      ++stats_.alu_ops;
+      break;
+    case Op::kSrlv:
+      alu_write(inst, inst.rd, rt.value >> (rs.value & 31), rt, rs, false);
+      ++stats_.alu_ops;
+      break;
+    case Op::kSrav:
+      alu_write(inst, inst.rd,
+                static_cast<uint32_t>(static_cast<int32_t>(rt.value) >>
+                                      (rs.value & 31)),
+                rt, rs, false);
+      ++stats_.alu_ops;
+      break;
+
+    // ---- three-register ALU ----
+    case Op::kAdd:
+    case Op::kAddu:
+      alu_write(inst, inst.rd, rs.value + rt.value, rs, rt, false);
+      ++stats_.alu_ops;
+      break;
+    case Op::kSub:
+    case Op::kSubu:
+      alu_write(inst, inst.rd, rs.value - rt.value, rs, rt, false);
+      ++stats_.alu_ops;
+      break;
+    case Op::kAnd:
+      alu_write(inst, inst.rd, rs.value & rt.value, rs, rt, false);
+      ++stats_.alu_ops;
+      break;
+    case Op::kOr:
+      alu_write(inst, inst.rd, rs.value | rt.value, rs, rt, false);
+      ++stats_.alu_ops;
+      break;
+    case Op::kXor:
+      alu_write(inst, inst.rd, rs.value ^ rt.value, rs, rt, false);
+      ++stats_.alu_ops;
+      break;
+    case Op::kNor:
+      alu_write(inst, inst.rd, ~(rs.value | rt.value), rs, rt, false);
+      ++stats_.alu_ops;
+      break;
+    case Op::kSlt:
+      alu_write(inst, inst.rd,
+                static_cast<int32_t>(rs.value) < static_cast<int32_t>(rt.value)
+                    ? 1
+                    : 0,
+                rs, rt, false);
+      ++stats_.alu_ops;
+      break;
+    case Op::kSltu:
+      alu_write(inst, inst.rd, rs.value < rt.value ? 1 : 0, rs, rt, false);
+      ++stats_.alu_ops;
+      break;
+
+    // ---- multiply / divide ----
+    case Op::kMult: {
+      const int64_t p = static_cast<int64_t>(static_cast<int32_t>(rs.value)) *
+                        static_cast<int64_t>(static_cast<int32_t>(rt.value));
+      const TaintBits t = static_cast<TaintBits>(rs.taint | rt.taint);
+      regs_.set_lo(TaintedWord{static_cast<uint32_t>(p), t});
+      regs_.set_hi(TaintedWord{static_cast<uint32_t>(p >> 32), t});
+      ++stats_.alu_ops;
+      break;
+    }
+    case Op::kMultu: {
+      const uint64_t p = static_cast<uint64_t>(rs.value) *
+                         static_cast<uint64_t>(rt.value);
+      const TaintBits t = static_cast<TaintBits>(rs.taint | rt.taint);
+      regs_.set_lo(TaintedWord{static_cast<uint32_t>(p), t});
+      regs_.set_hi(TaintedWord{static_cast<uint32_t>(p >> 32), t});
+      ++stats_.alu_ops;
+      break;
+    }
+    case Op::kDiv: {
+      const auto a = static_cast<int32_t>(rs.value);
+      const auto b = static_cast<int32_t>(rt.value);
+      const TaintBits t = static_cast<TaintBits>(rs.taint | rt.taint);
+      if (b == 0) {
+        regs_.set_lo(TaintedWord{0, t});
+        regs_.set_hi(TaintedWord{0, t});
+      } else {
+        regs_.set_lo(TaintedWord{static_cast<uint32_t>(a / b), t});
+        regs_.set_hi(TaintedWord{static_cast<uint32_t>(a % b), t});
+      }
+      ++stats_.alu_ops;
+      break;
+    }
+    case Op::kDivu: {
+      const TaintBits t = static_cast<TaintBits>(rs.taint | rt.taint);
+      if (rt.value == 0) {
+        regs_.set_lo(TaintedWord{0, t});
+        regs_.set_hi(TaintedWord{0, t});
+      } else {
+        regs_.set_lo(TaintedWord{rs.value / rt.value, t});
+        regs_.set_hi(TaintedWord{rs.value % rt.value, t});
+      }
+      ++stats_.alu_ops;
+      break;
+    }
+    case Op::kMfhi:
+      regs_.set(inst.rd, regs_.hi());
+      ++stats_.alu_ops;
+      break;
+    case Op::kMflo:
+      regs_.set(inst.rd, regs_.lo());
+      ++stats_.alu_ops;
+      break;
+    case Op::kMthi:
+      regs_.set_hi(rs);
+      ++stats_.alu_ops;
+      break;
+    case Op::kMtlo:
+      regs_.set_lo(rs);
+      ++stats_.alu_ops;
+      break;
+
+    // ---- kernel tainting primitives (the Section 4.4 RT-register trick) --
+    case Op::kTaintSet:
+      regs_.set(inst.rd, TaintedWord{rs.value, mem::kAllTainted});
+      ++stats_.alu_ops;
+      break;
+    case Op::kTaintClr:
+      regs_.set(inst.rd, TaintedWord{rs.value, mem::kUntainted});
+      ++stats_.alu_ops;
+      break;
+
+    // ---- immediate ALU ----
+    case Op::kAddi:
+    case Op::kAddiu:
+      alu_write(inst, inst.rt, rs.value + static_cast<uint32_t>(inst.imm), rs,
+                imm_word(static_cast<uint32_t>(inst.imm)), true);
+      ++stats_.alu_ops;
+      break;
+    case Op::kSlti:
+      alu_write(inst, inst.rt,
+                static_cast<int32_t>(rs.value) < inst.imm ? 1 : 0, rs,
+                imm_word(static_cast<uint32_t>(inst.imm)), true);
+      ++stats_.alu_ops;
+      break;
+    case Op::kSltiu:
+      alu_write(inst, inst.rt,
+                rs.value < static_cast<uint32_t>(inst.imm) ? 1 : 0, rs,
+                imm_word(static_cast<uint32_t>(inst.imm)), true);
+      ++stats_.alu_ops;
+      break;
+    case Op::kAndi:
+      alu_write(inst, inst.rt, rs.value & (inst.imm & 0xffff), rs,
+                imm_word(static_cast<uint32_t>(inst.imm & 0xffff)), true);
+      ++stats_.alu_ops;
+      break;
+    case Op::kOri:
+      alu_write(inst, inst.rt, rs.value | (inst.imm & 0xffff), rs,
+                imm_word(static_cast<uint32_t>(inst.imm & 0xffff)), true);
+      ++stats_.alu_ops;
+      break;
+    case Op::kXori:
+      alu_write(inst, inst.rt, rs.value ^ (inst.imm & 0xffff), rs,
+                imm_word(static_cast<uint32_t>(inst.imm & 0xffff)), true);
+      ++stats_.alu_ops;
+      break;
+    case Op::kLui:
+      regs_.set(inst.rt,
+                TaintedWord{static_cast<uint32_t>(inst.imm & 0xffff) << 16});
+      ++stats_.alu_ops;
+      break;
+
+    // ---- loads ----
+    case Op::kLb:
+    case Op::kLbu:
+    case Op::kLh:
+    case Op::kLhu:
+    case Op::kLw: {
+      ea = rs.value + static_cast<uint32_t>(inst.imm);
+      is_mem = true;
+      ++stats_.loads;
+      // Memory-access detector (after EX/MEM): the address word is the base
+      // register; a tainted base means the attacker chose the address.
+      if (detect_pointer(inst, inst.rs, rs, AlertKind::kTaintedLoadAddress)) {
+        return stop_;
+      }
+      TaintedWord result;
+      if (inst.op == Op::kLw) {
+        if (ea % 4 != 0) { fault("misaligned lw"); return stop_; }
+        result = memory_.load_word(ea);
+      } else if (inst.op == Op::kLh || inst.op == Op::kLhu) {
+        if (ea % 2 != 0) { fault("misaligned lh"); return stop_; }
+        const TaintedWord half = memory_.load_half(ea);
+        if (inst.op == Op::kLh) {
+          result.value = static_cast<uint32_t>(
+              static_cast<int16_t>(half.value & 0xffff));
+          // Sign extension makes every result byte depend on the loaded
+          // half, so taint widens to the full word.
+          result.taint = mem::any_tainted(half.taint) ? mem::kAllTainted
+                                                      : mem::kUntainted;
+        } else {
+          result = half;
+        }
+      } else {
+        const mem::TaintedByte b = memory_.load_byte(ea);
+        if (inst.op == Op::kLb) {
+          result.value =
+              static_cast<uint32_t>(static_cast<int8_t>(b.value));
+          result.taint = b.taint ? mem::kAllTainted : mem::kUntainted;
+        } else {
+          result.value = b.value;
+          result.taint = b.taint ? 0x1 : mem::kUntainted;
+        }
+      }
+      if (policy_.per_word_taint && result.tainted()) {
+        result.taint = mem::kAllTainted;
+      }
+      if (result.tainted()) ++stats_.tainted_loads;
+      regs_.set(inst.rt, result);
+      break;
+    }
+
+    // ---- stores ----
+    case Op::kSb:
+    case Op::kSh:
+    case Op::kSw: {
+      ea = rs.value + static_cast<uint32_t>(inst.imm);
+      is_mem = true;
+      ++stats_.stores;
+      if (detect_pointer(inst, inst.rs, rs, AlertKind::kTaintedStoreAddress)) {
+        return stop_;
+      }
+      const uint32_t store_len =
+          inst.op == Op::kSw ? 4 : inst.op == Op::kSh ? 2 : 1;
+      // Only the taint of the bytes actually stored counts.
+      const TaintedWord stored{
+          rt.value, static_cast<TaintBits>(
+                        rt.taint & ((1u << store_len) - 1))};
+      if (detect_annotation(inst, ea, store_len, stored)) return stop_;
+      if (rt.tainted()) ++stats_.tainted_stores;
+      if (inst.op == Op::kSw) {
+        if (ea % 4 != 0) { fault("misaligned sw"); return stop_; }
+        memory_.store_word(ea, rt);
+      } else if (inst.op == Op::kSh) {
+        if (ea % 2 != 0) { fault("misaligned sh"); return stop_; }
+        memory_.store_half(ea, rt);
+      } else {
+        memory_.store_byte(
+            ea, {static_cast<uint8_t>(rt.value), mem::byte_tainted(rt.taint, 0)});
+      }
+      break;
+    }
+
+    // ---- branches ----
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlez:
+    case Op::kBgtz:
+    case Op::kBltz:
+    case Op::kBgez:
+    case Op::kBltzal:
+    case Op::kBgezal: {
+      ++stats_.branches;
+      const auto sval = static_cast<int32_t>(rs.value);
+      switch (inst.op) {
+        case Op::kBeq: taken = rs.value == rt.value; break;
+        case Op::kBne: taken = rs.value != rt.value; break;
+        case Op::kBlez: taken = sval <= 0; break;
+        case Op::kBgtz: taken = sval > 0; break;
+        case Op::kBltz: case Op::kBltzal: taken = sval < 0; break;
+        default: taken = sval >= 0; break;
+      }
+      if (inst.op == Op::kBltzal || inst.op == Op::kBgezal) {
+        regs_.set(isa::kRa, TaintedWord{pc_ + 4});
+      }
+      // Branches compare data against bounds; the Table 1 compare rule
+      // trusts validated values afterwards.
+      if (policy_.compare_untaints &&
+          (rs.tainted() || regs_.get(inst.rt).tainted())) {
+        regs_.untaint(inst.rs);
+        if (inst.op == Op::kBeq || inst.op == Op::kBne) {
+          regs_.untaint(inst.rt);
+        }
+        ++stats_.compare_untaints;
+      }
+      if (taken) {
+        next_pc = pc_ + 4 + (static_cast<uint32_t>(inst.imm) << 2);
+        ++stats_.taken_branches;
+      }
+      break;
+    }
+
+    // ---- jumps ----
+    case Op::kJ:
+      next_pc = inst.target;
+      ++stats_.jumps;
+      break;
+    case Op::kJal:
+      regs_.set(isa::kRa, TaintedWord{pc_ + 4});
+      next_pc = inst.target;
+      ++stats_.jumps;
+      break;
+    case Op::kJr:
+      ++stats_.jumps;
+      // Control-transfer detector (after ID/EX): tainted jump target.
+      if (detect_pointer(inst, inst.rs, rs, AlertKind::kTaintedJumpTarget)) {
+        return stop_;
+      }
+      next_pc = rs.value;
+      break;
+    case Op::kJalr:
+      ++stats_.jumps;
+      if (detect_pointer(inst, inst.rs, rs, AlertKind::kTaintedJumpTarget)) {
+        return stop_;
+      }
+      regs_.set(inst.rd, TaintedWord{pc_ + 4});
+      next_pc = rs.value;
+      break;
+
+    case Op::kSyscall:
+      ++stats_.syscalls;
+      if (os_ == nullptr) {
+        fault("syscall without an OS");
+        return stop_;
+      }
+      os_->syscall(*this);
+      if (stop_ != StopReason::kRunning) {
+        // The syscall still retired (exit/termination is its effect).
+        ++stats_.instructions;
+        if (retire_hook_) retire_hook_(inst, pc_, false, false, 0);
+        return stop_;
+      }
+      break;
+
+    case Op::kBreak:
+      stop_ = StopReason::kBreak;
+      ++stats_.instructions;
+      if (retire_hook_) retire_hook_(inst, pc_, false, false, 0);
+      return stop_;
+
+    case Op::kInvalid:
+      fault("invalid instruction");
+      return stop_;
+  }
+
+  ++stats_.instructions;
+  if (retire_hook_) retire_hook_(inst, pc_, taken, is_mem, ea);
+  pc_ = next_pc;
+  return stop_;
+}
+
+}  // namespace ptaint::cpu

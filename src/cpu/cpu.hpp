@@ -1,0 +1,188 @@
+// PTA-32 execution core with pointer-taintedness detection.
+//
+// The core executes the functional semantics of the ISA while the taint unit
+// tracks per-byte taintedness through every register write and memory access
+// (paper Section 4.2).  Two detectors guard dereferences (Section 4.3):
+//   * jump detector   — JR/JALR with any tainted byte in the target register;
+//   * memory detector — loads/stores whose address word has any tainted byte.
+// A triggered detector records a SecurityAlert and halts the core before the
+// offending access is performed, which models the OS terminating the process
+// when the retirement-stage exception fires.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cpu/taint_policy.hpp"
+#include "cpu/taint_unit.hpp"
+#include "isa/isa.hpp"
+#include "mem/register_file.hpp"
+#include "mem/tainted_memory.hpp"
+
+namespace ptaint::cpu {
+
+class Cpu;
+
+/// OS-services interface; the simulated kernel (src/os) implements it.
+class Os {
+ public:
+  virtual ~Os() = default;
+  /// Handles the SYSCALL instruction.  Registers and memory are accessed
+  /// through `cpu`; the implementation must taint buffers it fills from
+  /// external sources (paper Section 4.4).
+  virtual void syscall(Cpu& cpu) = 0;
+};
+
+/// Why an alert fired.
+enum class AlertKind : uint8_t {
+  kTaintedJumpTarget,
+  kTaintedLoadAddress,
+  kTaintedStoreAddress,
+  /// The §5.3 extension: tainted data written into a region the programmer
+  /// annotated as never-tainted.
+  kAnnotatedRegionTainted,
+  /// NX baseline: instruction fetch from non-executable memory.
+  kNxViolation,
+};
+
+/// The security exception record, mirroring the paper's alert transcripts
+/// ("44d7b0: sw $21,0($3)   $3=0x1002bc20").
+struct SecurityAlert {
+  AlertKind kind{};
+  uint32_t pc = 0;
+  isa::Instruction inst;
+  std::string disasm;
+  uint8_t reg = 0;           // register dereferenced as a pointer
+  uint32_t reg_value = 0;    // its (attacker-controlled) value
+  mem::TaintBits taint = 0;  // which bytes were tainted
+  std::string region;        // annotated region name (annotation alerts)
+
+  /// One-line rendering in the paper's transcript style.
+  std::string to_string() const;
+};
+
+/// Why execution stopped.
+enum class StopReason : uint8_t {
+  kRunning,
+  kExit,           // SYS_EXIT
+  kSecurityAlert,  // detector fired
+  kFault,          // invalid instruction / misaligned access / no OS
+  kInstLimit,      // run() budget exhausted
+  kBreak,          // BREAK instruction
+};
+
+struct CpuStats {
+  uint64_t instructions = 0;
+  uint64_t alu_ops = 0;
+  uint64_t loads = 0;
+  uint64_t stores = 0;
+  uint64_t branches = 0;
+  uint64_t taken_branches = 0;
+  uint64_t jumps = 0;
+  uint64_t syscalls = 0;
+  uint64_t tainted_loads = 0;    // loads that returned tainted data
+  uint64_t tainted_stores = 0;   // stores that wrote tainted data
+  uint64_t compare_untaints = 0; // branch/SLT operand untainting events
+};
+
+class Cpu {
+ public:
+  /// The policy object must outlive the Cpu.
+  Cpu(mem::TaintedMemory& memory, const TaintPolicy& policy);
+
+  void set_os(Os* os) { os_ = os; }
+
+  mem::RegisterFile& regs() { return regs_; }
+  const mem::RegisterFile& regs() const { return regs_; }
+  mem::TaintedMemory& memory() { return memory_; }
+
+  uint32_t pc() const { return pc_; }
+  void set_pc(uint32_t pc) { pc_ = pc; }
+
+  /// Executes one instruction.  Returns the stop state after the step
+  /// (kRunning when execution can continue).
+  StopReason step();
+
+  /// Runs until stop or until `max_instructions` more retire.
+  StopReason run(uint64_t max_instructions);
+
+  StopReason stop_reason() const { return stop_; }
+  const std::optional<SecurityAlert>& alert() const { return alert_; }
+  const std::string& fault_message() const { return fault_message_; }
+  int exit_status() const { return exit_status_; }
+
+  /// Called by the OS layer to terminate the program.
+  void request_exit(int status);
+  /// Called by the OS layer on an unrecoverable emulation error.
+  void request_fault(std::string message);
+
+  const CpuStats& stats() const { return stats_; }
+  const TaintUnit& taint_unit() const { return taint_unit_; }
+  const TaintPolicy& policy() const { return policy_; }
+
+  /// §5.3 extension: declares [addr, addr+len) as never-tainted.  A store
+  /// that would put tainted bytes there raises an annotation alert, even
+  /// though no tainted pointer is involved — this catches the Table 4
+  /// flag-overwrite / index-overwrite false negatives at the price of
+  /// per-application annotations (the paper's proposed trade).
+  void protect_region(uint32_t addr, uint32_t len, std::string name);
+
+  /// Declares the executable text range for NX enforcement (set by the
+  /// loader).  With policy.nx_protection, fetching outside it alerts.
+  void set_executable_range(uint32_t begin, uint32_t end) {
+    text_begin_ = begin;
+    text_end_ = end;
+  }
+
+  /// Annotation check for kernel-side writes: the OS layer calls this when
+  /// it copies tainted input into guest memory (SYS_READ/SYS_RECV), since
+  /// those bytes bypass the store-instruction detector.  Raises the alert
+  /// and returns true when [addr, addr+len) overlaps a protected region.
+  bool annotation_kernel_write(uint32_t addr, uint32_t len);
+
+  /// Observer invoked on every retired instruction — the pipeline timing
+  /// model subscribes here.  `ea` is the effective address for memory ops.
+  using RetireHook =
+      std::function<void(const isa::Instruction&, uint32_t pc, bool taken,
+                         bool is_mem, uint32_t ea)>;
+  void set_retire_hook(RetireHook hook) { retire_hook_ = std::move(hook); }
+
+ private:
+  struct ProtectedRegion {
+    uint32_t begin = 0;
+    uint32_t end = 0;  // exclusive
+    std::string name;
+  };
+
+  StopReason execute(const isa::Instruction& inst);
+  bool detect_pointer(const isa::Instruction& inst, uint8_t reg,
+                      mem::TaintedWord value, AlertKind kind);
+  bool detect_annotation(const isa::Instruction& inst, uint32_t ea,
+                         uint32_t len, mem::TaintedWord value);
+  void raise_alert(const isa::Instruction& inst, uint8_t reg,
+                   mem::TaintedWord value, AlertKind kind);
+  void fault(std::string message);
+  void alu_write(const isa::Instruction& inst, uint8_t dest, uint32_t value,
+                 mem::TaintedWord a, mem::TaintedWord b, bool b_imm);
+
+  mem::TaintedMemory& memory_;
+  const TaintPolicy& policy_;
+  TaintUnit taint_unit_;
+  mem::RegisterFile regs_;
+  uint32_t pc_ = isa::layout::kTextBase;
+  Os* os_ = nullptr;
+  StopReason stop_ = StopReason::kRunning;
+  std::optional<SecurityAlert> alert_;
+  std::string fault_message_;
+  int exit_status_ = 0;
+  CpuStats stats_;
+  RetireHook retire_hook_;
+  std::vector<ProtectedRegion> protected_regions_;
+  uint32_t text_begin_ = 0;
+  uint32_t text_end_ = 0xffffffff;
+};
+
+}  // namespace ptaint::cpu

@@ -1,0 +1,121 @@
+#include "cpu/pipeline.hpp"
+
+namespace ptaint::cpu {
+
+using isa::Instruction;
+using isa::Op;
+using isa::OpClass;
+
+Pipeline::Pipeline(const PipelineConfig& config)
+    : config_(config),
+      icache_(config.icache),
+      dcache_(config.dcache),
+      l2_(config.l2) {}
+
+void Pipeline::on_retire(const Instruction& inst, uint32_t pc, bool taken,
+                         bool is_mem, uint32_t ea) {
+  ++stats_.instructions;
+  uint64_t cycles = 1;  // steady-state CPI of 1 for the in-order pipe
+
+  // Instruction fetch.
+  if (icache_.access(pc, false) > config_.icache.hit_latency) {
+    uint32_t penalty = config_.icache.miss_penalty;
+    if (l2_.access(pc, false) > config_.l2.hit_latency) {
+      penalty += config_.l2.miss_penalty;
+    }
+    stats_.icache_miss_cycles += penalty;
+    cycles += penalty;
+  }
+
+  // Load-use interlock: consumer immediately after a load stalls one cycle.
+  if (prev_was_load_) {
+    const uint8_t d = prev_load_dest_;
+    bool uses = false;
+    switch (isa::op_class(inst.op)) {
+      case OpClass::kAlu:
+      case OpClass::kShift:
+      case OpClass::kLogicAnd:
+      case OpClass::kLogicXor:
+      case OpClass::kCompare:
+      case OpClass::kBranch:
+        uses = (inst.rs == d || inst.rt == d) && d != 0;
+        break;
+      case OpClass::kLoad:
+      case OpClass::kJumpReg:
+        uses = inst.rs == d && d != 0;
+        break;
+      case OpClass::kStore:
+        uses = (inst.rs == d || inst.rt == d) && d != 0;
+        break;
+      default:
+        break;
+    }
+    if (uses) {
+      ++stats_.load_use_stalls;
+      ++cycles;
+    }
+  }
+
+  // Data access.
+  if (is_mem) {
+    if (dcache_.access(ea, inst.is_store()) > config_.dcache.hit_latency) {
+      uint32_t penalty = config_.dcache.miss_penalty;
+      if (l2_.access(ea, inst.is_store()) > config_.l2.hit_latency) {
+        penalty += config_.l2.miss_penalty;
+      }
+      stats_.dcache_miss_cycles += penalty;
+      cycles += penalty;
+    }
+  }
+
+  // Control flow resolved in EX flushes the two younger fetch slots.
+  // Conditional branches go through the configured predictor; jumps always
+  // redirect the fetch stream.
+  const OpClass cls = isa::op_class(inst.op);
+  if (cls == OpClass::kBranch) {
+    ++stats_.cond_branches;
+    bool predicted_taken = false;
+    if (config_.predictor == PipelineConfig::BranchPredictor::kTwoBit) {
+      uint8_t& counter = bht_[(pc >> 2) & (bht_.size() - 1)];
+      predicted_taken = counter >= 2;
+      if (taken && counter < 3) ++counter;
+      if (!taken && counter > 0) --counter;
+    }
+    if (predicted_taken != taken) {
+      ++stats_.mispredictions;
+      stats_.branch_flush_cycles += config_.branch_flush_cycles;
+      cycles += config_.branch_flush_cycles;
+    }
+  } else if (cls == OpClass::kJump || cls == OpClass::kJumpReg) {
+    stats_.branch_flush_cycles += config_.branch_flush_cycles;
+    cycles += config_.branch_flush_cycles;
+  }
+
+  // NOTE: taint tracking adds no cycles by design — the merge logic runs in
+  // parallel with the ALU/AGEN stages and is strictly faster (see
+  // StageDelays); only storage grows.  This is the paper's Section 5.4
+  // performance claim, checked by bench_fig3_pipeline_overhead.
+
+  stats_.cycles += cycles;
+  prev_was_load_ = inst.is_load();
+  prev_load_dest_ = inst.rt;
+}
+
+uint64_t Pipeline::taint_storage_bits() const {
+  if (!config_.taint_tracking) return 0;
+  // 1 taint bit per byte: 32 registers * 4 bytes, HI/LO, 4 inter-stage
+  // datapath latches of 2 words each, plus the cache extensions.
+  const uint64_t regfile = (32 + 2) * 4;
+  const uint64_t latches = 4 * 2 * 4;
+  return regfile + latches + icache_.taint_bits() + dcache_.taint_bits() +
+         l2_.taint_bits();
+}
+
+uint64_t Pipeline::baseline_storage_bits() const {
+  const uint64_t regfile = (32 + 2) * 32;
+  const uint64_t latches = 4 * 2 * 32;
+  return regfile + latches + icache_.data_bits() + dcache_.data_bits() +
+         l2_.data_bits();
+}
+
+}  // namespace ptaint::cpu

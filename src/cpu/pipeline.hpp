@@ -1,0 +1,107 @@
+// Five-stage in-order pipeline timing model (paper Figure 3, Section 5.4).
+//
+// The functional core executes instructions; this model consumes the retire
+// stream and accounts cycles: IF/ID/EX/MEM/WB with load-use interlocks,
+// branch-resolution flushes, and an I-/D-/L2 cache hierarchy.  It also
+// carries the paper's argument that taint tracking is *off the critical
+// path*: per-stage combinational delays are modeled in picoseconds and the
+// taint logic's delay is compared against the stage it runs beside.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "isa/isa.hpp"
+#include "mem/cache.hpp"
+
+namespace ptaint::cpu {
+
+struct PipelineConfig {
+  mem::CacheConfig icache{.size_bytes = 16 * 1024, .line_bytes = 32,
+                          .ways = 2, .hit_latency = 0, .miss_penalty = 6};
+  mem::CacheConfig dcache{.size_bytes = 16 * 1024, .line_bytes = 32,
+                          .ways = 4, .hit_latency = 0, .miss_penalty = 6};
+  mem::CacheConfig l2{.size_bytes = 256 * 1024, .line_bytes = 64,
+                      .ways = 8, .hit_latency = 0, .miss_penalty = 40};
+  uint32_t branch_flush_cycles = 2;  // branch resolves in EX
+  bool taint_tracking = true;        // extend datapath with taint bits
+
+  /// Branch prediction for conditional branches: kStaticNotTaken charges
+  /// the flush on every taken branch; kTwoBit uses a 512-entry table of
+  /// saturating counters and charges the flush only on mispredictions.
+  /// (J/JAL/JR/JALR always redirect the fetch and always pay the flush.)
+  enum class BranchPredictor { kStaticNotTaken, kTwoBit };
+  BranchPredictor predictor = BranchPredictor::kStaticNotTaken;
+};
+
+struct PipelineStats {
+  uint64_t instructions = 0;
+  uint64_t cycles = 0;
+  uint64_t load_use_stalls = 0;
+  uint64_t branch_flush_cycles = 0;
+  uint64_t icache_miss_cycles = 0;
+  uint64_t dcache_miss_cycles = 0;
+  uint64_t cond_branches = 0;
+  uint64_t mispredictions = 0;
+
+  double misprediction_rate() const {
+    return cond_branches == 0
+               ? 0.0
+               : static_cast<double>(mispredictions) / cond_branches;
+  }
+
+  double ipc() const {
+    return cycles == 0 ? 0.0 : static_cast<double>(instructions) / cycles;
+  }
+};
+
+/// Per-stage combinational delays (picoseconds) used for the critical-path
+/// argument.  The taint OR-merge runs beside the ALU; the detector OR-gate
+/// runs beside address generation / retirement checks.
+struct StageDelays {
+  int alu_ps = 620;           // 32-bit adder
+  int taint_merge_ps = 95;    // 4-bit per-byte OR + mux
+  int agen_ps = 540;          // address generation
+  int detector_ps = 70;       // 4-input OR + mode gate
+  int retire_check_ps = 180;  // existing retirement exception logic
+
+  bool taint_on_critical_path() const {
+    return taint_merge_ps > alu_ps || detector_ps > retire_check_ps;
+  }
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(const PipelineConfig& config);
+
+  /// Accounts one retired instruction.
+  void on_retire(const isa::Instruction& inst, uint32_t pc, bool taken,
+                 bool is_mem, uint32_t ea);
+
+  const PipelineStats& stats() const { return stats_; }
+  const mem::Cache& icache() const { return icache_; }
+  const mem::Cache& dcache() const { return dcache_; }
+  const mem::Cache& l2() const { return l2_; }
+  const PipelineConfig& config() const { return config_; }
+
+  /// Storage bits added by the taint extension across the register file,
+  /// pipeline latches and caches (the Section 5.4 area overhead).
+  uint64_t taint_storage_bits() const;
+  /// Baseline storage bits of the same structures without the extension.
+  uint64_t baseline_storage_bits() const;
+
+  static StageDelays stage_delays() { return {}; }
+
+ private:
+  PipelineConfig config_;
+  mem::Cache icache_;
+  mem::Cache dcache_;
+  mem::Cache l2_;
+  PipelineStats stats_;
+  uint8_t prev_load_dest_ = 0;
+  bool prev_was_load_ = false;
+  std::array<uint8_t, 512> bht_{};  // 2-bit counters, weakly-not-taken init
+};
+
+}  // namespace ptaint::cpu

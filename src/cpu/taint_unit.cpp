@@ -1,0 +1,122 @@
+#include "cpu/taint_unit.hpp"
+
+namespace ptaint::cpu {
+
+using isa::Op;
+using isa::OpClass;
+using mem::TaintBits;
+
+namespace {
+
+// Default Table 1 rule: per-byte OR of the corresponding source taint bits.
+TaintBits or_merge(TaintBits a, TaintBits b) {
+  return static_cast<TaintBits>(a | b);
+}
+
+// Shift rule: a tainted byte also taints its neighbour along the direction
+// of shifting.  For a left shift data moves towards the MSB, so taint of
+// byte i spreads to byte i+1; right shifts spread downwards.
+TaintBits smear(TaintBits t, bool left) {
+  TaintBits spread = left ? static_cast<TaintBits>((t << 1) & mem::kAllTainted)
+                          : static_cast<TaintBits>(t >> 1);
+  return static_cast<TaintBits>(t | spread);
+}
+
+// AND rule: a byte AND-ed with an untainted zero byte is constant zero
+// regardless of the other side, so its taint clears.
+TaintBits and_rule(const mem::TaintedWord& a, const mem::TaintedWord& b) {
+  TaintBits out = mem::kUntainted;
+  for (int i = 0; i < 4; ++i) {
+    const auto byte_a = static_cast<uint8_t>(a.value >> (8 * i));
+    const auto byte_b = static_cast<uint8_t>(b.value >> (8 * i));
+    const bool ta = mem::byte_tainted(a.taint, i);
+    const bool tb = mem::byte_tainted(b.taint, i);
+    const bool a_is_const_zero = byte_a == 0 && !ta;
+    const bool b_is_const_zero = byte_b == 0 && !tb;
+    if (a_is_const_zero || b_is_const_zero) continue;  // untainted result
+    if (ta || tb) out |= static_cast<TaintBits>(1u << i);
+  }
+  return out;
+}
+
+}  // namespace
+
+TaintBits TaintUnit::apply_granularity(TaintBits t) const {
+  if (policy_.per_word_taint && mem::any_tainted(t)) return mem::kAllTainted;
+  return t;
+}
+
+TaintOpResult TaintUnit::propagate(const TaintOpInputs& in) const {
+  ++stats_.evaluations;
+  if (mem::any_tainted(in.a.taint) || mem::any_tainted(in.b.taint)) {
+    ++stats_.tainted_evaluations;
+  }
+  TaintOpResult out;
+  const Op op = in.inst.op;
+  switch (isa::op_class(op)) {
+    case OpClass::kShift: {
+      if (!policy_.shift_smear) {
+        out.result_taint = or_merge(in.a.taint, in.b.taint);
+        break;
+      }
+      const bool left = (op == Op::kSll || op == Op::kSllv);
+      // `a` is the value being shifted; `b` is the shift amount (register
+      // form only).  A tainted shift amount taints the whole result, since
+      // the attacker then controls the data placement.
+      TaintBits t = smear(in.a.taint, left);
+      if (mem::any_tainted(in.b.taint)) t = mem::kAllTainted;
+      out.result_taint = t;
+      break;
+    }
+    case OpClass::kLogicAnd: {
+      if (policy_.and_zero_untaints) {
+        ++stats_.and_zero_untaints;
+        out.result_taint = and_rule(in.a, in.b);
+      } else {
+        out.result_taint = or_merge(in.a.taint, in.b.taint);
+      }
+      break;
+    }
+    case OpClass::kLogicXor: {
+      // The XOR R1,R2,R2 zeroing idiom produces constant zero.
+      const bool self_xor =
+          !in.b_is_immediate && in.inst.rs == in.inst.rt;
+      if (self_xor && policy_.xor_self_untaints) {
+        ++stats_.xor_self_untaints;
+        out.result_taint = mem::kUntainted;
+      } else {
+        out.result_taint = or_merge(in.a.taint, in.b.taint);
+      }
+      break;
+    }
+    case OpClass::kCompare: {
+      // Compares are the idiom of input-validation code; the paper trusts
+      // validated data for application compatibility (Section 4.2, case 4).
+      if (policy_.compare_untaints) {
+        ++stats_.compare_untaints;
+        out.result_taint = mem::kUntainted;
+        out.untaint_sources = true;
+      } else {
+        out.result_taint = or_merge(in.a.taint, in.b.taint);
+      }
+      break;
+    }
+    default:
+      out.result_taint = or_merge(in.a.taint, in.b.taint);
+      break;
+  }
+  out.result_taint = apply_granularity(out.result_taint);
+  return out;
+}
+
+int TaintUnit::gate_cost() {
+  // Per byte: OR-merge (1 gate), AND-zero detector (zero-compare 8-input NOR
+  // ~3 gates + qualifier ~2), shift smear (1 OR), plus a 4:1 mux (~3 gates
+  // per output bit) and the final 4-input OR detector at each of the two
+  // detection points.  4 bytes per word.
+  constexpr int kPerByte = 1 + 5 + 1 + 3;
+  constexpr int kDetectors = 2 * 3;  // two 4-input OR trees
+  return 4 * kPerByte + kDetectors;
+}
+
+}  // namespace ptaint::cpu

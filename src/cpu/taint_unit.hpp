@@ -1,0 +1,60 @@
+// ALU taintedness-tracking logic (paper Section 4.2, Table 1).
+//
+// This is the combinational block shaded in the paper's Figure 3: given the
+// opcode and the source operands' taint vectors it produces the result taint
+// vector, and for compare instructions requests the in-place untainting of
+// the operand registers.  The hardware cost of this block is a 4-way MUX over
+// four small per-byte functions; `gate_cost()` reports the estimate used by
+// the area-overhead bench.
+#pragma once
+
+#include "isa/isa.hpp"
+#include "mem/taint.hpp"
+#include "cpu/taint_policy.hpp"
+
+namespace ptaint::cpu {
+
+/// Inputs to one taint-propagation evaluation.
+struct TaintOpInputs {
+  isa::Instruction inst;
+  mem::TaintedWord a;  // first source operand (rs or rt per op semantics)
+  mem::TaintedWord b;  // second source operand; untainted constant for imms
+  bool b_is_immediate = false;
+};
+
+/// Result of one taint-propagation evaluation.
+struct TaintOpResult {
+  mem::TaintBits result_taint = mem::kUntainted;
+  bool untaint_sources = false;  // compare rule: clear taint of rs/rt
+};
+
+class TaintUnit {
+ public:
+  explicit TaintUnit(const TaintPolicy& policy) : policy_(policy) {}
+
+  /// Evaluates the Table 1 propagation function for an ALU-class operation.
+  TaintOpResult propagate(const TaintOpInputs& in) const;
+
+  /// Statistics: number of evaluations that saw any tainted input.
+  struct Stats {
+    uint64_t evaluations = 0;
+    uint64_t tainted_evaluations = 0;
+    uint64_t compare_untaints = 0;
+    uint64_t and_zero_untaints = 0;
+    uint64_t xor_self_untaints = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  /// Rough two-input-NAND-equivalent gate count of the tracking logic, for
+  /// the Figure 3 / Section 5.4 area discussion.
+  static int gate_cost();
+
+ private:
+  mem::TaintBits apply_granularity(mem::TaintBits t) const;
+
+  const TaintPolicy& policy_;
+  mutable Stats stats_;
+};
+
+}  // namespace ptaint::cpu

@@ -1,0 +1,82 @@
+// Guest applications: every program the paper's evaluation runs.
+//
+// Each function returns the application's assembly source; link it with the
+// runtime via guest::link_with_runtime().  Attack inputs and success
+// predicates live in core/attack.{hpp,cpp} so the programs themselves stay
+// honest servers/utilities with period-accurate vulnerabilities.
+#pragma once
+
+#include "asmgen/assembler.hpp"
+
+namespace ptaint::guest::apps {
+
+// ---- Figure 2 synthetic vulnerable functions (Section 5.1.1) ----
+
+/// exp1: stack buffer overflow — char buf[10]; scanf("%s", buf);
+/// The paper's 24-byte "a" input taints the saved return address and the
+/// alert fires at `jr $31` with $31 = 0x61616161.
+asmgen::Source exp1_stack();
+
+/// exp2: heap overflow — buf = malloc(8); scanf("%s", buf); free(buf);
+/// Overflow taints the next free chunk's links; the alert fires at the
+/// unlink inside free() with the tainted forward link dereferenced.
+asmgen::Source exp2_heap();
+
+/// exp3: format string — recv(s, buf, 100); printf(buf);
+/// "abcd%x%x%x%n" steers ap onto buf; alert at `sw $21,0($3)` with
+/// $3 = 0x64636261 inside vfprintf.
+asmgen::Source exp3_format();
+
+// ---- real-application reproductions (Section 5.1.2) ----
+
+/// mini WU-FTPD: USER/PASS login, then SITE EXEC with the format-string
+/// vulnerability; the non-control-data target `login_uid` is pinned at the
+/// paper's address 0x1002bc20.
+asmgen::Source wu_ftpd();
+
+/// mini NULL HTTPD: POST handler trusts a negative Content-Length, heap
+/// overflow over the free-chunk links; non-control-data target is the
+/// CGI root configuration string.
+asmgen::Source null_httpd();
+
+/// mini GHTTPD: 200-byte log buffer strcpy overflow rewrites the parsed
+/// URL pointer after the "/.." policy check.
+asmgen::Source ghttpd();
+
+/// mini traceroute: savestr()'s stale-pool double free; gateway strings
+/// come from argv (tainted command line).
+asmgen::Source traceroute();
+
+/// mini globbing daemon: LibC glob() tilde-expansion heap overflow
+/// (Figure 1's "globbing" category).
+asmgen::Source globd();
+
+// ---- Table 4 false-negative scenarios (Section 5.3) ----
+
+/// (A) signed/unsigned confusion defeats the bound check; the negative
+/// index corrupts memory without ever tainting a dereferenced pointer.
+asmgen::Source fn_int_overflow();
+
+/// (B) overflow flips the adjacent `auth` flag; plain data, no pointer.
+asmgen::Source fn_auth_flag();
+
+/// (C) %x%x%x%x format leak prints stack words (incl. a secret) without
+/// a tainted dereference.
+asmgen::Source fn_format_leak();
+
+// ---- SPEC 2000 INT surrogates (Table 3 false-positive study) ----
+
+/// Compression (RLE + checksum) — BZIP2 surrogate.
+asmgen::Source spec_bzip2();
+/// LZ77-style window matcher — GZIP surrogate.
+asmgen::Source spec_gzip();
+/// Tokenizer + recursive-descent expression evaluator — GCC surrogate.
+asmgen::Source spec_gcc();
+/// Edge-list shortest path relaxation — MCF surrogate.
+asmgen::Source spec_mcf();
+/// Word bucketing over a validated hash — PARSER surrogate.
+asmgen::Source spec_parser();
+/// Net-cost placement hill-climb — VPR surrogate.
+asmgen::Source spec_vpr();
+
+}  // namespace ptaint::guest::apps

@@ -1,0 +1,137 @@
+// Table 4 false-negative scenarios (paper Section 5.3).
+#include "guest/apps/apps.hpp"
+
+namespace ptaint::guest::apps {
+
+asmgen::Source fn_int_overflow() {
+  return {"fn_intoverflow.s", R"(
+# Table 4(A): signed/unsigned confusion.
+#   unsigned ui = input; int i = ui;
+#   if (i <= MAX_INDEX) array[i] = value;     // signed check passes for
+#                                             // negative i; write lands
+#                                             // below array.
+# The bound-check compare untaints i (it is "validated"), so the negative
+# index corrupts `sentinel` without an alert — precisely the class of
+# attack the paper reports as undetectable at the hardware level.
+    .data
+sentinel: .word 0x11111111    # victim word 16 words below array
+          .space 60
+array:    .word 0, 0, 0, 0, 0, 0, 0, 0
+inbuf:    .space 32
+
+    .text
+main:
+    addiu $sp, $sp, -24
+    sw $ra, 20($sp)
+    la $a0, inbuf
+    jal scanf_str             # e.g. "-16"
+    la $a0, inbuf
+    jal atoi
+    move $t0, $v0             # i (signed)
+    bgt $t0, 7, reject        # bound check: i <= 7 ... but signed!
+    sll $t0, $t0, 2
+    la $t1, array
+    addu $t1, $t1, $t0
+    li $t2, 0x42424242
+    sw $t2, 0($t1)            # array[i] = value — i = -16 hits sentinel
+    lw $t3, sentinel
+    li $t4, 0x11111111
+    beq $t3, $t4, intact
+    li $v0, 99                # exit 99: sentinel corrupted, undetected
+    b out
+intact:
+    li $v0, 0
+    b out
+reject:
+    li $v0, 1
+out:
+    lw $ra, 20($sp)
+    addiu $sp, $sp, 24
+    jr $ra
+)"};
+}
+
+asmgen::Source fn_auth_flag() {
+  return {"fn_authflag.s", R"(
+# Table 4(B): buffer overflow corrupting a critical flag.
+#   int auth = 0; do_auth(); gets(buf);     // buf overflow reaches auth
+#   if (auth) grant_access();
+# No pointer is tainted — the attack flips plain data — so the detector
+# stays silent and access is granted without authentication.
+    .text
+authenticate:                 # always fails in this scenario
+    li $v0, 0
+    jr $ra
+
+main:
+    addiu $sp, $sp, -40
+    sw $ra, 36($sp)
+    sw $zero, 28($sp)         # auth flag at sp+28
+    jal authenticate
+    sw $v0, 28($sp)           # auth = 0
+    addiu $a0, $sp, 16        # buf[8] at sp+16..23; pad 24..27; auth 28
+    jal scanf_str             # overflow: 12+ bytes reach the flag
+    lw $t0, 28($sp)
+    beqz $t0, deny
+    li $v0, 7                 # exit 7: ACCESS GRANTED without auth
+    b out
+deny:
+    li $v0, 0
+out:
+    lw $ra, 36($sp)
+    addiu $sp, $sp, 40
+    jr $ra
+)"};
+}
+
+asmgen::Source fn_format_leak() {
+  return {"fn_fmtleak.s", R"(
+# Table 4(C): format-string information leak.
+#   int secret_key = 0x5ec2e7;  char buf[64];
+#   recv(s, buf, 64);  printf(buf);
+# %x%x%x%x prints the three home slots and then the first caller word —
+# the secret — to the attacker.  Only reads happen through untainted
+# pointers, so no alert fires.
+    .text
+leak:
+    addiu $sp, $sp, -96
+    sw $ra, 92($sp)
+    sw $s0, 88($sp)
+    move $s0, $a0
+    li $t0, 0x5ec2e7
+    sw $t0, 16($sp)           # secret_key: first word above the home area
+    move $a0, $s0
+    addiu $a1, $sp, 20        # buf at sp+20
+    li $a2, 64
+    jal recv
+    addiu $a0, $sp, 20
+    jal printf                # VULN
+    li $v0, 0
+    lw $s0, 88($sp)
+    lw $ra, 92($sp)
+    addiu $sp, $sp, 96
+    jr $ra
+
+main:
+    addiu $sp, $sp, -24
+    sw $ra, 20($sp)
+    sw $s0, 16($sp)
+    jal socket
+    move $s0, $v0
+    move $a0, $s0
+    jal bind
+    move $a0, $s0
+    jal listen
+    move $a0, $s0
+    jal accept
+    move $a0, $v0
+    jal leak
+    li $v0, 0
+    lw $s0, 16($sp)
+    lw $ra, 20($sp)
+    addiu $sp, $sp, 24
+    jr $ra
+)"};
+}
+
+}  // namespace ptaint::guest::apps

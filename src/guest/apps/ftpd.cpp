@@ -1,0 +1,289 @@
+// mini WU-FTPD (paper Section 5.1.2, Table 2).
+//
+// Reproduces wu-ftpd 2.6.0's "Site Exec" format-string vulnerability
+// (securityfocus bid 1387): the SITE EXEC argument reaches a printf-family
+// function as the format string.  The non-control-data attack target is the
+// cached numeric identity of the logged-in user, pinned at the paper's
+// address 0x1002bc20 so the Table 2 transcript reproduces byte-for-byte:
+//
+//   site exec \x20\xbc\x02\x10%x%x%x%x%x%x%n
+//   Alert: sw $21,0($3)   $3=0x1002bc20
+#include "guest/apps/apps.hpp"
+
+namespace ptaint::guest::apps {
+
+asmgen::Source wu_ftpd() {
+  return {"ftpd.s", R"(
+    .data
+msg_greet:  .asciiz "220 FTP server (Version wu-2.6.0(60) Mon Nov 29 10:37:55 CST 2004) ready.\r\n"
+msg_pass:   .asciiz "331 Password required for user1 .\r\n"
+msg_login:  .asciiz "230 User user1 logged in.\r\n"
+msg_badpw:  .asciiz "530 Login incorrect.\r\n"
+msg_ok:     .asciiz "200-"
+msg_okend:  .asciiz "\r\n200 (end of 'SITE EXEC')\r\n"
+msg_bye:    .asciiz "221 Goodbye.\r\n"
+msg_what:   .asciiz "500 command not understood.\r\n"
+cmd_user:   .asciiz "USER "
+cmd_pass:   .asciiz "PASS "
+cmd_site:   .asciiz "SITE EXEC "
+cmd_stor:   .asciiz "STOR "
+cmd_quit:   .asciiz "QUIT"
+msg_stor:   .asciiz "150 Ok to send data.\r\n"
+msg_stored: .asciiz "226 Transfer complete.\r\n"
+msg_denied: .asciiz "550 Permission denied.\r\n"
+pfx_etc:    .asciiz "/etc"
+storpath:   .space 128
+storbuf:    .space 512
+good_user:  .asciiz "user1"
+good_pass:  .asciiz "xxxxxxx"
+cur_user:   .space 64
+req:        .space 512
+
+# The logged-in user identity, at the exact address the paper's Table 2
+# attack overwrites.  -1 = not authenticated; 1000 = user1.
+    .org 0x1002bc20
+login_uid:  .word -1
+
+    .text
+# strcasecmp-lite prefix test: v0 = 1 when req starts with prefix(a1),
+# ASCII case-insensitive on letters.
+cmd_is:
+    move $t0, $a0
+    move $t1, $a1
+cmd_is_loop:
+    lbu $t3, 0($t1)
+    beqz $t3, cmd_is_yes
+    lbu $t2, 0($t0)
+    beqz $t2, cmd_is_no
+    # fold lower to upper
+    blt $t2, 'a', cmd_is_folded
+    bgt $t2, 'z', cmd_is_folded
+    addiu $t2, $t2, -32
+cmd_is_folded:
+    bne $t2, $t3, cmd_is_no
+    addiu $t0, $t0, 1
+    addiu $t1, $t1, 1
+    b cmd_is_loop
+cmd_is_yes:
+    li $v0, 1
+    jr $ra
+cmd_is_no:
+    li $v0, 0
+    jr $ra
+
+# handle_site_exec(conn, cmdtext)
+#
+# Mirrors wu-ftpd's lreply(200, cmd): the user-controlled text is passed as
+# the format string.  The local copy sits at sp+32 so vfprintf's ap reaches
+# its first word after exactly six %x pops (home slots +8/+12, then
+# sp+16..28), matching the paper's six-%x attack string.
+handle_site_exec:
+    addiu $sp, $sp, -160
+    sw $ra, 156($sp)
+    sw $s0, 152($sp)
+    move $s0, $a0
+    # copy the command text into the local buffer
+    move $t9, $a1
+    addiu $a0, $sp, 32
+    move $a1, $t9
+    jal strcpy
+    # "200-" prefix
+    move $a0, $s0
+    la $a1, msg_ok
+    jal fdputs
+    # VULN: lreply(200, cmd) — user text as format string
+    move $a0, $s0
+    addiu $a1, $sp, 32
+    jal fdprintf              # <-- detection point: sw $21,0($3) in vfprintf
+    move $a0, $s0
+    la $a1, msg_okend
+    jal fdputs
+    lw $s0, 152($sp)
+    lw $ra, 156($sp)
+    addiu $sp, $sp, 160
+    jr $ra
+
+main:
+    addiu $sp, $sp, -40
+    sw $ra, 36($sp)
+    sw $s0, 32($sp)
+    sw $s1, 28($sp)
+    sw $s2, 24($sp)
+    sw $s3, 20($sp)
+    jal socket
+    move $s1, $v0             # listening socket
+    move $a0, $s1
+    jal bind
+    move $a0, $s1
+    jal listen
+accept_loop:
+    move $a0, $s1
+    jal accept
+    bltz $v0, server_exit     # no more queued clients
+    move $s0, $v0             # connection fd
+    # reset per-connection login state
+    li $t0, -1
+    sw $t0, login_uid
+    la $t0, cur_user
+    sb $zero, 0($t0)
+    move $a0, $s0
+    la $a1, msg_greet
+    jal fdputs
+serve_loop:
+    la $t0, req
+    li $t1, 0
+    sw $t1, 0($t0)
+    move $a0, $s0
+    la $a1, req
+    li $a2, 511
+    jal recv
+    blez $v0, serve_done
+    # strip trailing CR/LF
+    la $t0, req
+    addu $t1, $t0, $v0
+strip_loop:
+    beq $t1, $t0, stripped
+    lbu $t2, -1($t1)
+    li $t3, 13
+    beq $t2, $t3, strip_one
+    li $t3, 10
+    beq $t2, $t3, strip_one
+    b stripped
+strip_one:
+    addiu $t1, $t1, -1
+    sb $zero, 0($t1)
+    b strip_loop
+stripped:
+    # dispatch
+    la $a0, req
+    la $a1, cmd_user
+    jal cmd_is
+    bnez $v0, do_user
+    la $a0, req
+    la $a1, cmd_pass
+    jal cmd_is
+    bnez $v0, do_pass
+    la $a0, req
+    la $a1, cmd_site
+    jal cmd_is
+    bnez $v0, do_site
+    la $a0, req
+    la $a1, cmd_stor
+    jal cmd_is
+    bnez $v0, do_stor
+    la $a0, req
+    la $a1, cmd_quit
+    jal cmd_is
+    bnez $v0, do_quit
+    move $a0, $s0
+    la $a1, msg_what
+    jal fdputs
+    b serve_loop
+
+do_user:
+    la $a0, cur_user
+    la $a1, req+5
+    jal strcpy
+    move $a0, $s0
+    la $a1, msg_pass
+    jal fdputs
+    b serve_loop
+
+do_pass:
+    la $a0, cur_user
+    la $a1, good_user
+    jal strcmp
+    bnez $v0, pass_bad
+    la $a0, req+5
+    la $a1, good_pass
+    jal strcmp
+    bnez $v0, pass_bad
+    li $t0, 1000
+    sw $t0, login_uid         # authenticated as user1 (uid 1000)
+    move $a0, $s0
+    la $a1, msg_login
+    jal fdputs
+    b serve_loop
+pass_bad:
+    move $a0, $s0
+    la $a1, msg_badpw
+    jal fdputs
+    b serve_loop
+
+do_site:
+    lw $t0, login_uid
+    bltz $t0, site_denied     # must be logged in
+    move $a0, $s0
+    la $a1, req+10
+    jal handle_site_exec
+    b serve_loop
+site_denied:
+    move $a0, $s0
+    la $a1, msg_badpw
+    jal fdputs
+    b serve_loop
+
+do_stor:
+    # STOR <path>: uploads overwrite server files.  System paths (/etc/...)
+    # require an administrative identity (uid < 100) — the privilege the
+    # Table 2 attack forges by overwriting login_uid.
+    lw $t0, login_uid
+    bltz $t0, site_denied     # not logged in at all
+    la $a0, storpath
+    la $a1, req+5
+    jal strcpy
+    la $a0, storpath
+    la $a1, pfx_etc
+    li $a2, 4
+    jal strncmp
+    bnez $v0, stor_allowed    # not under /etc: any user may write
+    lw $t0, login_uid
+    blt $t0, 100, stor_allowed
+    move $a0, $s0
+    la $a1, msg_denied
+    jal fdputs
+    b serve_loop
+stor_allowed:
+    move $a0, $s0
+    la $a1, msg_stor
+    jal fdputs
+    move $a0, $s0
+    la $a1, storbuf
+    li $a2, 511
+    jal recv                  # the file contents (one chunk)
+    blez $v0, serve_done
+    move $s2, $v0             # byte count
+    la $a0, storpath
+    li $a1, 1                 # write mode
+    jal open
+    move $s3, $v0
+    move $a0, $s3
+    la $a1, storbuf
+    move $a2, $s2
+    jal write
+    move $a0, $s3
+    jal close
+    move $a0, $s0
+    la $a1, msg_stored
+    jal fdputs
+    b serve_loop
+
+do_quit:
+    move $a0, $s0
+    la $a1, msg_bye
+    jal fdputs
+serve_done:
+    b accept_loop             # next client connection
+server_exit:
+    li $v0, 0
+    lw $s3, 20($sp)
+    lw $s2, 24($sp)
+    lw $s1, 28($sp)
+    lw $s0, 32($sp)
+    lw $ra, 36($sp)
+    addiu $sp, $sp, 40
+    jr $ra
+)"};
+}
+
+}  // namespace ptaint::guest::apps

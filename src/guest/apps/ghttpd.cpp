@@ -1,0 +1,157 @@
+// mini GHTTPD (paper Section 5.1.2).
+//
+// Reproduces GHTTPD 1.4's Log() stack overflow (securityfocus bid 5960):
+// the request is copied into a 200-byte stack buffer with strcpy after the
+// URL has been parsed and policy-checked.  The overflow rewrites the stack
+// slot holding the URL pointer, so the served URL is re-read from attacker
+// data *after* the "/.." check — a pure non-control-data attack.  The
+// pointer is dereferenced byte-by-byte when serving (a LB instruction),
+// which is where the pointer-taintedness detector fires.
+//
+// serveconnection() frame (768 bytes):
+//   sp+16  .. sp+215   logbuf[200]
+//   sp+216             url pointer slot   <- overwritten at offset 200
+//   sp+232 .. sp+743   reqbuf[512]        <- attack payload lives here
+//   sp+756/760/764     saved $s1/$s0/$ra
+// The entry stores &reqbuf into `dbg_reqbuf` so the host-side attack
+// builder can place the pointer exactly (deterministic "reconnaissance").
+#include "guest/apps/apps.hpp"
+
+namespace ptaint::guest::apps {
+
+asmgen::Source ghttpd() {
+  return {"ghttpd.s", R"(
+    .data
+msg_ok:     .asciiz "HTTP/1.0 200 OK\r\n\r\nserving: "
+msg_nl:     .asciiz "\r\n"
+msg_reject: .asciiz "HTTP/1.0 403 Forbidden (dotdot)\r\n"
+dotdot:     .asciiz "/.."
+updir:      .asciiz "../"
+binsh:      .asciiz "/bin/sh"
+    .align 2
+dbg_reqbuf: .word 0
+
+    .text
+# serve_url(conn, url) — echoes then "executes" CGI path traversals.
+serve_url:
+    addiu $sp, $sp, -32
+    sw $ra, 28($sp)
+    sw $s0, 24($sp)
+    sw $s1, 20($sp)
+    move $s0, $a0
+    move $s1, $a1
+    move $a0, $s0
+    la $a1, msg_ok
+    jal fdputs
+    move $a0, $s0
+    move $a1, $s1             # <-- detection point: fdputs/strlen LB on the
+    jal fdputs                #     tainted URL pointer
+    move $a0, $s0
+    la $a1, msg_nl
+    jal fdputs
+    # resolve "../" sequences: serving past the root runs the target
+    # ($s1 doubles as the resolve cursor; it survives the calls below)
+resolve_loop:
+    move $a0, $s1
+    la $a1, updir
+    jal strstr
+    beqz $v0, resolved
+    addiu $s1, $v0, 2         # skip "..", keep the trailing '/'
+    b resolve_loop
+resolved:
+    move $a0, $s1
+    la $a1, binsh
+    jal strcmp
+    bnez $v0, serve_done
+    move $a0, $s1
+    jal exec                  # compromise marker: /bin/sh spawned
+serve_done:
+    lw $s1, 20($sp)
+    lw $s0, 24($sp)
+    lw $ra, 28($sp)
+    addiu $sp, $sp, 32
+    jr $ra
+
+# serveconnection(conn)
+serveconnection:
+    addiu $sp, $sp, -768
+    sw $ra, 764($sp)
+    sw $s0, 760($sp)
+    sw $s1, 756($sp)
+    move $s0, $a0
+    addiu $t0, $sp, 232
+    sw $t0, dbg_reqbuf        # reconnaissance aid (see header comment)
+    move $a0, $s0
+    addiu $a1, $sp, 232       # reqbuf
+    li $a2, 511
+    jal recv
+    blez $v0, conn_done
+    addiu $t0, $sp, 232
+    addu $t0, $t0, $v0
+    sb $zero, 0($t0)
+    # parse URL: skip "GET ", terminate at space/CR/LF
+    addiu $s1, $sp, 236       # url = reqbuf + 4
+    move $t0, $s1
+url_term:
+    lbu $t1, 0($t0)
+    beqz $t1, url_termed
+    li $t2, ' '
+    beq $t1, $t2, url_cut
+    li $t2, 13
+    beq $t1, $t2, url_cut
+    li $t2, 10
+    beq $t1, $t2, url_cut
+    addiu $t0, $t0, 1
+    b url_term
+url_cut:
+    sb $zero, 0($t0)
+url_termed:
+    sw $s1, 216($sp)          # stash the URL pointer (the attack target)
+    # security policy: reject URLs containing "/.."
+    move $a0, $s1
+    la $a1, dotdot
+    jal strstr
+    bnez $v0, conn_reject
+    # Log(): copy the whole request into the 200-byte log buffer (VULN)
+    addiu $a0, $sp, 16
+    addiu $a1, $sp, 232
+    jal strcpy                # <-- overflow rewrites the slot at sp+216
+    # serve the (re-loaded) URL
+    lw $a1, 216($sp)          # now attacker-controlled
+    move $a0, $s0
+    jal serve_url
+    b conn_done
+conn_reject:
+    move $a0, $s0
+    la $a1, msg_reject
+    jal fdputs
+conn_done:
+    lw $s1, 756($sp)
+    lw $s0, 760($sp)
+    lw $ra, 764($sp)
+    addiu $sp, $sp, 768
+    jr $ra
+
+main:
+    addiu $sp, $sp, -32
+    sw $ra, 28($sp)
+    sw $s0, 24($sp)
+    jal socket
+    move $s0, $v0
+    move $a0, $s0
+    jal bind
+    move $a0, $s0
+    jal listen
+    move $a0, $s0
+    jal accept
+    move $a0, $v0
+    jal serveconnection
+    li $v0, 0
+    lw $s0, 24($sp)
+    lw $ra, 28($sp)
+    addiu $sp, $sp, 32
+    jr $ra
+)"};
+}
+
+}  // namespace ptaint::guest::apps

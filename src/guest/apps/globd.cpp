@@ -1,0 +1,172 @@
+// mini globbing daemon (Figure 1's fifth memory-corruption category).
+//
+// Reproduces the LibC glob() vulnerability class (CERT CA-2001-07 /
+// wu-ftpd glob heap overflow): tilde expansion copies "/home/<username>"
+// into a fixed-size heap buffer without a bound, so a long attacker-chosen
+// username overflows into the next free chunk's links, and free()'s unlink
+// turns it into the usual arbitrary-write gadget.
+//
+// The server accepts "LIST <pattern>" over the virtual network, glob()s the
+// pattern against a small file table (with '*' suffix matching and '~user'
+// expansion) into a 64-byte heap buffer, sends the expansion back, and
+// frees the buffer.
+#include "guest/apps/apps.hpp"
+
+namespace ptaint::guest::apps {
+
+asmgen::Source globd() {
+  return {"globd.s", R"(
+    .data
+cmd_list:   .asciiz "LIST "
+msg_bad:    .asciiz "500 bad command\r\n"
+msg_done:   .asciiz "\r\n226 done\r\n"
+home_pfx:   .asciiz "/home/"
+space_str:  .asciiz " "
+file0:      .asciiz "readme.txt"
+file1:      .asciiz "notes.txt"
+file2:      .asciiz "paper.pdf"
+    .align 2
+file_tab:   .word file0, file1, file2, 0
+req:        .space 512
+# The attack target, pinned where the enclosing word's address bytes are
+# free of NUL/whitespace so the exploit's link values survive strcat.
+    .org 0x1001010c
+glob_admin: .word 0
+
+    .text
+# match(pattern a0, name a1) -> v0 = 1 on match.  '*' matches any suffix.
+match:
+m_loop:
+    lbu $t0, 0($a0)
+    li $t1, '*'
+    beq $t0, $t1, m_yes       # '*' swallows the rest
+    lbu $t2, 0($a1)
+    bne $t0, $t2, m_no
+    beqz $t0, m_yes           # both ended
+    addiu $a0, $a0, 1
+    addiu $a1, $a1, 1
+    b m_loop
+m_yes:
+    li $v0, 1
+    jr $ra
+m_no:
+    li $v0, 0
+    jr $ra
+
+# glob(pattern a0, out a1) — expand into `out` with NO bound (the VULN).
+glob:
+    addiu $sp, $sp, -32
+    sw $ra, 28($sp)
+    sw $s0, 24($sp)
+    sw $s1, 20($sp)
+    sw $s2, 16($sp)
+    move $s0, $a0             # pattern
+    move $s1, $a1             # out buffer
+    sb $zero, 0($s1)
+    # tilde expansion: "~user..." -> "/home/user..."
+    lbu $t0, 0($s0)
+    li $t1, '~'
+    bne $t0, $t1, glob_files
+    move $a0, $s1
+    la $a1, home_pfx
+    jal strcat
+    move $a0, $s1
+    addiu $a1, $s0, 1         # the attacker-controlled username
+    jal strcat                # <-- unbounded tainted copy into the chunk
+    b glob_out
+glob_files:
+    # match against the file table, appending "name " per hit
+    la $s2, file_tab
+glob_tab_loop:
+    lw $t0, 0($s2)
+    beqz $t0, glob_out
+    move $a0, $s0
+    move $a1, $t0
+    jal match
+    beqz $v0, glob_next
+    move $a0, $s1
+    lw $a1, 0($s2)
+    jal strcat
+    move $a0, $s1
+    la $a1, space_str
+    jal strcat
+glob_next:
+    addiu $s2, $s2, 4
+    b glob_tab_loop
+glob_out:
+    lw $s2, 16($sp)
+    lw $s1, 20($sp)
+    lw $s0, 24($sp)
+    lw $ra, 28($sp)
+    addiu $sp, $sp, 32
+    jr $ra
+
+main:
+    addiu $sp, $sp, -32
+    sw $ra, 28($sp)
+    sw $s0, 24($sp)
+    sw $s1, 20($sp)
+    jal socket
+    move $s0, $v0
+    move $a0, $s0
+    jal bind
+    move $a0, $s0
+    jal listen
+    move $a0, $s0
+    jal accept
+    move $s0, $v0
+serve_loop:
+    move $a0, $s0
+    la $a1, req
+    li $a2, 511
+    jal recv
+    blez $v0, serve_done
+    la $t0, req
+    addu $t0, $t0, $v0
+    sb $zero, 0($t0)
+    la $a0, req
+    la $a1, cmd_list
+    jal strncmp5
+    bnez $v0, serve_bad
+    # LIST <pattern>: expand into a fresh 64-byte buffer
+    li $a0, 64
+    jal malloc
+    move $s1, $v0
+    la $a0, req+5
+    move $a1, $s1
+    jal glob
+    move $a0, $s0
+    move $a1, $s1
+    jal fdputs
+    move $a0, $s0
+    la $a1, msg_done
+    jal fdputs
+    move $a0, $s1
+    jal free                  # <-- detection point: corrupted unlink
+    b serve_loop
+serve_bad:
+    move $a0, $s0
+    la $a1, msg_bad
+    jal fdputs
+    b serve_loop
+serve_done:
+    li $v0, 0
+    lw $s1, 20($sp)
+    lw $s0, 24($sp)
+    lw $ra, 28($sp)
+    addiu $sp, $sp, 32
+    jr $ra
+
+# strncmp5(s, prefix5): 0 when s starts with the 5-char prefix.
+strncmp5:
+    addiu $sp, $sp, -24
+    sw $ra, 20($sp)
+    li $a2, 5
+    jal strncmp
+    lw $ra, 20($sp)
+    addiu $sp, $sp, 24
+    jr $ra
+)"};
+}
+
+}  // namespace ptaint::guest::apps

@@ -1,0 +1,203 @@
+// mini NULL HTTPD (paper Section 5.1.2).
+//
+// Reproduces Null HTTPD 0.5.0's POST heap overflow (securityfocus bid
+// 5774): the server adds 1024 to the client-supplied Content-Length without
+// rejecting negative values, allocates the (too small) buffer, then
+// receives up to 1024 body bytes into it — a heap overflow over the
+// adjacent free chunk's links.  free() then performs the corrupted unlink.
+//
+// The non-control-data attack redirects the CGI root configuration pointer
+// (normally -> "/usr") at attacker bytes "/bin" smuggled into the request,
+// via the unlink's mirrored writes, so a follow-up "GET /cgi-bin/sh" execs
+// /bin/sh with server privileges.
+#include "guest/apps/apps.hpp"
+
+namespace ptaint::guest::apps {
+
+asmgen::Source null_httpd() {
+  return {"nullhttpd.s", R"(
+    .data
+msg_ok:     .asciiz "HTTP/1.0 200 OK\r\n\r\n"
+msg_hello:  .asciiz "<html>null httpd</html>\r\n"
+msg_posted: .asciiz "HTTP/1.0 200 OK\r\n\r\nposted\r\n"
+msg_reject: .asciiz "HTTP/1.0 403 Forbidden\r\n\r\n"
+hdr_cl:     .asciiz "Content-Length:"
+pfx_post:   .asciiz "POST"
+pfx_cgi:    .asciiz "GET /cgi-bin/"
+pfx_get:    .asciiz "GET"
+dotdot:     .asciiz ".."
+fmt_path:   .asciiz "%s/%s"
+default_root: .asciiz "/usr"  # the configured CGI executable root
+    .align 2
+cgibin_ptr: .word default_root  # CGI root config (the attack target)
+req:        .space 1200
+path:       .space 128
+
+    .text
+# handle_post(conn) — the vulnerable request handler.
+handle_post:
+    addiu $sp, $sp, -32
+    sw $ra, 28($sp)
+    sw $s0, 24($sp)
+    sw $s1, 20($sp)
+    move $s0, $a0
+    # in_bufsize = 1024 + atoi(Content-Length)   -- no sign check (VULN)
+    la $a0, req
+    la $a1, hdr_cl
+    jal strstr
+    beqz $v0, post_done
+    addiu $a0, $v0, 16        # skip "Content-Length: "
+    jal atoi
+    addiu $t0, $v0, 1024
+    move $a0, $t0
+    jal malloc
+    move $s1, $v0             # PostData buffer (too small when CL < 0)
+    # read the body: up to 1024 bytes regardless of the allocation size
+    move $a0, $s0
+    move $a1, $s1
+    li $a2, 1024
+    jal recv                  # <-- heap overflow over the next chunk
+    move $a0, $s1
+    jal free                  # <-- detection point: corrupted unlink
+    move $a0, $s0
+    la $a1, msg_posted
+    jal fdputs
+post_done:
+    lw $s1, 20($sp)
+    lw $s0, 24($sp)
+    lw $ra, 28($sp)
+    addiu $sp, $sp, 32
+    jr $ra
+
+# handle_cgi(conn) — resolve the executable under cgi_root and run it.
+handle_cgi:
+    addiu $sp, $sp, -32
+    sw $ra, 28($sp)
+    sw $s0, 24($sp)
+    sw $s1, 20($sp)
+    move $s0, $a0
+    # name = req + 13, NUL-terminated at the next space
+    la $s1, req+13
+    move $t0, $s1
+cgi_term:
+    lbu $t1, 0($t0)
+    beqz $t1, cgi_termed
+    li $t2, ' '
+    beq $t1, $t2, cgi_cut
+    addiu $t0, $t0, 1
+    b cgi_term
+cgi_cut:
+    sb $zero, 0($t0)
+cgi_termed:
+    # policy: no ".." in the name
+    move $a0, $s1
+    la $a1, dotdot
+    jal strstr
+    bnez $v0, cgi_reject
+    # path = sprintf("%s/%s", *cgibin_ptr, name)
+    la $a0, path
+    la $a1, fmt_path
+    lw $a2, cgibin_ptr
+    move $a3, $s1
+    jal sprintf
+    la $a0, path
+    jal exec                  # compromise marker when path == /bin/sh
+    move $a0, $s0
+    la $a1, msg_ok
+    jal fdputs
+    b cgi_done
+cgi_reject:
+    move $a0, $s0
+    la $a1, msg_reject
+    jal fdputs
+cgi_done:
+    lw $s1, 20($sp)
+    lw $s0, 24($sp)
+    lw $ra, 28($sp)
+    addiu $sp, $sp, 32
+    jr $ra
+
+main:
+    addiu $sp, $sp, -32
+    sw $ra, 28($sp)
+    sw $s0, 24($sp)
+    jal socket
+    move $s0, $v0
+    move $a0, $s0
+    jal bind
+    move $a0, $s0
+    jal listen
+    move $a0, $s0
+    jal accept
+    move $s0, $v0
+serve_loop:
+    move $a0, $s0
+    la $a1, req
+    li $a2, 1199
+    jal recv
+    blez $v0, serve_done
+    la $t0, req
+    addu $t0, $t0, $v0
+    sb $zero, 0($t0)          # terminate the request
+    la $a0, req
+    la $a1, pfx_post
+    jal strncmp_pfx
+    beqz $v0, is_post
+    la $a0, req
+    la $a1, pfx_cgi
+    jal strncmp_pfx
+    beqz $v0, is_cgi
+    la $a0, req
+    la $a1, pfx_get
+    jal strncmp_pfx
+    beqz $v0, is_get
+    move $a0, $s0
+    la $a1, msg_reject
+    jal fdputs
+    b serve_loop
+is_post:
+    move $a0, $s0
+    jal handle_post
+    b serve_loop
+is_cgi:
+    move $a0, $s0
+    jal handle_cgi
+    b serve_loop
+is_get:
+    move $a0, $s0
+    la $a1, msg_ok
+    jal fdputs
+    move $a0, $s0
+    la $a1, msg_hello
+    jal fdputs
+    b serve_loop
+serve_done:
+    li $v0, 0
+    lw $s0, 24($sp)
+    lw $ra, 28($sp)
+    addiu $sp, $sp, 32
+    jr $ra
+
+# strncmp_pfx(s, prefix): 0 when s starts with prefix.
+strncmp_pfx:
+    addiu $sp, $sp, -32
+    sw $ra, 28($sp)
+    sw $s0, 24($sp)
+    sw $s1, 20($sp)
+    move $s0, $a0
+    move $s1, $a1
+    move $a0, $s1
+    jal strlen
+    move $a2, $v0
+    move $a0, $s0
+    move $a1, $s1
+    jal strncmp
+    lw $s1, 20($sp)
+    lw $s0, 24($sp)
+    lw $ra, 28($sp)
+    addiu $sp, $sp, 32
+    jr $ra
+)"};
+}
+
+}  // namespace ptaint::guest::apps

@@ -1,0 +1,118 @@
+// Figure 2 synthetic vulnerable programs (paper Section 5.1.1).
+#include "guest/apps/apps.hpp"
+
+namespace ptaint::guest::apps {
+
+asmgen::Source exp1_stack() {
+  return {"exp1.s", R"(
+# void exp1() { char buf[10]; scanf("%s", buf); }
+#
+# Frame (40 bytes):  sp+0..15 outgoing homes, sp+16..25 buf[10],
+# sp+26..35 pad, sp+36 saved $ra.  A 24-byte input overruns buf through the
+# saved return address (sp+36..39), so exp1's `jr $31` consumes 0x61616161.
+    .text
+exp1:
+    addiu $sp, $sp, -40
+    sw $ra, 36($sp)
+    addiu $a0, $sp, 16
+    jal scanf_str
+    lw $ra, 36($sp)
+    addiu $sp, $sp, 40
+    jr $ra                    # <-- detection point: jr $31
+
+main:
+    addiu $sp, $sp, -24
+    sw $ra, 20($sp)
+    jal exp1
+    li $v0, 0
+    lw $ra, 20($sp)
+    addiu $sp, $sp, 24
+    jr $ra
+)"};
+}
+
+asmgen::Source exp2_heap() {
+  return {"exp2.s", R"(
+# void exp2() { char* buf = malloc(8); scanf("%s", buf); free(buf); }
+#
+# malloc(8) creates a 16-byte chunk; the free remainder chunk B follows it
+# immediately.  Overflowing buf taints B's header and forward/backward
+# links, and free(buf)'s forward-coalesce unlink dereferences the tainted
+# link (the Figure 2 heap corruption).
+    .text
+exp2:
+    addiu $sp, $sp, -24
+    sw $ra, 20($sp)
+    sw $s0, 16($sp)
+    li $a0, 8
+    jal malloc
+    move $s0, $v0
+    move $a0, $s0
+    jal scanf_str
+    move $a0, $s0
+    jal free                  # <-- detection point: unlink inside free()
+    li $v0, 0
+    lw $s0, 16($sp)
+    lw $ra, 20($sp)
+    addiu $sp, $sp, 24
+    jr $ra
+
+main:
+    addiu $sp, $sp, -24
+    sw $ra, 20($sp)
+    jal exp2
+    li $v0, 0
+    lw $ra, 20($sp)
+    addiu $sp, $sp, 24
+    jr $ra
+)"};
+}
+
+asmgen::Source exp3_format() {
+  return {"exp3.s", R"(
+# void exp3(int s) { char buf[100]; recv(s, buf, 100, 0); printf(buf); }
+#
+# buf sits at sp+16, directly above the 16-byte outgoing home area, so
+# vfprintf's ap (= caller_sp+4) reaches buf[0] after exactly three %x pops:
+# abcd%x%x%x%n dereferences 0x64636261 at `sw $21,0($3)`.
+    .text
+exp3:
+    addiu $sp, $sp, -120
+    sw $ra, 116($sp)
+    sw $s0, 112($sp)
+    move $s0, $a0
+    move $a0, $s0
+    addiu $a1, $sp, 16        # buf
+    li $a2, 100
+    jal recv
+    addiu $a0, $sp, 16
+    jal printf                # VULN: user data as the format string
+    li $v0, 0
+    lw $s0, 112($sp)
+    lw $ra, 116($sp)
+    addiu $sp, $sp, 120
+    jr $ra
+
+main:
+    addiu $sp, $sp, -24
+    sw $ra, 20($sp)
+    sw $s0, 16($sp)
+    jal socket
+    move $s0, $v0
+    move $a0, $s0
+    jal bind
+    move $a0, $s0
+    jal listen
+    move $a0, $s0
+    jal accept
+    move $a0, $v0             # connection fd
+    jal exp3
+    li $v0, 0
+    lw $s0, 16($sp)
+    lw $ra, 20($sp)
+    addiu $sp, $sp, 24
+    jr $ra
+)"};
+}
+
+}  // namespace ptaint::guest::apps

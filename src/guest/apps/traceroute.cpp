@@ -1,0 +1,140 @@
+// mini traceroute (paper Section 5.1.2).
+//
+// Reproduces the LBNL traceroute "-g x -g y" double free (securityfocus
+// bid 1739): savestr() manages a pre-allocated pool; main frees the pool
+// block after the first gateway is parsed, but savestr keeps writing into
+// it.  The stale writes land on the freed chunk's list links (tainted —
+// they come from argv), and the next allocation's unlink dereferences the
+// attacker bytes.  Under no protection the unlink performs a wild write
+// (the takeover primitive); with pointer-taintedness detection the tainted
+// link is caught when dereferenced inside the allocator.
+#include "guest/apps/apps.hpp"
+
+namespace ptaint::guest::apps {
+
+asmgen::Source traceroute() {
+  return {"traceroute.s", R"(
+    .data
+opt_g:      .asciiz "-g"
+msg_use:    .asciiz "usage: traceroute [-g gateway]... host\n"
+msg_gw:     .asciiz "gateway registered\n"
+    .align 2
+pool:       .word 0           # savestr() state
+cursor:     .word 0
+left:       .word 0
+gwhead:     .word 0           # gateway list head
+
+    .text
+# char* savestr(s) — copy into the managed pool (the buggy allocator-lite).
+savestr:
+    addiu $sp, $sp, -32
+    sw $ra, 28($sp)
+    sw $s0, 24($sp)
+    sw $s1, 20($sp)
+    move $s0, $a0
+    move $a0, $s0
+    jal strlen
+    addiu $s1, $v0, 1         # len = strlen + 1
+    lw $t0, pool
+    beqz $t0, savestr_grow
+    lw $t0, left
+    bgeu $t0, $s1, savestr_copy
+savestr_grow:
+    li $a0, 64
+    jal malloc
+    sw $v0, pool
+    sw $v0, cursor
+    li $t0, 64
+    sw $t0, left
+savestr_copy:
+    lw $t1, cursor            # NOTE: may point into a freed chunk (the bug)
+    move $a0, $t1
+    move $a1, $s0
+    jal strcpy
+    lw $t1, cursor
+    move $v0, $t1
+    addu $t1, $t1, $s1
+    sw $t1, cursor
+    lw $t0, left
+    subu $t0, $t0, $s1
+    sw $t0, left
+    lw $s1, 20($sp)
+    lw $s0, 24($sp)
+    lw $ra, 28($sp)
+    addiu $sp, $sp, 32
+    jr $ra
+
+# register_gateway(str) — cons a list cell (the allocation whose unlink
+# walks the corrupted free chunk).
+register_gateway:
+    addiu $sp, $sp, -32
+    sw $ra, 28($sp)
+    sw $s0, 24($sp)
+    move $s0, $a0
+    li $a0, 8
+    jal malloc                # <-- detection point: unlink of the chunk
+    sw $s0, 0($v0)            #     whose links were overwritten by savestr
+    lw $t0, gwhead
+    sw $t0, 4($v0)
+    sw $v0, gwhead
+    li $a0, 1
+    la $a1, msg_gw
+    jal fdputs
+    lw $s0, 24($sp)
+    lw $ra, 28($sp)
+    addiu $sp, $sp, 32
+    jr $ra
+
+main:
+    addiu $sp, $sp, -32
+    sw $ra, 28($sp)
+    sw $s0, 24($sp)
+    sw $s1, 20($sp)
+    sw $s2, 16($sp)
+    move $s0, $a1             # argv
+    blt $a0, 2, usage         # argc < 2
+    li $s1, 1                 # i = 1
+arg_check:
+    sll $t0, $s1, 2
+    addu $t0, $s0, $t0
+    lw $t1, 0($t0)            # argv[i]
+    beqz $t1, args_done
+    move $a0, $t1
+    la $a1, opt_g
+    jal strcmp
+    bnez $v0, next_arg
+    # "-g": the gateway value is argv[i+1]
+    addiu $t0, $s1, 1
+    sll $t0, $t0, 2
+    addu $t0, $s0, $t0
+    lw $a0, 0($t0)
+    beqz $a0, args_done
+    jal savestr
+    move $s2, $v0
+    move $a0, $s2
+    jal register_gateway
+    move $a0, $s2
+    jal free                  # traceroute releases the savestr block (BUG:
+    addiu $s1, $s1, 1         # savestr's pool/cursor still point at it)
+next_arg:
+    addiu $s1, $s1, 1
+    b arg_check
+args_done:
+    li $v0, 0
+    b out
+usage:
+    li $a0, 1
+    la $a1, msg_use
+    jal fdputs
+    li $v0, 2
+out:
+    lw $s2, 16($sp)
+    lw $s1, 20($sp)
+    lw $s0, 24($sp)
+    lw $ra, 28($sp)
+    addiu $sp, $sp, 32
+    jr $ra
+)"};
+}
+
+}  // namespace ptaint::guest::apps

@@ -1,0 +1,944 @@
+#include "guest/runtime.hpp"
+
+namespace ptaint::guest {
+
+asmgen::Source crt0() {
+  return {"crt0.s", R"(
+# crt0: program entry.  The loader puts argc/argv/envp in $a0/$a1/$a2.
+    .data
+    .align 2
+__envp: .word 0
+    .text
+_start:
+    sw $a2, __envp            # stash envp for getenv()
+    jal main
+    move $a0, $v0
+    li $v0, 1                 # SYS_EXIT
+    syscall
+
+# char* getenv(name) — walk the environment block.  The pointer cells are
+# kernel-built (untainted); the "K=V" bytes are external input (tainted),
+# exactly the paper's Section 4.4 source list.
+getenv:
+    addiu $sp, $sp, -32
+    sw $ra, 28($sp)
+    sw $s0, 24($sp)
+    sw $s1, 20($sp)
+    move $s0, $a0             # name
+    lw $s1, __envp
+    beqz $s1, getenv_miss
+getenv_loop:
+    lw $t9, 0($s1)            # entry pointer
+    beqz $t9, getenv_miss
+    # compare name against entry up to '='
+    move $t0, $s0
+    move $t1, $t9
+getenv_cmp:
+    lbu $t2, 0($t0)
+    beqz $t2, getenv_name_end
+    lbu $t3, 0($t1)
+    bne $t2, $t3, getenv_next
+    addiu $t0, $t0, 1
+    addiu $t1, $t1, 1
+    b getenv_cmp
+getenv_name_end:
+    lbu $t3, 0($t1)
+    li $t2, '='
+    bne $t3, $t2, getenv_next
+    addiu $v0, $t1, 1         # value begins after '='
+    b getenv_out
+getenv_next:
+    addiu $s1, $s1, 4
+    b getenv_loop
+getenv_miss:
+    move $v0, $zero
+getenv_out:
+    lw $s1, 20($sp)
+    lw $s0, 24($sp)
+    lw $ra, 28($sp)
+    addiu $sp, $sp, 32
+    jr $ra
+)"};
+}
+
+asmgen::Source io_lib() {
+  return {"io.s", R"(
+# Syscall wrappers and line/input helpers.
+    .equ SYS_EXIT,   1
+    .equ SYS_READ,   3
+    .equ SYS_WRITE,  4
+    .equ SYS_OPEN,   5
+    .equ SYS_CLOSE,  6
+    .equ SYS_BRK,    17
+    .equ SYS_SETUID, 23
+    .equ SYS_GETUID, 24
+    .equ SYS_SOCKET, 40
+    .equ SYS_BIND,   41
+    .equ SYS_LISTEN, 42
+    .equ SYS_ACCEPT, 43
+    .equ SYS_RECV,   44
+    .equ SYS_SEND,   45
+    .equ SYS_EXEC,   59
+
+    .text
+# ssize_t read(fd, buf, len)
+read:
+    li $v0, SYS_READ
+    syscall
+    jr $ra
+
+# ssize_t write(fd, buf, len)
+write:
+    li $v0, SYS_WRITE
+    syscall
+    jr $ra
+
+# int open(path, flags)
+open:
+    li $v0, SYS_OPEN
+    syscall
+    jr $ra
+
+# int close(fd)
+close:
+    li $v0, SYS_CLOSE
+    syscall
+    jr $ra
+
+# int socket(), bind(fd), listen(fd), accept(fd)
+socket:
+    li $v0, SYS_SOCKET
+    syscall
+    jr $ra
+bind:
+    li $v0, SYS_BIND
+    syscall
+    jr $ra
+listen:
+    li $v0, SYS_LISTEN
+    syscall
+    jr $ra
+accept:
+    li $v0, SYS_ACCEPT
+    syscall
+    jr $ra
+
+# ssize_t recv(fd, buf, len)
+recv:
+    li $v0, SYS_RECV
+    syscall
+    jr $ra
+
+# ssize_t send(fd, buf, len)
+send:
+    li $v0, SYS_SEND
+    syscall
+    jr $ra
+
+# int getuid(), setuid(uid)
+getuid:
+    li $v0, SYS_GETUID
+    syscall
+    jr $ra
+setuid:
+    li $v0, SYS_SETUID
+    syscall
+    jr $ra
+
+# int exec(path) — records the spawned image in the simulated kernel.
+exec:
+    li $v0, SYS_EXEC
+    syscall
+    jr $ra
+
+# void exit(status)
+exit:
+    li $v0, SYS_EXIT
+    syscall
+
+# void* sbrk(delta) — returns the old break.
+sbrk:
+    move $t0, $a0
+    li $v0, SYS_BRK
+    li $a0, 0
+    syscall                   # v0 = current break
+    move $t1, $v0
+    addu $a0, $v0, $t0
+    li $v0, SYS_BRK
+    syscall
+    move $v0, $t1
+    jr $ra
+
+# void fdputs(fd, s) — write a NUL-terminated string.
+fdputs:
+    addiu $sp, $sp, -32
+    sw $ra, 28($sp)
+    sw $s0, 24($sp)
+    sw $s1, 20($sp)
+    move $s0, $a0
+    move $s1, $a1
+    move $a0, $a1
+    jal strlen
+    move $a0, $s0
+    move $a1, $s1
+    move $a2, $v0
+    jal write
+    lw $s1, 20($sp)
+    lw $s0, 24($sp)
+    lw $ra, 28($sp)
+    addiu $sp, $sp, 32
+    jr $ra
+
+# int scanf_str(buf) — the scanf("%s", buf) of the paper's examples: reads
+# stdin bytes into buf until whitespace/EOF, with NO bound check.  The input
+# bytes are written by SYS_READ directly into their final location, so their
+# taint bits are preserved even though the loop compares each byte.
+# Returns the number of bytes stored.
+scanf_str:
+    addiu $sp, $sp, -32
+    sw $ra, 28($sp)
+    sw $s0, 24($sp)
+    sw $s1, 20($sp)
+    move $s0, $a0             # cursor
+    move $s1, $a0             # start
+scanf_loop:
+    li $a0, 0                 # stdin
+    move $a1, $s0
+    li $a2, 1
+    jal read
+    blez $v0, scanf_done      # EOF
+    lbu $t0, 0($s0)           # (register copy; memory byte stays tainted)
+    li $t1, ' '
+    beq $t0, $t1, scanf_done
+    li $t1, 10                # '\n'
+    beq $t0, $t1, scanf_done
+    li $t1, 9                 # '\t'
+    beq $t0, $t1, scanf_done
+    li $t1, 13                # '\r'
+    beq $t0, $t1, scanf_done
+    addiu $s0, $s0, 1
+    b scanf_loop
+scanf_done:
+    sb $zero, 0($s0)          # terminator is program data, untainted
+    subu $v0, $s0, $s1
+    lw $s1, 20($sp)
+    lw $s0, 24($sp)
+    lw $ra, 28($sp)
+    addiu $sp, $sp, 32
+    jr $ra
+
+# char* gets(buf) — reads a line from stdin (no bound check, as ever).
+gets:
+    addiu $sp, $sp, -32
+    sw $ra, 28($sp)
+    sw $s0, 24($sp)
+    sw $s1, 20($sp)
+    move $s0, $a0
+    move $s1, $a0
+gets_loop:
+    li $a0, 0
+    move $a1, $s0
+    li $a2, 1
+    jal read
+    blez $v0, gets_done
+    lbu $t0, 0($s0)
+    li $t1, 10
+    beq $t0, $t1, gets_done
+    addiu $s0, $s0, 1
+    b gets_loop
+gets_done:
+    sb $zero, 0($s0)
+    move $v0, $s1
+    lw $s1, 20($sp)
+    lw $s0, 24($sp)
+    lw $ra, 28($sp)
+    addiu $sp, $sp, 32
+    jr $ra
+)"};
+}
+
+asmgen::Source string_lib() {
+  return {"string.s", R"(
+# String and memory functions.  Data bytes are stored BEFORE any comparison
+# so that taintedness is preserved in the destination (the compare rule only
+# clears the register copy).
+    .text
+# size_t strlen(s)
+strlen:
+    move $v0, $zero
+strlen_loop:
+    addu $t0, $a0, $v0
+    lbu $t1, 0($t0)
+    beqz $t1, strlen_done
+    addiu $v0, $v0, 1
+    b strlen_loop
+strlen_done:
+    jr $ra
+
+# char* strcpy(dst, src)
+strcpy:
+    move $v0, $a0
+    move $t0, $a0
+strcpy_loop:
+    lbu $t1, 0($a1)
+    sb $t1, 0($t0)            # store first: taint reaches memory
+    addiu $a1, $a1, 1
+    addiu $t0, $t0, 1
+    bnez $t1, strcpy_loop
+    jr $ra
+
+# char* strncpy(dst, src, n) — C semantics: zero-fills to n.
+strncpy:
+    move $v0, $a0
+    move $t0, $a0
+strncpy_loop:
+    blez $a2, strncpy_done
+    lbu $t1, 0($a1)
+    sb $t1, 0($t0)
+    addiu $t0, $t0, 1
+    addiu $a2, $a2, -1
+    beqz $t1, strncpy_fill
+    addiu $a1, $a1, 1
+    b strncpy_loop
+strncpy_fill:
+    blez $a2, strncpy_done
+    sb $zero, 0($t0)
+    addiu $t0, $t0, 1
+    addiu $a2, $a2, -1
+    b strncpy_fill
+strncpy_done:
+    jr $ra
+
+# int strcmp(a, b)
+strcmp:
+strcmp_loop:
+    lbu $t0, 0($a0)
+    lbu $t1, 0($a1)
+    bne $t0, $t1, strcmp_diff
+    beqz $t0, strcmp_eq
+    addiu $a0, $a0, 1
+    addiu $a1, $a1, 1
+    b strcmp_loop
+strcmp_eq:
+    move $v0, $zero
+    jr $ra
+strcmp_diff:
+    subu $v0, $t0, $t1
+    jr $ra
+
+# int strncmp(a, b, n)
+strncmp:
+strncmp_loop:
+    blez $a2, strncmp_eq
+    lbu $t0, 0($a0)
+    lbu $t1, 0($a1)
+    bne $t0, $t1, strncmp_diff
+    beqz $t0, strncmp_eq
+    addiu $a0, $a0, 1
+    addiu $a1, $a1, 1
+    addiu $a2, $a2, -1
+    b strncmp_loop
+strncmp_eq:
+    move $v0, $zero
+    jr $ra
+strncmp_diff:
+    subu $v0, $t0, $t1
+    jr $ra
+
+# char* strcat(dst, src)
+strcat:
+    move $v0, $a0
+    move $t0, $a0
+strcat_seek:
+    lbu $t1, 0($t0)
+    beqz $t1, strcat_copy
+    addiu $t0, $t0, 1
+    b strcat_seek
+strcat_copy:
+    lbu $t1, 0($a1)
+    sb $t1, 0($t0)
+    addiu $a1, $a1, 1
+    addiu $t0, $t0, 1
+    bnez $t1, strcat_copy
+    jr $ra
+
+# char* strchr(s, c) — NULL when absent.
+strchr:
+    andi $a1, $a1, 0xff
+strchr_loop:
+    lbu $t0, 0($a0)
+    beq $t0, $a1, strchr_hit
+    beqz $t0, strchr_miss
+    addiu $a0, $a0, 1
+    b strchr_loop
+strchr_hit:
+    move $v0, $a0
+    jr $ra
+strchr_miss:
+    move $v0, $zero
+    jr $ra
+
+# char* strstr(hay, needle) — NULL when absent.
+strstr:
+    lbu $t0, 0($a1)
+    bnez $t0, strstr_scan
+    move $v0, $a0             # empty needle
+    jr $ra
+strstr_scan:
+    lbu $t0, 0($a0)
+    beqz $t0, strstr_miss
+    move $t1, $a0             # h
+    move $t2, $a1             # n
+strstr_inner:
+    lbu $t3, 0($t2)
+    beqz $t3, strstr_hit
+    lbu $t4, 0($t1)
+    bne $t3, $t4, strstr_next
+    addiu $t1, $t1, 1
+    addiu $t2, $t2, 1
+    b strstr_inner
+strstr_next:
+    addiu $a0, $a0, 1
+    b strstr_scan
+strstr_hit:
+    move $v0, $a0
+    jr $ra
+strstr_miss:
+    move $v0, $zero
+    jr $ra
+
+# void* memcpy(dst, src, n)
+memcpy:
+    move $v0, $a0
+    move $t0, $a0
+memcpy_loop:
+    blez $a2, memcpy_done
+    lbu $t1, 0($a1)
+    sb $t1, 0($t0)
+    addiu $a1, $a1, 1
+    addiu $t0, $t0, 1
+    addiu $a2, $a2, -1
+    b memcpy_loop
+memcpy_done:
+    jr $ra
+
+# void* memset(dst, c, n)
+memset:
+    move $v0, $a0
+    move $t0, $a0
+memset_loop:
+    blez $a2, memset_done
+    sb $a1, 0($t0)
+    addiu $t0, $t0, 1
+    addiu $a2, $a2, -1
+    b memset_loop
+memset_done:
+    jr $ra
+
+# int atoi(s) — optional '-', decimal digits.  Note the byte comparisons
+# validate (hence untaint) each digit: the result is trusted data.  That is
+# exactly the laundering path behind the paper's Table 4(A) false negative.
+atoi:
+    move $v0, $zero
+    li $t2, 1                 # sign
+    lbu $t0, 0($a0)
+    li $t1, '-'
+    bne $t0, $t1, atoi_loop
+    li $t2, -1
+    addiu $a0, $a0, 1
+atoi_loop:
+    lbu $t0, 0($a0)
+    blt $t0, '0', atoi_done
+    bgt $t0, '9', atoi_done
+    addiu $t0, $t0, -48
+    li $t1, 10
+    mul $v0, $v0, $t1
+    addu $v0, $v0, $t0
+    addiu $a0, $a0, 1
+    b atoi_loop
+atoi_done:
+    mul $v0, $v0, $t2
+    jr $ra
+)"};
+}
+
+asmgen::Source malloc_lib() {
+  return {"malloc.s", R"(
+# Heap allocator following the paper's Figure 2 model: free chunks are kept
+# on a circular doubly-linked list whose forward (fd) and backward (bk)
+# links live in the first words of the free chunk's payload.  Chunk layout:
+#
+#   [ size|INUSE (4 bytes) ][ payload ... ]          allocated
+#   [ size        (4 bytes) ][ fd ][ bk ][ ... ]     free
+#
+# Sizes include the header and are multiples of 8; header bit 0 marks an
+# in-use chunk.  free() coalesces with the following chunk by unlinking it
+# with the classic unhardened sequence
+#     FD = B->fd; BK = B->bk; FD->bk = BK; BK->fd = FD;
+# which is THE memory-corruption gadget of heap overflow / double-free
+# attacks: corrupt links turn it into a write to an attacker-chosen address.
+    .data
+    .align 3
+__bin:       .word 0, 0, 0      # pseudo-chunk: [size][fd][bk]
+__heap_init: .word 0
+__heap_top:  .word 0            # first address past the last chunk
+
+    .equ MIN_CHUNK, 16
+    .equ GROW_BYTES, 4096
+
+    .text
+# internal: __grow_heap(bytes) — sbrk a new free chunk and bin it.
+__grow_heap:
+    addiu $sp, $sp, -24
+    sw $ra, 20($sp)
+    sw $s0, 16($sp)
+    move $s0, $a0
+    jal sbrk                  # v0 = old break = new chunk address
+    sw $s0, 0($v0)            # header: size, free
+    lw $t0, __heap_top
+    bnez $t0, __grow_have_top
+    b __grow_set_top
+__grow_have_top:
+__grow_set_top:
+    addu $t1, $v0, $s0
+    sw $t1, __heap_top
+    # insert at bin head
+    la $t0, __bin
+    lw $t2, 4($t0)            # old first
+    sw $t2, 4($v0)            # new->fd = old
+    sw $t0, 8($v0)            # new->bk = bin
+    sw $v0, 4($t0)            # bin->fd = new
+    sw $v0, 8($t2)            # old->bk = new
+    lw $s0, 16($sp)
+    lw $ra, 20($sp)
+    addiu $sp, $sp, 24
+    jr $ra
+
+# void* malloc(n) — first fit with splitting.
+malloc:
+    addiu $sp, $sp, -24
+    sw $ra, 20($sp)
+    sw $s0, 16($sp)
+    sw $s1, 12($sp)
+    # req = max(MIN_CHUNK, align8(n + 4))
+    addiu $s0, $a0, 11
+    li $t0, -8
+    and $s0, $s0, $t0
+    bgeu $s0, MIN_CHUNK, malloc_init
+    li $s0, MIN_CHUNK
+malloc_init:
+    lw $t0, __heap_init
+    bnez $t0, malloc_scan
+    li $t1, 1
+    sw $t1, __heap_init
+    la $t0, __bin
+    sw $t0, 4($t0)            # bin->fd = bin
+    sw $t0, 8($t0)            # bin->bk = bin
+malloc_scan:
+    la $t0, __bin
+    lw $s1, 4($t0)            # cur = bin->fd
+malloc_scan_loop:
+    la $t0, __bin
+    beq $s1, $t0, malloc_grow # wrapped around: nothing fits
+    lw $t1, 0($s1)            # cur->size
+    bgeu $t1, $s0, malloc_fit
+    lw $s1, 4($s1)            # cur = cur->fd
+    b malloc_scan_loop
+malloc_grow:
+    li $a0, GROW_BYTES
+    bgeu $a0, $s0, malloc_grow_sized
+    addiu $a0, $s0, 8
+malloc_grow_sized:
+    jal __grow_heap
+    b malloc_scan
+malloc_fit:
+    # unlink cur ($s1)
+    lw $t2, 4($s1)            # FD = cur->fd
+    lw $t3, 8($s1)            # BK = cur->bk
+    sw $t3, 8($t2)            # FD->bk = BK   (tainted FD => alert here)
+    sw $t2, 4($t3)            # BK->fd = FD   (tainted BK => alert here)
+    lw $t1, 0($s1)            # size
+    subu $t4, $t1, $s0
+    bltu $t4, MIN_CHUNK, malloc_take_all
+    # split: remainder chunk goes back to the bin head
+    addu $t5, $s1, $s0
+    sw $t4, 0($t5)            # remainder header (free)
+    la $t0, __bin
+    lw $t6, 4($t0)
+    sw $t6, 4($t5)
+    sw $t0, 8($t5)
+    sw $t5, 4($t0)
+    sw $t5, 8($t6)
+    move $t1, $s0
+malloc_take_all:
+    ori $t1, $t1, 1
+    sw $t1, 0($s1)            # mark in use
+    addiu $v0, $s1, 4         # payload
+    lw $s1, 12($sp)
+    lw $s0, 16($sp)
+    lw $ra, 20($sp)
+    addiu $sp, $sp, 24
+    jr $ra
+
+# void free(ptr) — forward-coalesce, then push on the bin.
+free:
+    beqz $a0, free_ret
+    addiu $t0, $a0, -4        # chunk
+    lw $t1, 0($t0)            # header
+    li $t2, -2
+    and $t1, $t1, $t2         # size
+    addu $t3, $t0, $t1        # B = next chunk
+    lw $t4, __heap_top
+    bgeu $t3, $t4, free_insert
+    lw $t5, 0($t3)            # B header
+    andi $t6, $t5, 1
+    bnez $t6, free_insert     # next chunk in use: no coalesce
+    # unlink B: the attack point of exp2 / NULL-HTTPD / Figure 2.
+    lw $3, 4($t3)             # FD = B->fd   (tainted after heap overflow)
+    lw $t7, 8($t3)            # BK = B->bk
+    sw $t7, 8($3)             # FD->bk = BK  <-- alert: sw $15,8($3)
+    sw $3, 4($t7)             # BK->fd = FD
+    li $t2, -2
+    and $t5, $t5, $t2
+    addu $t1, $t1, $t5        # merged size
+free_insert:
+    sw $t1, 0($t0)            # free header
+    la $t2, __bin
+    lw $t6, 4($t2)
+    sw $t6, 4($t0)            # chunk->fd = old first
+    sw $t2, 8($t0)            # chunk->bk = bin
+    sw $t0, 4($t2)            # bin->fd = chunk
+    sw $t0, 8($t6)            # old->bk = chunk
+free_ret:
+    jr $ra
+)"};
+}
+
+asmgen::Source printf_lib() {
+  return {"printf.s", R"(
+# printf family.  vfprintf(fd, fmt, ap) sweeps two pointers exactly as the
+# paper describes: `fmt` over the format string and `ap` over the argument
+# area.  With the o32 varargs layout, register arguments are spilled to the
+# caller's home slots so `ap` walks from them straight up into the caller's
+# frame — which is what lets %x...%n attacks steer `ap` into attacker data.
+# The %n handler is the paper's detection point:  sw $21,0($3).
+    .data
+__sprintf_dst: .word 0          # memory-sink cursor for sprintf
+
+    .text
+# internal: __pf_putc — emit byte $a0; fd in $s2 (-2 = memory sink),
+# count in $21 ($s5), scratch byte address in $s6.
+__pf_putc:
+    li $t0, -2
+    beq $s2, $t0, __pf_putc_mem
+    sb $a0, 0($s6)
+    move $a0, $s2
+    move $a1, $s6
+    li $a2, 1
+    li $v0, 4                 # SYS_WRITE (stdio, file or socket)
+    syscall
+    addiu $21, $21, 1
+    jr $ra
+__pf_putc_mem:
+    lw $t1, __sprintf_dst
+    sb $a0, 0($t1)
+    addiu $t1, $t1, 1
+    sw $t1, __sprintf_dst
+    addiu $21, $21, 1
+    jr $ra
+
+# internal: __pf_num — print $a0 unsigned in base $a1, min field width $a2
+# zero-padded ($s7 = digit buffer end).  Width is how %08x-style directives
+# let format-string attacks choose the exact count a later %n writes.
+__pf_num:
+    addiu $sp, $sp, -8
+    sw $ra, 4($sp)
+    move $t0, $a0
+    move $t2, $a1
+    move $t9, $a2             # min width
+    move $t3, $s7             # write pointer (builds digits backwards)
+__pf_num_loop:
+    divu $t0, $t2             # lo = q, hi = r
+    mfhi $t1
+    mflo $t0
+    blt $t1, 10, __pf_num_dig
+    addiu $t1, $t1, 39        # 'a' - '0' - 10
+__pf_num_dig:
+    addiu $t1, $t1, 48        # '0'
+    addiu $t3, $t3, -1
+    sb $t1, 0($t3)
+    bnez $t0, __pf_num_loop
+__pf_num_pad:
+    subu $t1, $s7, $t3        # digits produced
+    subu $t9, $t9, $t1        # zeros still needed
+__pf_num_pad_loop:
+    blez $t9, __pf_num_emit
+    li $a0, '0'
+    addiu $sp, $sp, -8
+    sw $t3, 0($sp)
+    sw $t9, 4($sp)
+    jal __pf_putc
+    lw $t9, 4($sp)
+    lw $t3, 0($sp)
+    addiu $sp, $sp, 8
+    addiu $t9, $t9, -1
+    b __pf_num_pad_loop
+__pf_num_emit:
+    bgeu $t3, $s7, __pf_num_done
+    lbu $a0, 0($t3)
+    addiu $t3, $t3, 1
+    addiu $sp, $sp, -8
+    sw $t3, 0($sp)
+    jal __pf_putc
+    lw $t3, 0($sp)
+    addiu $sp, $sp, 8
+    b __pf_num_emit
+__pf_num_done:
+    lw $ra, 4($sp)
+    addiu $sp, $sp, 8
+    jr $ra
+
+# int vfprintf(fd, fmt, ap)
+vfprintf:
+    addiu $sp, $sp, -64
+    sw $ra, 60($sp)
+    sw $s0, 56($sp)
+    sw $s1, 52($sp)
+    sw $s2, 48($sp)
+    sw $21, 44($sp)
+    sw $s6, 40($sp)
+    sw $s7, 36($sp)
+    sw $s3, 12($sp)
+    move $s2, $a0             # fd
+    move $s0, $a1             # fmt
+    move $s1, $a2             # ap
+    move $21, $zero           # count
+    addiu $s6, $sp, 16        # putc scratch byte
+    addiu $s7, $sp, 33        # digit buffer end (16 bytes at sp+17)
+vf_loop:
+    lbu $t0, 0($s0)
+    beqz $t0, vf_done
+    addiu $s0, $s0, 1
+    li $t1, '%'
+    beq $t0, $t1, vf_directive
+    move $a0, $t0
+    jal __pf_putc
+    b vf_loop
+vf_directive:
+    # optional zero-padded minimum field width (e.g. %08x), capped at 64
+    li $s3, 0
+vf_width_loop:
+    lbu $t0, 0($s0)
+    blt $t0, '0', vf_width_done
+    bgt $t0, '9', vf_width_done
+    addiu $t0, $t0, -48
+    li $t1, 10
+    mul $s3, $s3, $t1
+    addu $s3, $s3, $t0
+    addiu $s0, $s0, 1
+    b vf_width_loop
+vf_width_done:
+    ble $s3, 64, vf_width_ok
+    li $s3, 64
+vf_width_ok:
+    lbu $t0, 0($s0)
+    beqz $t0, vf_done
+    addiu $s0, $s0, 1
+    li $t1, 'd'
+    beq $t0, $t1, vf_d
+    li $t1, 'u'
+    beq $t0, $t1, vf_u
+    li $t1, 'x'
+    beq $t0, $t1, vf_x
+    li $t1, 'c'
+    beq $t0, $t1, vf_c
+    li $t1, 's'
+    beq $t0, $t1, vf_s
+    li $t1, 'n'
+    beq $t0, $t1, vf_n
+    li $t1, '%'
+    beq $t0, $t1, vf_pct
+    # unknown directive: emit verbatim
+    li $a0, '%'
+    addiu $sp, $sp, -8
+    sw $t0, 0($sp)
+    jal __pf_putc
+    lw $a0, 0($sp)
+    addiu $sp, $sp, 8
+    jal __pf_putc
+    b vf_loop
+vf_pct:
+    li $a0, '%'
+    jal __pf_putc
+    b vf_loop
+vf_c:
+    lw $a0, 0($s1)
+    addiu $s1, $s1, 4
+    jal __pf_putc
+    b vf_loop
+vf_d:
+    lw $a0, 0($s1)
+    addiu $s1, $s1, 4
+    bgez $a0, vf_d_pos
+    addiu $sp, $sp, -8
+    sw $a0, 0($sp)
+    li $a0, '-'
+    jal __pf_putc
+    lw $a0, 0($sp)
+    addiu $sp, $sp, 8
+    negu $a0, $a0
+vf_d_pos:
+    li $a1, 10
+    move $a2, $s3
+    jal __pf_num
+    b vf_loop
+vf_u:
+    lw $a0, 0($s1)
+    addiu $s1, $s1, 4
+    li $a1, 10
+    move $a2, $s3
+    jal __pf_num
+    b vf_loop
+vf_x:
+    lw $a0, 0($s1)
+    addiu $s1, $s1, 4
+    li $a1, 16
+    move $a2, $s3
+    jal __pf_num
+    b vf_loop
+vf_s:
+    lw $t2, 0($s1)
+    addiu $s1, $s1, 4
+vf_s_loop:
+    lbu $a0, 0($t2)           # tainted string pointer would alert here
+    beqz $a0, vf_loop
+    addiu $t2, $t2, 1
+    addiu $sp, $sp, -8
+    sw $t2, 0($sp)
+    jal __pf_putc
+    lw $t2, 0($sp)
+    addiu $sp, $sp, 8
+    b vf_s_loop
+vf_n:
+    # *(int*)*ap = chars written so far.  This is the paper's format-string
+    # detection point: a steered ap reads an attacker word into $3 and the
+    # store dereferences it.
+    lw $3, 0($s1)
+    addiu $s1, $s1, 4
+    sw $21, 0($3)             # <-- alert: sw $21,0($3)
+    b vf_loop
+vf_done:
+    move $v0, $21
+    lw $s3, 12($sp)
+    lw $s7, 36($sp)
+    lw $s6, 40($sp)
+    lw $21, 44($sp)
+    lw $s2, 48($sp)
+    lw $s1, 52($sp)
+    lw $s0, 56($sp)
+    lw $ra, 60($sp)
+    addiu $sp, $sp, 64
+    jr $ra
+
+# int printf(fmt, ...) — spills register varargs to the caller's home slots
+# and walks them with vfprintf.
+printf:
+    sw $a1, 4($sp)            # caller home slots (o32 varargs layout)
+    sw $a2, 8($sp)
+    sw $a3, 12($sp)
+    addiu $sp, $sp, -8
+    sw $ra, 4($sp)
+    move $a1, $a0             # fmt
+    li $a0, 1                 # stdout
+    addiu $a2, $sp, 12        # ap = entry_sp + 4
+    jal vfprintf
+    lw $ra, 4($sp)
+    addiu $sp, $sp, 8
+    jr $ra
+
+# int fdprintf(fd, fmt, ...) — the server-side printf; WU-FTPD-style
+# format-string bugs call this with attacker-controlled fmt.
+fdprintf:
+    sw $a2, 8($sp)
+    sw $a3, 12($sp)
+    addiu $sp, $sp, -8
+    sw $ra, 4($sp)
+    addiu $a2, $sp, 16        # ap = entry_sp + 8
+    jal vfprintf
+    lw $ra, 4($sp)
+    addiu $sp, $sp, 8
+    jr $ra
+
+# int sprintf(dst, fmt, ...)
+sprintf:
+    sw $a2, 8($sp)
+    sw $a3, 12($sp)
+    addiu $sp, $sp, -8
+    sw $ra, 4($sp)
+    sw $a0, __sprintf_dst
+    li $a0, -2                # memory sink
+    move $a1, $a1
+    addiu $a2, $sp, 16        # ap = entry_sp + 8
+    jal vfprintf
+    lw $t0, __sprintf_dst
+    sb $zero, 0($t0)
+    lw $ra, 4($sp)
+    addiu $sp, $sp, 8
+    jr $ra
+)"};
+}
+
+asmgen::Source malloc_lib_hardened() {
+  // Same layout/API as malloc_lib(); free()'s forward-coalesce unlink adds
+  // the safe-unlink consistency check.  NOTE: the check itself LOADS
+  // through the (possibly tainted) links, so under pointer-taintedness
+  // detection the alert now fires at a LW — matching the paper's reported
+  // `lw $3,0($3)`-style site — while unprotected the corrupted unlink
+  // aborts instead of writing (the post-2004 mitigation).
+  asmgen::Source base = malloc_lib();
+  const std::string needle =
+      "    # unlink B: the attack point of exp2 / NULL-HTTPD / Figure 2.\n"
+      "    lw $3, 4($t3)             # FD = B->fd   (tainted after heap overflow)\n"
+      "    lw $t7, 8($t3)            # BK = B->bk\n"
+      "    sw $t7, 8($3)             # FD->bk = BK  <-- alert: sw $15,8($3)\n"
+      "    sw $3, 4($t7)             # BK->fd = FD\n";
+  const std::string hardened =
+      "    # safe unlink (glibc-style): verify FD->bk == B && BK->fd == B\n"
+      "    lw $3, 4($t3)             # FD = B->fd   (tainted after overflow)\n"
+      "    lw $t7, 8($t3)            # BK = B->bk\n"
+      "    lw $t8, 8($3)             # FD->bk  <-- alert: lw $24,8($3)\n"
+      "    bne $t8, $t3, __unlink_abort\n"
+      "    lw $t8, 4($t7)            # BK->fd\n"
+      "    bne $t8, $t3, __unlink_abort\n"
+      "    sw $t7, 8($3)             # FD->bk = BK\n"
+      "    sw $3, 4($t7)             # BK->fd = FD\n";
+  const size_t pos = base.text.find(needle);
+  if (pos != std::string::npos) {
+    base.text.replace(pos, needle.size(), hardened);
+  }
+  base.text +=
+      "\n__unlink_abort:\n"
+      "    li $a0, 134               # SIGABRT-style status\n"
+      "    jal exit\n";
+  base.name = "malloc_hardened.s";
+  return base;
+}
+
+std::vector<asmgen::Source> runtime() {
+  return {crt0(), io_lib(), string_lib(), malloc_lib(), printf_lib()};
+}
+
+std::vector<asmgen::Source> link_with_runtime(asmgen::Source app) {
+  auto units = runtime();
+  units.push_back(std::move(app));
+  return units;
+}
+
+std::vector<asmgen::Source> link_with_hardened_runtime(asmgen::Source app) {
+  std::vector<asmgen::Source> units = {crt0(), io_lib(), string_lib(),
+                                       malloc_lib_hardened(), printf_lib()};
+  units.push_back(std::move(app));
+  return units;
+}
+
+}  // namespace ptaint::guest

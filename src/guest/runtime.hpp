@@ -1,0 +1,68 @@
+// Guest runtime: a small libc for PTA-32 programs, written in the
+// repository's own assembly dialect.
+//
+// The evaluation of the paper detects attacks *inside library code* — the
+// free-list unlink in free() and the %n argument write in vfprintf() — so
+// the runtime reproduces those code shapes faithfully:
+//
+//  * malloc/free keep free chunks on a circular doubly-linked list with the
+//    forward/backward links at the start of the free chunk's payload
+//    (the paper's Figure 2 heap model).  free() coalesces forward and
+//    unlinks the neighbour with the classic unhardened
+//    `FD = B->fd; BK = B->bk; FD->bk = BK; BK->fd = FD` sequence — a heap
+//    overflow that taints B's links turns this into the attacker's
+//    arbitrary write, caught when the tainted FD is dereferenced.
+//  * vfprintf() walks a fmt pointer and an argument pointer `ap` in the
+//    o32 varargs layout; the %n handler is literally
+//    `lw $3,0($s1); sw $21,0($3)` so a format-string attack alerts at
+//    `sw $21,0($3)` with $3 holding the attacker's target address —
+//    the exact transcript line of the paper's Table 2.
+//
+// Calling convention (o32-like): args in $a0..$a3, result in $v0, $s0-$s7/
+// $fp/$ra callee-saved.  Functions that call printf-family functions keep a
+// 16-byte outgoing-argument home area at the bottom of their frame; varargs
+// walk from those home slots upward into the caller's frame.
+#pragma once
+
+#include <vector>
+
+#include "asmgen/assembler.hpp"
+
+namespace ptaint::guest {
+
+/// _start: calls main(argc, argv, envp) and exits with its return value.
+asmgen::Source crt0();
+
+/// strlen, strcpy, strncpy, strcmp, strncmp, strcat, strchr, strstr,
+/// memcpy, memset, atoi.
+asmgen::Source string_lib();
+
+/// malloc, free — the paper-model heap described above.
+asmgen::Source malloc_lib();
+
+/// Hardened variant of the heap: the unlink verifies FD->bk == B and
+/// BK->fd == B before writing (the glibc "safe unlinking" mitigation that
+/// postdates the paper).  Corrupted links abort the process with exit
+/// status 134 instead of performing the attacker's write.  Used by the
+/// mitigation-comparison ablation.
+asmgen::Source malloc_lib_hardened();
+
+/// vfprintf (with %d %u %x %c %s %n %%), printf, fdprintf, sprintf,
+/// and the numeric emit helpers.
+asmgen::Source printf_lib();
+
+/// Syscall wrappers (read, write, open, close, socket, bind, listen,
+/// accept, recv, send, sbrk, exit, getuid, setuid, exec) plus
+/// scanf_str ("scanf(\"%s\", buf)") and gets.
+asmgen::Source io_lib();
+
+/// All runtime units in link order; prepend application units to this.
+std::vector<asmgen::Source> runtime();
+
+/// Convenience: runtime + the given application source.
+std::vector<asmgen::Source> link_with_runtime(asmgen::Source app);
+
+/// Same, but with the safe-unlink hardened heap.
+std::vector<asmgen::Source> link_with_hardened_runtime(asmgen::Source app);
+
+}  // namespace ptaint::guest

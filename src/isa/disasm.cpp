@@ -1,0 +1,101 @@
+#include <cstdio>
+
+#include "isa/isa.hpp"
+
+namespace ptaint::isa {
+namespace {
+
+std::string fmt(const char* format, auto... args) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, format, args...);
+  return buf;
+}
+
+}  // namespace
+
+std::string disassemble(const Instruction& inst, uint32_t pc) {
+  const auto name = std::string(mnemonic(inst.op));
+  const char* n = name.c_str();
+  // Register numbers are printed in the bare "$3" style the paper's alert
+  // transcripts use (e.g. "sw $21,0($3)").
+  switch (inst.op) {
+    case Op::kInvalid:
+      return "<invalid>";
+    case Op::kSll:
+    case Op::kSrl:
+    case Op::kSra:
+      return fmt("%s $%d,$%d,%d", n, inst.rd, inst.rt, inst.shamt);
+    case Op::kSllv:
+    case Op::kSrlv:
+    case Op::kSrav:
+      return fmt("%s $%d,$%d,$%d", n, inst.rd, inst.rt, inst.rs);
+    case Op::kJr:
+      return fmt("%s $%d", n, inst.rs);
+    case Op::kJalr:
+      return fmt("%s $%d,$%d", n, inst.rd, inst.rs);
+    case Op::kSyscall:
+    case Op::kBreak:
+      return name;
+    case Op::kMfhi:
+    case Op::kMflo:
+      return fmt("%s $%d", n, inst.rd);
+    case Op::kMthi:
+    case Op::kMtlo:
+      return fmt("%s $%d", n, inst.rs);
+    case Op::kTaintSet:
+    case Op::kTaintClr:
+      return fmt("%s $%d,$%d", n, inst.rd, inst.rs);
+    case Op::kMult:
+    case Op::kMultu:
+    case Op::kDiv:
+    case Op::kDivu:
+      return fmt("%s $%d,$%d", n, inst.rs, inst.rt);
+    case Op::kAdd:
+    case Op::kAddu:
+    case Op::kSub:
+    case Op::kSubu:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kNor:
+    case Op::kSlt:
+    case Op::kSltu:
+      return fmt("%s $%d,$%d,$%d", n, inst.rd, inst.rs, inst.rt);
+    case Op::kAddi:
+    case Op::kAddiu:
+    case Op::kSlti:
+    case Op::kSltiu:
+    case Op::kAndi:
+    case Op::kOri:
+    case Op::kXori:
+      return fmt("%s $%d,$%d,%d", n, inst.rt, inst.rs, inst.imm);
+    case Op::kLui:
+      return fmt("%s $%d,0x%x", n, inst.rt, inst.imm & 0xffff);
+    case Op::kLb:
+    case Op::kLh:
+    case Op::kLw:
+    case Op::kLbu:
+    case Op::kLhu:
+    case Op::kSb:
+    case Op::kSh:
+    case Op::kSw:
+      return fmt("%s $%d,%d($%d)", n, inst.rt, inst.imm, inst.rs);
+    case Op::kBeq:
+    case Op::kBne:
+      return fmt("%s $%d,$%d,0x%x", n, inst.rs, inst.rt,
+                 pc + 4 + (inst.imm << 2));
+    case Op::kBlez:
+    case Op::kBgtz:
+    case Op::kBltz:
+    case Op::kBgez:
+    case Op::kBltzal:
+    case Op::kBgezal:
+      return fmt("%s $%d,0x%x", n, inst.rs, pc + 4 + (inst.imm << 2));
+    case Op::kJ:
+    case Op::kJal:
+      return fmt("%s 0x%x", n, inst.target);
+  }
+  return "<invalid>";
+}
+
+}  // namespace ptaint::isa

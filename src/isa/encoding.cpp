@@ -1,0 +1,192 @@
+// Binary encoding of PTA-32 instructions, following the classic MIPS-I
+// opcode/funct assignments so that encodings round-trip and tools stay
+// recognisable next to SimpleScalar disassembly.
+#include <cassert>
+
+#include "isa/isa.hpp"
+
+namespace ptaint::isa {
+namespace {
+
+// Primary opcodes (bits 31..26).
+enum : uint32_t {
+  kOpcSpecial = 0x00,
+  kOpcRegimm = 0x01,
+  kOpcJ = 0x02,
+  kOpcJal = 0x03,
+  kOpcBeq = 0x04,
+  kOpcBne = 0x05,
+  kOpcBlez = 0x06,
+  kOpcBgtz = 0x07,
+  kOpcAddi = 0x08,
+  kOpcAddiu = 0x09,
+  kOpcSlti = 0x0a,
+  kOpcSltiu = 0x0b,
+  kOpcAndi = 0x0c,
+  kOpcOri = 0x0d,
+  kOpcXori = 0x0e,
+  kOpcLui = 0x0f,
+  kOpcLb = 0x20,
+  kOpcLh = 0x21,
+  kOpcLw = 0x23,
+  kOpcLbu = 0x24,
+  kOpcLhu = 0x25,
+  kOpcSb = 0x28,
+  kOpcSh = 0x29,
+  kOpcSw = 0x2b,
+};
+
+// SPECIAL funct codes (bits 5..0).
+enum : uint32_t {
+  kFnSll = 0x00, kFnSrl = 0x02, kFnSra = 0x03,
+  kFnSllv = 0x04, kFnSrlv = 0x06, kFnSrav = 0x07,
+  kFnJr = 0x08, kFnJalr = 0x09,
+  kFnSyscall = 0x0c, kFnBreak = 0x0d,
+  kFnMfhi = 0x10, kFnMthi = 0x11, kFnMflo = 0x12, kFnMtlo = 0x13,
+  kFnMult = 0x18, kFnMultu = 0x19, kFnDiv = 0x1a, kFnDivu = 0x1b,
+  kFnTaintSet = 0x1c, kFnTaintClr = 0x1d,  // unused MIPS-I slots
+  kFnAdd = 0x20, kFnAddu = 0x21, kFnSub = 0x22, kFnSubu = 0x23,
+  kFnAnd = 0x24, kFnOr = 0x25, kFnXor = 0x26, kFnNor = 0x27,
+  kFnSlt = 0x2a, kFnSltu = 0x2b,
+};
+
+// REGIMM rt selectors.
+enum : uint32_t {
+  kRtBltz = 0x00, kRtBgez = 0x01, kRtBltzal = 0x10, kRtBgezal = 0x11,
+};
+
+struct Enc {
+  Op op;
+  uint32_t opcode;   // primary opcode
+  uint32_t funct;    // SPECIAL funct or REGIMM rt selector
+};
+
+constexpr Enc kEncTable[] = {
+    {Op::kSll, kOpcSpecial, kFnSll},     {Op::kSrl, kOpcSpecial, kFnSrl},
+    {Op::kSra, kOpcSpecial, kFnSra},     {Op::kSllv, kOpcSpecial, kFnSllv},
+    {Op::kSrlv, kOpcSpecial, kFnSrlv},   {Op::kSrav, kOpcSpecial, kFnSrav},
+    {Op::kJr, kOpcSpecial, kFnJr},       {Op::kJalr, kOpcSpecial, kFnJalr},
+    {Op::kSyscall, kOpcSpecial, kFnSyscall},
+    {Op::kBreak, kOpcSpecial, kFnBreak},
+    {Op::kTaintSet, kOpcSpecial, kFnTaintSet},
+    {Op::kTaintClr, kOpcSpecial, kFnTaintClr},
+    {Op::kMfhi, kOpcSpecial, kFnMfhi},   {Op::kMthi, kOpcSpecial, kFnMthi},
+    {Op::kMflo, kOpcSpecial, kFnMflo},   {Op::kMtlo, kOpcSpecial, kFnMtlo},
+    {Op::kMult, kOpcSpecial, kFnMult},   {Op::kMultu, kOpcSpecial, kFnMultu},
+    {Op::kDiv, kOpcSpecial, kFnDiv},     {Op::kDivu, kOpcSpecial, kFnDivu},
+    {Op::kAdd, kOpcSpecial, kFnAdd},     {Op::kAddu, kOpcSpecial, kFnAddu},
+    {Op::kSub, kOpcSpecial, kFnSub},     {Op::kSubu, kOpcSpecial, kFnSubu},
+    {Op::kAnd, kOpcSpecial, kFnAnd},     {Op::kOr, kOpcSpecial, kFnOr},
+    {Op::kXor, kOpcSpecial, kFnXor},     {Op::kNor, kOpcSpecial, kFnNor},
+    {Op::kSlt, kOpcSpecial, kFnSlt},     {Op::kSltu, kOpcSpecial, kFnSltu},
+    {Op::kBltz, kOpcRegimm, kRtBltz},    {Op::kBgez, kOpcRegimm, kRtBgez},
+    {Op::kBltzal, kOpcRegimm, kRtBltzal},
+    {Op::kBgezal, kOpcRegimm, kRtBgezal},
+    {Op::kJ, kOpcJ, 0},                  {Op::kJal, kOpcJal, 0},
+    {Op::kBeq, kOpcBeq, 0},              {Op::kBne, kOpcBne, 0},
+    {Op::kBlez, kOpcBlez, 0},            {Op::kBgtz, kOpcBgtz, 0},
+    {Op::kAddi, kOpcAddi, 0},            {Op::kAddiu, kOpcAddiu, 0},
+    {Op::kSlti, kOpcSlti, 0},            {Op::kSltiu, kOpcSltiu, 0},
+    {Op::kAndi, kOpcAndi, 0},            {Op::kOri, kOpcOri, 0},
+    {Op::kXori, kOpcXori, 0},            {Op::kLui, kOpcLui, 0},
+    {Op::kLb, kOpcLb, 0},                {Op::kLh, kOpcLh, 0},
+    {Op::kLw, kOpcLw, 0},                {Op::kLbu, kOpcLbu, 0},
+    {Op::kLhu, kOpcLhu, 0},              {Op::kSb, kOpcSb, 0},
+    {Op::kSh, kOpcSh, 0},                {Op::kSw, kOpcSw, 0},
+};
+
+const Enc* find_enc(Op op) {
+  for (const auto& e : kEncTable) {
+    if (e.op == op) return &e;
+  }
+  return nullptr;
+}
+
+Op special_op(uint32_t funct) {
+  for (const auto& e : kEncTable) {
+    if (e.opcode == kOpcSpecial && e.funct == funct) return e.op;
+  }
+  return Op::kInvalid;
+}
+
+Op regimm_op(uint32_t rt) {
+  for (const auto& e : kEncTable) {
+    if (e.opcode == kOpcRegimm && e.funct == rt) return e.op;
+  }
+  return Op::kInvalid;
+}
+
+Op primary_op(uint32_t opcode) {
+  for (const auto& e : kEncTable) {
+    if (e.opcode == opcode && opcode != kOpcSpecial && opcode != kOpcRegimm) {
+      return e.op;
+    }
+  }
+  return Op::kInvalid;
+}
+
+}  // namespace
+
+uint32_t encode(const Instruction& inst) {
+  const Enc* e = find_enc(inst.op);
+  assert(e != nullptr && "cannot encode an invalid instruction");
+  const uint32_t rs = inst.rs & 0x1f, rt = inst.rt & 0x1f, rd = inst.rd & 0x1f;
+  switch (op_format(inst.op)) {
+    case Format::kR:
+      return (kOpcSpecial << 26) | (rs << 21) | (rt << 16) | (rd << 11) |
+             ((inst.shamt & 0x1f) << 6) | e->funct;
+    case Format::kI: {
+      uint32_t rt_field = rt;
+      if (e->opcode == kOpcRegimm) rt_field = e->funct;  // selector in rt
+      return (e->opcode << 26) | (rs << 21) | (rt_field << 16) |
+             (static_cast<uint32_t>(inst.imm) & 0xffff);
+    }
+    case Format::kJ:
+      return (e->opcode << 26) | ((inst.target >> 2) & 0x03ffffff);
+  }
+  return 0;
+}
+
+Instruction decode(uint32_t word) {
+  Instruction inst;
+  const uint32_t opcode = word >> 26;
+  inst.rs = static_cast<uint8_t>((word >> 21) & 0x1f);
+  inst.rt = static_cast<uint8_t>((word >> 16) & 0x1f);
+  inst.rd = static_cast<uint8_t>((word >> 11) & 0x1f);
+  inst.shamt = static_cast<uint8_t>((word >> 6) & 0x1f);
+
+  if (opcode == kOpcSpecial) {
+    inst.op = special_op(word & 0x3f);
+    return inst;
+  }
+  if (opcode == kOpcRegimm) {
+    inst.op = regimm_op(inst.rt);
+    inst.rt = inst.rd = inst.shamt = 0;
+    inst.imm = static_cast<int16_t>(word & 0xffff);
+    return inst;
+  }
+  inst.op = primary_op(opcode);
+  if (inst.op == Op::kInvalid) return inst;
+  if (op_format(inst.op) == Format::kJ) {
+    inst.rs = inst.rt = inst.rd = inst.shamt = 0;
+    inst.target = (word & 0x03ffffff) << 2;
+    return inst;
+  }
+  // I-format.  ANDI/ORI/XORI/LUI are zero-extended, the rest sign-extended.
+  inst.rd = inst.shamt = 0;
+  const uint32_t raw = word & 0xffff;
+  switch (inst.op) {
+    case Op::kAndi:
+    case Op::kOri:
+    case Op::kXori:
+    case Op::kLui:
+      inst.imm = static_cast<int32_t>(raw);
+      break;
+    default:
+      inst.imm = static_cast<int16_t>(raw);
+      break;
+  }
+  return inst;
+}
+
+}  // namespace ptaint::isa

@@ -1,0 +1,141 @@
+#include "isa/isa.hpp"
+
+#include <cctype>
+
+namespace ptaint::isa {
+namespace {
+
+constexpr std::array<std::string_view, kNumRegs> kRegNames = {
+    "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3",
+    "$t0",   "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+    "$s0",   "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+    "$t8",   "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra"};
+
+struct OpInfo {
+  Op op;
+  std::string_view name;
+  Format format;
+  OpClass cls;
+};
+
+constexpr OpInfo kOpTable[] = {
+    {Op::kSll, "sll", Format::kR, OpClass::kShift},
+    {Op::kSrl, "srl", Format::kR, OpClass::kShift},
+    {Op::kSra, "sra", Format::kR, OpClass::kShift},
+    {Op::kSllv, "sllv", Format::kR, OpClass::kShift},
+    {Op::kSrlv, "srlv", Format::kR, OpClass::kShift},
+    {Op::kSrav, "srav", Format::kR, OpClass::kShift},
+    {Op::kAdd, "add", Format::kR, OpClass::kAlu},
+    {Op::kAddu, "addu", Format::kR, OpClass::kAlu},
+    {Op::kSub, "sub", Format::kR, OpClass::kAlu},
+    {Op::kSubu, "subu", Format::kR, OpClass::kAlu},
+    {Op::kAnd, "and", Format::kR, OpClass::kLogicAnd},
+    {Op::kOr, "or", Format::kR, OpClass::kAlu},
+    {Op::kXor, "xor", Format::kR, OpClass::kLogicXor},
+    {Op::kNor, "nor", Format::kR, OpClass::kAlu},
+    {Op::kSlt, "slt", Format::kR, OpClass::kCompare},
+    {Op::kSltu, "sltu", Format::kR, OpClass::kCompare},
+    {Op::kMult, "mult", Format::kR, OpClass::kAlu},
+    {Op::kMultu, "multu", Format::kR, OpClass::kAlu},
+    {Op::kDiv, "div", Format::kR, OpClass::kAlu},
+    {Op::kDivu, "divu", Format::kR, OpClass::kAlu},
+    {Op::kMfhi, "mfhi", Format::kR, OpClass::kAlu},
+    {Op::kMflo, "mflo", Format::kR, OpClass::kAlu},
+    {Op::kMthi, "mthi", Format::kR, OpClass::kAlu},
+    {Op::kMtlo, "mtlo", Format::kR, OpClass::kAlu},
+    {Op::kJr, "jr", Format::kR, OpClass::kJumpReg},
+    {Op::kJalr, "jalr", Format::kR, OpClass::kJumpReg},
+    {Op::kSyscall, "syscall", Format::kR, OpClass::kSyscall},
+    {Op::kBreak, "break", Format::kR, OpClass::kOther},
+    {Op::kTaintSet, "taintset", Format::kR, OpClass::kOther},
+    {Op::kTaintClr, "taintclr", Format::kR, OpClass::kOther},
+    {Op::kAddi, "addi", Format::kI, OpClass::kAlu},
+    {Op::kAddiu, "addiu", Format::kI, OpClass::kAlu},
+    {Op::kSlti, "slti", Format::kI, OpClass::kCompare},
+    {Op::kSltiu, "sltiu", Format::kI, OpClass::kCompare},
+    {Op::kAndi, "andi", Format::kI, OpClass::kLogicAnd},
+    {Op::kOri, "ori", Format::kI, OpClass::kAlu},
+    {Op::kXori, "xori", Format::kI, OpClass::kAlu},
+    {Op::kLui, "lui", Format::kI, OpClass::kAlu},
+    {Op::kLb, "lb", Format::kI, OpClass::kLoad},
+    {Op::kLh, "lh", Format::kI, OpClass::kLoad},
+    {Op::kLw, "lw", Format::kI, OpClass::kLoad},
+    {Op::kLbu, "lbu", Format::kI, OpClass::kLoad},
+    {Op::kLhu, "lhu", Format::kI, OpClass::kLoad},
+    {Op::kSb, "sb", Format::kI, OpClass::kStore},
+    {Op::kSh, "sh", Format::kI, OpClass::kStore},
+    {Op::kSw, "sw", Format::kI, OpClass::kStore},
+    {Op::kBeq, "beq", Format::kI, OpClass::kBranch},
+    {Op::kBne, "bne", Format::kI, OpClass::kBranch},
+    {Op::kBlez, "blez", Format::kI, OpClass::kBranch},
+    {Op::kBgtz, "bgtz", Format::kI, OpClass::kBranch},
+    {Op::kBltz, "bltz", Format::kI, OpClass::kBranch},
+    {Op::kBgez, "bgez", Format::kI, OpClass::kBranch},
+    {Op::kBltzal, "bltzal", Format::kI, OpClass::kBranch},
+    {Op::kBgezal, "bgezal", Format::kI, OpClass::kBranch},
+    {Op::kJ, "j", Format::kJ, OpClass::kJump},
+    {Op::kJal, "jal", Format::kJ, OpClass::kJump},
+};
+
+const OpInfo* find_info(Op op) {
+  for (const auto& info : kOpTable) {
+    if (info.op == op) return &info;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string_view reg_name(uint8_t reg) {
+  return reg < kNumRegs ? kRegNames[reg] : "$??";
+}
+
+std::optional<uint8_t> parse_reg(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::string_view body = text;
+  const bool dollar = body.front() == '$';
+  if (dollar) body.remove_prefix(1);
+  if (body.empty()) return std::nullopt;
+  // Numeric form: $0 .. $31.  The '$' is required so that bare integers in
+  // assembly operands are never mistaken for registers.
+  if (std::isdigit(static_cast<unsigned char>(body.front()))) {
+    if (!dollar) return std::nullopt;
+    int value = 0;
+    for (char c : body) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+      value = value * 10 + (c - '0');
+      if (value >= kNumRegs * 10) return std::nullopt;
+    }
+    if (value >= kNumRegs) return std::nullopt;
+    return static_cast<uint8_t>(value);
+  }
+  for (int i = 0; i < kNumRegs; ++i) {
+    if (kRegNames[i].substr(1) == body) return static_cast<uint8_t>(i);
+  }
+  if (body == "s8") return static_cast<uint8_t>(kFp);  // common alias
+  return std::nullopt;
+}
+
+OpClass op_class(Op op) {
+  const OpInfo* info = find_info(op);
+  return info ? info->cls : OpClass::kOther;
+}
+
+std::string_view mnemonic(Op op) {
+  const OpInfo* info = find_info(op);
+  return info ? info->name : "invalid";
+}
+
+std::optional<Op> op_from_mnemonic(std::string_view name) {
+  for (const auto& info : kOpTable) {
+    if (info.name == name) return info.op;
+  }
+  return std::nullopt;
+}
+
+Format op_format(Op op) {
+  const OpInfo* info = find_info(op);
+  return info ? info->format : Format::kR;
+}
+
+}  // namespace ptaint::isa

@@ -1,0 +1,148 @@
+// PTA-32 instruction-set architecture.
+//
+// A 32-bit MIPS-I-like RISC ISA in the SimpleScalar/PISA lineage: 32 general
+// registers, fixed 32-bit instruction words in the classic R/I/J formats,
+// register-indirect addressing for every load/store, and JR/JALR as the only
+// register-indirect control transfers.  Those two properties are what the
+// pointer-taintedness detectors of the paper hook into, so the ISA keeps them
+// exactly.  Unlike real MIPS there are no branch delay slots (SimpleScalar's
+// sim-safe also executes without exposing them to this level of modeling).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ptaint::isa {
+
+/// Number of general-purpose registers.
+inline constexpr int kNumRegs = 32;
+
+/// Conventional MIPS o32 register aliases, indexable by register number.
+enum Reg : uint8_t {
+  kZero = 0,  // hardwired zero
+  kAt = 1,    // assembler temporary
+  kV0 = 2, kV1 = 3,                                  // results / syscall no.
+  kA0 = 4, kA1 = 5, kA2 = 6, kA3 = 7,                // arguments
+  kT0 = 8, kT1 = 9, kT2 = 10, kT3 = 11,              // caller-saved temps
+  kT4 = 12, kT5 = 13, kT6 = 14, kT7 = 15,
+  kS0 = 16, kS1 = 17, kS2 = 18, kS3 = 19,            // callee-saved
+  kS4 = 20, kS5 = 21, kS6 = 22, kS7 = 23,
+  kT8 = 24, kT9 = 25,
+  kK0 = 26, kK1 = 27,                                // kernel reserved
+  kGp = 28, kSp = 29, kFp = 30, kRa = 31,
+};
+
+/// Canonical name ("$v0", "$sp", ...) for a register number.
+std::string_view reg_name(uint8_t reg);
+
+/// Parses "$3", "$v1", "v1", "$sp"...  Returns nullopt if not a register.
+std::optional<uint8_t> parse_reg(std::string_view text);
+
+/// Every operation the core can execute, after decoding.
+enum class Op : uint8_t {
+  kInvalid,
+  // R-type ALU
+  kSll, kSrl, kSra, kSllv, kSrlv, kSrav,
+  kAdd, kAddu, kSub, kSubu,
+  kAnd, kOr, kXor, kNor,
+  kSlt, kSltu,
+  kMult, kMultu, kDiv, kDivu,
+  kMfhi, kMflo, kMthi, kMtlo,
+  kJr, kJalr,
+  kSyscall, kBreak,
+  // Kernel tainting primitives, modeling the paper's RT-register trick
+  // (Section 4.4): a register whose value is 0 but whose taint bits are
+  // all 1, added to input buffers by the kernel.  TAINTSET copies a value
+  // with all taint bits set; TAINTCLR copies it with them cleared.  User
+  // applications never need these — they exist for kernel-style guest
+  // code and for testing the taint fabric from inside the guest.
+  kTaintSet, kTaintClr,
+  // I-type ALU
+  kAddi, kAddiu, kSlti, kSltiu, kAndi, kOri, kXori, kLui,
+  // loads / stores
+  kLb, kLh, kLw, kLbu, kLhu,
+  kSb, kSh, kSw,
+  // branches
+  kBeq, kBne, kBlez, kBgtz, kBltz, kBgez, kBltzal, kBgezal,
+  // jumps
+  kJ, kJal,
+};
+
+/// Instruction format, used by the encoder and the disassembler.
+enum class Format : uint8_t { kR, kI, kJ };
+
+/// Broad class used by the taint-propagation unit (Table 1 of the paper)
+/// and by the pipeline detectors.
+enum class OpClass : uint8_t {
+  kAlu,        // default two-source OR-merge propagation
+  kShift,      // adjacent-byte smear rule
+  kLogicAnd,   // untaint bytes AND-ed with untainted zero
+  kLogicXor,   // XOR r,r,r zero idiom
+  kCompare,    // untaints its operands (SLT family and all branches)
+  kLoad, kStore,
+  kBranch,     // pc-relative, never a tainted target
+  kJump,       // J/JAL: immediate target
+  kJumpReg,    // JR/JALR: register target -> control-transfer detector
+  kSyscall,
+  kOther,
+};
+
+/// Returns the taint/detection class of an operation.
+OpClass op_class(Op op);
+
+/// Returns the mnemonic ("addu", "lw", ...).
+std::string_view mnemonic(Op op);
+
+/// Looks an operation up by mnemonic; nullopt when unknown.
+std::optional<Op> op_from_mnemonic(std::string_view mnemonic);
+
+/// Instruction format of an operation.
+Format op_format(Op op);
+
+/// A decoded instruction.  Fields not used by the format are zero.
+struct Instruction {
+  Op op = Op::kInvalid;
+  uint8_t rs = 0;
+  uint8_t rt = 0;
+  uint8_t rd = 0;
+  uint8_t shamt = 0;
+  int32_t imm = 0;       // sign- or zero-extended per op semantics
+  uint32_t target = 0;   // absolute byte address for J/JAL
+
+  bool operator==(const Instruction&) const = default;
+
+  bool is_load() const {
+    auto c = op_class(op);
+    return c == OpClass::kLoad;
+  }
+  bool is_store() const { return op_class(op) == OpClass::kStore; }
+  bool is_mem() const { return is_load() || is_store(); }
+  bool is_jump_reg() const { return op_class(op) == OpClass::kJumpReg; }
+};
+
+/// Encodes into the 32-bit binary form.  Asserts on malformed fields.
+uint32_t encode(const Instruction& inst);
+
+/// Decodes a 32-bit word.  Unknown encodings yield Op::kInvalid.
+Instruction decode(uint32_t word);
+
+/// Renders "opcode operands" text, e.g. "sw $21,0($3)".  `pc` is used to
+/// print branch targets as absolute addresses.
+std::string disassemble(const Instruction& inst, uint32_t pc = 0);
+
+/// Memory-map constants shared by the loader, the OS layer and guest code.
+/// The layout mirrors the classic SimpleScalar/MIPS user-space map that the
+/// paper's alert addresses come from (text ~0x00400000, globals ~0x10000000,
+/// stack just under 0x7fffc000).
+namespace layout {
+inline constexpr uint32_t kTextBase = 0x00400000;
+inline constexpr uint32_t kDataBase = 0x10000000;
+inline constexpr uint32_t kStackTop = 0x7fffc000;   // initial $sp
+inline constexpr uint32_t kStackLimit = 0x7fe00000; // lowest legal stack byte
+inline constexpr uint32_t kArgBase = 0x7fffc000;    // argv/env block above sp
+}  // namespace layout
+
+}  // namespace ptaint::isa

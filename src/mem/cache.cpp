@@ -1,0 +1,54 @@
+#include "mem/cache.hpp"
+
+#include <cassert>
+#include <cstddef>
+
+namespace ptaint::mem {
+
+Cache::Cache(CacheConfig config) : config_(config) {
+  assert(config_.line_bytes > 0 && config_.ways > 0);
+  num_sets_ = config_.size_bytes / (config_.line_bytes * config_.ways);
+  assert(num_sets_ > 0 && (num_sets_ & (num_sets_ - 1)) == 0 &&
+         "set count must be a power of two");
+  lines_.resize(static_cast<size_t>(num_sets_) * config_.ways);
+}
+
+uint32_t Cache::access(uint32_t addr, bool is_write) {
+  (void)is_write;  // write-allocate, write-back: same placement policy
+  ++tick_;
+  ++stats_.accesses;
+  const uint32_t line_addr = addr / config_.line_bytes;
+  const uint32_t set = line_addr & (num_sets_ - 1);
+  const uint32_t tag = line_addr / num_sets_;
+  Line* base = &lines_[static_cast<size_t>(set) * config_.ways];
+
+  Line* victim = base;
+  for (uint32_t w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      ++stats_.hits;
+      line.lru = tick_;
+      return config_.hit_latency;
+    }
+    if (!line.valid) {
+      victim = &line;
+    } else if (victim->valid && line.lru < victim->lru) {
+      victim = &line;
+    }
+  }
+  ++stats_.misses;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  return config_.hit_latency + config_.miss_penalty;
+}
+
+uint64_t Cache::data_bits() const {
+  return static_cast<uint64_t>(config_.size_bytes) * 8;
+}
+
+uint64_t Cache::taint_bits() const {
+  return config_.taint_extension ? config_.size_bytes : 0;  // 1 bit per byte
+}
+
+}  // namespace ptaint::mem

@@ -1,0 +1,65 @@
+// Set-associative cache model extended with taintedness storage.
+//
+// The paper (Section 4.1) extends L1/L2 caches so taint bits travel with the
+// cache lines.  Functionally the simulator reads through TaintedMemory; this
+// model supplies the *timing* and *area* side of the study: hit/miss
+// accounting for the pipeline cycle model, and the extra SRAM bits the taint
+// extension costs (1 taint bit per data byte = 12.5% of the data array).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ptaint::mem {
+
+struct CacheConfig {
+  uint32_t size_bytes = 32 * 1024;
+  uint32_t line_bytes = 32;
+  uint32_t ways = 4;
+  uint32_t hit_latency = 1;    // cycles
+  uint32_t miss_penalty = 10;  // cycles charged on miss (next level / memory)
+  bool taint_extension = true; // whether the line stores taint bits
+};
+
+struct CacheStats {
+  uint64_t accesses = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+
+  double miss_rate() const {
+    return accesses == 0 ? 0.0 : static_cast<double>(misses) / accesses;
+  }
+};
+
+class Cache {
+ public:
+  explicit Cache(CacheConfig config);
+
+  /// Simulates one access; returns the latency in cycles.
+  uint32_t access(uint32_t addr, bool is_write);
+
+  const CacheStats& stats() const { return stats_; }
+  const CacheConfig& config() const { return config_; }
+
+  /// Bits of storage in the data array, excluding tags.
+  uint64_t data_bits() const;
+  /// Extra bits added by the taint extension (0 when disabled).
+  uint64_t taint_bits() const;
+
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  struct Line {
+    uint32_t tag = 0;
+    bool valid = false;
+    uint64_t lru = 0;  // last-use tick
+  };
+
+  CacheConfig config_;
+  uint32_t num_sets_;
+  std::vector<Line> lines_;  // sets * ways, row-major by set
+  CacheStats stats_;
+  uint64_t tick_ = 0;
+};
+
+}  // namespace ptaint::mem

@@ -1,0 +1,44 @@
+// Register file extended with per-byte taintedness (Section 4.2).
+//
+// $zero is hardwired: writes to it are ignored and it is never tainted.
+// HI/LO (multiply/divide results) carry taint the same way.
+#pragma once
+
+#include <array>
+
+#include "isa/isa.hpp"
+#include "mem/taint.hpp"
+
+namespace ptaint::mem {
+
+class RegisterFile {
+ public:
+  TaintedWord get(uint8_t reg) const { return regs_[reg & 31]; }
+
+  void set(uint8_t reg, TaintedWord w) {
+    if ((reg & 31) != 0) regs_[reg & 31] = w;
+  }
+
+  /// Clears only the taint bits of a register, preserving the value.  This is
+  /// the in-place untainting side effect of compare instructions (Table 1).
+  void untaint(uint8_t reg) { regs_[reg & 31].taint = kUntainted; }
+
+  TaintedWord hi() const { return hi_; }
+  TaintedWord lo() const { return lo_; }
+  void set_hi(TaintedWord w) { hi_ = w; }
+  void set_lo(TaintedWord w) { lo_ = w; }
+
+  /// Number of registers (any byte) currently tainted, for diagnostics.
+  int tainted_reg_count() const {
+    int n = 0;
+    for (const auto& r : regs_) n += r.tainted() ? 1 : 0;
+    return n;
+  }
+
+ private:
+  std::array<TaintedWord, isa::kNumRegs> regs_{};
+  TaintedWord hi_{};
+  TaintedWord lo_{};
+};
+
+}  // namespace ptaint::mem

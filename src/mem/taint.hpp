@@ -1,0 +1,49 @@
+// Core taintedness value types.
+//
+// The paper's extended memory model (Section 4.1) associates one taintedness
+// bit with every byte of storage — memory, caches and registers alike.  A
+// 32-bit datum therefore carries a 4-bit taint vector; bit i covers byte i,
+// with byte 0 the least-significant byte.
+#pragma once
+
+#include <cstdint>
+
+namespace ptaint::mem {
+
+/// Taint vector for a 32-bit word: bits 0..3 cover bytes 0..3 (LSB first).
+using TaintBits = uint8_t;
+
+inline constexpr TaintBits kUntainted = 0x0;
+inline constexpr TaintBits kAllTainted = 0xf;
+
+/// True when any byte of the word is tainted.  This is the OR-gate the
+/// pipeline detectors feed (Section 4.3).
+constexpr bool any_tainted(TaintBits t) { return (t & kAllTainted) != 0; }
+
+/// Taint of byte `i` (0 = LSB).
+constexpr bool byte_tainted(TaintBits t, int i) { return ((t >> i) & 1) != 0; }
+
+/// A 32-bit value together with its per-byte taint vector.  This is the unit
+/// that flows through the register file, the ALU taint-tracking logic and the
+/// load/store paths.
+struct TaintedWord {
+  uint32_t value = 0;
+  TaintBits taint = kUntainted;
+
+  constexpr TaintedWord() = default;
+  constexpr TaintedWord(uint32_t v, TaintBits t = kUntainted)
+      : value(v), taint(t & kAllTainted) {}
+
+  constexpr bool tainted() const { return any_tainted(taint); }
+  bool operator==(const TaintedWord&) const = default;
+};
+
+/// A single byte with its taint bit, as stored in memory and caches.
+struct TaintedByte {
+  uint8_t value = 0;
+  bool taint = false;
+
+  bool operator==(const TaintedByte&) const = default;
+};
+
+}  // namespace ptaint::mem

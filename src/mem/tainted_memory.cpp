@@ -1,0 +1,138 @@
+#include "mem/tainted_memory.hpp"
+
+#include <array>
+#include <bit>
+
+namespace ptaint::mem {
+namespace {
+
+constexpr uint32_t page_index(uint32_t addr) {
+  return addr >> TaintedMemory::kPageShift;
+}
+constexpr uint32_t page_offset(uint32_t addr) {
+  return addr & (TaintedMemory::kPageSize - 1);
+}
+
+bool get_bit(const std::array<uint8_t, TaintedMemory::kPageSize / 8>& bits,
+             uint32_t i) {
+  return (bits[i >> 3] >> (i & 7)) & 1;
+}
+
+void set_bit(std::array<uint8_t, TaintedMemory::kPageSize / 8>& bits,
+             uint32_t i, bool v) {
+  if (v) {
+    bits[i >> 3] |= static_cast<uint8_t>(1u << (i & 7));
+  } else {
+    bits[i >> 3] &= static_cast<uint8_t>(~(1u << (i & 7)));
+  }
+}
+
+}  // namespace
+
+TaintedMemory::Page& TaintedMemory::page_for(uint32_t addr) {
+  auto& slot = pages_[page_index(addr)];
+  if (!slot) slot = std::make_unique<Page>();
+  return *slot;
+}
+
+const TaintedMemory::Page* TaintedMemory::find_page(uint32_t addr) const {
+  auto it = pages_.find(page_index(addr));
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+TaintedByte TaintedMemory::load_byte(uint32_t addr) const {
+  const Page* p = find_page(addr);
+  if (!p) return {};
+  const uint32_t off = page_offset(addr);
+  return {p->data[off], get_bit(p->taint, off)};
+}
+
+void TaintedMemory::store_byte(uint32_t addr, TaintedByte b) {
+  Page& p = page_for(addr);
+  const uint32_t off = page_offset(addr);
+  p.data[off] = b.value;
+  set_bit(p.taint, off, b.taint);
+}
+
+TaintedWord TaintedMemory::load_half(uint32_t addr) const {
+  TaintedWord w;
+  for (int i = 0; i < 2; ++i) {
+    TaintedByte b = load_byte(addr + i);
+    w.value |= static_cast<uint32_t>(b.value) << (8 * i);
+    if (b.taint) w.taint |= static_cast<TaintBits>(1u << i);
+  }
+  return w;
+}
+
+void TaintedMemory::store_half(uint32_t addr, TaintedWord w) {
+  for (int i = 0; i < 2; ++i) {
+    store_byte(addr + i, {static_cast<uint8_t>(w.value >> (8 * i)),
+                          byte_tainted(w.taint, i)});
+  }
+}
+
+TaintedWord TaintedMemory::load_word(uint32_t addr) const {
+  TaintedWord w;
+  for (int i = 0; i < 4; ++i) {
+    TaintedByte b = load_byte(addr + i);
+    w.value |= static_cast<uint32_t>(b.value) << (8 * i);
+    if (b.taint) w.taint |= static_cast<TaintBits>(1u << i);
+  }
+  return w;
+}
+
+void TaintedMemory::store_word(uint32_t addr, TaintedWord w) {
+  for (int i = 0; i < 4; ++i) {
+    store_byte(addr + i, {static_cast<uint8_t>(w.value >> (8 * i)),
+                          byte_tainted(w.taint, i)});
+  }
+}
+
+void TaintedMemory::write_block(uint32_t addr, std::span<const uint8_t> data,
+                                bool tainted) {
+  for (size_t i = 0; i < data.size(); ++i) {
+    store_byte(addr + static_cast<uint32_t>(i), {data[i], tainted});
+  }
+}
+
+std::vector<uint8_t> TaintedMemory::read_block(uint32_t addr,
+                                               uint32_t len) const {
+  std::vector<uint8_t> out(len);
+  for (uint32_t i = 0; i < len; ++i) out[i] = load_byte(addr + i).value;
+  return out;
+}
+
+std::string TaintedMemory::read_cstring(uint32_t addr, uint32_t max_len) const {
+  std::string out;
+  for (uint32_t i = 0; i < max_len; ++i) {
+    uint8_t c = load_byte(addr + i).value;
+    if (c == 0) break;
+    out.push_back(static_cast<char>(c));
+  }
+  return out;
+}
+
+void TaintedMemory::set_taint(uint32_t addr, uint32_t len, bool tainted) {
+  for (uint32_t i = 0; i < len; ++i) {
+    Page& p = page_for(addr + i);
+    set_bit(p.taint, page_offset(addr + i), tainted);
+  }
+}
+
+bool TaintedMemory::any_tainted_in(uint32_t addr, uint32_t len) const {
+  for (uint32_t i = 0; i < len; ++i) {
+    const Page* p = find_page(addr + i);
+    if (p && get_bit(p->taint, page_offset(addr + i))) return true;
+  }
+  return false;
+}
+
+uint64_t TaintedMemory::tainted_byte_count() const {
+  uint64_t n = 0;
+  for (const auto& [idx, page] : pages_) {
+    for (uint8_t b : page->taint) n += std::popcount(b);
+  }
+  return n;
+}
+
+}  // namespace ptaint::mem

@@ -1,0 +1,72 @@
+// Sparse byte-addressable memory extended with one taintedness bit per byte
+// (the paper's Section 4.1 memory architecture).
+//
+// The memory is paged so a 32-bit address space costs only what the program
+// touches.  All multi-byte accesses are little-endian.  Word/half accesses
+// gather the per-byte taint bits into a TaintBits vector in byte order, and
+// stores scatter them back, so taintedness travels with the data through the
+// whole hierarchy exactly as the paper requires.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/taint.hpp"
+
+namespace ptaint::mem {
+
+class TaintedMemory {
+ public:
+  static constexpr uint32_t kPageShift = 12;
+  static constexpr uint32_t kPageSize = 1u << kPageShift;
+
+  /// Byte accessors.
+  TaintedByte load_byte(uint32_t addr) const;
+  void store_byte(uint32_t addr, TaintedByte b);
+
+  /// 16-bit accessors; taint bits land in positions 0..1.
+  TaintedWord load_half(uint32_t addr) const;
+  void store_half(uint32_t addr, TaintedWord w);
+
+  /// 32-bit accessors; taint bits land in positions 0..3.
+  TaintedWord load_word(uint32_t addr) const;
+  void store_word(uint32_t addr, TaintedWord w);
+
+  /// Bulk helpers used by the loader and the OS layer.
+  void write_block(uint32_t addr, std::span<const uint8_t> data,
+                   bool tainted = false);
+  std::vector<uint8_t> read_block(uint32_t addr, uint32_t len) const;
+
+  /// Reads a NUL-terminated guest string (bounded by `max_len`).
+  std::string read_cstring(uint32_t addr, uint32_t max_len = 4096) const;
+
+  /// Marks `len` bytes tainted/untainted without touching the data — the
+  /// RT-register trick of Section 4.4, used by the syscall layer.
+  void set_taint(uint32_t addr, uint32_t len, bool tainted);
+
+  /// True if any of `len` bytes starting at `addr` is tainted.
+  bool any_tainted_in(uint32_t addr, uint32_t len) const;
+
+  /// Number of currently tainted bytes across all mapped pages.
+  uint64_t tainted_byte_count() const;
+
+  /// Number of mapped pages (for footprint / area-overhead reporting).
+  size_t mapped_pages() const { return pages_.size(); }
+
+ private:
+  struct Page {
+    std::array<uint8_t, kPageSize> data{};
+    std::array<uint8_t, kPageSize / 8> taint{};  // 1 bit per byte
+  };
+
+  Page& page_for(uint32_t addr);
+  const Page* find_page(uint32_t addr) const;
+
+  std::unordered_map<uint32_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace ptaint::mem

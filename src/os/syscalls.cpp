@@ -1,0 +1,198 @@
+#include "os/syscalls.hpp"
+
+#include <algorithm>
+
+#include "isa/isa.hpp"
+#include "mem/taint.hpp"
+
+namespace ptaint::os {
+
+using mem::TaintedWord;
+
+namespace {
+constexpr uint32_t kMaxIoChunk = 1 << 20;  // sanity bound on guest I/O sizes
+}
+
+SimOs::SimOs() {
+  fds_.resize(3);
+  for (int i = 0; i < 3; ++i) fds_[i] = {Fd::Kind::kStdio, i};
+}
+
+void SimOs::set_stdin(const std::string& data) {
+  stdin_data_.assign(data.begin(), data.end());
+  stdin_pos_ = 0;
+}
+
+int SimOs::alloc_fd(Fd fd) {
+  for (size_t i = 3; i < fds_.size(); ++i) {
+    if (fds_[i].kind == Fd::Kind::kClosed) {
+      fds_[i] = fd;
+      return static_cast<int>(i);
+    }
+  }
+  fds_.push_back(fd);
+  return static_cast<int>(fds_.size() - 1);
+}
+
+uint32_t SimOs::do_read(cpu::Cpu& cpu, int fd, uint32_t buf, uint32_t len,
+                        bool is_recv) {
+  len = std::min(len, kMaxIoChunk);
+  std::vector<uint8_t> data;
+  if (fd >= 0 && static_cast<size_t>(fd) < fds_.size()) {
+    const Fd& f = fds_[fd];
+    if (f.kind == Fd::Kind::kStdio && f.handle == kStdin && !is_recv) {
+      const size_t n = std::min<size_t>(len, stdin_data_.size() - stdin_pos_);
+      data.assign(stdin_data_.begin() + stdin_pos_,
+                  stdin_data_.begin() + stdin_pos_ + n);
+      stdin_pos_ += n;
+    } else if (f.kind == Fd::Kind::kVfsFile && !is_recv) {
+      auto r = vfs_.read(f.handle, len);
+      if (!r) return static_cast<uint32_t>(-1);
+      data = std::move(*r);
+    } else if (f.kind == Fd::Kind::kConnSocket) {
+      auto r = net_.recv(f.handle);
+      if (!r) return static_cast<uint32_t>(-1);
+      data = std::move(*r);
+      if (data.size() > len) data.resize(len);
+    } else {
+      return static_cast<uint32_t>(-1);
+    }
+  } else {
+    return static_cast<uint32_t>(-1);
+  }
+  // The taint boundary (paper Section 4.4): every byte the kernel delivers
+  // from an external source is marked tainted on its way to user space.
+  cpu.memory().write_block(buf, data, taint_inputs_);
+  if (taint_inputs_) {
+    stats_.input_bytes_tainted += data.size();
+    // §5.3 annotation extension: tainted input landing on an annotated
+    // never-tainted structure is itself an alert.
+    cpu.annotation_kernel_write(buf, static_cast<uint32_t>(data.size()));
+  }
+  return static_cast<uint32_t>(data.size());
+}
+
+void SimOs::syscall(cpu::Cpu& cpu) {
+  ++stats_.syscalls;
+  auto& regs = cpu.regs();
+  const uint32_t no = regs.get(isa::kV0).value;
+  const uint32_t a0 = regs.get(isa::kA0).value;
+  const uint32_t a1 = regs.get(isa::kA1).value;
+  const uint32_t a2 = regs.get(isa::kA2).value;
+  auto ret = [&](uint32_t v) { regs.set(isa::kV0, TaintedWord{v}); };
+
+  switch (no) {
+    case kSysExit:
+      cpu.request_exit(static_cast<int>(a0));
+      return;
+    case kSysRead:
+      ++stats_.reads;
+      ret(do_read(cpu, static_cast<int>(a0), a1, a2, /*is_recv=*/false));
+      return;
+    case kSysRecv:
+      ++stats_.recvs;
+      ret(do_read(cpu, static_cast<int>(a0), a1, a2, /*is_recv=*/true));
+      return;
+    case kSysWrite:
+    case kSysSend: {
+      const uint32_t len = std::min(a2, kMaxIoChunk);
+      std::vector<uint8_t> data = cpu.memory().read_block(a1, len);
+      if (a0 < fds_.size()) {
+        const Fd& f = fds_[a0];
+        if (f.kind == Fd::Kind::kStdio) {
+          auto& sink = f.handle == kStderr ? stderr_ : stdout_;
+          sink.append(reinterpret_cast<const char*>(data.data()), data.size());
+          ret(len);
+          return;
+        }
+        if (f.kind == Fd::Kind::kVfsFile && vfs_.write(f.handle, data)) {
+          ret(len);
+          return;
+        }
+        if (f.kind == Fd::Kind::kConnSocket && net_.send(f.handle, data)) {
+          ret(len);
+          return;
+        }
+      }
+      ret(static_cast<uint32_t>(-1));
+      return;
+    }
+    case kSysOpen: {
+      const std::string path = cpu.memory().read_cstring(a0);
+      const bool writable = (a1 & 1) != 0;  // O_WRONLY-ish flag
+      if (writable) {
+        ret(static_cast<uint32_t>(
+            alloc_fd({Fd::Kind::kVfsFile, vfs_.open_write(path)})));
+        return;
+      }
+      auto h = vfs_.open(path);
+      if (!h) {
+        ret(static_cast<uint32_t>(-1));
+        return;
+      }
+      ret(static_cast<uint32_t>(alloc_fd({Fd::Kind::kVfsFile, *h})));
+      return;
+    }
+    case kSysClose:
+      if (a0 >= 3 && a0 < fds_.size()) {
+        if (fds_[a0].kind == Fd::Kind::kVfsFile) vfs_.close(fds_[a0].handle);
+        fds_[a0] = {};
+        ret(0);
+      } else {
+        ret(a0 < 3 ? 0 : static_cast<uint32_t>(-1));
+      }
+      return;
+    case kSysBrk:
+      // brk(0) queries; otherwise moves the break (never shrinks below the
+      // initial value the loader set).
+      if (a0 != 0 && a0 >= brk_) brk_ = a0;
+      ret(brk_);
+      return;
+    case kSysGetpid:
+      ret(4211);
+      return;
+    case kSysSetuid:
+      uid_ = a0;
+      ret(0);
+      return;
+    case kSysGetuid:
+      ret(uid_);
+      return;
+    case kSysSocket:
+      ret(static_cast<uint32_t>(alloc_fd({Fd::Kind::kListenSocket, -1})));
+      return;
+    case kSysBind:
+    case kSysListen:
+      ret(a0 < fds_.size() &&
+                  fds_[a0].kind == Fd::Kind::kListenSocket
+              ? 0
+              : static_cast<uint32_t>(-1));
+      return;
+    case kSysAccept: {
+      if (a0 >= fds_.size() || fds_[a0].kind != Fd::Kind::kListenSocket) {
+        ret(static_cast<uint32_t>(-1));
+        return;
+      }
+      auto conn = net_.accept();
+      if (!conn) {
+        ret(static_cast<uint32_t>(-1));
+        return;
+      }
+      ret(static_cast<uint32_t>(alloc_fd({Fd::Kind::kConnSocket, *conn})));
+      return;
+    }
+    case kSysExec: {
+      const std::string path = cpu.memory().read_cstring(a0);
+      exec_log_.push_back(path);
+      // The simulated kernel does not actually run another image; reaching
+      // exec() is the compromise marker the evaluation checks for.
+      ret(0);
+      return;
+    }
+    default:
+      cpu.request_fault("unknown syscall " + std::to_string(no));
+      return;
+  }
+}
+
+}  // namespace ptaint::os

@@ -1,0 +1,105 @@
+// Simulated operating system: syscall emulation with taint initialization.
+//
+// This is the paper's Section 4.4 subsystem: every byte delivered to the
+// guest through an input syscall (READ, RECV) — and the argv/environment
+// block at program load — is marked tainted before it reaches user space.
+// SYS_WRITE/SYS_SEND output is captured for assertions, and SYS_EXEC is
+// recorded so attack-outcome classification can tell when a compromised
+// server actually spawned a shell.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cpu/cpu.hpp"
+#include "os/vfs.hpp"
+#include "os/vnet.hpp"
+
+namespace ptaint::os {
+
+/// Syscall numbers (in $v0 at the SYSCALL instruction).
+enum Sys : uint32_t {
+  kSysExit = 1,
+  kSysRead = 3,
+  kSysWrite = 4,
+  kSysOpen = 5,
+  kSysClose = 6,
+  kSysBrk = 17,
+  kSysGetpid = 20,
+  kSysSetuid = 23,
+  kSysGetuid = 24,
+  kSysSocket = 40,
+  kSysBind = 41,
+  kSysListen = 42,
+  kSysAccept = 43,
+  kSysRecv = 44,
+  kSysSend = 45,
+  kSysExec = 59,
+};
+
+/// Well-known file descriptors.
+inline constexpr int kStdin = 0;
+inline constexpr int kStdout = 1;
+inline constexpr int kStderr = 2;
+
+struct OsStats {
+  uint64_t input_bytes_tainted = 0;  // bytes marked tainted at the boundary
+  uint64_t syscalls = 0;
+  uint64_t reads = 0;
+  uint64_t recvs = 0;
+};
+
+class SimOs : public cpu::Os {
+ public:
+  SimOs();
+
+  // --- host-side configuration ---
+  Vfs& vfs() { return vfs_; }
+  VirtualNetwork& net() { return net_; }
+  /// Sets the bytes the guest will read from stdin.
+  void set_stdin(const std::string& data);
+  /// Whether input syscalls taint their buffers (true = the paper's design;
+  /// false gives an unprotected-baseline run where nothing is ever tainted).
+  void set_taint_inputs(bool taint) { taint_inputs_ = taint; }
+  void set_initial_brk(uint32_t brk) { brk_ = brk; }
+  void set_uid(uint32_t uid) { uid_ = uid; }
+
+  // --- results ---
+  const std::string& stdout_text() const { return stdout_; }
+  const std::string& stderr_text() const { return stderr_; }
+  const std::vector<std::string>& exec_log() const { return exec_log_; }
+  uint32_t uid() const { return uid_; }
+  uint32_t brk() const { return brk_; }
+  const OsStats& stats() const { return stats_; }
+
+  // cpu::Os
+  void syscall(cpu::Cpu& cpu) override;
+
+ private:
+  struct Fd {
+    enum class Kind { kClosed, kStdio, kVfsFile, kListenSocket, kConnSocket };
+    Kind kind = Kind::kClosed;
+    int handle = -1;  // vfs handle or vnet connection id
+  };
+
+  int alloc_fd(Fd fd);
+  uint32_t do_read(cpu::Cpu& cpu, int fd, uint32_t buf, uint32_t len,
+                   bool is_recv);
+
+  Vfs vfs_;
+  VirtualNetwork net_;
+  std::vector<Fd> fds_;
+  std::vector<uint8_t> stdin_data_;
+  size_t stdin_pos_ = 0;
+  std::string stdout_;
+  std::string stderr_;
+  std::vector<std::string> exec_log_;
+  bool taint_inputs_ = true;
+  uint32_t brk_ = 0;
+  uint32_t uid_ = 1000;
+  OsStats stats_;
+};
+
+}  // namespace ptaint::os

@@ -1,0 +1,64 @@
+#include "os/vfs.hpp"
+
+#include <algorithm>
+
+namespace ptaint::os {
+
+void Vfs::install(const std::string& path, std::vector<uint8_t> contents) {
+  files_[path] = std::move(contents);
+}
+
+void Vfs::install(const std::string& path, const std::string& contents) {
+  files_[path] = std::vector<uint8_t>(contents.begin(), contents.end());
+}
+
+bool Vfs::exists(const std::string& path) const { return files_.count(path); }
+
+const std::vector<uint8_t>* Vfs::contents(const std::string& path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+std::optional<int> Vfs::open(const std::string& path) {
+  if (!files_.count(path)) return std::nullopt;
+  open_files_.push_back({path, 0, false, true});
+  return static_cast<int>(open_files_.size() - 1);
+}
+
+int Vfs::open_write(const std::string& path) {
+  files_[path].clear();
+  open_files_.push_back({path, 0, true, true});
+  return static_cast<int>(open_files_.size() - 1);
+}
+
+std::optional<std::vector<uint8_t>> Vfs::read(int handle, uint32_t len) {
+  if (handle < 0 || static_cast<size_t>(handle) >= open_files_.size()) {
+    return std::nullopt;
+  }
+  OpenFile& f = open_files_[handle];
+  if (!f.open || f.writable) return std::nullopt;
+  const auto& data = files_.at(f.path);
+  const size_t n = std::min<size_t>(len, data.size() - f.pos);
+  std::vector<uint8_t> out(data.begin() + f.pos, data.begin() + f.pos + n);
+  f.pos += n;
+  return out;
+}
+
+bool Vfs::write(int handle, std::span<const uint8_t> data) {
+  if (handle < 0 || static_cast<size_t>(handle) >= open_files_.size()) {
+    return false;
+  }
+  OpenFile& f = open_files_[handle];
+  if (!f.open || !f.writable) return false;
+  auto& file = files_[f.path];
+  file.insert(file.end(), data.begin(), data.end());
+  return true;
+}
+
+void Vfs::close(int handle) {
+  if (handle >= 0 && static_cast<size_t>(handle) < open_files_.size()) {
+    open_files_[handle].open = false;
+  }
+}
+
+}  // namespace ptaint::os

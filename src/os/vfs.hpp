@@ -1,0 +1,48 @@
+// In-memory virtual filesystem for the simulated OS.
+//
+// Guest programs open and read deterministic in-memory files; everything a
+// guest reads through SYS_READ is external input and therefore tainted by
+// the syscall layer (paper Section 4.4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ptaint::os {
+
+class Vfs {
+ public:
+  /// Creates/replaces a file.
+  void install(const std::string& path, std::vector<uint8_t> contents);
+  void install(const std::string& path, const std::string& contents);
+
+  bool exists(const std::string& path) const;
+  const std::vector<uint8_t>* contents(const std::string& path) const;
+
+  /// Opens for reading; returns a VFS-level handle or nullopt.
+  std::optional<int> open(const std::string& path);
+  /// Opens for writing (truncates/creates).
+  int open_write(const std::string& path);
+  /// Reads up to `len` bytes; empty result means EOF.  Invalid handle: nullopt.
+  std::optional<std::vector<uint8_t>> read(int handle, uint32_t len);
+  /// Appends to a write handle; returns false on an invalid handle.
+  bool write(int handle, std::span<const uint8_t> data);
+  void close(int handle);
+
+ private:
+  struct OpenFile {
+    std::string path;
+    size_t pos = 0;
+    bool writable = false;
+    bool open = false;
+  };
+
+  std::map<std::string, std::vector<uint8_t>> files_;
+  std::vector<OpenFile> open_files_;
+};
+
+}  // namespace ptaint::os

@@ -1,0 +1,58 @@
+// Deterministic virtual network.
+//
+// The paper extends SimpleScalar with socket support so real network servers
+// run inside the simulator.  Here, client sessions are scripted: each session
+// is a sequence of request chunks the guest receives one per SYS_RECV call
+// (so command-at-a-time protocols parse deterministically), and everything
+// the guest SYS_SENDs is captured for assertions.  Bytes delivered by RECV
+// are external input — the syscall layer taints them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ptaint::os {
+
+/// A scripted client connection.
+struct ClientSession {
+  std::vector<std::vector<uint8_t>> requests;  // one chunk per RECV
+  std::string transcript;                      // everything the server sent
+};
+
+class VirtualNetwork {
+ public:
+  /// Queues a client connection; chunks are strings for convenience
+  /// (may contain NUL and arbitrary bytes via std::string contents).
+  void add_session(const std::vector<std::string>& request_chunks);
+
+  /// True if an un-accepted session is queued.
+  bool has_pending_session() const;
+
+  /// Accepts the next queued session; returns its connection id.
+  std::optional<int> accept();
+
+  /// Next request chunk for connection `id`; empty vector = orderly EOF,
+  /// nullopt = bad connection id.
+  std::optional<std::vector<uint8_t>> recv(int id);
+
+  /// Records server->client bytes.
+  bool send(int id, std::span<const uint8_t> data);
+
+  /// Transcript of everything sent to session `index` (in add order).
+  const std::string& transcript(size_t index) const;
+  size_t session_count() const { return sessions_.size(); }
+
+ private:
+  struct Live {
+    ClientSession session;
+    size_t next_chunk = 0;
+    bool accepted = false;
+  };
+  std::vector<Live> sessions_;
+  size_t next_accept_ = 0;
+};
+
+}  // namespace ptaint::os

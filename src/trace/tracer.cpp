@@ -1,0 +1,57 @@
+#include "trace/tracer.hpp"
+
+#include <cstdio>
+
+namespace ptaint::trace {
+
+Tracer::Tracer(size_t capacity) : ring_(capacity == 0 ? 1 : capacity) {}
+
+void Tracer::record(const isa::Instruction& inst, uint32_t pc, bool taken,
+                    bool is_mem, uint32_t ea) {
+  ring_[next_] = {pc, inst, taken, is_mem, ea};
+  next_ = (next_ + 1) % ring_.size();
+  if (count_ < ring_.size()) ++count_;
+  ++total_;
+}
+
+std::vector<TraceEntry> Tracer::recent() const {
+  std::vector<TraceEntry> out;
+  out.reserve(count_);
+  const size_t start = (next_ + ring_.size() - count_) % ring_.size();
+  for (size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string Tracer::format(const asmgen::Program* program) const {
+  std::string out;
+  std::string last_fn;
+  for (const TraceEntry& e : recent()) {
+    if (program) {
+      std::string fn = program->symbol_for(e.pc);
+      if (fn != last_fn) {
+        out += "<" + fn + ">:\n";
+        last_fn = std::move(fn);
+      }
+    }
+    char line[96];
+    std::snprintf(line, sizeof line, "  %6x: %s", e.pc,
+                  isa::disassemble(e.inst, e.pc).c_str());
+    out += line;
+    if (e.is_mem) {
+      std::snprintf(line, sizeof line, "   [ea=0x%x]", e.ea);
+      out += line;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  next_ = 0;
+  count_ = 0;
+  total_ = 0;
+}
+
+}  // namespace ptaint::trace

@@ -1,0 +1,50 @@
+// Execution tracer: a bounded ring of the most recently retired
+// instructions, for alert forensics ("what led up to the tainted
+// dereference?") and for the examples' step-by-step narration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asmgen/assembler.hpp"
+#include "isa/isa.hpp"
+
+namespace ptaint::trace {
+
+struct TraceEntry {
+  uint32_t pc = 0;
+  isa::Instruction inst;
+  bool taken = false;   // branch taken
+  bool is_mem = false;
+  uint32_t ea = 0;      // effective address for memory ops
+};
+
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = 64);
+
+  void record(const isa::Instruction& inst, uint32_t pc, bool taken,
+              bool is_mem, uint32_t ea);
+
+  /// Entries oldest-to-newest (at most `capacity`).
+  std::vector<TraceEntry> recent() const;
+
+  /// Total instructions observed (not just the retained window).
+  uint64_t total() const { return total_; }
+  size_t capacity() const { return ring_.size(); }
+
+  /// Formats the window as disassembly, annotated with the enclosing
+  /// guest function when a program is supplied.
+  std::string format(const asmgen::Program* program = nullptr) const;
+
+  void clear();
+
+ private:
+  std::vector<TraceEntry> ring_;
+  size_t next_ = 0;
+  size_t count_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace ptaint::trace

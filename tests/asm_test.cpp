@@ -1,0 +1,291 @@
+// Unit tests for the two-pass assembler: directives, pseudo-instruction
+// expansion, fixups, diagnostics and the symbol table.
+#include <gtest/gtest.h>
+
+#include "asmgen/assembler.hpp"
+#include "asmgen/lexer.hpp"
+#include "isa/isa.hpp"
+
+namespace ptaint::asmgen {
+namespace {
+
+using isa::Op;
+namespace layout = isa::layout;
+
+isa::Instruction text_at(const Program& p, size_t index) {
+  return isa::decode(p.text.at(index));
+}
+
+TEST(Lexer, LabelsAndOperands) {
+  auto lines = lex("loop: addu $v0, $a0, $a1  # comment\n\n  jr $ra\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].labels, std::vector<std::string>{"loop"});
+  EXPECT_EQ(lines[0].mnemonic, "addu");
+  EXPECT_EQ(lines[0].operands,
+            (std::vector<std::string>{"$v0", "$a0", "$a1"}));
+  EXPECT_EQ(lines[1].mnemonic, "jr");
+}
+
+TEST(Lexer, StringWithCommaAndHash) {
+  auto lines = lex(".asciiz \"a,b#c\"");
+  ASSERT_EQ(lines.size(), 1u);
+  ASSERT_EQ(lines[0].operands.size(), 1u);
+  EXPECT_EQ(parse_string_literal(lines[0].operands[0]), "a,b#c");
+}
+
+TEST(Lexer, ParseIntForms) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-8"), -8);
+  EXPECT_EQ(parse_int("0x1002bc20"), 0x1002bc20);
+  EXPECT_EQ(parse_int("'a'"), 'a');
+  EXPECT_EQ(parse_int("'\\n'"), '\n');
+  EXPECT_FALSE(parse_int("main").has_value());
+  EXPECT_FALSE(parse_int("0x").has_value());
+}
+
+TEST(Lexer, StringEscapes) {
+  EXPECT_EQ(parse_string_literal("\"a\\nb\""), "a\nb");
+  EXPECT_EQ(parse_string_literal("\"\\x20\\xbc\""), "\x20\xbc");
+  EXPECT_EQ(parse_string_literal("\"\\\"\""), "\"");
+  EXPECT_FALSE(parse_string_literal("nope").has_value());
+}
+
+TEST(Assembler, MinimalProgram) {
+  const Program p = assemble(R"(
+    .text
+    _start:
+      addiu $v0, $zero, 1
+      syscall
+  )");
+  EXPECT_EQ(p.entry, layout::kTextBase);
+  ASSERT_EQ(p.text.size(), 2u);
+  EXPECT_EQ(text_at(p, 0).op, Op::kAddiu);
+  EXPECT_EQ(text_at(p, 1).op, Op::kSyscall);
+}
+
+TEST(Assembler, DataDirectivesAndSymbols) {
+  const Program p = assemble(R"(
+    .data
+    value:  .word 0x11223344, 7
+    msg:    .asciiz "hi"
+    pad:    .space 3
+            .align 2
+    tail:   .byte 1, 2
+  )");
+  EXPECT_EQ(p.symbols.at("value"), layout::kDataBase);
+  EXPECT_EQ(p.symbols.at("msg"), layout::kDataBase + 8);
+  EXPECT_EQ(p.symbols.at("pad"), layout::kDataBase + 11);
+  EXPECT_EQ(p.symbols.at("tail"), layout::kDataBase + 16);  // aligned
+  EXPECT_EQ(p.data[0], 0x44);  // little endian
+  EXPECT_EQ(p.data[3], 0x11);
+  EXPECT_EQ(p.data[8], 'h');
+  EXPECT_EQ(p.data[10], 0);  // asciiz NUL
+}
+
+TEST(Assembler, OrgPinsAbsoluteDataAddress) {
+  const Program p = assemble(R"(
+    .data
+      .org 0x1002bc20
+    login_uid: .word 1000
+  )");
+  EXPECT_EQ(p.symbols.at("login_uid"), 0x1002bc20u);
+  EXPECT_EQ(p.data_end, 0x1002bc24u);
+}
+
+TEST(Assembler, LiExpansions) {
+  const Program p = assemble(R"(
+    .text
+    li $t0, 5
+    li $t1, -5
+    li $t2, 0xbc20
+    li $t3, 0x10020000
+    li $t4, 0x1002bc20
+  )");
+  // 1 + 1 + 1 + 1 + 2 instructions.
+  ASSERT_EQ(p.text.size(), 6u);
+  EXPECT_EQ(text_at(p, 0).op, Op::kAddiu);
+  EXPECT_EQ(text_at(p, 1).op, Op::kAddiu);
+  EXPECT_EQ(text_at(p, 2).op, Op::kOri);   // fits unsigned 16
+  EXPECT_EQ(text_at(p, 3).op, Op::kLui);   // low half zero
+  EXPECT_EQ(text_at(p, 4).op, Op::kLui);
+  EXPECT_EQ(text_at(p, 5).op, Op::kOri);
+  EXPECT_EQ(text_at(p, 4).imm, 0x1002);
+  EXPECT_EQ(text_at(p, 5).imm, 0xbc20);
+}
+
+TEST(Assembler, LaUsesAbsHiLo) {
+  const Program p = assemble(R"(
+    .data
+    buf: .space 64
+    .text
+    la $a0, buf+4
+  )");
+  EXPECT_EQ(text_at(p, 0).op, Op::kLui);
+  EXPECT_EQ(text_at(p, 0).imm, 0x1000);
+  EXPECT_EQ(text_at(p, 1).op, Op::kOri);
+  EXPECT_EQ(text_at(p, 1).imm, 4);
+}
+
+TEST(Assembler, BranchFixupsAreRelative) {
+  const Program p = assemble(R"(
+    .text
+    start:
+      beq $a0, $a1, done
+      nop
+    done:
+      jr $ra
+  )");
+  EXPECT_EQ(text_at(p, 0).imm, 1);  // skip one instruction
+}
+
+TEST(Assembler, BltExpandsToSltPlusBne) {
+  const Program p = assemble(R"(
+    .text
+    top:
+      blt $a0, $a1, top
+  )");
+  ASSERT_EQ(p.text.size(), 2u);
+  EXPECT_EQ(text_at(p, 0).op, Op::kSlt);
+  EXPECT_EQ(text_at(p, 0).rd, isa::kAt);
+  EXPECT_EQ(text_at(p, 1).op, Op::kBne);
+  EXPECT_EQ(text_at(p, 1).imm, -2);
+}
+
+TEST(Assembler, BgeuExpandsUnsigned) {
+  const Program p = assemble(".text\nx: bgeu $t0, $t1, x\n");
+  EXPECT_EQ(text_at(p, 0).op, Op::kSltu);
+  EXPECT_EQ(text_at(p, 1).op, Op::kBeq);
+}
+
+TEST(Assembler, LoadWithBareLabel) {
+  const Program p = assemble(R"(
+    .data
+      .space 0x8000
+    far: .word 9
+    .text
+      lw $v0, far
+  )");
+  ASSERT_EQ(p.text.size(), 2u);
+  EXPECT_EQ(text_at(p, 0).op, Op::kLui);
+  EXPECT_EQ(text_at(p, 1).op, Op::kLw);
+  // far = 0x10008000 -> lui 0x1001, offset -0x8000.
+  EXPECT_EQ(text_at(p, 0).imm, 0x1001);
+  EXPECT_EQ(text_at(p, 1).imm, -0x8000);
+}
+
+TEST(Assembler, PushPopAndMemOperandForms) {
+  const Program p = assemble(R"(
+    .text
+    push $ra
+    lw $t0, ($sp)
+    lw $t1, 8($sp)
+    pop $ra
+  )");
+  ASSERT_EQ(p.text.size(), 6u);
+  EXPECT_EQ(text_at(p, 0).op, Op::kAddiu);
+  EXPECT_EQ(text_at(p, 0).imm, -4);
+  EXPECT_EQ(text_at(p, 1).op, Op::kSw);
+  EXPECT_EQ(text_at(p, 2).imm, 0);
+  EXPECT_EQ(text_at(p, 3).imm, 8);
+}
+
+TEST(Assembler, EquConstants) {
+  const Program p = assemble(R"(
+    .equ SYS_EXIT, 1
+    .equ BUFLEN, 0x40
+    .text
+    li $v0, SYS_EXIT
+    addiu $a0, $zero, BUFLEN
+  )");
+  EXPECT_EQ(text_at(p, 0).imm, 1);
+  EXPECT_EQ(text_at(p, 1).imm, 0x40);
+}
+
+TEST(Assembler, JumpAndJalTargets) {
+  const Program p = assemble(R"(
+    .text
+    _start:
+      jal func
+      break
+    func:
+      jr $ra
+  )");
+  EXPECT_EQ(text_at(p, 0).op, Op::kJal);
+  EXPECT_EQ(text_at(p, 0).target, layout::kTextBase + 8);
+}
+
+TEST(Assembler, MultipleSourcesShareSymbols) {
+  const Program p = assemble(std::vector<Source>{
+      {"a.s", ".text\n_start: jal helper\nbreak\n"},
+      {"b.s", ".text\nhelper: jr $ra\n"},
+  });
+  EXPECT_EQ(p.symbols.at("helper"), layout::kTextBase + 8);
+}
+
+TEST(Assembler, SymbolForMapsPcToFunction) {
+  const Program p = assemble(R"(
+    .text
+    main:
+      jal vfprintf
+      nop
+    vfprintf:
+      nop
+    local_label:
+      nop
+  )");
+  EXPECT_EQ(p.symbol_for(layout::kTextBase + 4), "main");
+  EXPECT_EQ(p.symbol_for(layout::kTextBase + 8), "vfprintf");
+  // Local (non-function) labels do not hide the enclosing function.
+  EXPECT_EQ(p.symbol_for(layout::kTextBase + 12), "vfprintf");
+}
+
+TEST(Assembler, ListingShowsLabelsAndEncodings) {
+  const Program p = assemble(R"(
+    .text
+    main:
+      jal helper
+      break
+    helper:
+      addiu $v0, $zero, 7
+      jr $ra
+  )");
+  const std::string text = listing(p);
+  EXPECT_NE(text.find("main:"), std::string::npos);
+  EXPECT_NE(text.find("helper:"), std::string::npos);
+  EXPECT_NE(text.find("jal 0x400008"), std::string::npos);
+  EXPECT_NE(text.find("addiu $2,$0,7"), std::string::npos);
+  EXPECT_NE(text.find(".text 4 instructions"), std::string::npos);
+}
+
+TEST(AssemblerErrors, UndefinedSymbol) {
+  EXPECT_THROW(assemble(".text\n j nowhere\n"), AssemblyError);
+}
+
+TEST(AssemblerErrors, DuplicateSymbol) {
+  EXPECT_THROW(assemble(".text\nx: nop\nx: nop\n"), AssemblyError);
+}
+
+TEST(AssemblerErrors, BadRegister) {
+  EXPECT_THROW(assemble(".text\n addu $q1, $a0, $a1\n"), AssemblyError);
+}
+
+TEST(AssemblerErrors, ImmediateOutOfRange) {
+  EXPECT_THROW(assemble(".text\n addiu $a0, $a0, 70000\n"), AssemblyError);
+}
+
+TEST(AssemblerErrors, MessageCarriesFileAndLine) {
+  try {
+    assemble(".text\n\n frobnicate $a0\n", "app.s");
+    FAIL() << "expected AssemblyError";
+  } catch (const AssemblyError& e) {
+    EXPECT_NE(std::string(e.what()).find("app.s:3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("frobnicate"), std::string::npos);
+  }
+}
+
+TEST(AssemblerErrors, InstructionInDataSegment) {
+  EXPECT_THROW(assemble(".data\n addu $a0, $a0, $a0\n"), AssemblyError);
+}
+
+}  // namespace
+}  // namespace ptaint::asmgen

@@ -1,0 +1,380 @@
+// Integration tests reproducing the paper's evaluation (Section 5.1):
+// every synthetic and real-application attack must be detected under the
+// pointer-taintedness policy, succeed when unprotected, and split exactly
+// along the control-data line under the control-data-only baseline.  The
+// matching benign workloads must run clean (no false positives).
+#include <gtest/gtest.h>
+
+#include "core/attack.hpp"
+#include "guest/apps/apps.hpp"
+#include "guest/runtime.hpp"
+
+namespace ptaint::core {
+namespace {
+
+using cpu::AlertKind;
+using cpu::DetectionMode;
+
+ScenarioResult attack(AttackId id, DetectionMode mode) {
+  return make_scenario(id)->run_attack(mode);
+}
+
+// ---- Figure 2 / Section 5.1.1 synthetic attacks ----
+
+TEST(Exp1Stack, DetectedAtReturnJump) {
+  auto r = attack(AttackId::kExp1Stack, DetectionMode::kPointerTaint);
+  ASSERT_EQ(r.outcome, Outcome::kDetected) << r.detail;
+  EXPECT_EQ(r.report.alert->kind, AlertKind::kTaintedJumpTarget);
+  EXPECT_EQ(r.report.alert->disasm, "jr $31");
+  EXPECT_EQ(r.report.alert_function, "exp1");
+}
+
+TEST(Exp1Stack, PaperInputTaintsReturnAddressAs61616161) {
+  // The paper's demo input: 24 'a' characters; the return address becomes
+  // 0x61616161 and the alert fires at exp1's jr $31.
+  MachineConfig cfg;
+  Machine m(cfg);
+  m.load_sources(guest::link_with_runtime(guest::apps::exp1_stack()));
+  m.os().set_stdin(std::string(24, 'a'));
+  auto rep = m.run();
+  ASSERT_TRUE(rep.detected());
+  EXPECT_EQ(rep.alert->disasm, "jr $31");
+  EXPECT_EQ(rep.alert->reg_value, 0x61616161u);
+}
+
+TEST(Exp1Stack, BaselineAlsoCatchesControlData) {
+  auto r = attack(AttackId::kExp1Stack, DetectionMode::kControlDataOnly);
+  EXPECT_EQ(r.outcome, Outcome::kDetected);
+}
+
+TEST(Exp1Stack, UnprotectedHijacksControlFlow) {
+  auto r = attack(AttackId::kExp1Stack, DetectionMode::kOff);
+  EXPECT_EQ(r.outcome, Outcome::kCompromised) << r.detail;
+}
+
+TEST(Exp2Heap, DetectedInsideFree) {
+  auto r = attack(AttackId::kExp2Heap, DetectionMode::kPointerTaint);
+  ASSERT_EQ(r.outcome, Outcome::kDetected) << r.detail;
+  EXPECT_EQ(r.report.alert->kind, AlertKind::kTaintedStoreAddress);
+  EXPECT_EQ(r.report.alert_function, "free");
+}
+
+TEST(Exp2Heap, PaperStyleInputShowsTainted61616161Links) {
+  // All-'a' style overflow: links become 0x636363.. ("cccc"); the paper's
+  // 0x61616161 differs only because our chunks carry a size header.
+  MachineConfig cfg;
+  Machine m(cfg);
+  m.load_sources(guest::link_with_runtime(guest::apps::exp2_heap()));
+  std::string payload(12, 'a');
+  payload += "bbbb";  // even "size" 0x62626262
+  payload += "cccc";  // forward link 0x63636363
+  m.os().set_stdin(payload);
+  auto rep = m.run();
+  ASSERT_TRUE(rep.detected());
+  EXPECT_EQ(rep.alert->reg_value, 0x63636363u);
+  EXPECT_EQ(rep.alert_function, "free");
+}
+
+TEST(Exp2Heap, BaselineMissesDataOnlyCorruption) {
+  auto r = attack(AttackId::kExp2Heap, DetectionMode::kControlDataOnly);
+  EXPECT_EQ(r.outcome, Outcome::kCompromised) << r.detail;
+}
+
+TEST(Exp2Heap, UnprotectedWritesArbitraryWord) {
+  auto r = attack(AttackId::kExp2Heap, DetectionMode::kOff);
+  ASSERT_EQ(r.outcome, Outcome::kCompromised);
+  EXPECT_NE(r.detail.find("admin_mode"), std::string::npos);
+}
+
+TEST(Exp3Format, DetectedAtPercentNStore) {
+  auto r = attack(AttackId::kExp3Format, DetectionMode::kPointerTaint);
+  ASSERT_EQ(r.outcome, Outcome::kDetected) << r.detail;
+  EXPECT_EQ(r.report.alert->disasm, "sw $21,0($3)");
+  EXPECT_EQ(r.report.alert->reg_value, 0x64636360u);
+  EXPECT_EQ(r.report.alert_function, "vfprintf");
+}
+
+TEST(Exp3Format, PaperInputAlertsWithAbcdTarget) {
+  // The paper's exact string: abcd%x%x%x%n -> SW $21,0($3), $3=0x64636261.
+  MachineConfig cfg;
+  Machine m(cfg);
+  m.load_sources(guest::link_with_runtime(guest::apps::exp3_format()));
+  m.os().net().add_session({"abcd%x%x%x%n"});
+  auto rep = m.run();
+  ASSERT_TRUE(rep.detected());
+  EXPECT_EQ(rep.alert->disasm, "sw $21,0($3)");
+  EXPECT_EQ(rep.alert->reg_value, 0x64636261u);
+}
+
+TEST(Exp3Format, BaselineMissesFormatWrite) {
+  auto r = attack(AttackId::kExp3Format, DetectionMode::kControlDataOnly);
+  EXPECT_EQ(r.outcome, Outcome::kCompromised);
+}
+
+// ---- Section 5.1.2 real-application attacks ----
+
+TEST(WuFtpd, Table2TranscriptReproduced) {
+  auto r = attack(AttackId::kWuFtpdFormat, DetectionMode::kPointerTaint);
+  ASSERT_EQ(r.outcome, Outcome::kDetected) << r.detail;
+  EXPECT_EQ(r.report.alert->disasm, "sw $21,0($3)");
+  EXPECT_EQ(r.report.alert->reg_value, 0x1002bc20u);  // &login_uid
+  EXPECT_EQ(r.report.alert_function, "vfprintf");
+}
+
+TEST(WuFtpd, ServerDialogueMatchesTable2) {
+  auto r = attack(AttackId::kWuFtpdFormat, DetectionMode::kPointerTaint);
+  ASSERT_EQ(r.report.net_transcripts.size(), 1u);
+  const std::string& t = r.report.net_transcripts[0];
+  EXPECT_NE(t.find("220 FTP server (Version wu-2.6.0(60)"), std::string::npos);
+  EXPECT_NE(t.find("331 Password required for user1 ."), std::string::npos);
+  EXPECT_NE(t.find("230 User user1 logged in."), std::string::npos);
+}
+
+TEST(WuFtpd, UnprotectedEscalatesPrivilege) {
+  auto r = attack(AttackId::kWuFtpdFormat, DetectionMode::kOff);
+  ASSERT_EQ(r.outcome, Outcome::kCompromised);
+  EXPECT_NE(r.detail.find("login_uid"), std::string::npos);
+}
+
+TEST(WuFtpd, WidthPaddingWritesAttackerChosenUid) {
+  // Weaponized precision: %16x padding makes the %n count land exactly on
+  // the value the attacker wants in the uid word (4 addr bytes + 6*16).
+  MachineConfig cfg;
+  cfg.policy.mode = DetectionMode::kOff;
+  Machine m(cfg);
+  m.load_sources(guest::link_with_runtime(guest::apps::wu_ftpd()));
+  const uint32_t uid_addr = m.program().symbols.at("login_uid");
+  std::string cmd = "site exec ";
+  for (int i = 0; i < 4; ++i) cmd += static_cast<char>(uid_addr >> (8 * i));
+  cmd += "%16x%16x%16x%16x%16x%16x%n";
+  m.os().net().add_session(
+      {"user user1\r\n", "pass xxxxxxx\r\n", cmd + "\r\n", "quit\r\n"});
+  auto rep = m.run();
+  EXPECT_EQ(rep.stop, cpu::StopReason::kExit);
+  EXPECT_EQ(m.memory().load_word(uid_addr).value, 100u);  // 4 + 6*16
+}
+
+TEST(WuFtpd, NormalUsersCannotUploadSystemFiles) {
+  Machine m;
+  m.load_sources(guest::link_with_runtime(guest::apps::wu_ftpd()));
+  m.os().vfs().install("/etc/passwd", std::string("root:x:0:0:\n"));
+  m.os().net().add_session({"user user1\r\n", "pass xxxxxxx\r\n",
+                            "STOR /etc/passwd\r\n", "quit\r\n"});
+  auto rep = m.run();
+  EXPECT_EQ(rep.stop, cpu::StopReason::kExit);
+  ASSERT_EQ(rep.net_transcripts.size(), 1u);
+  EXPECT_NE(rep.net_transcripts[0].find("550 Permission denied."),
+            std::string::npos);
+  const auto* pw = m.os().vfs().contents("/etc/passwd");
+  ASSERT_NE(pw, nullptr);
+  EXPECT_EQ(std::string(pw->begin(), pw->end()), "root:x:0:0:\n");
+}
+
+TEST(WuFtpd, UploadToHomeDirectoryWorks) {
+  Machine m;
+  m.load_sources(guest::link_with_runtime(guest::apps::wu_ftpd()));
+  m.os().net().add_session({"user user1\r\n", "pass xxxxxxx\r\n",
+                            "STOR /home/user1/notes\r\n", "hello there",
+                            "quit\r\n"});
+  auto rep = m.run();
+  EXPECT_EQ(rep.stop, cpu::StopReason::kExit);
+  const auto* f = m.os().vfs().contents("/home/user1/notes");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(std::string(f->begin(), f->end()), "hello there");
+}
+
+TEST(WuFtpd, FullPaperStoryBackdoorViaUidOverwrite) {
+  // The paper's complete attack narrative: the %n write forges an
+  // administrative uid, after which the attacker uploads a modified
+  // /etc/passwd containing a root backdoor entry for "alice".  Only
+  // possible with the detector off; the paper's architecture stops the
+  // chain at the SITE EXEC step.
+  MachineConfig cfg;
+  cfg.policy.mode = DetectionMode::kOff;
+  Machine m(cfg);
+  m.load_sources(guest::link_with_runtime(guest::apps::wu_ftpd()));
+  m.os().vfs().install("/etc/passwd", std::string("root:x:0:0:\n"));
+  const uint32_t uid_addr = m.program().symbols.at("login_uid");
+  std::string cmd = "site exec ";
+  for (int i = 0; i < 4; ++i) cmd += static_cast<char>(uid_addr >> (8 * i));
+  // 4 + 5*16 + 11 = 95 characters before %n: a forged uid below 100.
+  cmd += "%16x%16x%16x%16x%16x%11x%n";
+  m.os().net().add_session(
+      {"user user1\r\n", "pass xxxxxxx\r\n", cmd + "\r\n",
+       "STOR /etc/passwd\r\n", "alice:x:0:0::/home/root:/bin/bash\n",
+       "quit\r\n"});
+  auto rep = m.run();
+  EXPECT_EQ(rep.stop, cpu::StopReason::kExit);
+  EXPECT_EQ(m.memory().load_word(uid_addr).value, 95u);
+  const auto* pw = m.os().vfs().contents("/etc/passwd");
+  ASSERT_NE(pw, nullptr);
+  EXPECT_NE(std::string(pw->begin(), pw->end()).find("alice:x:0:0"),
+            std::string::npos);
+
+  // Same chain with the detector on: stopped at the %n dereference,
+  // before any privilege state or file changed.
+  Machine guarded;
+  guarded.load_sources(guest::link_with_runtime(guest::apps::wu_ftpd()));
+  guarded.os().vfs().install("/etc/passwd", std::string("root:x:0:0:\n"));
+  guarded.os().net().add_session(
+      {"user user1\r\n", "pass xxxxxxx\r\n", cmd + "\r\n",
+       "STOR /etc/passwd\r\n", "alice:x:0:0::/home/root:/bin/bash\n"});
+  auto safe = guarded.run();
+  ASSERT_TRUE(safe.detected());
+  const auto* pw2 = guarded.os().vfs().contents("/etc/passwd");
+  EXPECT_EQ(std::string(pw2->begin(), pw2->end()), "root:x:0:0:\n");
+}
+
+TEST(WuFtpd, ControlDataBaselineMissesUidOverwrite) {
+  auto r = attack(AttackId::kWuFtpdFormat, DetectionMode::kControlDataOnly);
+  EXPECT_EQ(r.outcome, Outcome::kCompromised) << r.detail;
+}
+
+TEST(WuFtpd, ServesMultipleConnectionsAndDetectsOnTheSecond) {
+  // The accept loop serves a clean session, then the attack arrives on a
+  // fresh connection — detection happens mid-service, like the paper's
+  // long-running daemon scenario.
+  Machine m;
+  m.load_sources(guest::link_with_runtime(guest::apps::wu_ftpd()));
+  const uint32_t uid_addr = m.program().symbols.at("login_uid");
+  std::string cmd = "site exec ";
+  for (int i = 0; i < 4; ++i) cmd += static_cast<char>(uid_addr >> (8 * i));
+  cmd += "%x%x%x%x%x%x%n";
+  m.os().net().add_session({"user user1\r\n", "pass xxxxxxx\r\n", "quit\r\n"});
+  m.os().net().add_session(
+      {"user user1\r\n", "pass xxxxxxx\r\n", cmd + "\r\n"});
+  auto rep = m.run();
+  ASSERT_TRUE(rep.detected());
+  EXPECT_EQ(rep.alert->reg_value, uid_addr);
+  // The first session completed normally before the attack.
+  ASSERT_EQ(rep.net_transcripts.size(), 2u);
+  EXPECT_NE(rep.net_transcripts[0].find("221 Goodbye."), std::string::npos);
+}
+
+TEST(NullHttpd, DetectedAtCorruptedUnlink) {
+  auto r = attack(AttackId::kNullHttpdHeap, DetectionMode::kPointerTaint);
+  ASSERT_EQ(r.outcome, Outcome::kDetected) << r.detail;
+  EXPECT_EQ(r.report.alert_function, "free");
+  EXPECT_EQ(r.report.alert->kind, AlertKind::kTaintedStoreAddress);
+}
+
+TEST(NullHttpd, UnprotectedSpawnsShellViaCgiRoot) {
+  auto r = attack(AttackId::kNullHttpdHeap, DetectionMode::kOff);
+  ASSERT_EQ(r.outcome, Outcome::kCompromised);
+  EXPECT_NE(r.detail.find("/bin/sh"), std::string::npos);
+}
+
+TEST(NullHttpd, ControlDataBaselineMissesConfigOverwrite) {
+  auto r = attack(AttackId::kNullHttpdHeap, DetectionMode::kControlDataOnly);
+  EXPECT_EQ(r.outcome, Outcome::kCompromised) << r.detail;
+}
+
+TEST(Ghttpd, DetectedAtTaintedUrlPointerLoad) {
+  auto r = attack(AttackId::kGhttpdStack, DetectionMode::kPointerTaint);
+  ASSERT_EQ(r.outcome, Outcome::kDetected) << r.detail;
+  EXPECT_EQ(r.report.alert->kind, AlertKind::kTaintedLoadAddress);
+  // A load-byte instruction dereferences the redirected URL pointer.
+  EXPECT_EQ(r.report.alert->inst.op, isa::Op::kLbu);
+}
+
+TEST(Ghttpd, UnprotectedEscapesDocumentRoot) {
+  auto r = attack(AttackId::kGhttpdStack, DetectionMode::kOff);
+  ASSERT_EQ(r.outcome, Outcome::kCompromised);
+  EXPECT_NE(r.detail.find("/bin/sh"), std::string::npos);
+}
+
+TEST(Ghttpd, ControlDataBaselineMissesUrlPointer) {
+  auto r = attack(AttackId::kGhttpdStack, DetectionMode::kControlDataOnly);
+  EXPECT_EQ(r.outcome, Outcome::kCompromised) << r.detail;
+}
+
+TEST(Traceroute, DetectedInsideAllocator) {
+  auto r = attack(AttackId::kTracerouteDoubleFree,
+                  DetectionMode::kPointerTaint);
+  ASSERT_EQ(r.outcome, Outcome::kDetected) << r.detail;
+  // The dereferenced value is the argv-tainted "8.8." word.
+  EXPECT_EQ(r.report.alert->reg_value, 0x2e382e38u);
+  EXPECT_EQ(r.report.alert_function, "malloc");
+}
+
+TEST(Traceroute, UnprotectedPerformsWildWrite) {
+  auto r = attack(AttackId::kTracerouteDoubleFree, DetectionMode::kOff);
+  EXPECT_EQ(r.outcome, Outcome::kCompromised) << r.detail;
+}
+
+TEST(Globd, DetectedAtCorruptedUnlink) {
+  auto r = attack(AttackId::kGlobExpansion, DetectionMode::kPointerTaint);
+  ASSERT_EQ(r.outcome, Outcome::kDetected) << r.detail;
+  EXPECT_EQ(r.report.alert_function, "free");
+  EXPECT_EQ(r.report.alert->kind, AlertKind::kTaintedStoreAddress);
+  // FD is the crafted link smuggled through the tilde expansion.
+  EXPECT_EQ(r.report.alert->reg_value & 0xff, 0x04u);
+}
+
+TEST(Globd, UnprotectedOverwritesConfigWord) {
+  auto r = attack(AttackId::kGlobExpansion, DetectionMode::kOff);
+  ASSERT_EQ(r.outcome, Outcome::kCompromised);
+  EXPECT_NE(r.detail.find("glob_admin"), std::string::npos);
+}
+
+TEST(Globd, ControlDataBaselineMissesIt) {
+  auto r = attack(AttackId::kGlobExpansion, DetectionMode::kControlDataOnly);
+  EXPECT_EQ(r.outcome, Outcome::kCompromised) << r.detail;
+}
+
+TEST(Globd, BenignGlobbingExpandsCorrectly) {
+  auto s = make_scenario(AttackId::kGlobExpansion);
+  auto r = s->run_benign();
+  ASSERT_EQ(r.outcome, Outcome::kBenign) << r.detail;
+  ASSERT_EQ(r.report.net_transcripts.size(), 1u);
+  const std::string& t = r.report.net_transcripts[0];
+  EXPECT_NE(t.find("readme.txt notes.txt paper.pdf"), std::string::npos);
+  EXPECT_NE(t.find("/home/bob"), std::string::npos);
+}
+
+// ---- Table 4 false negatives: honest misses ----
+
+TEST(FalseNegatives, IntegerOverflowEscapes) {
+  auto r = attack(AttackId::kFnIntOverflow, DetectionMode::kPointerTaint);
+  EXPECT_EQ(r.outcome, Outcome::kCompromised) << r.detail;
+}
+
+TEST(FalseNegatives, AuthFlagOverwriteEscapes) {
+  auto r = attack(AttackId::kFnAuthFlag, DetectionMode::kPointerTaint);
+  EXPECT_EQ(r.outcome, Outcome::kCompromised) << r.detail;
+}
+
+TEST(FalseNegatives, FormatLeakEscapes) {
+  auto r = attack(AttackId::kFnFormatLeak, DetectionMode::kPointerTaint);
+  EXPECT_EQ(r.outcome, Outcome::kCompromised) << r.detail;
+}
+
+TEST(FalseNegatives, PercentNVariantOfLeakIsStillCaught) {
+  // Table 4(C) discussion: %x%x%x%n (a write) alerts even though
+  // %x%x%x%x (a read) escapes.
+  MachineConfig cfg;
+  Machine m(cfg);
+  m.load_sources(guest::link_with_runtime(guest::apps::fn_format_leak()));
+  // Four %x pops walk past the three home slots and the secret word; the
+  // %n target is then read from attacker bytes.
+  m.os().net().add_session({"abcd%x%x%x%x%n"});
+  auto rep = m.run();
+  EXPECT_TRUE(rep.detected());
+}
+
+// ---- no false positives on the benign twins ----
+
+class BenignCorpus : public ::testing::TestWithParam<int> {};
+
+TEST_P(BenignCorpus, RunsCleanUnderFullPolicy) {
+  auto corpus = make_attack_corpus();
+  auto& scenario = corpus.at(GetParam());
+  auto r = scenario->run_benign();
+  EXPECT_EQ(r.outcome, Outcome::kBenign)
+      << scenario->name() << ": " << r.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, BenignCorpus, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace ptaint::core

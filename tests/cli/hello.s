@@ -1,0 +1,14 @@
+# CLI end-to-end fixture: benign hello.
+    .data
+msg: .asciiz "hello from the guest\n"
+    .text
+main:
+    addiu $sp, $sp, -24
+    sw $ra, 20($sp)
+    li $a0, 1
+    la $a1, msg
+    jal fdputs
+    li $v0, 0
+    lw $ra, 20($sp)
+    addiu $sp, $sp, 24
+    jr $ra

@@ -1,0 +1,18 @@
+# CLI end-to-end fixture: classic stack smash (exp1 shape).
+    .text
+victim:
+    addiu $sp, $sp, -40
+    sw $ra, 36($sp)
+    addiu $a0, $sp, 16
+    jal scanf_str
+    lw $ra, 36($sp)
+    addiu $sp, $sp, 40
+    jr $ra
+main:
+    addiu $sp, $sp, -24
+    sw $ra, 20($sp)
+    jal victim
+    li $v0, 0
+    lw $ra, 20($sp)
+    addiu $sp, $sp, 24
+    jr $ra

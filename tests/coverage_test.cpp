@@ -1,0 +1,101 @@
+// The paper's headline claim as a test: the coverage matrix must show
+// pointer-taintedness detecting every expected-detectable attack, the
+// control-data-only baseline catching only control-data attacks, nothing
+// detected unprotected, and zero false positives on the benign twins.
+#include <gtest/gtest.h>
+
+#include "core/cert_data.hpp"
+#include "core/coverage.hpp"
+
+namespace ptaint::core {
+namespace {
+
+using cpu::DetectionMode;
+
+class CoverageMatrixTest : public ::testing::Test {
+ protected:
+  static const CoverageMatrix& matrix() {
+    static const CoverageMatrix m = run_coverage_matrix();
+    return m;
+  }
+};
+
+TEST_F(CoverageMatrixTest, PointerTaintDetectsEverythingDetectable) {
+  EXPECT_EQ(matrix().detected_count(DetectionMode::kPointerTaint),
+            matrix().expected_detectable());
+}
+
+TEST_F(CoverageMatrixTest, BaselineDetectsOnlyControlDataAttacks) {
+  for (const auto& row : matrix().rows) {
+    const auto& cell = row.cell(DetectionMode::kControlDataOnly);
+    if (row.control_data) {
+      EXPECT_EQ(cell.outcome, Outcome::kDetected) << row.name;
+    } else {
+      EXPECT_NE(cell.outcome, Outcome::kDetected) << row.name;
+    }
+  }
+}
+
+TEST_F(CoverageMatrixTest, UnprotectedDetectsNothing) {
+  EXPECT_EQ(matrix().detected_count(DetectionMode::kOff), 0);
+}
+
+TEST_F(CoverageMatrixTest, UnprotectedAttacksActuallyLand) {
+  for (const auto& row : matrix().rows) {
+    EXPECT_EQ(row.cell(DetectionMode::kOff).outcome, Outcome::kCompromised)
+        << row.name;
+  }
+}
+
+TEST_F(CoverageMatrixTest, NoFalsePositives) {
+  EXPECT_EQ(matrix().false_positives(), 0);
+  for (const auto& row : matrix().rows) {
+    EXPECT_EQ(row.benign_outcome, Outcome::kBenign) << row.name;
+  }
+}
+
+TEST_F(CoverageMatrixTest, FalseNegativesAreExactlyTheTable4Trio) {
+  int misses = 0;
+  for (const auto& row : matrix().rows) {
+    if (!row.expected_detected) {
+      ++misses;
+      EXPECT_NE(row.cell(DetectionMode::kPointerTaint).outcome,
+                Outcome::kDetected)
+          << row.name;
+    }
+  }
+  EXPECT_EQ(misses, 3);
+}
+
+TEST_F(CoverageMatrixTest, TableRendersAllRows) {
+  const std::string table = matrix().to_table();
+  for (const auto& row : matrix().rows) {
+    EXPECT_NE(table.find(row.name), std::string::npos);
+  }
+  EXPECT_NE(table.find("pointer-taintedness 9/9"), std::string::npos);
+}
+
+TEST(CertData, TotalsMatchThePaper) {
+  EXPECT_EQ(cert_total_advisories(), 107);
+  EXPECT_NEAR(cert_memory_corruption_share(), 0.67, 0.005);
+}
+
+TEST(CertData, CorpusCoversTheMemoryCorruptionTaxonomy) {
+  auto by_category = corpus_by_category();
+  int total = 0;
+  bool has_bo = false, has_fmt = false, has_heap = false, has_int = false;
+  bool has_glob = false;
+  for (const auto& [name, count] : by_category) {
+    total += count;
+    has_bo |= name == "buffer overflow";
+    has_fmt |= name == "format string";
+    has_heap |= name == "heap corruption";
+    has_int |= name == "integer overflow";
+    has_glob |= name == "globbing";
+  }
+  EXPECT_TRUE(has_bo && has_fmt && has_heap && has_int && has_glob);
+  EXPECT_EQ(total, 12);
+}
+
+}  // namespace
+}  // namespace ptaint::core

@@ -1,0 +1,262 @@
+// Edge-case tests for the execution core: sub-word store taint masking,
+// sign-extension taint widening, HI/LO taint, alignment faults, per-word
+// granularity end-to-end, and detector interactions.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+
+namespace ptaint::core {
+namespace {
+
+using cpu::AlertKind;
+using cpu::StopReason;
+using mem::TaintedWord;
+
+RunReport run_src(const std::string& src, MachineConfig cfg = {},
+                  const std::string& stdin_data = "") {
+  Machine m(cfg);
+  m.load_source(src);
+  if (!stdin_data.empty()) m.os().set_stdin(stdin_data);
+  return m.run();
+}
+
+// Reads 4 tainted bytes into `in`, then runs `body`, with `out` available.
+std::string harness(const std::string& body) {
+  return R"(
+    .data
+    .align 2
+in:  .space 8
+out: .space 8
+    .text
+_start:
+    li $v0, 3
+    li $a0, 0
+    la $a1, in
+    li $a2, 4
+    syscall
+)" + body + R"(
+    li $v0, 1
+    li $a0, 0
+    syscall
+)";
+}
+
+TEST(CpuEdge, SbStoresOnlyByte0Taint) {
+  Machine m;
+  m.load_source(harness(R"(
+    lw $t0, in          # all four bytes tainted
+    srl $t1, $t0, 8     # byte0 of $t1 comes from tainted byte1
+    sb $t1, out         # only byte0's taint is stored
+  )"));
+  m.os().set_stdin("wxyz");
+  auto r = m.run();
+  ASSERT_EQ(r.stop, StopReason::kExit);
+  const uint32_t out = m.program().symbols.at("out");
+  EXPECT_TRUE(m.memory().load_byte(out).taint);
+  EXPECT_FALSE(m.memory().load_byte(out + 1).taint);
+}
+
+TEST(CpuEdge, ShTaintMask) {
+  Machine m;
+  m.load_source(harness(R"(
+    lhu $t0, in
+    sh $t0, out
+  )"));
+  m.os().set_stdin("wxyz");
+  auto r = m.run();
+  ASSERT_EQ(r.stop, StopReason::kExit);
+  const uint32_t out = m.program().symbols.at("out");
+  EXPECT_TRUE(m.memory().load_byte(out).taint);
+  EXPECT_TRUE(m.memory().load_byte(out + 1).taint);
+  EXPECT_FALSE(m.memory().load_byte(out + 2).taint);
+}
+
+TEST(CpuEdge, LbSignExtensionWidensTaint) {
+  // lb of a tainted byte taints the whole register (sign bits depend on
+  // it); using it as an address offset must alert even when only byte 3
+  // of the sum differs.
+  auto r = run_src(harness(R"(
+    lb $t0, in          # sign-extended tainted byte
+    sll $t1, $t0, 24    # move a tainted byte to the top
+    la $t2, out
+    addu $t2, $t2, $t1
+    sw $zero, 0($t2)
+  )"),
+                   {}, "\x7f???");
+  ASSERT_TRUE(r.detected());
+  EXPECT_EQ(r.alert->kind, AlertKind::kTaintedStoreAddress);
+}
+
+TEST(CpuEdge, ShiftSmearIsConservative) {
+  // Paper Table 1 shift rule: a tainted byte ALSO taints its neighbour in
+  // the shift direction — the original byte's taint bit is not cleared.
+  // Shifting the tainted byte "out" therefore still leaves a tainted
+  // register (a deliberate over-approximation in the paper's design), and
+  // deriving an address from it alerts.
+  Machine m;
+  m.load_source(harness(R"(
+    lbu $t0, in
+    srl $t1, $t0, 8     # value now 0, but byte0 taint persists (rule 2)
+    la $t2, out
+    addu $t2, $t2, $t1
+    sw $zero, 0($t2)
+  )"));
+  m.os().set_stdin("abcd");
+  auto r = m.run();
+  ASSERT_TRUE(r.detected());
+  EXPECT_EQ(r.alert->kind, AlertKind::kTaintedStoreAddress);
+}
+
+TEST(CpuEdge, AndMaskLaundersConstantZeroBytes) {
+  // The precise way benign code isolates untainted bytes: AND with an
+  // untainted zero byte clears that byte's taint (Table 1 rule 3).
+  Machine m;
+  m.load_source(harness(R"(
+    lw $t0, in          # all 4 bytes tainted
+    li $t1, 0
+    and $t2, $t0, $t1   # every byte AND-ed with constant 0: untainted
+    la $t3, out
+    addu $t3, $t3, $t2
+    sw $zero, 0($t3)    # clean
+  )"));
+  m.os().set_stdin("abcd");
+  auto r = m.run();
+  EXPECT_EQ(r.stop, StopReason::kExit);
+}
+
+TEST(CpuEdge, MultPropagatesToHiLo) {
+  auto r = run_src(harness(R"(
+    lw $t0, in
+    li $t1, 3
+    mult $t0, $t1
+    mfhi $t2
+    mflo $t3
+    la $t4, out
+    addu $t4, $t4, $t2  # hi is tainted
+    lw $t5, 0($t4)
+  )"),
+                   {}, "abcd");
+  ASSERT_TRUE(r.detected());
+  EXPECT_EQ(r.alert->kind, AlertKind::kTaintedLoadAddress);
+}
+
+TEST(CpuEdge, DivByZeroIsDefinedAndTaintAware) {
+  auto r = run_src(harness(R"(
+    lw $t0, in
+    li $t1, 0
+    divu $t0, $t1       # quotient/remainder defined as 0, tainted
+    mflo $t2
+    la $t3, out
+    addu $t3, $t3, $t2
+    sw $zero, 0($t3)
+  )"),
+                   {}, "abcd");
+  ASSERT_TRUE(r.detected());  // lo carries the dividend's taint
+}
+
+TEST(CpuEdge, MisalignedHalfAccessFaults) {
+  auto r = run_src(R"(
+    .text
+_start:
+    li $t0, 0x10000001
+    lh $t1, 0($t0)
+  )");
+  EXPECT_EQ(r.stop, StopReason::kFault);
+  EXPECT_NE(r.fault.find("misaligned lh"), std::string::npos);
+}
+
+TEST(CpuEdge, MisalignedShFaults) {
+  auto r = run_src(R"(
+    .text
+_start:
+    li $t0, 0x10000003
+    sh $zero, 0($t0)
+  )");
+  EXPECT_EQ(r.stop, StopReason::kFault);
+}
+
+TEST(CpuEdge, PerWordGranularityWidensThroughMemory) {
+  MachineConfig cfg;
+  cfg.policy.per_word_taint = true;
+  Machine m(cfg);
+  m.load_source(harness(R"(
+    lbu $t0, in         # per-word: whole register tainted
+    srl $t1, $t0, 8     # still tainted under per-word granularity
+    la $t2, out
+    addu $t2, $t2, $t1
+    sw $zero, 0($t2)
+  )"));
+  m.os().set_stdin("abcd");
+  auto r = m.run();
+  ASSERT_TRUE(r.detected());  // contrast with LbuOnlyTaintsLowByte
+}
+
+TEST(CpuEdge, JalrLinksUntaintedReturnAddress) {
+  auto r = run_src(R"(
+    .data
+fnptr: .word helper
+    .text
+_start:
+    lw $t0, fnptr       # untainted function pointer from .data
+    jalr $t0
+    move $a0, $v0
+    li $v0, 1
+    syscall
+helper:
+    li $v0, 9
+    jr $ra              # $ra written by jalr: untainted
+  )");
+  EXPECT_EQ(r.stop, StopReason::kExit);
+  EXPECT_EQ(r.exit_status, 9);
+}
+
+TEST(CpuEdge, StoreDetectorFiresBeforeTheWrite) {
+  // The paper terminates the process at retirement: the malicious store
+  // must NOT modify memory.
+  Machine m;
+  m.load_source(harness(R"(
+    lw $t0, in
+    li $t1, 0x20000000
+    or $t0, $t0, $t1    # tainted address in a mapped-region range
+    li $t2, 0x5a5a5a5a
+    sw $t2, 0($t0)
+  )"));
+  m.os().set_stdin(std::string("\x04\x00\x00\x00", 4));
+  auto r = m.run();
+  ASSERT_TRUE(r.detected());
+  EXPECT_EQ(m.memory().load_word(0x20000004).value, 0u);  // write suppressed
+}
+
+TEST(CpuEdge, LoadDetectorFiresBeforeTheLoad) {
+  Machine m;
+  m.load_source(harness(R"(
+    lw $t0, in
+    lw $t3, 0($t0)
+  )"));
+  m.os().set_stdin(std::string("\x00\x10\x00\x10", 4));
+  auto r = m.run();
+  ASSERT_TRUE(r.detected());
+  // $t3 never received the loaded value; the CPU stopped at the alert.
+  EXPECT_EQ(m.cpu().regs().get(isa::kT3).value, 0u);
+}
+
+TEST(CpuEdge, SyscallArgumentsUntaintedByKernel) {
+  // v0 return values from syscalls are kernel data: untainted.
+  Machine m;
+  m.load_source(harness(R"(
+    li $v0, 3
+    li $a0, 0
+    la $a1, in+4
+    li $a2, 2
+    syscall             # v0 = 2 (byte count), untainted
+    la $t0, out
+    addu $t0, $t0, $v0
+    sb $zero, 0($t0)    # address derived from v0: clean
+  )"));
+  m.os().set_stdin("abcdef");
+  auto r = m.run();
+  EXPECT_EQ(r.stop, StopReason::kExit);
+}
+
+}  // namespace
+}  // namespace ptaint::core

@@ -1,0 +1,686 @@
+// Tests for the guest runtime (the assembly libc): string functions, the
+// heap allocator, the printf family, and input helpers — all executed on
+// the simulated architecture.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "guest/runtime.hpp"
+
+namespace ptaint::guest {
+namespace {
+
+using core::Machine;
+using core::MachineConfig;
+using core::RunReport;
+using cpu::StopReason;
+
+struct GuestRun {
+  RunReport report;
+  std::string out;
+  std::unique_ptr<Machine> machine;
+};
+
+GuestRun run_app(const std::string& app, const std::string& stdin_data = "",
+                 MachineConfig cfg = {}) {
+  GuestRun g;
+  g.machine = std::make_unique<Machine>(cfg);
+  g.machine->load_sources(link_with_runtime({"app.s", app}));
+  if (!stdin_data.empty()) g.machine->os().set_stdin(stdin_data);
+  g.report = g.machine->run();
+  g.out = g.report.stdout_text;
+  return g;
+}
+
+TEST(GuestString, StrlenStrcmp) {
+  auto g = run_app(R"(
+    .data
+    s1: .asciiz "hello"
+    s2: .asciiz "hella"
+    .text
+    main:
+      addiu $sp, $sp, -24
+      sw $ra, 20($sp)
+      la $a0, s1
+      jal strlen
+      move $s0, $v0          # 5
+      la $a0, s1
+      la $a1, s1
+      jal strcmp             # 0
+      bnez $v0, fail
+      la $a0, s1
+      la $a1, s2
+      jal strcmp             # 'o' - 'a' > 0
+      blez $v0, fail
+      move $v0, $s0
+      lw $ra, 20($sp)
+      addiu $sp, $sp, 24
+      jr $ra
+    fail:
+      li $v0, -1
+      lw $ra, 20($sp)
+      addiu $sp, $sp, 24
+      jr $ra
+  )");
+  EXPECT_EQ(g.report.exit_status, 5);
+}
+
+TEST(GuestString, StrcpyStrcatStrchrStrstr) {
+  auto g = run_app(R"(
+    .data
+    buf:  .space 64
+    a:    .asciiz "GET /cgi-bin/"
+    b:    .asciiz "../x"
+    pat:  .asciiz "/.."
+    .text
+    main:
+      addiu $sp, $sp, -24
+      sw $ra, 20($sp)
+      la $a0, buf
+      la $a1, a
+      jal strcpy
+      la $a0, buf
+      la $a1, b
+      jal strcat
+      la $a0, buf
+      la $a1, pat
+      jal strstr            # must find "/.." at offset 12
+      beqz $v0, fail
+      la $t0, buf
+      subu $s0, $v0, $t0    # 12
+      la $a0, buf
+      li $a1, 'G'
+      jal strchr
+      la $t0, buf
+      bne $v0, $t0, fail
+      move $v0, $s0
+      b done
+    fail:
+      li $v0, -1
+    done:
+      lw $ra, 20($sp)
+      addiu $sp, $sp, 24
+      jr $ra
+  )");
+  EXPECT_EQ(g.report.exit_status, 12);
+}
+
+TEST(GuestString, AtoiPositiveNegative) {
+  auto g = run_app(R"(
+    .data
+    n1: .asciiz "1024"
+    n2: .asciiz "-800"
+    .text
+    main:
+      addiu $sp, $sp, -24
+      sw $ra, 20($sp)
+      la $a0, n1
+      jal atoi
+      move $s0, $v0
+      la $a0, n2
+      jal atoi
+      addu $v0, $v0, $s0     # 1024 - 800 = 224
+      lw $ra, 20($sp)
+      addiu $sp, $sp, 24
+      jr $ra
+  )");
+  EXPECT_EQ(g.report.exit_status, 224);
+}
+
+TEST(GuestPrintf, RegisterVarargs) {
+  auto g = run_app(R"(
+    .data
+    fmt: .asciiz "d=%d x=%x u=%u!"
+    .text
+    main:
+      addiu $sp, $sp, -24
+      sw $ra, 20($sp)
+      la $a0, fmt
+      li $a1, -42
+      li $a2, 48879
+      li $a3, 3000000000
+      jal printf
+      li $v0, 0
+      lw $ra, 20($sp)
+      addiu $sp, $sp, 24
+      jr $ra
+  )");
+  EXPECT_EQ(g.out, "d=-42 x=beef u=3000000000!");
+  EXPECT_EQ(g.report.exit_status, 0);
+}
+
+TEST(GuestPrintf, StringAndCharAndPercent) {
+  auto g = run_app(R"(
+    .data
+    fmt: .asciiz "[%s] %c 100%%\n"
+    str: .asciiz "site exec"
+    .text
+    main:
+      addiu $sp, $sp, -24
+      sw $ra, 20($sp)
+      la $a0, fmt
+      la $a1, str
+      li $a2, '!'
+      jal printf
+      li $v0, 0
+      lw $ra, 20($sp)
+      addiu $sp, $sp, 24
+      jr $ra
+  )");
+  EXPECT_EQ(g.out, "[site exec] ! 100%\n");
+}
+
+TEST(GuestPrintf, StackVarargsWalkIntoCallerFrame) {
+  // Five varargs: a1-a3 homes + two words the caller stores right above its
+  // home area — the layout the %x-steering attacks depend on.
+  auto g = run_app(R"(
+    .data
+    fmt: .asciiz "%d %d %d %d %d"
+    .text
+    main:
+      addiu $sp, $sp, -32
+      sw $ra, 28($sp)
+      li $t0, 4
+      sw $t0, 16($sp)        # vararg #4 (first stack vararg)
+      li $t0, 5
+      sw $t0, 20($sp)        # vararg #5
+      la $a0, fmt
+      li $a1, 1
+      li $a2, 2
+      li $a3, 3
+      jal printf
+      li $v0, 0
+      lw $ra, 28($sp)
+      addiu $sp, $sp, 32
+      jr $ra
+  )");
+  EXPECT_EQ(g.out, "1 2 3 4 5");
+}
+
+TEST(GuestPrintf, ZeroPaddedWidth) {
+  auto g = run_app(R"(
+    .data
+    fmt: .asciiz "[%08x] [%4d] [%2d]"
+    .text
+    main:
+      addiu $sp, $sp, -24
+      sw $ra, 20($sp)
+      la $a0, fmt
+      li $a1, 0xbeef
+      li $a2, 42
+      li $a3, 12345
+      jal printf
+      li $v0, 0
+      lw $ra, 20($sp)
+      addiu $sp, $sp, 24
+      jr $ra
+  )");
+  EXPECT_EQ(g.out, "[0000beef] [0042] [12345]");
+}
+
+TEST(GuestPrintf, WidthControlsPercentNValue) {
+  // The attacker technique behind precise %n writes: padding inflates the
+  // character count to a chosen value (here 4 + 60 = 64).
+  auto g = run_app(R"(
+    .data
+    fmt: .asciiz "AAAA%60x%n"
+    .align 2
+    cell: .word 0
+    .text
+    main:
+      addiu $sp, $sp, -24
+      sw $ra, 20($sp)
+      la $a0, fmt
+      li $a1, 1
+      la $a2, cell
+      jal printf
+      lw $v0, cell
+      lw $ra, 20($sp)
+      addiu $sp, $sp, 24
+      jr $ra
+  )");
+  EXPECT_EQ(g.report.exit_status, 64);
+}
+
+TEST(GuestPrintf, OversizedWidthIsCapped) {
+  auto g = run_app(R"(
+    .data
+    fmt: .asciiz "%999x%n"
+    .align 2
+    cell: .word 0
+    .text
+    main:
+      addiu $sp, $sp, -24
+      sw $ra, 20($sp)
+      la $a0, fmt
+      li $a1, 1
+      la $a2, cell
+      jal printf
+      lw $v0, cell
+      lw $ra, 20($sp)
+      addiu $sp, $sp, 24
+      jr $ra
+  )");
+  EXPECT_EQ(g.report.exit_status, 64);  // width clamped to 64
+}
+
+TEST(GuestPrintf, PercentNWritesCount) {
+  auto g = run_app(R"(
+    .data
+    fmt: .asciiz "12345%n"
+    cell: .word 0
+    .text
+    main:
+      addiu $sp, $sp, -24
+      sw $ra, 20($sp)
+      la $a0, fmt
+      la $a1, cell
+      jal printf
+      lw $v0, cell           # 5 characters before %n
+      lw $ra, 20($sp)
+      addiu $sp, $sp, 24
+      jr $ra
+  )");
+  EXPECT_EQ(g.report.exit_status, 5);
+  EXPECT_EQ(g.out, "12345");
+}
+
+TEST(GuestPrintf, SprintfBuildsString) {
+  auto g = run_app(R"asm(
+    .data
+    buf: .space 64
+    fmt: .asciiz "uid=%d(%s)"
+    who: .asciiz "root"
+    .text
+    main:
+      addiu $sp, $sp, -24
+      sw $ra, 20($sp)
+      la $a0, buf
+      la $a1, fmt
+      li $a2, 0
+      la $a3, who
+      jal sprintf
+      la $a0, buf
+      jal fdputs_stdout
+      li $v0, 0
+      lw $ra, 20($sp)
+      addiu $sp, $sp, 24
+      jr $ra
+    fdputs_stdout:
+      addiu $sp, $sp, -24
+      sw $ra, 20($sp)
+      move $a1, $a0
+      li $a0, 1
+      jal fdputs
+      lw $ra, 20($sp)
+      addiu $sp, $sp, 24
+      jr $ra
+  )asm");
+  EXPECT_EQ(g.out, "uid=0(root)");
+}
+
+TEST(GuestHeap, MallocWriteReadFree) {
+  auto g = run_app(R"(
+    .text
+    main:
+      addiu $sp, $sp, -24
+      sw $ra, 20($sp)
+      li $a0, 32
+      jal malloc
+      move $s0, $v0
+      beqz $s0, fail
+      li $t0, 1234
+      sw $t0, 0($s0)
+      sw $t0, 28($s0)
+      lw $t1, 0($s0)
+      lw $t2, 28($s0)
+      bne $t1, $t2, fail
+      move $a0, $s0
+      jal free
+      li $v0, 0
+      b done
+    fail:
+      li $v0, -1
+    done:
+      lw $ra, 20($sp)
+      addiu $sp, $sp, 24
+      jr $ra
+  )");
+  EXPECT_EQ(g.report.exit_status, 0);
+}
+
+TEST(GuestHeap, ReuseAfterFree) {
+  auto g = run_app(R"(
+    .text
+    main:
+      addiu $sp, $sp, -24
+      sw $ra, 20($sp)
+      li $a0, 24
+      jal malloc
+      move $s0, $v0
+      move $a0, $s0
+      jal free
+      li $a0, 24
+      jal malloc             # first fit should hand the same chunk back
+      bne $v0, $s0, fail
+      li $v0, 0
+      b done
+    fail:
+      li $v0, -1
+    done:
+      lw $ra, 20($sp)
+      addiu $sp, $sp, 24
+      jr $ra
+  )");
+  EXPECT_EQ(g.report.exit_status, 0);
+}
+
+TEST(GuestHeap, DistinctChunksDontOverlap) {
+  auto g = run_app(R"(
+    .text
+    main:
+      addiu $sp, $sp, -32
+      sw $ra, 28($sp)
+      sw $s0, 24($sp)
+      sw $s1, 20($sp)
+      li $a0, 16
+      jal malloc
+      move $s0, $v0
+      li $a0, 16
+      jal malloc
+      move $s1, $v0
+      beq $s0, $s1, fail
+      # fill both and verify no bleed
+      move $a0, $s0
+      li $a1, 0xaa
+      li $a2, 16
+      jal memset
+      move $a0, $s1
+      li $a1, 0x55
+      li $a2, 16
+      jal memset
+      lbu $t0, 0($s0)
+      li $t1, 0xaa
+      bne $t0, $t1, fail
+      lbu $t0, 15($s1)
+      li $t1, 0x55
+      bne $t0, $t1, fail
+      li $v0, 0
+      b done
+    fail:
+      li $v0, -1
+    done:
+      lw $s1, 20($sp)
+      lw $s0, 24($sp)
+      lw $ra, 28($sp)
+      addiu $sp, $sp, 32
+      jr $ra
+  )");
+  EXPECT_EQ(g.report.exit_status, 0);
+}
+
+TEST(GuestHeap, LargeAllocationGrowsHeap) {
+  auto g = run_app(R"(
+    .text
+    main:
+      addiu $sp, $sp, -24
+      sw $ra, 20($sp)
+      li $a0, 20000          # bigger than one GROW_BYTES step
+      jal malloc
+      beqz $v0, fail
+      move $s0, $v0
+      sw $s0, 19996($s0)     # touch the far end
+      lw $t0, 19996($s0)
+      bne $t0, $s0, fail
+      li $v0, 0
+      b done
+    fail:
+      li $v0, -1
+    done:
+      lw $ra, 20($sp)
+      addiu $sp, $sp, 24
+      jr $ra
+  )");
+  EXPECT_EQ(g.report.exit_status, 0);
+}
+
+TEST(GuestIo, ScanfStrReadsWordAndTaintsIt) {
+  auto g = run_app(R"(
+    .data
+    buf: .space 32
+    .text
+    main:
+      addiu $sp, $sp, -24
+      sw $ra, 20($sp)
+      la $a0, buf
+      jal scanf_str
+      lw $ra, 20($sp)
+      addiu $sp, $sp, 24
+      jr $ra                 # returns byte count
+  )",
+                   "hello world");
+  EXPECT_EQ(g.report.exit_status, 5);  // stops at the space
+  const uint32_t buf = g.machine->program().symbols.at("buf");
+  EXPECT_TRUE(g.machine->memory().any_tainted_in(buf, 5));
+  EXPECT_EQ(g.machine->memory().read_cstring(buf), "hello");
+  // The terminating NUL is program data, not input.
+  EXPECT_FALSE(g.machine->memory().load_byte(buf + 5).taint);
+}
+
+TEST(GuestIo, GetsReadsFullLine) {
+  auto g = run_app(R"(
+    .data
+    buf: .space 64
+    .text
+    main:
+      addiu $sp, $sp, -24
+      sw $ra, 20($sp)
+      la $a0, buf
+      jal gets
+      move $a0, $v0
+      li $a0, 1
+      la $a1, buf
+      jal fdputs
+      li $v0, 0
+      lw $ra, 20($sp)
+      addiu $sp, $sp, 24
+      jr $ra
+  )",
+                   "GET / HTTP/1.0\nrest");
+  EXPECT_EQ(g.out, "GET / HTTP/1.0");
+}
+
+TEST(GuestHeap, StressRandomMallocFreeSelfChecks) {
+  // Allocator soak: an LCG-driven sequence of malloc/fill/verify/free over
+  // 24 live slots.  Each block is filled with a slot-derived pattern and
+  // verified byte-for-byte just before free — overlap, mis-splitting or
+  // bad coalescing would corrupt a pattern and exit nonzero.
+  auto g = run_app(R"(
+    .data
+    .align 2
+slots: .space 96              # 24 pointers
+sizes: .space 96
+seed:  .word 99
+    .text
+# rnd() -> v0: LCG
+rnd:
+    lw $t0, seed
+    li $t1, 1103515245
+    mul $t0, $t0, $t1
+    addiu $t0, $t0, 12345
+    sw $t0, seed
+    srl $v0, $t0, 8
+    jr $ra
+
+main:
+    addiu $sp, $sp, -40
+    sw $ra, 36($sp)
+    sw $s0, 32($sp)           # iteration
+    sw $s1, 28($sp)           # slot index
+    sw $s2, 24($sp)           # slot addr
+    sw $s3, 20($sp)           # size
+    li $s0, 0
+stress_loop:
+    bge $s0, 400, stress_done
+    jal rnd
+    andi $s1, $v0, 23         # slot 0..23 (andi mask 31 then clamp)
+    blt $s1, 24, slot_ok
+    addiu $s1, $s1, -8
+slot_ok:
+    sll $t0, $s1, 2
+    la $t1, slots
+    addu $s2, $t1, $t0        # &slots[i]
+    lw $t2, 0($s2)
+    beqz $t2, do_alloc
+    # verify the pattern then free
+    la $t3, sizes
+    addu $t3, $t3, $t0
+    lw $s3, 0($t3)            # recorded size
+    move $t4, $t2
+    addu $t5, $t2, $s3
+    andi $t6, $s1, 0xff       # expected byte = slot index
+verify_loop:
+    bgeu $t4, $t5, verify_ok
+    lbu $t7, 0($t4)
+    bne $t7, $t6, stress_fail
+    addiu $t4, $t4, 1
+    b verify_loop
+verify_ok:
+    lw $a0, 0($s2)
+    jal free
+    sw $zero, 0($s2)
+    b stress_next
+do_alloc:
+    jal rnd
+    andi $s3, $v0, 127
+    addiu $s3, $s3, 1         # size 1..128
+    move $a0, $s3
+    jal malloc
+    beqz $v0, stress_fail
+    sw $v0, 0($s2)
+    sll $t0, $s1, 2
+    la $t1, sizes
+    addu $t1, $t1, $t0
+    sw $s3, 0($t1)
+    # fill with the slot pattern
+    move $a0, $v0
+    andi $a1, $s1, 0xff
+    move $a2, $s3
+    jal memset
+stress_next:
+    addiu $s0, $s0, 1
+    b stress_loop
+stress_fail:
+    li $v0, 1
+    b stress_out
+stress_done:
+    li $v0, 0
+stress_out:
+    lw $s3, 20($sp)
+    lw $s2, 24($sp)
+    lw $s1, 28($sp)
+    lw $s0, 32($sp)
+    lw $ra, 36($sp)
+    addiu $sp, $sp, 40
+    jr $ra
+  )");
+  EXPECT_EQ(g.report.exit_status, 0) << g.report.fault;
+  EXPECT_EQ(g.report.stop, StopReason::kExit);
+}
+
+TEST(GuestEnv, GetenvFindsValueAndMissReturnsNull) {
+  MachineConfig cfg;
+  cfg.env = {"HOME=/home/alice", "TERM=vt100"};
+  auto g = run_app(R"(
+    .data
+    key:  .asciiz "TERM"
+    miss: .asciiz "SHELL"
+    .text
+    main:
+      addiu $sp, $sp, -24
+      sw $ra, 20($sp)
+      la $a0, miss
+      jal getenv
+      bnez $v0, bad
+      la $a0, key
+      jal getenv
+      beqz $v0, bad
+      lbu $v0, 0($v0)        # 'v' of "vt100"
+      b out
+    bad:
+      li $v0, -1
+    out:
+      lw $ra, 20($sp)
+      addiu $sp, $sp, 24
+      jr $ra
+  )",
+                   "", cfg);
+  EXPECT_EQ(g.report.exit_status, 'v');
+}
+
+TEST(GuestEnv, EnvironmentValuesAreTaintSources) {
+  // The paper's Section 4.4 lists environmental variables as external
+  // input: dereferencing a value built from one must alert.
+  MachineConfig cfg;
+  cfg.env = {"ADDR=AAAA"};
+  GuestRun g;
+  g.machine = std::make_unique<Machine>(cfg);
+  g.machine->load_sources(link_with_runtime({"app.s", R"(
+    .data
+    key: .asciiz "ADDR"
+    .text
+    main:
+      addiu $sp, $sp, -24
+      sw $ra, 20($sp)
+      la $a0, key
+      jal getenv
+      lbu $t0, 0($v0)        # 'A' (tainted byte from the environment)
+      sll $t0, $t0, 8
+      lui $t1, 0x1000
+      or $t0, $t0, $t1       # 0x10004100, taint carried through
+      lw $t1, 0($t0)         # dereference -> alert
+      li $v0, 0
+      lw $ra, 20($sp)
+      addiu $sp, $sp, 24
+      jr $ra
+  )"}));
+  g.report = g.machine->run();
+  ASSERT_TRUE(g.report.detected());
+  EXPECT_EQ(g.report.alert->reg_value, 0x10004100u);
+}
+
+TEST(GuestIo, FilePersistenceThroughVfs) {
+  MachineConfig cfg;
+  auto g = run_app(R"(
+    .data
+    path: .asciiz "/etc/passwd"
+    buf:  .space 32
+    .text
+    main:
+      addiu $sp, $sp, -24
+      sw $ra, 20($sp)
+      la $a0, path
+      li $a1, 1              # write
+      jal open
+      move $s0, $v0
+      move $a0, $s0
+      la $a1, newline_entry
+      li $a2, 21
+      jal write
+      move $a0, $s0
+      jal close
+      li $v0, 0
+      lw $ra, 20($sp)
+      addiu $sp, $sp, 24
+      jr $ra
+    .data
+    newline_entry: .asciiz "alice:x:0:0:/bin/bash"
+  )",
+                   "", cfg);
+  const auto* contents = g.machine->os().vfs().contents("/etc/passwd");
+  ASSERT_NE(contents, nullptr);
+  EXPECT_EQ(std::string(contents->begin(), contents->end()),
+            "alice:x:0:0:/bin/bash");
+}
+
+}  // namespace
+}  // namespace ptaint::guest

@@ -1,0 +1,201 @@
+// Unit tests for the PTA-32 ISA: register naming, op metadata, and
+// encode/decode round-trips over the whole instruction set.
+#include <gtest/gtest.h>
+
+#include "isa/isa.hpp"
+
+namespace ptaint::isa {
+namespace {
+
+TEST(RegNames, CanonicalNames) {
+  EXPECT_EQ(reg_name(0), "$zero");
+  EXPECT_EQ(reg_name(2), "$v0");
+  EXPECT_EQ(reg_name(29), "$sp");
+  EXPECT_EQ(reg_name(31), "$ra");
+}
+
+TEST(RegNames, ParseNumeric) {
+  EXPECT_EQ(parse_reg("$0"), 0);
+  EXPECT_EQ(parse_reg("$31"), 31);
+  EXPECT_EQ(parse_reg("$21"), 21);
+  EXPECT_FALSE(parse_reg("$32").has_value());
+  EXPECT_FALSE(parse_reg("$-1").has_value());
+}
+
+TEST(RegNames, ParseSymbolic) {
+  EXPECT_EQ(parse_reg("$v0"), kV0);
+  EXPECT_EQ(parse_reg("$sp"), kSp);
+  EXPECT_EQ(parse_reg("sp"), kSp);
+  EXPECT_EQ(parse_reg("$s5"), 21);
+  EXPECT_EQ(parse_reg("$s8"), kFp);
+  EXPECT_FALSE(parse_reg("$xx").has_value());
+  EXPECT_FALSE(parse_reg("").has_value());
+}
+
+TEST(OpMetadata, MnemonicRoundTrip) {
+  for (int raw = static_cast<int>(Op::kSll); raw <= static_cast<int>(Op::kJal);
+       ++raw) {
+    const Op op = static_cast<Op>(raw);
+    auto back = op_from_mnemonic(mnemonic(op));
+    ASSERT_TRUE(back.has_value()) << mnemonic(op);
+    EXPECT_EQ(*back, op);
+  }
+}
+
+TEST(OpMetadata, ClassesMatchPaperTable1) {
+  // Table 1 categories: default ALU, shift, AND, XOR, compare.
+  EXPECT_EQ(op_class(Op::kAddu), OpClass::kAlu);
+  EXPECT_EQ(op_class(Op::kSll), OpClass::kShift);
+  EXPECT_EQ(op_class(Op::kSrav), OpClass::kShift);
+  EXPECT_EQ(op_class(Op::kAnd), OpClass::kLogicAnd);
+  EXPECT_EQ(op_class(Op::kAndi), OpClass::kLogicAnd);
+  EXPECT_EQ(op_class(Op::kXor), OpClass::kLogicXor);
+  EXPECT_EQ(op_class(Op::kSlt), OpClass::kCompare);
+  EXPECT_EQ(op_class(Op::kSltiu), OpClass::kCompare);
+  // Detection points.
+  EXPECT_EQ(op_class(Op::kLw), OpClass::kLoad);
+  EXPECT_EQ(op_class(Op::kSb), OpClass::kStore);
+  EXPECT_EQ(op_class(Op::kJr), OpClass::kJumpReg);
+  EXPECT_EQ(op_class(Op::kJalr), OpClass::kJumpReg);
+  EXPECT_EQ(op_class(Op::kBeq), OpClass::kBranch);
+}
+
+Instruction make_r(Op op, uint8_t rd, uint8_t rs, uint8_t rt,
+                   uint8_t shamt = 0) {
+  Instruction i;
+  i.op = op;
+  i.rd = rd;
+  i.rs = rs;
+  i.rt = rt;
+  i.shamt = shamt;
+  return i;
+}
+
+Instruction make_i(Op op, uint8_t rt, uint8_t rs, int32_t imm) {
+  Instruction i;
+  i.op = op;
+  i.rt = rt;
+  i.rs = rs;
+  i.imm = imm;
+  return i;
+}
+
+TEST(Encoding, RTypeRoundTrip) {
+  const Instruction in = make_r(Op::kAddu, 3, 4, 5);
+  EXPECT_EQ(decode(encode(in)), in);
+}
+
+TEST(Encoding, ShiftRoundTrip) {
+  const Instruction in = make_r(Op::kSll, 7, 0, 8, 13);
+  EXPECT_EQ(decode(encode(in)), in);
+}
+
+TEST(Encoding, ITypeNegativeImmediate) {
+  const Instruction in = make_i(Op::kAddiu, 29, 29, -32);
+  const Instruction out = decode(encode(in));
+  EXPECT_EQ(out.op, Op::kAddiu);
+  EXPECT_EQ(out.imm, -32);
+}
+
+TEST(Encoding, LogicalImmediateZeroExtends) {
+  const Instruction in = make_i(Op::kOri, 2, 0, 0xbc20);
+  const Instruction out = decode(encode(in));
+  EXPECT_EQ(out.imm, 0xbc20);  // not sign-extended
+}
+
+TEST(Encoding, LoadStoreRoundTrip) {
+  const Instruction in = make_i(Op::kSw, 21, 3, 0);
+  EXPECT_EQ(decode(encode(in)), in);
+  const Instruction neg = make_i(Op::kLw, 3, 3, -4);
+  EXPECT_EQ(decode(encode(neg)), neg);
+}
+
+TEST(Encoding, JumpTargetRoundTrip) {
+  Instruction in;
+  in.op = Op::kJal;
+  in.target = 0x0040'1234;
+  const Instruction out = decode(encode(in));
+  EXPECT_EQ(out.op, Op::kJal);
+  EXPECT_EQ(out.target, 0x0040'1234u);
+}
+
+TEST(Encoding, RegimmBranchesRoundTrip) {
+  for (Op op : {Op::kBltz, Op::kBgez, Op::kBltzal, Op::kBgezal}) {
+    const Instruction in = make_i(op, 0, 9, -16);
+    const Instruction out = decode(encode(in));
+    EXPECT_EQ(out.op, op);
+    EXPECT_EQ(out.rs, 9);
+    EXPECT_EQ(out.imm, -16);
+  }
+}
+
+TEST(Encoding, SyscallRoundTrip) {
+  const Instruction in = make_r(Op::kSyscall, 0, 0, 0);
+  EXPECT_EQ(decode(encode(in)).op, Op::kSyscall);
+}
+
+TEST(Encoding, InvalidWordDecodesInvalid) {
+  EXPECT_EQ(decode(0xffffffffu).op, Op::kInvalid);
+}
+
+// Property sweep: every op round-trips with representative operands.
+class EncodeRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncodeRoundTrip, AllOps) {
+  const Op op = static_cast<Op>(GetParam());
+  Instruction in;
+  in.op = op;
+  switch (op_format(op)) {
+    case Format::kR:
+      in.rd = 3;
+      in.rs = 4;
+      in.rt = 21;
+      if (op_class(op) == OpClass::kShift &&
+          (op == Op::kSll || op == Op::kSrl || op == Op::kSra)) {
+        in.shamt = 9;
+      }
+      break;
+    case Format::kI:
+      in.rt = 21;
+      in.rs = 3;
+      in.imm = (op == Op::kAndi || op == Op::kOri || op == Op::kXori)
+                   ? 0x8001
+                   : -17;
+      if (op == Op::kBltz || op == Op::kBgez || op == Op::kBltzal ||
+          op == Op::kBgezal) {
+        in.rt = 0;  // selector field occupies rt
+      }
+      if (op == Op::kLui) {
+        in.rs = 0;
+        in.imm = 0x7fff;
+      }
+      break;
+    case Format::kJ:
+      in.rs = in.rt = in.rd = 0;
+      in.target = 0x00400040;
+      break;
+  }
+  EXPECT_EQ(decode(encode(in)), in) << mnemonic(op);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, EncodeRoundTrip,
+                         ::testing::Range(static_cast<int>(Op::kSll),
+                                          static_cast<int>(Op::kJal) + 1));
+
+TEST(Disasm, PaperAlertStyle) {
+  // The WU-FTPD alert in Table 2 reads "sw $21,0($3)".
+  const Instruction sw = make_i(Op::kSw, 21, 3, 0);
+  EXPECT_EQ(disassemble(sw), "sw $21,0($3)");
+  const Instruction lw = make_i(Op::kLw, 3, 3, 0);
+  EXPECT_EQ(disassemble(lw), "lw $3,0($3)");
+  const Instruction jr = make_r(Op::kJr, 0, 31, 0);
+  EXPECT_EQ(disassemble(jr), "jr $31");
+}
+
+TEST(Disasm, BranchTargetAbsolute) {
+  Instruction b = make_i(Op::kBne, 5, 4, 3);  // +12 bytes after pc+4
+  EXPECT_EQ(disassemble(b, 0x400000), "bne $4,$5,0x400010");
+}
+
+}  // namespace
+}  // namespace ptaint::isa

@@ -1,0 +1,159 @@
+// Tests for the Machine facade: report contents, incremental driving,
+// the execution tracer, and the trace module itself.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "trace/tracer.hpp"
+
+namespace ptaint::core {
+namespace {
+
+const char* kCountdown = R"(
+    .text
+_start:
+    li $t0, 5
+loop:
+    addiu $t0, $t0, -1
+    bgtz $t0, loop
+    li $v0, 1
+    li $a0, 0
+    syscall
+)";
+
+TEST(MachineApi, RunForIsResumable) {
+  Machine m;
+  m.load_source(kCountdown);
+  EXPECT_EQ(m.run_for(3), cpu::StopReason::kRunning);
+  const uint64_t after3 = m.cpu().stats().instructions;
+  EXPECT_EQ(after3, 3u);
+  // Keep driving to completion; the budget boundary must not latch a stop.
+  while (m.run_for(4) == cpu::StopReason::kRunning) {
+  }
+  EXPECT_EQ(m.cpu().stop_reason(), cpu::StopReason::kExit);
+}
+
+TEST(MachineApi, ReportAfterPartialRun) {
+  Machine m;
+  m.load_source(kCountdown);
+  m.run_for(2);
+  RunReport r = m.report();
+  EXPECT_EQ(r.stop, cpu::StopReason::kRunning);
+  EXPECT_EQ(r.cpu_stats.instructions, 2u);
+}
+
+TEST(MachineApi, ProtectUnknownSymbolThrows) {
+  Machine m;
+  m.load_source(kCountdown);
+  EXPECT_THROW(m.protect_symbol("no_such_symbol", 4), std::out_of_range);
+}
+
+TEST(MachineApi, TraceTailShowsPathToAlert) {
+  Machine m;
+  m.enable_trace(16);
+  m.load_source(R"(
+    .data
+buf: .space 8
+    .text
+_start:
+    li $v0, 3
+    li $a0, 0
+    la $a1, buf
+    li $a2, 4
+    syscall
+victim:
+    lw $t0, buf
+    lw $t1, 0($t0)
+  )");
+  m.os().set_stdin("aaaa");
+  RunReport r = m.run();
+  ASSERT_TRUE(r.detected());
+  EXPECT_NE(r.trace_tail.find("syscall"), std::string::npos);
+  EXPECT_NE(r.trace_tail.find("lw $8,"), std::string::npos);
+  EXPECT_NE(r.trace_tail.find("<_start>"), std::string::npos);
+}
+
+TEST(MachineApi, TraceAndPipelineCoexist) {
+  MachineConfig cfg;
+  cfg.pipeline_model = true;
+  Machine m(cfg);
+  m.enable_trace(8);
+  m.load_source(kCountdown);
+  RunReport r = m.run();
+  EXPECT_TRUE(r.pipeline_stats.has_value());
+  EXPECT_FALSE(r.trace_tail.empty());
+  ASSERT_NE(m.tracer(), nullptr);
+  EXPECT_EQ(m.tracer()->total(), r.cpu_stats.instructions);
+}
+
+TEST(TracerUnit, RingKeepsNewestEntries) {
+  trace::Tracer t(4);
+  isa::Instruction nop;
+  nop.op = isa::Op::kSll;
+  for (uint32_t i = 0; i < 10; ++i) {
+    t.record(nop, 0x400000 + 4 * i, false, false, 0);
+  }
+  auto recent = t.recent();
+  ASSERT_EQ(recent.size(), 4u);
+  EXPECT_EQ(recent.front().pc, 0x400018u);  // entries 6..9 retained
+  EXPECT_EQ(recent.back().pc, 0x400024u);
+  EXPECT_EQ(t.total(), 10u);
+}
+
+TEST(TracerUnit, PartialFillAndClear) {
+  trace::Tracer t(8);
+  isa::Instruction nop;
+  nop.op = isa::Op::kSll;
+  t.record(nop, 0x400000, false, false, 0);
+  t.record(nop, 0x400004, false, true, 0x10000000);
+  auto recent = t.recent();
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_TRUE(recent[1].is_mem);
+  EXPECT_NE(t.format().find("[ea=0x10000000]"), std::string::npos);
+  t.clear();
+  EXPECT_TRUE(t.recent().empty());
+  EXPECT_EQ(t.total(), 0u);
+}
+
+TEST(MachineApi, NetTranscriptsInReport) {
+  Machine m;
+  m.os().net().add_session({"ping"});
+  m.load_source(R"(
+    .data
+buf: .space 16
+    .text
+_start:
+    li $v0, 40
+    syscall
+    move $a0, $v0
+    li $v0, 43        # accept
+    syscall
+    move $s0, $v0
+    move $a0, $s0
+    la $a1, buf
+    li $a2, 16
+    li $v0, 44        # recv
+    syscall
+    move $a2, $v0
+    move $a0, $s0
+    la $a1, buf
+    li $v0, 45        # send (echo)
+    syscall
+    li $v0, 1
+    li $a0, 0
+    syscall
+  )");
+  RunReport r = m.run();
+  ASSERT_EQ(r.net_transcripts.size(), 1u);
+  EXPECT_EQ(r.net_transcripts[0], "ping");
+}
+
+TEST(MachineApi, AlertLineWithoutAlert) {
+  Machine m;
+  m.load_source(kCountdown);
+  RunReport r = m.run();
+  EXPECT_EQ(r.alert_line(), "(no alert)");
+  EXPECT_TRUE(r.exited_cleanly());
+}
+
+}  // namespace
+}  // namespace ptaint::core

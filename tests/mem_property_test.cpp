@@ -1,0 +1,125 @@
+// Property test: TaintedMemory against a trivial shadow model.  Random
+// sequences of byte/half/word stores with random taint, interleaved with
+// loads, bulk writes and taint sweeps, must agree with a std::map of
+// (value, taint) per byte — validating paging, endianness and taint
+// gather/scatter under adversarial access patterns.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "mem/tainted_memory.hpp"
+
+namespace ptaint::mem {
+namespace {
+
+struct ShadowByte {
+  uint8_t value = 0;
+  bool taint = false;
+};
+
+class Shadow {
+ public:
+  void store(uint32_t addr, uint8_t value, bool taint) {
+    bytes_[addr] = {value, taint};
+  }
+  ShadowByte load(uint32_t addr) const {
+    auto it = bytes_.find(addr);
+    return it == bytes_.end() ? ShadowByte{} : it->second;
+  }
+  void set_taint(uint32_t addr, uint32_t len, bool taint) {
+    for (uint32_t i = 0; i < len; ++i) bytes_[addr + i].taint = taint;
+  }
+  uint64_t tainted_count() const {
+    uint64_t n = 0;
+    for (const auto& [a, b] : bytes_) n += b.taint ? 1 : 0;
+    return n;
+  }
+
+ private:
+  std::map<uint32_t, ShadowByte> bytes_;
+};
+
+class MemoryShadowProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(MemoryShadowProperty, RandomOpsAgree) {
+  std::mt19937 rng(GetParam());
+  TaintedMemory mem;
+  Shadow shadow;
+  // A few hotspots crossing page boundaries plus scattered addresses.
+  auto pick_addr = [&]() -> uint32_t {
+    static constexpr uint32_t kBases[] = {
+        0x0,        0x00000ff8, 0x10000000, 0x10000ffc,
+        0x7fffbff0, 0x7fffffff - 16, 0x40000000};
+    return kBases[rng() % std::size(kBases)] + rng() % 24;
+  };
+
+  for (int op = 0; op < 4000; ++op) {
+    const uint32_t addr = pick_addr();
+    switch (rng() % 6) {
+      case 0: {  // byte store
+        const uint8_t v = static_cast<uint8_t>(rng());
+        const bool t = rng() % 2;
+        mem.store_byte(addr, {v, t});
+        shadow.store(addr, v, t);
+        break;
+      }
+      case 1: {  // half store
+        const uint32_t v = rng() & 0xffff;
+        const TaintBits t = static_cast<TaintBits>(rng() & 0x3);
+        mem.store_half(addr, TaintedWord{v, t});
+        for (int i = 0; i < 2; ++i) {
+          shadow.store(addr + i, static_cast<uint8_t>(v >> (8 * i)),
+                       byte_tainted(t, i));
+        }
+        break;
+      }
+      case 2: {  // word store
+        const uint32_t v = rng();
+        const TaintBits t = static_cast<TaintBits>(rng() & 0xf);
+        mem.store_word(addr, TaintedWord{v, t});
+        for (int i = 0; i < 4; ++i) {
+          shadow.store(addr + i, static_cast<uint8_t>(v >> (8 * i)),
+                       byte_tainted(t, i));
+        }
+        break;
+      }
+      case 3: {  // bulk write
+        const uint32_t len = rng() % 16;
+        std::vector<uint8_t> data(len);
+        for (auto& b : data) b = static_cast<uint8_t>(rng());
+        const bool t = rng() % 2;
+        mem.write_block(addr, data, t);
+        for (uint32_t i = 0; i < len; ++i) shadow.store(addr + i, data[i], t);
+        break;
+      }
+      case 4: {  // taint sweep (values untouched)
+        const uint32_t len = rng() % 12;
+        const bool t = rng() % 2;
+        mem.set_taint(addr, len, t);
+        shadow.set_taint(addr, len, t);
+        break;
+      }
+      case 5: {  // verify a random word load against the shadow
+        const TaintedWord w = mem.load_word(addr);
+        uint32_t want_v = 0;
+        TaintBits want_t = kUntainted;
+        for (int i = 0; i < 4; ++i) {
+          const ShadowByte sb = shadow.load(addr + i);
+          want_v |= static_cast<uint32_t>(sb.value) << (8 * i);
+          if (sb.taint) want_t |= static_cast<TaintBits>(1u << i);
+        }
+        ASSERT_EQ(w.value, want_v) << "word load @ " << std::hex << addr;
+        ASSERT_EQ(w.taint, want_t) << "word taint @ " << std::hex << addr;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(mem.tainted_byte_count(), shadow.tainted_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemoryShadowProperty,
+                         ::testing::Values(1u, 7u, 42u, 1337u, 20050628u));
+
+}  // namespace
+}  // namespace ptaint::mem

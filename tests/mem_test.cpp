@@ -1,0 +1,155 @@
+// Unit tests for the tainted memory subsystem: per-byte taint storage,
+// endianness, taint gather/scatter, register file, and the cache model.
+#include <gtest/gtest.h>
+
+#include "mem/cache.hpp"
+#include "mem/register_file.hpp"
+#include "mem/tainted_memory.hpp"
+
+namespace ptaint::mem {
+namespace {
+
+TEST(TaintedWordType, Basics) {
+  TaintedWord w{0x64636261, 0x5};
+  EXPECT_TRUE(w.tainted());
+  EXPECT_TRUE(byte_tainted(w.taint, 0));
+  EXPECT_FALSE(byte_tainted(w.taint, 1));
+  EXPECT_TRUE(byte_tainted(w.taint, 2));
+  EXPECT_EQ(TaintedWord(7).taint, kUntainted);
+}
+
+TEST(Memory, UnmappedReadsZeroUntainted) {
+  TaintedMemory m;
+  EXPECT_EQ(m.load_word(0x10000000).value, 0u);
+  EXPECT_EQ(m.load_word(0x10000000).taint, kUntainted);
+  EXPECT_EQ(m.mapped_pages(), 0u);
+}
+
+TEST(Memory, WordRoundTripLittleEndian) {
+  TaintedMemory m;
+  m.store_word(0x10000000, TaintedWord{0x64636261});
+  EXPECT_EQ(m.load_byte(0x10000000).value, 0x61);  // 'a' at lowest address
+  EXPECT_EQ(m.load_byte(0x10000003).value, 0x64);
+  EXPECT_EQ(m.load_word(0x10000000).value, 0x64636261u);
+}
+
+TEST(Memory, TaintTravelsPerByte) {
+  TaintedMemory m;
+  m.store_word(0x20000000, TaintedWord{0xaabbccdd, 0b0110});
+  EXPECT_FALSE(m.load_byte(0x20000000).taint);
+  EXPECT_TRUE(m.load_byte(0x20000001).taint);
+  EXPECT_TRUE(m.load_byte(0x20000002).taint);
+  EXPECT_FALSE(m.load_byte(0x20000003).taint);
+  EXPECT_EQ(m.load_word(0x20000000).taint, 0b0110);
+}
+
+TEST(Memory, UnalignedWordGathersTaintInByteOrder) {
+  TaintedMemory m;
+  m.store_byte(0x1000, {0x11, false});
+  m.store_byte(0x1001, {0x22, true});
+  m.store_byte(0x1002, {0x33, false});
+  m.store_byte(0x1003, {0x44, true});
+  m.store_byte(0x1004, {0x55, true});
+  // A word loaded at 0x1001 sees bytes 0x22,0x33,0x44,0x55.
+  const TaintedWord w = m.load_word(0x1001);
+  EXPECT_EQ(w.value, 0x55443322u);
+  EXPECT_EQ(w.taint, 0b1101);
+}
+
+TEST(Memory, HalfAccess) {
+  TaintedMemory m;
+  m.store_half(0x3000, TaintedWord{0xbc20, 0b01});
+  EXPECT_EQ(m.load_half(0x3000).value, 0xbc20u);
+  EXPECT_EQ(m.load_half(0x3000).taint, 0b01);
+  EXPECT_EQ(m.load_byte(0x3000).value, 0x20);
+  EXPECT_TRUE(m.load_byte(0x3000).taint);
+  EXPECT_FALSE(m.load_byte(0x3001).taint);
+}
+
+TEST(Memory, CrossPageAccess) {
+  TaintedMemory m;
+  const uint32_t addr = TaintedMemory::kPageSize - 2;  // straddles a page
+  m.store_word(addr, TaintedWord{0xdeadbeef, 0b1010});
+  EXPECT_EQ(m.load_word(addr).value, 0xdeadbeefu);
+  EXPECT_EQ(m.load_word(addr).taint, 0b1010);
+  EXPECT_EQ(m.mapped_pages(), 2u);
+}
+
+TEST(Memory, BlockWriteAndTaintSweep) {
+  TaintedMemory m;
+  const std::vector<uint8_t> data{'s', 'i', 't', 'e'};
+  m.write_block(0x5000, data, /*tainted=*/true);
+  EXPECT_TRUE(m.any_tainted_in(0x5000, 4));
+  EXPECT_EQ(m.tainted_byte_count(), 4u);
+  EXPECT_EQ(m.read_block(0x5000, 4), data);
+  m.set_taint(0x5000, 4, false);  // validation / RT-register untaint
+  EXPECT_FALSE(m.any_tainted_in(0x5000, 4));
+  EXPECT_EQ(m.read_block(0x5000, 4), data);  // data unchanged
+}
+
+TEST(Memory, ReadCString) {
+  TaintedMemory m;
+  const std::string s = "site exec";
+  m.write_block(0x6000, {reinterpret_cast<const uint8_t*>(s.data()), s.size()},
+                false);
+  m.store_byte(0x6000 + 9, {0, false});
+  EXPECT_EQ(m.read_cstring(0x6000), "site exec");
+  EXPECT_EQ(m.read_cstring(0x6000, 4), "site");  // bounded
+}
+
+TEST(RegisterFileTaint, ZeroIsHardwired) {
+  RegisterFile rf;
+  rf.set(0, TaintedWord{0x1234, kAllTainted});
+  EXPECT_EQ(rf.get(0).value, 0u);
+  EXPECT_EQ(rf.get(0).taint, kUntainted);
+}
+
+TEST(RegisterFileTaint, SetGetAndUntaint) {
+  RegisterFile rf;
+  rf.set(21, TaintedWord{0x1002bc20, kAllTainted});
+  EXPECT_TRUE(rf.get(21).tainted());
+  EXPECT_EQ(rf.tainted_reg_count(), 1);
+  rf.untaint(21);
+  EXPECT_FALSE(rf.get(21).tainted());
+  EXPECT_EQ(rf.get(21).value, 0x1002bc20u);  // value preserved
+}
+
+TEST(RegisterFileTaint, HiLo) {
+  RegisterFile rf;
+  rf.set_hi(TaintedWord{1, 0x3});
+  rf.set_lo(TaintedWord{2, 0x0});
+  EXPECT_TRUE(rf.hi().tainted());
+  EXPECT_FALSE(rf.lo().tainted());
+}
+
+TEST(CacheModel, HitsAfterFirstMiss) {
+  Cache c({.size_bytes = 1024, .line_bytes = 32, .ways = 2, .hit_latency = 1,
+           .miss_penalty = 10});
+  EXPECT_EQ(c.access(0x100, false), 11u);  // cold miss
+  EXPECT_EQ(c.access(0x104, false), 1u);   // same line
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(CacheModel, LruEviction) {
+  // 2 sets * 2 ways * 32B lines = 128 bytes; lines mapping to set 0 are
+  // multiples of 64.
+  Cache c({.size_bytes = 128, .line_bytes = 32, .ways = 2, .hit_latency = 1,
+           .miss_penalty = 10});
+  c.access(0 * 64, false);   // miss, way 0
+  c.access(1 * 64, false);   // miss, way 1
+  c.access(0 * 64, false);   // hit, refreshes line 0
+  c.access(2 * 64, false);   // miss, evicts line 64 (LRU)
+  EXPECT_EQ(c.access(0 * 64, false), 1u);   // still resident
+  EXPECT_EQ(c.access(1 * 64, false), 11u);  // was evicted
+}
+
+TEST(CacheModel, TaintStorageOverheadIsOneEighth) {
+  Cache with({.size_bytes = 32 * 1024, .taint_extension = true});
+  Cache without({.size_bytes = 32 * 1024, .taint_extension = false});
+  EXPECT_EQ(with.taint_bits() * 8, with.data_bits());
+  EXPECT_EQ(without.taint_bits(), 0u);
+}
+
+}  // namespace
+}  // namespace ptaint::mem

@@ -1,0 +1,205 @@
+// Edge-case tests for the simulated OS: descriptor misuse, short reads,
+// recv truncation, file append semantics, and write-to-closed errors.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+
+namespace ptaint::core {
+namespace {
+
+using cpu::StopReason;
+
+RunReport run_src(Machine& m, const std::string& src) {
+  m.load_source(src);
+  return m.run();
+}
+
+TEST(OsEdge, ReadFromBadFdReturnsMinusOne) {
+  Machine m;
+  auto r = run_src(m, R"(
+    .data
+buf: .space 8
+    .text
+_start:
+    li $a0, 42          # never opened
+    la $a1, buf
+    li $a2, 4
+    li $v0, 3
+    syscall
+    move $a0, $v0
+    li $v0, 1
+    syscall
+  )");
+  EXPECT_EQ(r.exit_status, -1);
+}
+
+TEST(OsEdge, WriteToClosedFdFails) {
+  Machine m;
+  m.os().vfs().install("/f", std::string("x"));
+  auto r = run_src(m, R"(
+    .data
+path: .asciiz "/f"
+    .text
+_start:
+    la $a0, path
+    li $a1, 0
+    li $v0, 5           # open read-only
+    syscall
+    move $s0, $v0
+    move $a0, $s0
+    li $v0, 6           # close
+    syscall
+    move $a0, $s0
+    la $a1, path
+    li $a2, 2
+    li $v0, 4           # write to the closed fd
+    syscall
+    move $a0, $v0
+    li $v0, 1
+    syscall
+  )");
+  EXPECT_EQ(r.exit_status, -1);
+}
+
+TEST(OsEdge, ShortReadAtEof) {
+  Machine m;
+  m.os().vfs().install("/f", std::string("abc"));
+  auto r = run_src(m, R"(
+    .data
+path: .asciiz "/f"
+buf:  .space 16
+    .text
+_start:
+    la $a0, path
+    li $a1, 0
+    li $v0, 5
+    syscall
+    move $s0, $v0
+    move $a0, $s0
+    la $a1, buf
+    li $a2, 16
+    li $v0, 3
+    syscall             # asks 16, file holds 3
+    move $s1, $v0
+    move $a0, $s0
+    la $a1, buf
+    li $a2, 16
+    li $v0, 3
+    syscall             # second read: EOF -> 0
+    addu $a0, $s1, $v0  # 3 + 0
+    li $v0, 1
+    syscall
+  )");
+  EXPECT_EQ(r.exit_status, 3);
+}
+
+TEST(OsEdge, RecvTruncatesToRequestedLength) {
+  Machine m;
+  m.os().net().add_session({"0123456789"});
+  auto r = run_src(m, R"(
+    .data
+buf: .space 16
+    .text
+_start:
+    li $v0, 40
+    syscall
+    move $a0, $v0
+    li $v0, 43
+    syscall
+    move $a0, $v0
+    la $a1, buf
+    li $a2, 4           # only take 4 of the 10-byte chunk
+    li $v0, 44
+    syscall
+    move $a0, $v0
+    li $v0, 1
+    syscall
+  )");
+  EXPECT_EQ(r.exit_status, 4);
+  EXPECT_EQ(m.memory().read_cstring(m.program().symbols.at("buf"), 4), "0123");
+  // Byte 4 was never written.
+  EXPECT_EQ(m.memory().load_byte(m.program().symbols.at("buf") + 4).value, 0);
+}
+
+TEST(OsEdge, WriteHandleAppendsAcrossCalls) {
+  Machine m;
+  auto r = run_src(m, R"(
+    .data
+path: .asciiz "/log"
+a:    .asciiz "one "
+b:    .asciiz "two"
+    .text
+_start:
+    la $a0, path
+    li $a1, 1           # write mode
+    li $v0, 5
+    syscall
+    move $s0, $v0
+    move $a0, $s0
+    la $a1, a
+    li $a2, 4
+    li $v0, 4
+    syscall
+    move $a0, $s0
+    la $a1, b
+    li $a2, 3
+    li $v0, 4
+    syscall
+    li $a0, 0
+    li $v0, 1
+    syscall
+  )");
+  ASSERT_EQ(r.stop, StopReason::kExit);
+  const auto* f = m.os().vfs().contents("/log");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(std::string(f->begin(), f->end()), "one two");
+}
+
+TEST(OsEdge, FdsAreRecycledAfterClose) {
+  Machine m;
+  m.os().vfs().install("/f", std::string("z"));
+  auto r = run_src(m, R"(
+    .data
+path: .asciiz "/f"
+    .text
+_start:
+    la $a0, path
+    li $a1, 0
+    li $v0, 5
+    syscall
+    move $s0, $v0       # first fd
+    move $a0, $s0
+    li $v0, 6
+    syscall
+    la $a0, path
+    li $a1, 0
+    li $v0, 5
+    syscall             # reopen: should reuse the slot
+    subu $a0, $v0, $s0  # 0 when recycled
+    li $v0, 1
+    syscall
+  )");
+  EXPECT_EQ(r.exit_status, 0);
+}
+
+TEST(OsEdge, StdinEofGivesZero) {
+  Machine m;  // no stdin set
+  auto r = run_src(m, R"(
+    .data
+buf: .space 8
+    .text
+_start:
+    li $a0, 0
+    la $a1, buf
+    li $a2, 8
+    li $v0, 3
+    syscall
+    move $a0, $v0
+    li $v0, 1
+    syscall
+  )");
+  EXPECT_EQ(r.exit_status, 0);
+}
+
+}  // namespace
+}  // namespace ptaint::core

@@ -1,0 +1,305 @@
+// Tests for the simulated OS: syscall behaviour, the taint boundary at
+// READ/RECV, VFS, virtual network sessions, and argv/env tainting.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+
+namespace ptaint::core {
+namespace {
+
+using cpu::StopReason;
+
+TEST(Vfs, InstallOpenReadClose) {
+  os::Vfs vfs;
+  vfs.install("/etc/passwd", std::string("root:x:0:0:\n"));
+  EXPECT_TRUE(vfs.exists("/etc/passwd"));
+  auto h = vfs.open("/etc/passwd");
+  ASSERT_TRUE(h.has_value());
+  auto chunk = vfs.read(*h, 6);
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_EQ(std::string(chunk->begin(), chunk->end()), "root:x");
+  vfs.close(*h);
+  EXPECT_FALSE(vfs.read(*h, 1).has_value());
+  EXPECT_FALSE(vfs.open("/missing").has_value());
+}
+
+TEST(Vfs, WriteHandleAppends) {
+  os::Vfs vfs;
+  int h = vfs.open_write("/tmp/out");
+  const std::string a = "hello ", b = "world";
+  vfs.write(h, {reinterpret_cast<const uint8_t*>(a.data()), a.size()});
+  vfs.write(h, {reinterpret_cast<const uint8_t*>(b.data()), b.size()});
+  const auto* c = vfs.contents("/tmp/out");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(std::string(c->begin(), c->end()), "hello world");
+}
+
+TEST(Vnet, SessionLifecycle) {
+  os::VirtualNetwork net;
+  net.add_session({"GET / HTTP/1.0\r\n", "more"});
+  EXPECT_TRUE(net.has_pending_session());
+  auto id = net.accept();
+  ASSERT_TRUE(id.has_value());
+  EXPECT_FALSE(net.has_pending_session());
+  auto c1 = net.recv(*id);
+  ASSERT_TRUE(c1.has_value());
+  EXPECT_EQ(std::string(c1->begin(), c1->end()), "GET / HTTP/1.0\r\n");
+  auto c2 = net.recv(*id);
+  EXPECT_EQ(std::string(c2->begin(), c2->end()), "more");
+  EXPECT_TRUE(net.recv(*id)->empty());  // EOF
+  const std::string reply = "200 OK";
+  net.send(*id, {reinterpret_cast<const uint8_t*>(reply.data()), reply.size()});
+  EXPECT_EQ(net.transcript(0), "200 OK");
+}
+
+TEST(Vnet, RecvOnUnacceptedOrBadIdFails) {
+  os::VirtualNetwork net;
+  net.add_session({"x"});
+  EXPECT_FALSE(net.recv(0).has_value());  // not accepted yet
+  EXPECT_FALSE(net.recv(7).has_value());
+  EXPECT_FALSE(net.accept().has_value() && net.accept().has_value());
+}
+
+RunReport run_with(Machine& m, const std::string& src) {
+  m.load_source(src);
+  return m.run();
+}
+
+TEST(Syscalls, WriteCapturesStdout) {
+  Machine m;
+  auto r = run_with(m, R"(
+    .data
+    msg: .asciiz "220 FTP server ready.\n"
+    .text
+    _start:
+      li $v0, 4        # SYS_WRITE
+      li $a0, 1
+      la $a1, msg
+      li $a2, 22
+      syscall
+      li $v0, 1
+      li $a0, 0
+      syscall
+  )");
+  EXPECT_EQ(r.stdout_text, "220 FTP server ready.\n");
+}
+
+TEST(Syscalls, ReadFromFileTaintsBuffer) {
+  Machine m;
+  m.os().vfs().install("/input.txt", std::string("FILEDATA"));
+  auto r = run_with(m, R"(
+    .data
+    path: .asciiz "/input.txt"
+    buf:  .space 16
+    .text
+    _start:
+      li $v0, 5          # SYS_OPEN
+      la $a0, path
+      li $a1, 0
+      syscall
+      move $a0, $v0
+      li $v0, 3          # SYS_READ
+      la $a1, buf
+      li $a2, 8
+      syscall
+      move $a0, $v0      # exit status = bytes read
+      li $v0, 1
+      syscall
+  )");
+  EXPECT_EQ(r.exit_status, 8);
+  EXPECT_EQ(r.os_stats.input_bytes_tainted, 8u);
+  EXPECT_TRUE(m.memory().any_tainted_in(m.program().symbols.at("buf"), 8));
+}
+
+TEST(Syscalls, TaintingDisabledForBaselineRuns) {
+  MachineConfig cfg;
+  Machine m(cfg);
+  m.os().set_taint_inputs(false);
+  m.os().set_stdin("abcd");
+  auto r = run_with(m, R"(
+    .data
+    buf: .space 8
+    .text
+    _start:
+      li $v0, 3
+      li $a0, 0
+      la $a1, buf
+      li $a2, 4
+      syscall
+      li $v0, 1
+      li $a0, 0
+      syscall
+  )");
+  EXPECT_EQ(r.os_stats.input_bytes_tainted, 0u);
+  EXPECT_FALSE(m.memory().any_tainted_in(m.program().symbols.at("buf"), 4));
+}
+
+TEST(Syscalls, BrkGrowsHeap) {
+  Machine m;
+  auto r = run_with(m, R"(
+    .text
+    _start:
+      li $v0, 17       # SYS_BRK query
+      li $a0, 0
+      syscall
+      addiu $a0, $v0, 0x100
+      li $v0, 17       # grow
+      syscall
+      move $t0, $v0
+      li $v0, 17       # query again
+      li $a0, 0
+      syscall
+      subu $a0, $v0, $t0   # 0 if stable
+      li $v0, 1
+      syscall
+  )");
+  EXPECT_EQ(r.exit_status, 0);
+  EXPECT_GT(m.os().brk(), isa::layout::kDataBase);
+}
+
+TEST(Syscalls, SocketAcceptRecvSendRoundTrip) {
+  Machine m;
+  m.os().net().add_session({"USER alice\r\n"});
+  auto r = run_with(m, R"(
+    .data
+    buf: .space 64
+    .text
+    _start:
+      li $v0, 40       # SYS_SOCKET
+      syscall
+      move $s0, $v0
+      move $a0, $s0
+      li $v0, 41       # SYS_BIND
+      syscall
+      move $a0, $s0
+      li $v0, 42       # SYS_LISTEN
+      syscall
+      move $a0, $s0
+      li $v0, 43       # SYS_ACCEPT
+      syscall
+      move $s1, $v0
+      move $a0, $s1
+      la $a1, buf
+      li $a2, 64
+      li $v0, 44       # SYS_RECV
+      syscall
+      move $s2, $v0    # bytes received
+      move $a0, $s1
+      la $a1, buf
+      move $a2, $s2
+      li $v0, 45       # SYS_SEND (echo)
+      syscall
+      move $a0, $s2
+      li $v0, 1
+      syscall
+  )");
+  EXPECT_EQ(r.exit_status, 12);
+  EXPECT_EQ(m.os().net().transcript(0), "USER alice\r\n");
+  EXPECT_EQ(r.os_stats.recvs, 1u);
+  EXPECT_EQ(r.os_stats.input_bytes_tainted, 12u);
+}
+
+TEST(Syscalls, AcceptWithoutClientFails) {
+  Machine m;
+  auto r = run_with(m, R"(
+    .text
+    _start:
+      li $v0, 40
+      syscall
+      move $a0, $v0
+      li $v0, 43
+      syscall
+      move $a0, $v0    # -1 expected
+      li $v0, 1
+      syscall
+  )");
+  EXPECT_EQ(r.exit_status, -1);
+}
+
+TEST(Syscalls, UidSetGet) {
+  Machine m;
+  auto r = run_with(m, R"(
+    .text
+    _start:
+      li $v0, 24       # GETUID
+      syscall
+      move $s0, $v0
+      li $a0, 0
+      li $v0, 23       # SETUID(0)
+      syscall
+      li $v0, 24
+      syscall
+      addu $a0, $v0, $s0   # 0 + 1000
+      li $v0, 1
+      syscall
+  )");
+  EXPECT_EQ(r.exit_status, 1000);
+  EXPECT_EQ(m.os().uid(), 0u);
+}
+
+TEST(Syscalls, ExecIsRecorded) {
+  Machine m;
+  auto r = run_with(m, R"(
+    .data
+    sh: .asciiz "/bin/sh"
+    .text
+    _start:
+      la $a0, sh
+      li $v0, 59       # SYS_EXEC
+      syscall
+      li $v0, 1
+      li $a0, 0
+      syscall
+  )");
+  ASSERT_EQ(m.os().exec_log().size(), 1u);
+  EXPECT_EQ(m.os().exec_log()[0], "/bin/sh");
+}
+
+TEST(Syscalls, UnknownSyscallFaults) {
+  Machine m;
+  auto r = run_with(m, ".text\n_start: li $v0, 999\nsyscall\n");
+  EXPECT_EQ(r.stop, StopReason::kFault);
+  EXPECT_NE(r.fault.find("999"), std::string::npos);
+}
+
+TEST(Loader, ArgvBytesAreTaintedPointersAreNot) {
+  MachineConfig cfg;
+  cfg.argv = {"traceroute", "-g", "123"};
+  Machine m(cfg);
+  m.load_source(R"(
+    .text
+    _start:
+      lw $t0, 0($a1)     # argv[0] pointer cell: untainted
+      lw $t1, 8($a1)     # argv[2] pointer cell
+      lbu $t2, 0($t1)    # first byte of "123": tainted -> use as pointer
+      lw $t3, 0($t2)     # alert expected
+      li $v0, 1
+      li $a0, 0
+      syscall
+  )");
+  auto r = m.run();
+  ASSERT_TRUE(r.detected());
+  EXPECT_EQ(r.alert->reg_value, static_cast<uint32_t>('1'));
+}
+
+TEST(Loader, ArgcInA0AndTerminators) {
+  MachineConfig cfg;
+  cfg.argv = {"prog", "x"};
+  cfg.env = {"PATH=/bin"};
+  Machine m(cfg);
+  m.load_source(R"(
+    .text
+    _start:
+      move $a0, $a0    # argc
+      li $v0, 1
+      syscall
+  )");
+  auto r = m.run();
+  EXPECT_EQ(r.exit_status, 2);
+  // argv[2] slot is the NULL terminator.
+  const uint32_t argv_base = isa::layout::kArgBase + 4;
+  EXPECT_EQ(m.memory().load_word(argv_base + 8).value, 0u);
+}
+
+}  // namespace
+}  // namespace ptaint::core

@@ -1,0 +1,239 @@
+// Tests for the pipeline timing model: hazard accounting, cache behaviour,
+// and the Section 5.4 overhead claims.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+
+namespace ptaint::cpu {
+namespace {
+
+using core::Machine;
+using core::MachineConfig;
+
+PipelineStats run_timed(const std::string& src,
+                        PipelineConfig pipe_cfg = {}) {
+  MachineConfig cfg;
+  cfg.pipeline_model = true;
+  cfg.pipeline = pipe_cfg;
+  Machine m(cfg);
+  m.load_source(src);
+  auto r = m.run();
+  EXPECT_EQ(r.stop, StopReason::kExit) << r.fault;
+  return *r.pipeline_stats;
+}
+
+TEST(PipelineModel, LoadUseStallCounted) {
+  // lw immediately followed by a consumer stalls one cycle per iteration.
+  auto stalled = run_timed(R"(
+    .data
+w: .word 3
+    .text
+_start:
+    li $t0, 100
+loop:
+    lw $t1, w            # expands to lui $at + lw
+    addu $t2, $t1, $t1   # load-use on $t1
+    addiu $t0, $t0, -1
+    bgtz $t0, loop
+    li $v0, 1
+    li $a0, 0
+    syscall
+  )");
+  auto spaced = run_timed(R"(
+    .data
+w: .word 3
+    .text
+_start:
+    li $t0, 100
+loop:
+    lw $t1, w
+    addiu $t0, $t0, -1   # independent filler between load and use
+    addu $t2, $t1, $t1
+    bgtz $t0, loop
+    li $v0, 1
+    li $a0, 0
+    syscall
+  )");
+  EXPECT_GE(stalled.load_use_stalls, 100u);
+  EXPECT_EQ(spaced.load_use_stalls, 0u);
+  EXPECT_GT(stalled.cycles, spaced.cycles - 50);  // roughly one per iter
+}
+
+TEST(PipelineModel, TakenBranchesFlush) {
+  auto stats = run_timed(R"(
+    .text
+_start:
+    li $t0, 50
+loop:
+    addiu $t0, $t0, -1
+    bgtz $t0, loop       # taken 49 times
+    li $v0, 1
+    li $a0, 0
+    syscall
+  )");
+  // 49 taken branches + 1 not-taken + jal/jr-free exit; each taken branch
+  // costs the configured flush.
+  EXPECT_GE(stats.branch_flush_cycles, 49u * 2);
+}
+
+TEST(PipelineModel, TwoBitPredictorLearnsLoops) {
+  const char* loop = R"(
+    .text
+_start:
+    li $t0, 500
+loop:
+    addiu $t0, $t0, -1
+    bgtz $t0, loop
+    li $v0, 1
+    li $a0, 0
+    syscall
+  )";
+  PipelineConfig with_bp;
+  with_bp.predictor = PipelineConfig::BranchPredictor::kTwoBit;
+  auto predicted = run_timed(loop, with_bp);
+  auto static_np = run_timed(loop);
+  // A monotone loop is nearly perfectly predictable: a handful of warm-up
+  // and exit mispredictions instead of ~500 flushes.
+  EXPECT_GT(predicted.cond_branches, 499u);
+  EXPECT_LT(predicted.mispredictions, 5u);
+  EXPECT_GT(static_np.mispredictions, 490u);
+  EXPECT_LT(predicted.cycles, static_np.cycles);
+  EXPECT_LT(predicted.misprediction_rate(), 0.01);
+}
+
+TEST(PipelineModel, PredictorHandlesAlternatingBranches) {
+  // Alternating taken/not-taken defeats a 2-bit counter about half the
+  // time — the classic worst case.
+  const char* alt = R"(
+    .text
+_start:
+    li $t0, 400
+    li $t1, 0
+loop:
+    andi $t2, $t0, 1
+    beqz $t2, skip        # alternates every iteration
+    addiu $t1, $t1, 1
+skip:
+    addiu $t0, $t0, -1
+    bgtz $t0, loop
+    li $v0, 1
+    li $a0, 0
+    syscall
+  )";
+  PipelineConfig with_bp;
+  with_bp.predictor = PipelineConfig::BranchPredictor::kTwoBit;
+  auto s = run_timed(alt, with_bp);
+  EXPECT_GT(s.misprediction_rate(), 0.2);
+  EXPECT_LT(s.misprediction_rate(), 0.8);
+}
+
+TEST(PipelineModel, ColdICacheMissesThenWarm) {
+  auto stats = run_timed(R"(
+    .text
+_start:
+    li $t0, 200
+loop:
+    addiu $t0, $t0, -1
+    bgtz $t0, loop
+    li $v0, 1
+    li $a0, 0
+    syscall
+  )");
+  // The loop fits in one or two lines: a couple of cold misses, then hits.
+  EXPECT_GT(stats.icache_miss_cycles, 0u);
+  EXPECT_LT(stats.icache_miss_cycles, 100u);
+  EXPECT_GT(stats.ipc(), 0.3);
+}
+
+TEST(PipelineModel, DCacheStrideMissesAccumulate) {
+  PipelineConfig small;
+  small.dcache.size_bytes = 1024;
+  small.dcache.line_bytes = 32;
+  small.dcache.ways = 2;
+  auto stats = run_timed(R"(
+    .data
+arr: .space 16384
+    .text
+_start:
+    li $t0, 0
+    la $t1, arr
+loop:
+    addu $t2, $t1, $t0
+    sw $t0, 0($t2)
+    addiu $t0, $t0, 128   # > line size: every store misses
+    blt $t0, 16384, loop
+    li $v0, 1
+    li $a0, 0
+    syscall
+  )",
+                         small);
+  EXPECT_GE(stats.dcache_miss_cycles, 100u);
+}
+
+TEST(PipelineModel, TaintExtensionAddsNoCycles) {
+  const char* src = R"(
+    .data
+buf: .space 64
+    .text
+_start:
+    li $v0, 3
+    li $a0, 0
+    la $a1, buf
+    li $a2, 32
+    syscall
+    li $t0, 0
+loop:
+    la $t1, buf
+    addu $t1, $t1, $t0
+    lbu $t2, 0($t1)
+    addu $t3, $t3, $t2
+    addiu $t0, $t0, 1
+    blt $t0, 32, loop
+    li $v0, 1
+    li $a0, 0
+    syscall
+  )";
+  MachineConfig with_cfg;
+  with_cfg.pipeline_model = true;
+  Machine with_taint(with_cfg);
+  with_taint.load_source(src);
+  with_taint.os().set_stdin(std::string(32, 'x'));
+  auto a = with_taint.run();
+
+  MachineConfig without_cfg;
+  without_cfg.pipeline_model = true;
+  without_cfg.pipeline.taint_tracking = false;
+  without_cfg.policy.mode = DetectionMode::kOff;
+  Machine no_taint(without_cfg);
+  no_taint.load_source(src);
+  no_taint.os().set_stdin(std::string(32, 'x'));
+  auto b = no_taint.run();
+
+  ASSERT_TRUE(a.pipeline_stats && b.pipeline_stats);
+  EXPECT_EQ(a.pipeline_stats->cycles, b.pipeline_stats->cycles);
+  EXPECT_EQ(a.pipeline_stats->instructions, b.pipeline_stats->instructions);
+}
+
+TEST(PipelineModel, StorageOverheadIsOneEighth) {
+  MachineConfig cfg;
+  cfg.pipeline_model = true;
+  Machine m(cfg);
+  m.load_source(".text\n_start: li $v0, 1\nli $a0, 0\nsyscall\n");
+  m.run();
+  const auto* pipe = m.pipeline();
+  ASSERT_NE(pipe, nullptr);
+  EXPECT_EQ(pipe->taint_storage_bits() * 8, pipe->baseline_storage_bits());
+}
+
+TEST(PipelineModel, NoTaintExtensionNoExtraBits) {
+  MachineConfig cfg;
+  cfg.pipeline_model = true;
+  cfg.pipeline.taint_tracking = false;
+  Machine m(cfg);
+  m.load_source(".text\n_start: li $v0, 1\nli $a0, 0\nsyscall\n");
+  m.run();
+  EXPECT_EQ(m.pipeline()->taint_storage_bits(), 0u);
+}
+
+}  // namespace
+}  // namespace ptaint::cpu

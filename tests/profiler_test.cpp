@@ -1,0 +1,81 @@
+// Tests for the per-function profiler.
+#include <gtest/gtest.h>
+
+#include "core/machine.hpp"
+#include "trace/profiler.hpp"
+
+namespace ptaint::core {
+namespace {
+
+TEST(Profiler, AttributesInstructionsToFunctions) {
+  Machine m;
+  m.load_source(R"(
+    .text
+_start:
+    jal hot
+    jal cold
+    li $v0, 1
+    li $a0, 0
+    syscall
+hot:
+    li $t0, 100
+hot_loop:
+    addiu $t0, $t0, -1
+    bgtz $t0, hot_loop
+    jr $ra
+cold:
+    jr $ra
+  )");
+  m.enable_profile();
+  auto r = m.run();
+  ASSERT_TRUE(r.exited_cleanly());
+  ASSERT_NE(m.profiler(), nullptr);
+  EXPECT_EQ(m.profiler()->total(), r.cpu_stats.instructions);
+
+  auto rows = m.profiler()->hottest();
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows[0].function, "hot");
+  // The loop body dominates: 100 iterations of addiu+bgtz, plus li and jr.
+  EXPECT_GE(rows[0].instructions, 202u);
+  double share_sum = 0;
+  for (const auto& row : rows) share_sum += row.share;
+  EXPECT_NEAR(share_sum, 1.0, 1e-9);
+}
+
+TEST(Profiler, HotListIsBoundedAndSorted) {
+  Machine m;
+  m.load_source(R"(
+    .text
+_start:
+    jal f1
+    jal f2
+    jal f3
+    li $v0, 1
+    li $a0, 0
+    syscall
+f1: jr $ra
+f2: nop
+    jr $ra
+f3: nop
+    nop
+    jr $ra
+  )");
+  m.enable_profile();
+  m.run();
+  auto rows = m.profiler()->hottest(2);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_GE(rows[0].instructions, rows[1].instructions);
+}
+
+TEST(Profiler, FormatContainsHeaderAndRows) {
+  Machine m;
+  m.load_source(".text\n_start: li $v0, 1\nli $a0, 0\nsyscall\n");
+  m.enable_profile();
+  m.run();
+  const std::string table = m.profiler()->format();
+  EXPECT_NE(table.find("function"), std::string::npos);
+  EXPECT_NE(table.find("_start"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ptaint::core

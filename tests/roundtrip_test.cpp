@@ -1,0 +1,158 @@
+// Property tests across tool layers:
+//  * disassemble -> assemble -> encode is the identity for every operation;
+//  * the assembler rejects malformed input with diagnostics, never crashes;
+//  * assembled programs re-disassemble to the mnemonics they were written
+//    with.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "asmgen/assembler.hpp"
+#include "isa/isa.hpp"
+
+namespace ptaint {
+namespace {
+
+using asmgen::assemble;
+using asmgen::AssemblyError;
+using isa::Instruction;
+using isa::Op;
+
+Instruction representative(Op op) {
+  Instruction in;
+  in.op = op;
+  switch (isa::op_format(op)) {
+    case isa::Format::kR:
+      in.rd = 2;
+      in.rs = 4;
+      in.rt = 21;
+      if (op == Op::kSll || op == Op::kSrl || op == Op::kSra) {
+        in.rs = 0;  // canonical shift-immediate encoding has rs = 0
+        in.shamt = 7;
+      }
+      if (op == Op::kJr) {
+        in.rd = in.rt = 0;
+      }
+      if (op == Op::kJalr) {
+        in.rd = 31;
+        in.rt = 0;
+      }
+      if (op == Op::kMult || op == Op::kMultu || op == Op::kDiv ||
+          op == Op::kDivu) {
+        in.rd = 0;
+      }
+      if (op == Op::kTaintSet || op == Op::kTaintClr) in.rt = 0;
+      if (op == Op::kMfhi || op == Op::kMflo) in.rs = in.rt = 0;
+      if (op == Op::kMthi || op == Op::kMtlo) in.rd = in.rt = 0;
+      if (op == Op::kSyscall || op == Op::kBreak) in.rd = in.rs = in.rt = 0;
+      break;
+    case isa::Format::kI:
+      in.rt = 21;
+      in.rs = 4;
+      in.imm = (op == Op::kAndi || op == Op::kOri || op == Op::kXori)
+                   ? 0x1234
+                   : -28;
+      if (op == Op::kLui) {
+        in.rs = 0;
+        in.imm = 0x1002;
+      }
+      if (op == Op::kBltz || op == Op::kBgez || op == Op::kBltzal ||
+          op == Op::kBgezal || op == Op::kBlez || op == Op::kBgtz) {
+        in.rt = 0;
+      }
+      break;
+    case isa::Format::kJ:
+      in.target = 0x00400100;
+      break;
+  }
+  return in;
+}
+
+class DisasmAssembleRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(DisasmAssembleRoundTrip, Identity) {
+  const Op op = static_cast<Op>(GetParam());
+  const Instruction in = representative(op);
+  const uint32_t pc = isa::layout::kTextBase;
+  const std::string text = ".text\n" + isa::disassemble(in, pc) + "\n";
+  asmgen::Program prog;
+  ASSERT_NO_THROW(prog = assemble(text)) << text;
+  ASSERT_EQ(prog.text.size(), 1u) << text;
+  EXPECT_EQ(prog.text[0], isa::encode(in)) << text << " -> "
+      << isa::disassemble(isa::decode(prog.text[0]), pc);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, DisasmAssembleRoundTrip,
+                         ::testing::Range(static_cast<int>(Op::kSll),
+                                          static_cast<int>(Op::kJal) + 1));
+
+TEST(AssemblerFuzz, GarbageNeverCrashes) {
+  std::mt19937 rng(20050628);  // DSN'05 started June 28, 2005
+  const std::string alphabet =
+      "abcdefghijklmnopqrstuvwxyz$0123456789 .,:()#\"\\-+\n\t%";
+  for (int round = 0; round < 300; ++round) {
+    std::string text = ".text\n";
+    const int len = 1 + static_cast<int>(rng() % 120);
+    for (int i = 0; i < len; ++i) {
+      text.push_back(alphabet[rng() % alphabet.size()]);
+    }
+    try {
+      auto prog = assemble(text);
+      // If it assembled, it must decode to *something* printable.
+      for (uint32_t word : prog.text) {
+        (void)isa::disassemble(isa::decode(word));
+      }
+    } catch (const AssemblyError&) {
+      // expected for most inputs
+    }
+  }
+}
+
+TEST(AssemblerFuzz, RandomValidInstructionStreamsRoundTrip) {
+  std::mt19937 rng(7);
+  for (int round = 0; round < 50; ++round) {
+    std::string text = ".text\n";
+    std::vector<Instruction> expected;
+    const int n = 1 + static_cast<int>(rng() % 30);
+    for (int i = 0; i < n; ++i) {
+      // Stick to ops whose representative form round-trips context-free.
+      static constexpr Op kPool[] = {
+          Op::kAddu, Op::kSubu, Op::kAnd, Op::kOr,  Op::kXor,  Op::kNor,
+          Op::kSlt,  Op::kSltu, Op::kSll, Op::kSrl, Op::kLw,   Op::kSw,
+          Op::kLb,   Op::kLbu,  Op::kSb,  Op::kAddiu, Op::kOri, Op::kLui,
+      };
+      Instruction in = representative(kPool[rng() % std::size(kPool)]);
+      in.rd = static_cast<uint8_t>(rng() % 32);
+      in.rt = static_cast<uint8_t>(rng() % 32);
+      in.rs = static_cast<uint8_t>(rng() % 32);
+      if (in.op == Op::kSll || in.op == Op::kSrl) {
+        in.rs = 0;
+        in.shamt = static_cast<uint8_t>(rng() % 32);
+      }
+      if (isa::op_format(in.op) == isa::Format::kI) {
+        in.rd = 0;
+        in.shamt = 0;
+        if (in.op == Op::kOri) {
+          in.imm = static_cast<int32_t>(rng() % 0x10000);
+        } else if (in.op == Op::kLui) {
+          in.rs = 0;
+          in.imm = static_cast<int32_t>(rng() % 0x10000);
+        } else {
+          in.imm = static_cast<int32_t>(rng() % 0x10000) - 0x8000;
+        }
+      }
+      expected.push_back(in);
+      text += isa::disassemble(in) + "\n";
+    }
+    asmgen::Program prog;
+    ASSERT_NO_THROW(prog = assemble(text)) << text;
+    ASSERT_EQ(prog.text.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(isa::decode(prog.text[i]), expected[i])
+          << "line " << i << ": " << isa::disassemble(expected[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ptaint

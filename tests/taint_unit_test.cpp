@@ -1,0 +1,198 @@
+// Unit tests for the ALU taintedness-tracking logic against the paper's
+// Table 1, including each special-case rule and its ablation switch.
+#include <gtest/gtest.h>
+
+#include "cpu/taint_unit.hpp"
+
+namespace ptaint::cpu {
+namespace {
+
+using isa::Instruction;
+using isa::Op;
+using mem::TaintedWord;
+
+Instruction inst_of(Op op, uint8_t rs = 4, uint8_t rt = 5) {
+  Instruction i;
+  i.op = op;
+  i.rs = rs;
+  i.rt = rt;
+  i.rd = 2;
+  return i;
+}
+
+TaintOpResult eval(const TaintPolicy& policy, Op op, TaintedWord a,
+                   TaintedWord b, bool b_imm = false, uint8_t rs = 4,
+                   uint8_t rt = 5) {
+  TaintUnit unit(policy);
+  TaintOpInputs in;
+  in.inst = inst_of(op, rs, rt);
+  in.a = a;
+  in.b = b;
+  in.b_is_immediate = b_imm;
+  return unit.propagate(in);
+}
+
+TEST(Table1Default, PerByteOrMerge) {
+  TaintPolicy p;
+  auto r = eval(p, Op::kAddu, {1, 0b0001}, {2, 0b1000});
+  EXPECT_EQ(r.result_taint, 0b1001);
+  EXPECT_FALSE(r.untaint_sources);
+}
+
+TEST(Table1Default, UntaintedStaysUntainted) {
+  TaintPolicy p;
+  EXPECT_EQ(eval(p, Op::kSubu, {5}, {7}).result_taint, mem::kUntainted);
+  EXPECT_EQ(eval(p, Op::kOr, {5}, {7}).result_taint, mem::kUntainted);
+}
+
+TEST(Table1Shift, LeftShiftSmearsUp) {
+  TaintPolicy p;
+  // Byte 0 tainted; after a left shift its neighbour byte 1 is also tainted.
+  auto r = eval(p, Op::kSll, {0x61, 0b0001}, {8}, true);
+  EXPECT_EQ(r.result_taint, 0b0011);
+}
+
+TEST(Table1Shift, RightShiftSmearsDown) {
+  TaintPolicy p;
+  auto r = eval(p, Op::kSrl, {0x61000000, 0b1000}, {8}, true);
+  EXPECT_EQ(r.result_taint, 0b1100);
+}
+
+TEST(Table1Shift, TaintedShiftAmountTaintsAll) {
+  TaintPolicy p;
+  auto r = eval(p, Op::kSllv, {0x61, 0b0000}, {4, 0b0001});
+  EXPECT_EQ(r.result_taint, mem::kAllTainted);
+}
+
+TEST(Table1Shift, DisabledFallsBackToOrMerge) {
+  TaintPolicy p;
+  p.shift_smear = false;
+  auto r = eval(p, Op::kSll, {0x61, 0b0001}, {8}, true);
+  EXPECT_EQ(r.result_taint, 0b0001);
+}
+
+TEST(Table1And, UntaintedZeroClearsByte) {
+  TaintPolicy p;
+  // Tainted word AND-ed with untainted 0x000000ff: bytes 1..3 are AND-ed
+  // with constant zero and untaint; byte 0 stays tainted.
+  auto r = eval(p, Op::kAnd, {0x61626364, mem::kAllTainted}, {0x000000ff});
+  EXPECT_EQ(r.result_taint, 0b0001);
+}
+
+TEST(Table1And, TaintedZeroDoesNotClear) {
+  TaintPolicy p;
+  // The zero byte itself is tainted -> attacker could change it -> no trust.
+  auto r = eval(p, Op::kAnd, {0x61, 0b0001}, {0x00, 0b0001});
+  EXPECT_EQ(r.result_taint, 0b0001);
+}
+
+TEST(Table1And, NonZeroMaskMerges) {
+  TaintPolicy p;
+  auto r = eval(p, Op::kAnd, {0x61626364, 0b1111}, {0xffffffff});
+  EXPECT_EQ(r.result_taint, 0b1111);
+}
+
+TEST(Table1And, AndiImmediateMask) {
+  TaintPolicy p;
+  // andi rt, rs, 0xff: upper immediate bytes are constant zero.
+  auto r = eval(p, Op::kAndi, {0x61626364, mem::kAllTainted}, {0xff}, true);
+  EXPECT_EQ(r.result_taint, 0b0001);
+}
+
+TEST(Table1And, DisabledMergesEverything) {
+  TaintPolicy p;
+  p.and_zero_untaints = false;
+  auto r = eval(p, Op::kAnd, {0x61626364, mem::kAllTainted}, {0xff});
+  EXPECT_EQ(r.result_taint, mem::kAllTainted);
+}
+
+TEST(Table1Xor, SelfXorUntaints) {
+  TaintPolicy p;
+  // xor $2,$5,$5 (zeroing idiom): result is constant 0.
+  auto r = eval(p, Op::kXor, {0x61616161, mem::kAllTainted},
+                {0x61616161, mem::kAllTainted}, false, 5, 5);
+  EXPECT_EQ(r.result_taint, mem::kUntainted);
+}
+
+TEST(Table1Xor, DistinctRegistersMerge) {
+  TaintPolicy p;
+  auto r = eval(p, Op::kXor, {1, 0b0001}, {2, 0b0010}, false, 4, 5);
+  EXPECT_EQ(r.result_taint, 0b0011);
+}
+
+TEST(Table1Xor, DisabledIdiomStillMerges) {
+  TaintPolicy p;
+  p.xor_self_untaints = false;
+  auto r = eval(p, Op::kXor, {7, 0b0100}, {7, 0b0100}, false, 5, 5);
+  EXPECT_EQ(r.result_taint, 0b0100);
+}
+
+TEST(Table1Compare, UntaintsOperandsAndResult) {
+  TaintPolicy p;
+  auto r = eval(p, Op::kSlt, {100, mem::kAllTainted}, {200});
+  EXPECT_EQ(r.result_taint, mem::kUntainted);
+  EXPECT_TRUE(r.untaint_sources);
+}
+
+TEST(Table1Compare, DisabledKeepsTaint) {
+  TaintPolicy p;
+  p.compare_untaints = false;
+  auto r = eval(p, Op::kSltu, {100, 0b0001}, {200});
+  EXPECT_EQ(r.result_taint, 0b0001);
+  EXPECT_FALSE(r.untaint_sources);
+}
+
+TEST(Granularity, PerWordTaintWidens) {
+  TaintPolicy p;
+  p.per_word_taint = true;
+  auto r = eval(p, Op::kAddu, {1, 0b0001}, {2});
+  EXPECT_EQ(r.result_taint, mem::kAllTainted);
+}
+
+TEST(Stats, CountsTaintedEvaluations) {
+  TaintPolicy p;
+  TaintUnit unit(p);
+  TaintOpInputs in;
+  in.inst = inst_of(Op::kAddu);
+  in.a = {1, 0b0001};
+  in.b = {2};
+  unit.propagate(in);
+  in.a = {1};
+  unit.propagate(in);
+  EXPECT_EQ(unit.stats().evaluations, 2u);
+  EXPECT_EQ(unit.stats().tainted_evaluations, 1u);
+}
+
+TEST(GateCost, SmallCombinationalBlock) {
+  // The tracking logic must be tiny relative to a 32-bit ALU (~1000+ gates);
+  // this pins the order of magnitude used in the Section 5.4 area argument.
+  EXPECT_GT(TaintUnit::gate_cost(), 0);
+  EXPECT_LT(TaintUnit::gate_cost(), 200);
+}
+
+// Property sweep: for every default-class ALU op, result taint is exactly
+// the OR of source taints — no taint is invented or lost.
+class OrMergeProperty : public ::testing::TestWithParam<
+                            std::tuple<int, int, int>> {};
+
+TEST_P(OrMergeProperty, Holds) {
+  const auto [op_raw, ta, tb] = GetParam();
+  TaintPolicy p;
+  auto r = eval(p, static_cast<Op>(op_raw), {0x1234, static_cast<uint8_t>(ta)},
+                {0x5678, static_cast<uint8_t>(tb)});
+  EXPECT_EQ(r.result_taint, ta | tb);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DefaultAluOps, OrMergeProperty,
+    ::testing::Combine(
+        ::testing::Values(static_cast<int>(Op::kAdd),
+                          static_cast<int>(Op::kAddu),
+                          static_cast<int>(Op::kSub),
+                          static_cast<int>(Op::kSubu),
+                          static_cast<int>(Op::kOr),
+                          static_cast<int>(Op::kNor)),
+        ::testing::Range(0, 16), ::testing::Values(0, 1, 5, 15)));
+
+}  // namespace
+}  // namespace ptaint::cpu
