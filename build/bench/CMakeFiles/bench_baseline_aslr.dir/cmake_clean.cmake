@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_aslr.dir/bench_baseline_aslr.cpp.o"
+  "CMakeFiles/bench_baseline_aslr.dir/bench_baseline_aslr.cpp.o.d"
+  "bench_baseline_aslr"
+  "bench_baseline_aslr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_aslr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_nx.dir/bench_baseline_nx.cpp.o"
+  "CMakeFiles/bench_baseline_nx.dir/bench_baseline_nx.cpp.o.d"
+  "bench_baseline_nx"
+  "bench_baseline_nx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_nx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

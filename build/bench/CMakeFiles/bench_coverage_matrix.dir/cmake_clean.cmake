@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coverage_matrix.dir/bench_coverage_matrix.cpp.o"
+  "CMakeFiles/bench_coverage_matrix.dir/bench_coverage_matrix.cpp.o.d"
+  "bench_coverage_matrix"
+  "bench_coverage_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coverage_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_annotations.dir/bench_ext_annotations.cpp.o"
+  "CMakeFiles/bench_ext_annotations.dir/bench_ext_annotations.cpp.o.d"
+  "bench_ext_annotations"
+  "bench_ext_annotations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_annotations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

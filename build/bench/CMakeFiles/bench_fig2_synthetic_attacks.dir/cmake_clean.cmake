@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_synthetic_attacks.dir/bench_fig2_synthetic_attacks.cpp.o"
+  "CMakeFiles/bench_fig2_synthetic_attacks.dir/bench_fig2_synthetic_attacks.cpp.o.d"
+  "bench_fig2_synthetic_attacks"
+  "bench_fig2_synthetic_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_synthetic_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

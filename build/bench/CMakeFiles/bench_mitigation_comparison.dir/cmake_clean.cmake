@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mitigation_comparison.dir/bench_mitigation_comparison.cpp.o"
+  "CMakeFiles/bench_mitigation_comparison.dir/bench_mitigation_comparison.cpp.o.d"
+  "bench_mitigation_comparison"
+  "bench_mitigation_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mitigation_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

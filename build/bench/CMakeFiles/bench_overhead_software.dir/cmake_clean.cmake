@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overhead_software.dir/bench_overhead_software.cpp.o"
+  "CMakeFiles/bench_overhead_software.dir/bench_overhead_software.cpp.o.d"
+  "bench_overhead_software"
+  "bench_overhead_software.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_software.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

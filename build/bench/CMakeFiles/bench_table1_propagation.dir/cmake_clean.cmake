@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_propagation.dir/bench_table1_propagation.cpp.o"
+  "CMakeFiles/bench_table1_propagation.dir/bench_table1_propagation.cpp.o.d"
+  "bench_table1_propagation"
+  "bench_table1_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

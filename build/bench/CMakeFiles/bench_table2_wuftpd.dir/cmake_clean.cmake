@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_wuftpd.dir/bench_table2_wuftpd.cpp.o"
+  "CMakeFiles/bench_table2_wuftpd.dir/bench_table2_wuftpd.cpp.o.d"
+  "bench_table2_wuftpd"
+  "bench_table2_wuftpd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_wuftpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_false_positives.dir/bench_table3_false_positives.cpp.o"
+  "CMakeFiles/bench_table3_false_positives.dir/bench_table3_false_positives.cpp.o.d"
+  "bench_table3_false_positives"
+  "bench_table3_false_positives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_false_positives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_false_negatives.dir/bench_table4_false_negatives.cpp.o"
+  "CMakeFiles/bench_table4_false_negatives.dir/bench_table4_false_negatives.cpp.o.d"
+  "bench_table4_false_negatives"
+  "bench_table4_false_negatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_false_negatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table4_false_negatives.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftp_attack_demo.dir/ftp_attack_demo.cpp.o"
+  "CMakeFiles/ftp_attack_demo.dir/ftp_attack_demo.cpp.o.d"
+  "ftp_attack_demo"
+  "ftp_attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftp_attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/httpd_attack_demo.dir/httpd_attack_demo.cpp.o"
+  "CMakeFiles/httpd_attack_demo.dir/httpd_attack_demo.cpp.o.d"
+  "httpd_attack_demo"
+  "httpd_attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/httpd_attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

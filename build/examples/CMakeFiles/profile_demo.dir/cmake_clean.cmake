@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_demo.dir/profile_demo.cpp.o"
+  "CMakeFiles/profile_demo.dir/profile_demo.cpp.o.d"
+  "profile_demo"
+  "profile_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

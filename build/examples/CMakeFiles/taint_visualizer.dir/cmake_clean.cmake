@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taint_visualizer.dir/taint_visualizer.cpp.o"
+  "CMakeFiles/taint_visualizer.dir/taint_visualizer.cpp.o.d"
+  "taint_visualizer"
+  "taint_visualizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taint_visualizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

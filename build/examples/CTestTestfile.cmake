@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  PASS_REGULAR_EXPRESSION "security alert" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ftp_attack_demo "/root/repo/build/examples/ftp_attack_demo")
+set_tests_properties(example_ftp_attack_demo PROPERTIES  PASS_REGULAR_EXPRESSION "sw \\\$21,0\\(\\\$3\\).*0x1002bc20" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_httpd_attack_demo "/root/repo/build/examples/httpd_attack_demo")
+set_tests_properties(example_httpd_attack_demo PROPERTIES  PASS_REGULAR_EXPRESSION "pointer-taintedness: DETECTED" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_taint_visualizer "/root/repo/build/examples/taint_visualizer")
+set_tests_properties(example_taint_visualizer PROPERTIES  PASS_REGULAR_EXPRESSION "####" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_profile_demo "/root/repo/build/examples/profile_demo")
+set_tests_properties(example_profile_demo PROPERTIES  PASS_REGULAR_EXPRESSION "bzip2_s checksum=" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asmgen/assembler.cpp" "src/CMakeFiles/ptaint.dir/asmgen/assembler.cpp.o" "gcc" "src/CMakeFiles/ptaint.dir/asmgen/assembler.cpp.o.d"
+  "/root/repo/src/asmgen/lexer.cpp" "src/CMakeFiles/ptaint.dir/asmgen/lexer.cpp.o" "gcc" "src/CMakeFiles/ptaint.dir/asmgen/lexer.cpp.o.d"
+  "/root/repo/src/core/attack.cpp" "src/CMakeFiles/ptaint.dir/core/attack.cpp.o" "gcc" "src/CMakeFiles/ptaint.dir/core/attack.cpp.o.d"
+  "/root/repo/src/core/cert_data.cpp" "src/CMakeFiles/ptaint.dir/core/cert_data.cpp.o" "gcc" "src/CMakeFiles/ptaint.dir/core/cert_data.cpp.o.d"
+  "/root/repo/src/core/coverage.cpp" "src/CMakeFiles/ptaint.dir/core/coverage.cpp.o" "gcc" "src/CMakeFiles/ptaint.dir/core/coverage.cpp.o.d"
+  "/root/repo/src/core/machine.cpp" "src/CMakeFiles/ptaint.dir/core/machine.cpp.o" "gcc" "src/CMakeFiles/ptaint.dir/core/machine.cpp.o.d"
+  "/root/repo/src/core/spec_workloads.cpp" "src/CMakeFiles/ptaint.dir/core/spec_workloads.cpp.o" "gcc" "src/CMakeFiles/ptaint.dir/core/spec_workloads.cpp.o.d"
+  "/root/repo/src/cpu/cpu.cpp" "src/CMakeFiles/ptaint.dir/cpu/cpu.cpp.o" "gcc" "src/CMakeFiles/ptaint.dir/cpu/cpu.cpp.o.d"
+  "/root/repo/src/cpu/pipeline.cpp" "src/CMakeFiles/ptaint.dir/cpu/pipeline.cpp.o" "gcc" "src/CMakeFiles/ptaint.dir/cpu/pipeline.cpp.o.d"
+  "/root/repo/src/cpu/taint_unit.cpp" "src/CMakeFiles/ptaint.dir/cpu/taint_unit.cpp.o" "gcc" "src/CMakeFiles/ptaint.dir/cpu/taint_unit.cpp.o.d"
+  "/root/repo/src/guest/apps/falseneg.cpp" "src/CMakeFiles/ptaint.dir/guest/apps/falseneg.cpp.o" "gcc" "src/CMakeFiles/ptaint.dir/guest/apps/falseneg.cpp.o.d"
+  "/root/repo/src/guest/apps/ftpd.cpp" "src/CMakeFiles/ptaint.dir/guest/apps/ftpd.cpp.o" "gcc" "src/CMakeFiles/ptaint.dir/guest/apps/ftpd.cpp.o.d"
+  "/root/repo/src/guest/apps/ghttpd.cpp" "src/CMakeFiles/ptaint.dir/guest/apps/ghttpd.cpp.o" "gcc" "src/CMakeFiles/ptaint.dir/guest/apps/ghttpd.cpp.o.d"
+  "/root/repo/src/guest/apps/globd.cpp" "src/CMakeFiles/ptaint.dir/guest/apps/globd.cpp.o" "gcc" "src/CMakeFiles/ptaint.dir/guest/apps/globd.cpp.o.d"
+  "/root/repo/src/guest/apps/nullhttpd.cpp" "src/CMakeFiles/ptaint.dir/guest/apps/nullhttpd.cpp.o" "gcc" "src/CMakeFiles/ptaint.dir/guest/apps/nullhttpd.cpp.o.d"
+  "/root/repo/src/guest/apps/spec.cpp" "src/CMakeFiles/ptaint.dir/guest/apps/spec.cpp.o" "gcc" "src/CMakeFiles/ptaint.dir/guest/apps/spec.cpp.o.d"
+  "/root/repo/src/guest/apps/synthetic.cpp" "src/CMakeFiles/ptaint.dir/guest/apps/synthetic.cpp.o" "gcc" "src/CMakeFiles/ptaint.dir/guest/apps/synthetic.cpp.o.d"
+  "/root/repo/src/guest/apps/traceroute.cpp" "src/CMakeFiles/ptaint.dir/guest/apps/traceroute.cpp.o" "gcc" "src/CMakeFiles/ptaint.dir/guest/apps/traceroute.cpp.o.d"
+  "/root/repo/src/guest/runtime.cpp" "src/CMakeFiles/ptaint.dir/guest/runtime.cpp.o" "gcc" "src/CMakeFiles/ptaint.dir/guest/runtime.cpp.o.d"
+  "/root/repo/src/isa/disasm.cpp" "src/CMakeFiles/ptaint.dir/isa/disasm.cpp.o" "gcc" "src/CMakeFiles/ptaint.dir/isa/disasm.cpp.o.d"
+  "/root/repo/src/isa/encoding.cpp" "src/CMakeFiles/ptaint.dir/isa/encoding.cpp.o" "gcc" "src/CMakeFiles/ptaint.dir/isa/encoding.cpp.o.d"
+  "/root/repo/src/isa/isa.cpp" "src/CMakeFiles/ptaint.dir/isa/isa.cpp.o" "gcc" "src/CMakeFiles/ptaint.dir/isa/isa.cpp.o.d"
+  "/root/repo/src/mem/cache.cpp" "src/CMakeFiles/ptaint.dir/mem/cache.cpp.o" "gcc" "src/CMakeFiles/ptaint.dir/mem/cache.cpp.o.d"
+  "/root/repo/src/mem/tainted_memory.cpp" "src/CMakeFiles/ptaint.dir/mem/tainted_memory.cpp.o" "gcc" "src/CMakeFiles/ptaint.dir/mem/tainted_memory.cpp.o.d"
+  "/root/repo/src/os/syscalls.cpp" "src/CMakeFiles/ptaint.dir/os/syscalls.cpp.o" "gcc" "src/CMakeFiles/ptaint.dir/os/syscalls.cpp.o.d"
+  "/root/repo/src/os/vfs.cpp" "src/CMakeFiles/ptaint.dir/os/vfs.cpp.o" "gcc" "src/CMakeFiles/ptaint.dir/os/vfs.cpp.o.d"
+  "/root/repo/src/os/vnet.cpp" "src/CMakeFiles/ptaint.dir/os/vnet.cpp.o" "gcc" "src/CMakeFiles/ptaint.dir/os/vnet.cpp.o.d"
+  "/root/repo/src/trace/profiler.cpp" "src/CMakeFiles/ptaint.dir/trace/profiler.cpp.o" "gcc" "src/CMakeFiles/ptaint.dir/trace/profiler.cpp.o.d"
+  "/root/repo/src/trace/tracer.cpp" "src/CMakeFiles/ptaint.dir/trace/tracer.cpp.o" "gcc" "src/CMakeFiles/ptaint.dir/trace/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/annotation_test.cpp" "tests/CMakeFiles/ptaint_tests.dir/annotation_test.cpp.o" "gcc" "tests/CMakeFiles/ptaint_tests.dir/annotation_test.cpp.o.d"
+  "/root/repo/tests/aslr_test.cpp" "tests/CMakeFiles/ptaint_tests.dir/aslr_test.cpp.o" "gcc" "tests/CMakeFiles/ptaint_tests.dir/aslr_test.cpp.o.d"
+  "/root/repo/tests/asm_test.cpp" "tests/CMakeFiles/ptaint_tests.dir/asm_test.cpp.o" "gcc" "tests/CMakeFiles/ptaint_tests.dir/asm_test.cpp.o.d"
+  "/root/repo/tests/attack_test.cpp" "tests/CMakeFiles/ptaint_tests.dir/attack_test.cpp.o" "gcc" "tests/CMakeFiles/ptaint_tests.dir/attack_test.cpp.o.d"
+  "/root/repo/tests/coverage_test.cpp" "tests/CMakeFiles/ptaint_tests.dir/coverage_test.cpp.o" "gcc" "tests/CMakeFiles/ptaint_tests.dir/coverage_test.cpp.o.d"
+  "/root/repo/tests/cpu_edge_test.cpp" "tests/CMakeFiles/ptaint_tests.dir/cpu_edge_test.cpp.o" "gcc" "tests/CMakeFiles/ptaint_tests.dir/cpu_edge_test.cpp.o.d"
+  "/root/repo/tests/cpu_test.cpp" "tests/CMakeFiles/ptaint_tests.dir/cpu_test.cpp.o" "gcc" "tests/CMakeFiles/ptaint_tests.dir/cpu_test.cpp.o.d"
+  "/root/repo/tests/guest_runtime_test.cpp" "tests/CMakeFiles/ptaint_tests.dir/guest_runtime_test.cpp.o" "gcc" "tests/CMakeFiles/ptaint_tests.dir/guest_runtime_test.cpp.o.d"
+  "/root/repo/tests/hardened_heap_test.cpp" "tests/CMakeFiles/ptaint_tests.dir/hardened_heap_test.cpp.o" "gcc" "tests/CMakeFiles/ptaint_tests.dir/hardened_heap_test.cpp.o.d"
+  "/root/repo/tests/isa_test.cpp" "tests/CMakeFiles/ptaint_tests.dir/isa_test.cpp.o" "gcc" "tests/CMakeFiles/ptaint_tests.dir/isa_test.cpp.o.d"
+  "/root/repo/tests/machine_test.cpp" "tests/CMakeFiles/ptaint_tests.dir/machine_test.cpp.o" "gcc" "tests/CMakeFiles/ptaint_tests.dir/machine_test.cpp.o.d"
+  "/root/repo/tests/mem_property_test.cpp" "tests/CMakeFiles/ptaint_tests.dir/mem_property_test.cpp.o" "gcc" "tests/CMakeFiles/ptaint_tests.dir/mem_property_test.cpp.o.d"
+  "/root/repo/tests/mem_test.cpp" "tests/CMakeFiles/ptaint_tests.dir/mem_test.cpp.o" "gcc" "tests/CMakeFiles/ptaint_tests.dir/mem_test.cpp.o.d"
+  "/root/repo/tests/nx_test.cpp" "tests/CMakeFiles/ptaint_tests.dir/nx_test.cpp.o" "gcc" "tests/CMakeFiles/ptaint_tests.dir/nx_test.cpp.o.d"
+  "/root/repo/tests/os_edge_test.cpp" "tests/CMakeFiles/ptaint_tests.dir/os_edge_test.cpp.o" "gcc" "tests/CMakeFiles/ptaint_tests.dir/os_edge_test.cpp.o.d"
+  "/root/repo/tests/os_test.cpp" "tests/CMakeFiles/ptaint_tests.dir/os_test.cpp.o" "gcc" "tests/CMakeFiles/ptaint_tests.dir/os_test.cpp.o.d"
+  "/root/repo/tests/pipeline_test.cpp" "tests/CMakeFiles/ptaint_tests.dir/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/ptaint_tests.dir/pipeline_test.cpp.o.d"
+  "/root/repo/tests/profiler_test.cpp" "tests/CMakeFiles/ptaint_tests.dir/profiler_test.cpp.o" "gcc" "tests/CMakeFiles/ptaint_tests.dir/profiler_test.cpp.o.d"
+  "/root/repo/tests/roundtrip_test.cpp" "tests/CMakeFiles/ptaint_tests.dir/roundtrip_test.cpp.o" "gcc" "tests/CMakeFiles/ptaint_tests.dir/roundtrip_test.cpp.o.d"
+  "/root/repo/tests/spec_test.cpp" "tests/CMakeFiles/ptaint_tests.dir/spec_test.cpp.o" "gcc" "tests/CMakeFiles/ptaint_tests.dir/spec_test.cpp.o.d"
+  "/root/repo/tests/taint_primitive_test.cpp" "tests/CMakeFiles/ptaint_tests.dir/taint_primitive_test.cpp.o" "gcc" "tests/CMakeFiles/ptaint_tests.dir/taint_primitive_test.cpp.o.d"
+  "/root/repo/tests/taint_unit_test.cpp" "tests/CMakeFiles/ptaint_tests.dir/taint_unit_test.cpp.o" "gcc" "tests/CMakeFiles/ptaint_tests.dir/taint_unit_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ptaint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

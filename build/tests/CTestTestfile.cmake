@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ptaint_tests[1]_include.cmake")
+add_test(cli_benign_hello "/root/repo/build/tools/ptaint-run" "--quiet" "/root/repo/tests/cli/hello.s")
+set_tests_properties(cli_benign_hello PROPERTIES  PASS_REGULAR_EXPRESSION "hello from the guest" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;31;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_detects_stack_smash "/root/repo/build/tools/ptaint-run" "--stdin" "aaaaaaaaaaaaaaaaaaaaaaaa" "/root/repo/tests/cli/stack_smash.s")
+set_tests_properties(cli_detects_stack_smash PROPERTIES  PASS_REGULAR_EXPRESSION "SECURITY ALERT.*jr \\\$31.*0x61616161" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;36;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_policy_off_crashes "/root/repo/build/tools/ptaint-run" "--policy" "off" "--stdin" "aaaaaaaaaaaaaaaaaaaaaaaa" "/root/repo/tests/cli/stack_smash.s")
+set_tests_properties(cli_policy_off_crashes PROPERTIES  PASS_REGULAR_EXPRESSION "FAULT" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;43;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_benign_input_is_clean "/root/repo/build/tools/ptaint-run" "--stdin" "hi" "/root/repo/tests/cli/stack_smash.s")
+set_tests_properties(cli_benign_input_is_clean PROPERTIES  PASS_REGULAR_EXPRESSION "exit 0" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;49;add_test;/root/repo/tests/CMakeLists.txt;0;")

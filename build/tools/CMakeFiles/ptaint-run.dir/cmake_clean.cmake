@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptaint-run.dir/ptaint_run.cpp.o"
+  "CMakeFiles/ptaint-run.dir/ptaint_run.cpp.o.d"
+  "ptaint-run"
+  "ptaint-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptaint-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

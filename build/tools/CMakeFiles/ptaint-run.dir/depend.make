@@ -1,0 +1,2 @@
+# Empty dependencies file for ptaint-run.
+# This may be replaced when dependencies are built.
