@@ -5,82 +5,58 @@
 // Shows which compatibility rules are load-bearing (disable one and benign
 // code starts alerting) and that per-word taint does not change detection
 // on this corpus while coarsening propagation.
+//
+// Runs on the campaign engine: each guest boots once into a shared
+// snapshot and every policy variant forks from it on a worker pool.  The
+// report is a pure function of the matrix, so output is byte-identical to
+// the old serial version regardless of --workers.
+//
+//   bench_ablation_policy [--workers N] [--serial] [--time]
+#include <chrono>
 #include <cstdio>
-#include <string>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
-#include "core/attack.hpp"
-#include "core/spec_workloads.hpp"
+#include "campaign/campaigns.hpp"
+#include "campaign/executor.hpp"
 
-using namespace ptaint;
-using namespace ptaint::core;
+using namespace ptaint::campaign;
 
-namespace {
-
-struct Variant {
-  std::string name;
-  cpu::TaintPolicy policy;
-};
-
-std::vector<Variant> variants() {
-  std::vector<Variant> out;
-  out.push_back({"paper (all rules on)", {}});
-  {
-    cpu::TaintPolicy p;
-    p.compare_untaints = false;
-    out.push_back({"no compare-untaint", p});
-  }
-  {
-    cpu::TaintPolicy p;
-    p.and_zero_untaints = false;
-    out.push_back({"no AND-zero untaint", p});
-  }
-  {
-    cpu::TaintPolicy p;
-    p.xor_self_untaints = false;
-    out.push_back({"no XOR-self untaint", p});
-  }
-  {
-    cpu::TaintPolicy p;
-    p.shift_smear = false;
-    out.push_back({"no shift smear", p});
-  }
-  {
-    cpu::TaintPolicy p;
-    p.per_word_taint = true;
-    out.push_back({"per-word taint", p});
-  }
-  return out;
-}
-
-}  // namespace
-
-int main() {
-  std::printf("== Ablation: Table 1 rules and taint granularity ==\n\n");
-  std::printf("%-24s %18s %18s\n", "variant", "SPEC false pos.",
-              "attacks detected");
-
-  const auto workloads = make_spec_workloads(1);
-  for (const auto& v : variants()) {
-    int spec_fp = 0;
-    for (const auto& w : workloads) {
-      if (run_spec_workload(w, v.policy).alert) ++spec_fp;
+int main(int argc, char** argv) {
+  Executor::Config config;
+  bool serial = false;
+  bool timing = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      config.workers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--serial") == 0) {
+      serial = true;
+    } else if (std::strcmp(argv[i], "--time") == 0) {
+      timing = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_ablation_policy [--workers N] [--serial] "
+                   "[--time]\n");
+      return 4;
     }
-    int detected = 0, detectable = 0;
-    for (const auto& scenario : make_attack_corpus()) {
-      if (!scenario->expected_detected()) continue;
-      ++detectable;
-      auto r = scenario->run_attack_with(v.policy);
-      if (r.outcome == Outcome::kDetected) ++detected;
-    }
-    std::printf("%-24s %12d / %zu %14d / %d\n", v.name.c_str(), spec_fp,
-                workloads.size(), detected, detectable);
   }
 
-  std::printf(
-      "\nreading: the compare-untaint rule is the compatibility-critical "
-      "one — without it, validated indices stay tainted and benign table "
-      "lookups false-positive (the paper keeps it and accepts the Table 4 "
-      "false negatives in exchange).\n");
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<JobResult> results;
+  if (serial) {
+    results = run_serial_reference("ablation");
+  } else {
+    SnapshotCache cache;
+    results = Executor(config).run(make_jobs("ablation", cache));
+  }
+  std::fputs(format_campaign("ablation", results).c_str(), stdout);
+  if (timing) {
+    const double s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    std::fprintf(stderr, "time: %.2fs (%s)\n", s,
+                 serial ? "serial" : "engine");
+  }
   return 0;
 }

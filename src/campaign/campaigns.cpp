@@ -1,0 +1,455 @@
+#include "campaign/campaigns.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/attack.hpp"
+#include "core/spec_workloads.hpp"
+#include "guest/apps/apps.hpp"
+#include "guest/runtime.hpp"
+
+namespace ptaint::campaign {
+namespace {
+
+constexpr uint64_t kSpecBudget = 2'000'000'000;  // run_spec_workload's limit
+constexpr uint64_t kContrastBudget = 200'000'000;  // MachineConfig default
+
+std::string spec_verdict(const core::SpecRunRow& row) {
+  if (row.alert) return "ALERT";
+  return row.ok ? "OK" : "UNEXPECTED";
+}
+
+/// Shared, copyable views of the corpora so job closures can keep them
+/// alive past the builder function's return.
+std::vector<std::shared_ptr<const core::Scenario>> shared_corpus() {
+  std::vector<std::shared_ptr<const core::Scenario>> out;
+  for (auto& s : core::make_attack_corpus()) out.push_back(std::move(s));
+  return out;
+}
+
+std::vector<std::shared_ptr<const core::SpecWorkload>> shared_workloads(
+    int scale) {
+  std::vector<std::shared_ptr<const core::SpecWorkload>> out;
+  for (auto& w : core::make_spec_workloads(scale)) {
+    out.push_back(std::make_shared<const core::SpecWorkload>(std::move(w)));
+  }
+  return out;
+}
+
+/// Fork a machine from `snapshot` under `policy`.  The snapshot holds the
+/// armed pre-run state (policy-independent — taint bits are data); the
+/// fork's own config carries the detection policy for this job.
+std::unique_ptr<core::Machine> fork_machine(
+    const std::shared_ptr<const core::MachineSnapshot>& snapshot,
+    const cpu::TaintPolicy& policy, uint64_t max_instructions) {
+  core::MachineConfig cfg;
+  cfg.policy = policy;
+  cfg.max_instructions = max_instructions;
+  auto machine = std::make_unique<core::Machine>(cfg);
+  machine->restore(*snapshot);
+  return machine;
+}
+
+Job spec_job(SnapshotCache& cache,
+             const std::shared_ptr<const core::SpecWorkload>& w,
+             const PolicyVariant& variant) {
+  Job job;
+  job.app = "spec";
+  job.payload = w->name;
+  job.policy = variant.name;
+  job.max_instructions = kSpecBudget;
+  const cpu::TaintPolicy policy = variant.policy;
+  job.make = [&cache, w, policy]() {
+    auto snap = cache.get("spec:" + w->name, [&w]() {
+      return core::prepare_spec_workload(*w, {})->snapshot();
+    });
+    return fork_machine(snap, policy, kSpecBudget);
+  };
+  job.classify = [w](core::Machine& m, const core::RunReport& report,
+                     JobResult& out) {
+    const core::SpecRunRow row = core::classify_spec_run(*w, m, report);
+    out.verdict = spec_verdict(row);
+    out.detail = row.alert ? report.alert_line() : "";
+  };
+  return job;
+}
+
+Job attack_job(SnapshotCache& cache,
+               const std::shared_ptr<const core::Scenario>& s,
+               const std::string& policy_name,
+               const cpu::TaintPolicy& policy) {
+  Job job;
+  job.app = "attack";
+  job.payload = s->name();
+  job.policy = policy_name;
+  job.max_instructions = s->max_instructions();
+  job.make = [&cache, s, policy]() {
+    auto snap = cache.get("attack:" + s->name(), [&s]() {
+      // Arm under the default policy: the pre-run state is identical for
+      // every variant, so one snapshot serves the whole policy column.
+      return s->prepare_attack({})->snapshot();
+    });
+    return fork_machine(snap, policy, s->max_instructions());
+  };
+  job.classify = [s](core::Machine& m, const core::RunReport& report,
+                     JobResult& out) {
+    const core::ScenarioResult r = s->classify_attack(m, report);
+    out.verdict = core::to_string(r.outcome);
+    out.detail = r.detail;
+  };
+  return job;
+}
+
+/// The Table 4 contrast case: the WRITE (%n) variant of the format-string
+/// leak, expected to be *caught* by the pointer-taintedness detector.
+std::unique_ptr<core::Machine> prepare_fn_format_write() {
+  core::MachineConfig cfg;
+  auto m = std::make_unique<core::Machine>(cfg);
+  m->load_sources(guest::link_with_runtime(guest::apps::fn_format_leak()));
+  m->os().net().add_session({"abcd%x%x%x%x%n"});
+  return m;
+}
+
+void classify_fn_format_write(const core::RunReport& report, JobResult& out) {
+  out.verdict = report.detected() ? "DETECTED" : "NOT-DETECTED";
+  out.detail =
+      report.detected() ? report.alert_line() : std::string("NOT DETECTED (!)");
+}
+
+Job fn_format_write_job(SnapshotCache& cache) {
+  Job job;
+  job.app = "attack";
+  job.payload = "fn-format-write";
+  job.policy = "paper";
+  job.max_instructions = kContrastBudget;
+  job.make = [&cache]() {
+    auto snap = cache.get("attack:fn-format-write",
+                          []() { return prepare_fn_format_write()->snapshot(); });
+    return fork_machine(snap, {}, kContrastBudget);
+  };
+  job.classify = [](core::Machine&, const core::RunReport& report,
+                    JobResult& out) { classify_fn_format_write(report, out); };
+  return job;
+}
+
+// --- matrices -------------------------------------------------------------
+
+std::vector<Job> ablation_jobs(SnapshotCache& cache, int spec_scale) {
+  const auto workloads = shared_workloads(spec_scale);
+  const auto corpus = shared_corpus();
+  std::vector<Job> jobs;
+  for (const PolicyVariant& v : ablation_variants()) {
+    for (const auto& w : workloads) jobs.push_back(spec_job(cache, w, v));
+    for (const auto& s : corpus) {
+      if (!s->expected_detected()) continue;
+      jobs.push_back(attack_job(cache, s, v.name, v.policy));
+    }
+  }
+  return jobs;
+}
+
+const core::AttackId kFalsenegIds[] = {core::AttackId::kFnIntOverflow,
+                                       core::AttackId::kFnAuthFlag,
+                                       core::AttackId::kFnFormatLeak};
+const char* const kFalsenegLabels[] = {"(A) integer overflow index",
+                                       "(B) auth-flag overwrite",
+                                       "(C) format-string info leak"};
+
+std::vector<Job> falseneg_jobs(SnapshotCache& cache) {
+  std::vector<Job> jobs;
+  cpu::TaintPolicy paper;  // defaults: pointer-taintedness, all rules on
+  for (core::AttackId id : kFalsenegIds) {
+    std::shared_ptr<const core::Scenario> s = core::make_scenario(id);
+    jobs.push_back(attack_job(cache, s, "paper", paper));
+  }
+  jobs.push_back(fn_format_write_job(cache));
+  return jobs;
+}
+
+const cpu::DetectionMode kCoverageModes[] = {
+    cpu::DetectionMode::kOff, cpu::DetectionMode::kControlDataOnly,
+    cpu::DetectionMode::kPointerTaint};
+
+std::vector<Job> coverage_jobs(SnapshotCache& cache) {
+  const auto corpus = shared_corpus();
+  std::vector<Job> jobs;
+  for (cpu::DetectionMode mode : kCoverageModes) {
+    cpu::TaintPolicy policy;
+    policy.mode = mode;
+    for (const auto& s : corpus) {
+      jobs.push_back(attack_job(cache, s, core::to_string(mode), policy));
+    }
+  }
+  return jobs;
+}
+
+// --- serial references ----------------------------------------------------
+
+JobStatus status_for(const core::RunReport& report) {
+  switch (report.stop) {
+    case cpu::StopReason::kFault: return JobStatus::kGuestFault;
+    case cpu::StopReason::kInstLimit: return JobStatus::kBudgetExhausted;
+    default: return JobStatus::kOk;
+  }
+}
+
+JobResult serial_row(size_t index, std::string app, std::string payload,
+                     std::string policy) {
+  JobResult r;
+  r.index = index;
+  r.app = std::move(app);
+  r.payload = std::move(payload);
+  r.policy = std::move(policy);
+  r.attempts = 1;
+  return r;
+}
+
+std::vector<JobResult> ablation_serial(int spec_scale) {
+  std::vector<JobResult> out;
+  const auto workloads = core::make_spec_workloads(spec_scale);
+  const auto corpus = core::make_attack_corpus();
+  for (const PolicyVariant& v : ablation_variants()) {
+    for (const auto& w : workloads) {
+      JobResult r = serial_row(out.size(), "spec", w.name, v.name);
+      auto m = core::prepare_spec_workload(w, v.policy);
+      r.report = m->run();
+      const core::SpecRunRow row = core::classify_spec_run(w, *m, r.report);
+      r.verdict = spec_verdict(row);
+      r.detail = row.alert ? r.report.alert_line() : "";
+      r.status = status_for(r.report);
+      out.push_back(std::move(r));
+    }
+    for (const auto& s : corpus) {
+      if (!s->expected_detected()) continue;
+      JobResult r = serial_row(out.size(), "attack", s->name(), v.name);
+      core::ScenarioResult sr = s->run_attack_with(v.policy);
+      r.report = sr.report;
+      r.verdict = core::to_string(sr.outcome);
+      r.detail = sr.detail;
+      r.status = status_for(r.report);
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+std::vector<JobResult> falseneg_serial() {
+  std::vector<JobResult> out;
+  for (core::AttackId id : kFalsenegIds) {
+    auto s = core::make_scenario(id);
+    JobResult r = serial_row(out.size(), "attack", s->name(), "paper");
+    core::ScenarioResult sr =
+        s->run_attack(cpu::DetectionMode::kPointerTaint);
+    r.report = sr.report;
+    r.verdict = core::to_string(sr.outcome);
+    r.detail = sr.detail;
+    r.status = status_for(r.report);
+    out.push_back(std::move(r));
+  }
+  JobResult r = serial_row(out.size(), "attack", "fn-format-write", "paper");
+  auto m = prepare_fn_format_write();
+  r.report = m->run();
+  classify_fn_format_write(r.report, r);
+  r.status = status_for(r.report);
+  out.push_back(std::move(r));
+  return out;
+}
+
+std::vector<JobResult> coverage_serial() {
+  std::vector<JobResult> out;
+  const auto corpus = core::make_attack_corpus();
+  for (cpu::DetectionMode mode : kCoverageModes) {
+    cpu::TaintPolicy policy;
+    policy.mode = mode;
+    for (const auto& s : corpus) {
+      JobResult r =
+          serial_row(out.size(), "attack", s->name(), core::to_string(mode));
+      core::ScenarioResult sr = s->run_attack_with(policy);
+      r.report = sr.report;
+      r.verdict = core::to_string(sr.outcome);
+      r.detail = sr.detail;
+      r.status = status_for(r.report);
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+// --- formatters -----------------------------------------------------------
+
+std::string format_ablation(const std::vector<JobResult>& results) {
+  std::string out;
+  char line[256];
+  out += "== Ablation: Table 1 rules and taint granularity ==\n\n";
+  std::snprintf(line, sizeof line, "%-24s %18s %18s\n", "variant",
+                "SPEC false pos.", "attacks detected");
+  out += line;
+  // Walk results in matrix order, emitting one row per policy group.
+  size_t i = 0;
+  while (i < results.size()) {
+    const std::string& policy = results[i].policy;
+    int spec_fp = 0, detected = 0, detectable = 0;
+    size_t spec_total = 0;
+    for (; i < results.size() && results[i].policy == policy; ++i) {
+      const JobResult& r = results[i];
+      if (r.app == "spec") {
+        ++spec_total;
+        if (r.verdict == "ALERT") ++spec_fp;
+      } else {
+        ++detectable;
+        if (r.verdict == "DETECTED") ++detected;
+      }
+    }
+    std::snprintf(line, sizeof line, "%-24s %12d / %zu %14d / %d\n",
+                  policy.c_str(), spec_fp, spec_total, detected, detectable);
+    out += line;
+  }
+  out +=
+      "\nreading: the compare-untaint rule is the compatibility-critical "
+      "one — without it, validated indices stay tainted and benign table "
+      "lookups false-positive (the paper keeps it and accepts the Table 4 "
+      "false negatives in exchange).\n";
+  return out;
+}
+
+std::string format_falseneg(const std::vector<JobResult>& results) {
+  if (results.size() != 4) {
+    throw std::invalid_argument("falseneg campaign expects 4 results");
+  }
+  std::string out;
+  char line[512];
+  out += "== Table 4: False Negative Scenarios "
+         "(detector ON, attacks still land) ==\n\n";
+  for (size_t i = 0; i < 3; ++i) {
+    std::snprintf(line, sizeof line, "%-34s  outcome=%-12s %s\n",
+                  kFalsenegLabels[i], results[i].verdict.c_str(),
+                  results[i].detail.c_str());
+    out += line;
+  }
+  out += "\ncontrast: the WRITE variant of (C) is detected:\n";
+  std::snprintf(line, sizeof line, "  %%x%%x%%x%%x%%n -> %s\n",
+                results[3].detail.c_str());
+  out += line;
+  out +=
+      "\npaper: all three scenarios escape any generic runtime detector;\n"
+      "they corrupt or leak plain data without ever dereferencing a tainted "
+      "word.\n";
+  return out;
+}
+
+std::string format_coverage(const std::vector<JobResult>& results) {
+  std::string out;
+  char line[256];
+  out += "== Coverage: attack corpus x detection mode ==\n\n";
+  std::snprintf(line, sizeof line, "%-26s %-22s %s\n", "scenario", "mode",
+                "outcome");
+  out += line;
+  for (const JobResult& r : results) {
+    std::snprintf(line, sizeof line, "%-26s %-22s %s\n", r.payload.c_str(),
+                  r.policy.c_str(), r.verdict.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<PolicyVariant> ablation_variants() {
+  std::vector<PolicyVariant> out;
+  out.push_back({"paper (all rules on)", {}});
+  {
+    cpu::TaintPolicy p;
+    p.compare_untaints = false;
+    out.push_back({"no compare-untaint", p});
+  }
+  {
+    cpu::TaintPolicy p;
+    p.and_zero_untaints = false;
+    out.push_back({"no AND-zero untaint", p});
+  }
+  {
+    cpu::TaintPolicy p;
+    p.xor_self_untaints = false;
+    out.push_back({"no XOR-self untaint", p});
+  }
+  {
+    cpu::TaintPolicy p;
+    p.shift_smear = false;
+    out.push_back({"no shift smear", p});
+  }
+  {
+    cpu::TaintPolicy p;
+    p.per_word_taint = true;
+    out.push_back({"per-word taint", p});
+  }
+  return out;
+}
+
+std::vector<std::string> campaign_names() {
+  return {"ablation", "falseneg", "coverage"};
+}
+
+std::vector<Job> make_jobs(const std::string& campaign, SnapshotCache& cache,
+                           int spec_scale) {
+  if (campaign == "ablation") return ablation_jobs(cache, spec_scale);
+  if (campaign == "falseneg") return falseneg_jobs(cache);
+  if (campaign == "coverage") return coverage_jobs(cache);
+  throw std::invalid_argument("unknown campaign: " + campaign);
+}
+
+std::vector<JobResult> run_serial_reference(const std::string& campaign,
+                                            int spec_scale) {
+  if (campaign == "ablation") return ablation_serial(spec_scale);
+  if (campaign == "falseneg") return falseneg_serial();
+  if (campaign == "coverage") return coverage_serial();
+  throw std::invalid_argument("unknown campaign: " + campaign);
+}
+
+std::string format_campaign(const std::string& campaign,
+                            const std::vector<JobResult>& results) {
+  if (campaign == "ablation") return format_ablation(results);
+  if (campaign == "falseneg") return format_falseneg(results);
+  if (campaign == "coverage") return format_coverage(results);
+  throw std::invalid_argument("unknown campaign: " + campaign);
+}
+
+std::vector<std::string> diff_verdicts(const std::vector<JobResult>& engine,
+                                       const std::vector<JobResult>& serial) {
+  std::vector<std::string> out;
+  if (engine.size() != serial.size()) {
+    std::ostringstream ss;
+    ss << "result count mismatch: engine=" << engine.size()
+       << " serial=" << serial.size();
+    out.push_back(ss.str());
+    return out;
+  }
+  for (size_t i = 0; i < engine.size(); ++i) {
+    const JobResult& e = engine[i];
+    const JobResult& s = serial[i];
+    auto mismatch = [&](const char* field, const std::string& ev,
+                        const std::string& sv) {
+      std::ostringstream ss;
+      ss << "[" << i << "] " << s.app << " / " << s.payload << " / "
+         << s.policy << ": " << field << " differs: engine=\"" << ev
+         << "\" serial=\"" << sv << "\"";
+      out.push_back(ss.str());
+    };
+    if (e.app != s.app) mismatch("app", e.app, s.app);
+    if (e.payload != s.payload) mismatch("payload", e.payload, s.payload);
+    if (e.policy != s.policy) mismatch("policy", e.policy, s.policy);
+    if (e.verdict != s.verdict) mismatch("verdict", e.verdict, s.verdict);
+    if (e.detail != s.detail) mismatch("detail", e.detail, s.detail);
+    const std::string ea = e.report.alert ? e.report.alert_line() : "";
+    const std::string sa = s.report.alert ? s.report.alert_line() : "";
+    if (ea != sa) mismatch("alert", ea, sa);
+    if (e.report.alert_function != s.report.alert_function) {
+      mismatch("alert_function", e.report.alert_function,
+               s.report.alert_function);
+    }
+  }
+  return out;
+}
+
+}  // namespace ptaint::campaign

@@ -1,0 +1,65 @@
+// The paper's evaluation matrices expressed as campaign job lists.
+//
+// Three named campaigns:
+//   "ablation"  — bench_ablation_policy's matrix: 6 policy variants ×
+//                 (6 SPEC surrogates + 9 detectable attacks);
+//   "falseneg"  — bench_table4_false_negatives: the three Table 4 escape
+//                 scenarios plus the detected WRITE contrast;
+//   "coverage"  — the full attack corpus × {unprotected, control-data,
+//                 pointer-taint} detection modes.
+//
+// Each campaign comes in three pieces that must agree:
+//   make_jobs()             — the parallel matrix (snapshot-fork per job);
+//   run_serial_reference()  — the same matrix run serially through the
+//                             pre-campaign entry points (run_spec_workload,
+//                             Scenario::run_attack_with), in the same order;
+//   format_campaign()       — renders ordered results into the exact text
+//                             the original serial bench printed.
+// ptaint_campaign --check diffs make_jobs+Executor against the serial
+// reference verdict-by-verdict; the formatters let the ported benches stay
+// byte-identical to their seed output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/job.hpp"
+#include "campaign/snapshot_cache.hpp"
+#include "cpu/taint_policy.hpp"
+
+namespace ptaint::campaign {
+
+struct PolicyVariant {
+  std::string name;
+  cpu::TaintPolicy policy;
+};
+
+/// The ablation study's six policy variants (DESIGN.md §5), in bench order:
+/// paper defaults, one Table 1 rule disabled at a time, per-word taint.
+std::vector<PolicyVariant> ablation_variants();
+
+/// Campaign names accepted below, in a stable order.
+std::vector<std::string> campaign_names();
+
+/// Builds the job matrix for `campaign`.  Jobs fork machines from
+/// snapshots in `cache`, which must outlive every returned job.
+/// `spec_scale` sizes the SPEC surrogate inputs (ablation only).
+std::vector<Job> make_jobs(const std::string& campaign, SnapshotCache& cache,
+                           int spec_scale = 1);
+
+/// Runs the same matrix serially through the original entry points and
+/// returns results in the same matrix order (status fields as the executor
+/// would report them for a normally-ending guest).
+std::vector<JobResult> run_serial_reference(const std::string& campaign,
+                                            int spec_scale = 1);
+
+/// Renders ordered campaign results as the original serial bench's output.
+std::string format_campaign(const std::string& campaign,
+                            const std::vector<JobResult>& results);
+
+/// Compares two result vectors (engine vs serial reference) on identity
+/// and verdict fields; returns one human-readable line per mismatch.
+std::vector<std::string> diff_verdicts(const std::vector<JobResult>& engine,
+                                       const std::vector<JobResult>& serial);
+
+}  // namespace ptaint::campaign

@@ -1,0 +1,186 @@
+#include "campaign/executor.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace ptaint::campaign {
+
+using Clock = std::chrono::steady_clock;
+
+const char* to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kGuestFault: return "guest-fault";
+    case JobStatus::kBudgetExhausted: return "budget-exhausted";
+    case JobStatus::kTimeout: return "timeout";
+    case JobStatus::kHarnessError: return "harness-error";
+  }
+  return "?";
+}
+
+Executor::Executor() : Executor(Config{}) {}
+
+Executor::Executor(Config config) : config_(config) {
+  if (config_.workers < 1) config_.workers = 1;
+  if (config_.slice_instructions == 0) config_.slice_instructions = 250'000;
+}
+
+namespace {
+
+/// One worker's job queue.  Owner pops newest (back), thieves steal oldest
+/// (front); a plain mutex per deque is plenty — jobs are whole guest runs,
+/// so queue traffic is thousands of lockings per second at most.
+struct WorkQueue {
+  std::mutex mutex;
+  std::deque<size_t> jobs;
+
+  bool pop_back(size_t& out) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (jobs.empty()) return false;
+    out = jobs.back();
+    jobs.pop_back();
+    return true;
+  }
+
+  bool steal_front(size_t& out) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (jobs.empty()) return false;
+    out = jobs.front();
+    jobs.pop_front();
+    return true;
+  }
+};
+
+}  // namespace
+
+JobResult Executor::execute_job(const Job& job, size_t index) {
+  JobResult result;
+  result.index = index;
+  result.app = job.app;
+  result.payload = job.payload;
+  result.policy = job.policy;
+
+  for (int attempt = 1;; ++attempt) {
+    result.attempts = attempt;
+    result.error.clear();
+    const auto start = Clock::now();
+    try {
+      std::unique_ptr<core::Machine> machine = job.make();
+      const auto deadline = start + job.timeout;
+      uint64_t budget = job.max_instructions;
+      cpu::StopReason reason = cpu::StopReason::kRunning;
+      bool timed_out = false;
+      while (budget > 0) {
+        const uint64_t slice = budget < config_.slice_instructions
+                                   ? budget
+                                   : config_.slice_instructions;
+        reason = machine->run_for(slice);
+        budget -= slice;
+        if (reason != cpu::StopReason::kRunning) break;
+        if (Clock::now() >= deadline) {
+          timed_out = true;
+          break;
+        }
+      }
+      if (!timed_out && reason == cpu::StopReason::kRunning) {
+        // Budget exhausted: mirror Machine::run's kInstLimit stop so the
+        // report (and any classifier) sees exactly what a serial run saw.
+        machine->cpu().mark_inst_limit();
+        reason = cpu::StopReason::kInstLimit;
+      }
+      result.report = machine->report();
+      if (timed_out) {
+        result.status = JobStatus::kTimeout;
+        result.verdict = "TIMEOUT";
+      } else if (reason == cpu::StopReason::kFault) {
+        result.status = JobStatus::kGuestFault;
+      } else if (reason == cpu::StopReason::kInstLimit) {
+        result.status = JobStatus::kBudgetExhausted;
+      } else {
+        result.status = JobStatus::kOk;
+      }
+      // Classify guest-side endings (including faults and exhausted
+      // budgets — serial harnesses judge those too); skip only timeouts,
+      // where the run is incomplete by the harness's own hand.
+      if (!timed_out && job.classify) {
+        job.classify(*machine, result.report, result);
+      }
+    } catch (const std::exception& e) {
+      result.status = JobStatus::kHarnessError;
+      result.error = e.what();
+    } catch (...) {
+      result.status = JobStatus::kHarnessError;
+      result.error = "unknown exception";
+    }
+    result.wall_ms = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                              start)
+                         .count();
+    if (result.status != JobStatus::kHarnessError ||
+        attempt > config_.max_retries) {
+      return result;
+    }
+    // One bounded retry on a harness-side failure (spurious by definition:
+    // the guest never got to run its deterministic course).
+  }
+}
+
+std::vector<JobResult> Executor::run(const std::vector<Job>& jobs) {
+  stats_ = {};
+  stats_.jobs = jobs.size();
+  std::vector<JobResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  const int workers =
+      config_.workers > static_cast<int>(jobs.size())
+          ? static_cast<int>(jobs.size())
+          : config_.workers;
+  std::vector<WorkQueue> queues(static_cast<size_t>(workers));
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    queues[i % static_cast<size_t>(workers)].jobs.push_back(i);
+  }
+
+  std::atomic<uint64_t> remaining{jobs.size()};
+  std::atomic<uint64_t> steals{0};
+  std::atomic<uint64_t> retries{0};
+
+  auto worker_main = [&](int me) {
+    for (;;) {
+      size_t index = 0;
+      bool found = queues[static_cast<size_t>(me)].pop_back(index);
+      if (!found) {
+        for (int k = 1; k < workers && !found; ++k) {
+          const int victim = (me + k) % workers;
+          found = queues[static_cast<size_t>(victim)].steal_front(index);
+          if (found) steals.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (!found) {
+        if (remaining.load(std::memory_order_acquire) == 0) return;
+        std::this_thread::yield();
+        continue;
+      }
+      JobResult r = execute_job(jobs[index], index);
+      if (r.attempts > 1) {
+        retries.fetch_add(static_cast<uint64_t>(r.attempts - 1),
+                          std::memory_order_relaxed);
+      }
+      results[index] = std::move(r);
+      remaining.fetch_sub(1, std::memory_order_release);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) pool.emplace_back(worker_main, w);
+  for (auto& t : pool) t.join();
+
+  stats_.steals = steals.load();
+  stats_.retries = retries.load();
+  return results;
+}
+
+}  // namespace ptaint::campaign

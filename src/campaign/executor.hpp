@@ -1,0 +1,60 @@
+// Work-stealing thread-pool executor for campaign jobs.
+//
+// The matrix is dealt round-robin onto per-worker deques; a worker pops
+// from the back of its own deque and, when empty, steals from the front of
+// a victim's — the classic split that keeps an unbalanced matrix (one slow
+// SPEC workload among quick attack runs) from idling workers.
+//
+// Each job runs entirely on one worker thread: build (or restore) the
+// Machine, drive it in instruction slices with wall-clock and
+// instruction-budget checks between slices, classify, write the result
+// into its matrix slot.  Guest faults are captured in the job's result; a
+// job that throws is marked kHarnessError and retried once.  Results come
+// back in stable matrix order regardless of completion order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "campaign/job.hpp"
+
+namespace ptaint::campaign {
+
+class Executor {
+ public:
+  struct Config {
+    /// Worker threads.  The default favours determinism of the *campaign*
+    /// (not of any single host): 4 workers everywhere, as the paper matrix
+    /// is small; raise for big sweeps on big hosts.
+    int workers = 4;
+    /// Instructions per run_for slice between deadline checks (~a few
+    /// milliseconds of guest time per check).
+    uint64_t slice_instructions = 250'000;
+    /// Bounded retries for jobs that fail in the harness (make/classify
+    /// threw).  Guest-side faults are results, not retries.
+    int max_retries = 1;
+  };
+
+  struct Stats {
+    uint64_t jobs = 0;
+    uint64_t steals = 0;   // jobs a worker took from another's deque
+    uint64_t retries = 0;  // extra attempts after harness errors
+  };
+
+  Executor();
+  explicit Executor(Config config);
+
+  /// Runs every job and returns results indexed exactly like `jobs`.
+  std::vector<JobResult> run(const std::vector<Job>& jobs);
+
+  /// Statistics of the most recent run().
+  const Stats& stats() const { return stats_; }
+
+ private:
+  JobResult execute_job(const Job& job, size_t index);
+
+  Config config_;
+  Stats stats_;
+};
+
+}  // namespace ptaint::campaign

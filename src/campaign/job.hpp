@@ -1,0 +1,81 @@
+// Campaign job model.
+//
+// A campaign expands an `app × payload × policy` experiment matrix into
+// jobs.  Each job owns the recipe for building one armed Machine (usually
+// by restoring a shared post-boot snapshot) and for judging the finished
+// run.  Jobs carry stable matrix coordinates so the aggregation layer can
+// merge results in matrix order no matter which worker finished first.
+//
+// The simulator stays single-threaded per Machine instance: a job's
+// machine is built, driven and classified entirely on one worker thread,
+// which is what keeps detection semantics identical to serial runs (see
+// docs/CAMPAIGN.md).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/machine.hpp"
+
+namespace ptaint::campaign {
+
+/// How a job ended, from the harness's point of view.  Guest-side outcomes
+/// (detection, compromise, crash) live in the report/verdict — a crashing
+/// *guest* is kGuestFault and never takes the harness down.
+enum class JobStatus : uint8_t {
+  kOk,               // guest stopped by itself (exit or security alert)
+  kGuestFault,       // guest faulted (bad memory access, invalid instr, ...)
+  kBudgetExhausted,  // per-job instruction budget ran out
+  kTimeout,          // per-job wall-clock deadline passed
+  kHarnessError,     // job threw (assembly error, bad config, ...)
+};
+
+const char* to_string(JobStatus status);
+
+struct JobResult;
+
+/// One cell of the experiment matrix.
+struct Job {
+  // Stable matrix coordinates (labels, not indices, so reports read well).
+  std::string app;
+  std::string payload;
+  std::string policy;
+
+  /// Builds and arms the machine.  Runs on a worker thread; may restore a
+  /// shared snapshot.  Throwing marks the job kHarnessError (one retry).
+  std::function<std::unique_ptr<core::Machine>()> make;
+
+  /// Fills verdict/detail from the finished run.  Optional; runs on the
+  /// same worker thread as make().
+  std::function<void(core::Machine&, const core::RunReport&, JobResult&)>
+      classify;
+
+  /// Per-job instruction budget, enforced by the executor in slices (the
+  /// report then shows kInstLimit exactly like a serial Machine::run).
+  uint64_t max_instructions = 50'000'000;
+
+  /// Per-job wall-clock deadline.
+  std::chrono::milliseconds timeout{120'000};
+};
+
+/// One merged result cell, in stable matrix order.
+struct JobResult {
+  size_t index = 0;  // position in the expanded matrix
+  std::string app;
+  std::string payload;
+  std::string policy;
+
+  JobStatus status = JobStatus::kHarnessError;
+  int attempts = 0;       // 1 normally; 2 after the bounded retry
+  double wall_ms = 0.0;   // of the successful attempt
+
+  core::RunReport report;
+  std::string verdict;  // classifier's one-word judgement (e.g. DETECTED)
+  std::string detail;   // classifier's evidence (e.g. the alert line)
+  std::string error;    // harness error message, when status says so
+};
+
+}  // namespace ptaint::campaign

@@ -1,0 +1,134 @@
+#include "campaign/report.hpp"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace ptaint::campaign {
+namespace {
+
+std::string stop_name(cpu::StopReason stop) {
+  switch (stop) {
+    case cpu::StopReason::kRunning: return "running";
+    case cpu::StopReason::kExit: return "exit";
+    case cpu::StopReason::kSecurityAlert: return "security-alert";
+    case cpu::StopReason::kFault: return "fault";
+    case cpu::StopReason::kInstLimit: return "inst-limit";
+    case cpu::StopReason::kBreak: return "break";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+std::string to_json(const std::vector<JobResult>& results) {
+  std::ostringstream ss;
+  ss << "[\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const JobResult& r = results[i];
+    ss << "  {\"index\": " << r.index                                   //
+       << ", \"app\": \"" << json_escape(r.app) << "\""                 //
+       << ", \"payload\": \"" << json_escape(r.payload) << "\""         //
+       << ", \"policy\": \"" << json_escape(r.policy) << "\""           //
+       << ", \"status\": \"" << to_string(r.status) << "\""             //
+       << ", \"verdict\": \"" << json_escape(r.verdict) << "\""         //
+       << ", \"detail\": \"" << json_escape(r.detail) << "\""           //
+       << ", \"stop\": \"" << stop_name(r.report.stop) << "\""          //
+       << ", \"exit_status\": " << r.report.exit_status                 //
+       << ", \"alert\": \""
+       << json_escape(r.report.alert ? r.report.alert_line() : "") << "\""
+       << ", \"alert_function\": \"" << json_escape(r.report.alert_function)
+       << "\""                                                          //
+       << ", \"instructions\": " << r.report.cpu_stats.instructions     //
+       << ", \"tainted_memory_bytes\": " << r.report.tainted_memory_bytes
+       << ", \"attempts\": " << r.attempts                              //
+       << ", \"error\": \"" << json_escape(r.error) << "\"}";
+    ss << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  ss << "]\n";
+  return ss.str();
+}
+
+std::string to_csv(const std::vector<JobResult>& results) {
+  std::ostringstream ss;
+  ss << "index,app,payload,policy,status,verdict,detail,stop,exit_status,"
+        "alert,alert_function,instructions,tainted_memory_bytes,attempts,"
+        "error\n";
+  for (const JobResult& r : results) {
+    ss << r.index << "," << csv_escape(r.app) << "," << csv_escape(r.payload)
+       << "," << csv_escape(r.policy) << "," << to_string(r.status) << ","
+       << csv_escape(r.verdict) << "," << csv_escape(r.detail) << ","
+       << stop_name(r.report.stop) << "," << r.report.exit_status << ","
+       << csv_escape(r.report.alert ? r.report.alert_line() : "") << ","
+       << csv_escape(r.report.alert_function) << ","
+       << r.report.cpu_stats.instructions << ","
+       << r.report.tainted_memory_bytes << "," << r.attempts << ","
+       << csv_escape(r.error) << "\n";
+  }
+  return ss.str();
+}
+
+std::string console_summary(const std::vector<JobResult>& results) {
+  std::ostringstream ss;
+  // Per-policy verdict tally, policies in first-appearance (matrix) order.
+  std::vector<std::string> policy_order;
+  std::map<std::string, std::map<std::string, int>> tally;
+  for (const JobResult& r : results) {
+    if (!tally.count(r.policy)) policy_order.push_back(r.policy);
+    std::string verdict = r.verdict.empty() ? std::string("(none)") : r.verdict;
+    ++tally[r.policy][verdict];
+  }
+  ss << "campaign: " << results.size() << " jobs\n";
+  for (const std::string& policy : policy_order) {
+    ss << "  " << policy << ":";
+    for (const auto& [verdict, n] : tally[policy]) {
+      ss << "  " << verdict << "=" << n;
+    }
+    ss << "\n";
+  }
+  // Rows that need eyes.
+  for (const JobResult& r : results) {
+    if (r.status == JobStatus::kHarnessError || r.status == JobStatus::kTimeout) {
+      ss << "  !! [" << r.index << "] " << r.app << " / " << r.payload << " / "
+         << r.policy << ": " << to_string(r.status)
+         << (r.error.empty() ? "" : " — " + r.error) << "\n";
+    }
+  }
+  return ss.str();
+}
+
+}  // namespace ptaint::campaign

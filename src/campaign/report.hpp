@@ -1,0 +1,32 @@
+// Deterministic campaign reporting.
+//
+// Results arrive from the executor already merged in stable matrix order
+// (slot per job index), so every emitter here is a pure function of that
+// ordered vector: run the same matrix twice — serial, 4 workers, 64
+// workers — and the JSON, CSV and console output are byte-identical.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/job.hpp"
+
+namespace ptaint::campaign {
+
+/// Machine-readable rows, one JSON object per job in matrix order.
+std::string to_json(const std::vector<JobResult>& results);
+
+/// Spreadsheet form: header + one row per job in matrix order.
+std::string to_csv(const std::vector<JobResult>& results);
+
+/// Human console summary: per-policy verdict tallies plus any rows that
+/// need eyes (harness errors, timeouts), in matrix order.
+std::string console_summary(const std::vector<JobResult>& results);
+
+/// Escapes a string for inclusion in JSON output ("..." not included).
+std::string json_escape(const std::string& s);
+
+/// Escapes a CSV field (quotes when needed).
+std::string csv_escape(const std::string& s);
+
+}  // namespace ptaint::campaign

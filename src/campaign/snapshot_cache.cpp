@@ -1,0 +1,35 @@
+#include "campaign/snapshot_cache.hpp"
+
+namespace ptaint::campaign {
+
+std::shared_ptr<const core::MachineSnapshot> SnapshotCache::get(
+    const std::string& key, const Builder& build) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = entries_[key];
+    if (!slot) slot = std::make_shared<Entry>();
+    entry = slot;
+  }
+  std::lock_guard<std::mutex> build_lock(entry->build_mutex);
+  if (entry->snapshot) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.hits;
+    return entry->snapshot;
+  }
+  // Build outside mutex_ so unrelated keys boot concurrently; only callers
+  // of this key serialize on build_mutex.
+  auto snapshot =
+      std::make_shared<const core::MachineSnapshot>(build());
+  entry->snapshot = snapshot;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.builds;
+  return snapshot;
+}
+
+SnapshotCache::Stats SnapshotCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace ptaint::campaign

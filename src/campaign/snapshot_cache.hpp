@@ -1,0 +1,50 @@
+// Keyed cache of machine snapshots shared across campaign jobs.
+//
+// The point of the campaign engine: boot a guest once (assemble, load, arm
+// inputs, optionally run to a post-init point), snapshot it, and let every
+// job that shares the boot fork from the snapshot instead of re-assembling.
+// Thread-safe: the first job to ask for a key builds the snapshot while
+// other workers asking for the same key wait; distinct keys build
+// concurrently.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/machine.hpp"
+
+namespace ptaint::campaign {
+
+class SnapshotCache {
+ public:
+  using Builder = std::function<core::MachineSnapshot()>;
+
+  /// Returns the snapshot for `key`, invoking `build` exactly once per key
+  /// (even under concurrent callers).  If the builder throws, the error
+  /// propagates to every caller of that key and nothing is cached, so a
+  /// retried job re-attempts the build.
+  std::shared_ptr<const core::MachineSnapshot> get(const std::string& key,
+                                                   const Builder& build);
+
+  struct Stats {
+    uint64_t builds = 0;  // snapshots actually built
+    uint64_t hits = 0;    // requests served from the cache
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::mutex build_mutex;
+    std::shared_ptr<const core::MachineSnapshot> snapshot;  // set once
+  };
+
+  mutable std::mutex mutex_;  // guards entries_ map and stats_
+  std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+  Stats stats_;
+};
+
+}  // namespace ptaint::campaign

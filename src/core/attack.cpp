@@ -66,17 +66,33 @@ class SpecScenario : public Scenario {
   bool corrupts_control_data() const override { return spec_.control_data; }
   bool expected_detected() const override { return spec_.expected_detected; }
 
-  ScenarioResult run_attack_with(
+  uint64_t max_instructions() const override { return spec_.max_instructions; }
+
+  std::unique_ptr<Machine> prepare_attack(
       const cpu::TaintPolicy& policy) const override {
     MachineConfig cfg;
     cfg.policy = policy;
     cfg.max_instructions = spec_.max_instructions;
     cfg.argv = spec_.attack_argv;
-    Machine m(cfg);
-    m.load_sources(link_with_runtime(spec_.app));
-    spec_.arm_attack(m, m.program());
+    auto m = std::make_unique<Machine>(cfg);
+    m->load_sources(link_with_runtime(spec_.app));
+    spec_.arm_attack(*m, m->program());
+    return m;
+  }
+
+  std::unique_ptr<Machine> prepare_benign() const override {
+    MachineConfig cfg;  // full paper policy
+    cfg.max_instructions = spec_.max_instructions;
+    cfg.argv = spec_.benign_argv;
+    auto m = std::make_unique<Machine>(cfg);
+    m->load_sources(link_with_runtime(spec_.app));
+    spec_.arm_benign(*m, m->program());
+    return m;
+  }
+
+  ScenarioResult classify_attack(Machine& m, RunReport report) const override {
     ScenarioResult result;
-    result.report = m.run();
+    result.report = std::move(report);
     auto evidence = spec_.evidence(m, result.report);
     if (result.report.detected()) {
       result.outcome = Outcome::kDetected;
@@ -95,15 +111,9 @@ class SpecScenario : public Scenario {
     return result;
   }
 
-  ScenarioResult run_benign() const override {
-    MachineConfig cfg;  // full paper policy
-    cfg.max_instructions = spec_.max_instructions;
-    cfg.argv = spec_.benign_argv;
-    Machine m(cfg);
-    m.load_sources(link_with_runtime(spec_.app));
-    spec_.arm_benign(m, m.program());
+  ScenarioResult classify_benign(Machine& m, RunReport report) const override {
     ScenarioResult result;
-    result.report = m.run();
+    result.report = std::move(report);
     auto evidence = spec_.evidence(m, result.report);
     if (result.report.detected()) {
       result.outcome = Outcome::kDetected;  // would be a false positive

@@ -55,6 +55,29 @@ class Scenario {
   /// True when the paper expects the pointer-taint detector to catch it.
   virtual bool expected_detected() const = 0;
 
+  /// Instruction budget a full run of this scenario needs.
+  virtual uint64_t max_instructions() const = 0;
+
+  // --- prepare / classify split -------------------------------------------
+  // The campaign engine drives scenarios in two halves: prepare_* builds and
+  // arms a machine (assemble, load, install stdin/VFS/network payloads)
+  // without running it — the state a post-boot snapshot captures — and
+  // classify_* judges a finished run.  The serial wrappers below compose
+  // them, so a campaign job that forks a prepared snapshot and classifies
+  // the result is verdict-identical to a serial run.
+
+  /// Builds and arms the attack machine under `policy`; does not run it.
+  virtual std::unique_ptr<Machine> prepare_attack(
+      const cpu::TaintPolicy& policy) const = 0;
+  /// Builds and arms the benign-workload machine (full paper policy).
+  virtual std::unique_ptr<Machine> prepare_benign() const = 0;
+  /// Judges a finished attack run (from prepare_attack or a restored fork).
+  virtual ScenarioResult classify_attack(Machine& machine,
+                                         RunReport report) const = 0;
+  /// Judges a finished benign run.
+  virtual ScenarioResult classify_benign(Machine& machine,
+                                         RunReport report) const = 0;
+
   /// Runs the attack under the paper policy with the given mode.
   ScenarioResult run_attack(cpu::DetectionMode mode) const {
     cpu::TaintPolicy policy;
@@ -62,11 +85,18 @@ class Scenario {
     return run_attack_with(policy);
   }
   /// Runs the attack under an arbitrary taint policy (ablations).
-  virtual ScenarioResult run_attack_with(
-      const cpu::TaintPolicy& policy) const = 0;
+  ScenarioResult run_attack_with(const cpu::TaintPolicy& policy) const {
+    auto machine = prepare_attack(policy);
+    RunReport report = machine->run();
+    return classify_attack(*machine, std::move(report));
+  }
   /// Runs the matching benign workload under the full paper policy; the
   /// result must be Outcome::kBenign (no false positive).
-  virtual ScenarioResult run_benign() const = 0;
+  ScenarioResult run_benign() const {
+    auto machine = prepare_benign();
+    RunReport report = machine->run();
+    return classify_benign(*machine, std::move(report));
+  }
 };
 
 /// The full corpus in a stable order.

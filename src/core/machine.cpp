@@ -132,6 +132,34 @@ void Machine::protect_symbol(const std::string& symbol, uint32_t len) {
   cpu_->protect_region(program_.symbols.at(symbol), len, symbol);
 }
 
+MachineSnapshot Machine::snapshot() const {
+  MachineSnapshot s;
+  s.program = program_;
+  s.memory = memory_;
+  s.cpu = cpu_->save_state();
+  s.os = *os_;
+  if (pipeline_) s.pipeline = *pipeline_;
+  return s;
+}
+
+void Machine::restore(const MachineSnapshot& snapshot) {
+  program_ = snapshot.program;
+  memory_ = snapshot.memory;
+  cpu_->restore_state(snapshot.cpu);
+  *os_ = snapshot.os;
+  if (config_.pipeline_model) {
+    // Pipeline state transfers only between same-shaped configs; restoring
+    // a snapshot without pipeline state resets the timing model.
+    if (snapshot.pipeline) {
+      *pipeline_ = *snapshot.pipeline;
+    } else {
+      *pipeline_ = cpu::Pipeline(config_.pipeline);
+    }
+  }
+  if (tracer_) tracer_->clear();
+  if (profiler_) profiler_->reset();
+}
+
 cpu::StopReason Machine::run_for(uint64_t n) {
   // Unlike run(), exhausting the step budget here is not a stop condition —
   // the machine stays resumable for incremental driving.

@@ -74,6 +74,31 @@ struct RunReport {
   std::string alert_line() const;
 };
 
+/// A deep, deterministic copy of everything a run can observe or mutate:
+/// the tainted memory image, register file + taint bits, CPU bookkeeping
+/// (stop state, alert, stats, annotations), the whole simulated OS (VFS
+/// contents and open files, network sessions, fd table, captured output,
+/// brk/uid), and the pipeline timing state when enabled.
+///
+/// Snapshots are value objects: copyable, independent of the machine they
+/// came from, and restorable into any Machine (typically one constructed
+/// with the same program-independent config).  The campaign engine boots a
+/// guest once to a post-init point, snapshots, and forks one restored
+/// Machine per payload instead of re-assembling per run.
+///
+/// The detection policy is *not* part of the snapshot — it belongs to the
+/// restoring machine's config.  Taint bits in memory and registers are
+/// data, so a pre-run (or pre-divergence) snapshot can be forked across
+/// policy variants; each fork then propagates and detects under its own
+/// policy exactly as a from-scratch serial run would.
+struct MachineSnapshot {
+  asmgen::Program program;
+  mem::TaintedMemory memory;
+  cpu::Cpu::State cpu;
+  os::SimOs os;
+  std::optional<cpu::Pipeline> pipeline;  // config + timing state
+};
+
 class Machine {
  public:
   explicit Machine(MachineConfig config = {});
@@ -108,6 +133,18 @@ class Machine {
   /// never-tainted; a tainted write into it raises an annotation alert.
   /// Call after load_*; throws std::out_of_range for unknown symbols.
   void protect_symbol(const std::string& symbol, uint32_t len);
+
+  /// Captures the complete machine state (see MachineSnapshot).  Legal at
+  /// any point: after load, mid-run (via run_for driving), or at stop.
+  MachineSnapshot snapshot() const;
+
+  /// Restores a snapshot into this machine, replacing program, memory, CPU,
+  /// OS and pipeline state; the machine's own config (policy, instruction
+  /// budget) is kept.  Tracer/profiler windows are cleared so a restored
+  /// run reports exactly like the original.  A machine restored from a
+  /// snapshot of machine M behaves byte-identically to M continuing from
+  /// the snapshot point.
+  void restore(const MachineSnapshot& snapshot);
 
   /// Runs until exit/alert/fault or the instruction budget is exhausted.
   RunReport run();

@@ -105,16 +105,26 @@ std::vector<SpecWorkload> make_spec_workloads(int scale) {
   return w;
 }
 
-SpecRunRow run_spec_workload(const SpecWorkload& workload,
-                             const cpu::TaintPolicy& policy) {
+std::unique_ptr<Machine> prepare_spec_workload(const SpecWorkload& workload,
+                                               const cpu::TaintPolicy& policy) {
   MachineConfig cfg;
   cfg.policy = policy;
   cfg.max_instructions = 2'000'000'000;
-  Machine m(cfg);
-  m.load_sources(guest::link_with_runtime(workload.app));
-  m.os().vfs().install("/input", workload.input);
-  RunReport report = m.run();
+  auto m = std::make_unique<Machine>(cfg);
+  m->load_sources(guest::link_with_runtime(workload.app));
+  m->os().vfs().install("/input", workload.input);
+  return m;
+}
 
+SpecRunRow run_spec_workload(const SpecWorkload& workload,
+                             const cpu::TaintPolicy& policy) {
+  auto m = prepare_spec_workload(workload, policy);
+  RunReport report = m->run();
+  return classify_spec_run(workload, *m, report);
+}
+
+SpecRunRow classify_spec_run(const SpecWorkload& workload, Machine& m,
+                             const RunReport& report) {
   SpecRunRow row;
   row.name = workload.name;
   row.program_bytes =

@@ -39,4 +39,13 @@ struct SpecRunRow {
 SpecRunRow run_spec_workload(const SpecWorkload& workload,
                              const cpu::TaintPolicy& policy = {});
 
+/// Prepare/classify split for the campaign engine: prepare assembles, loads
+/// and installs the /input file without running; classify builds the row
+/// from a finished run (of the prepared machine or a restored fork of it).
+/// prepare + run + classify is exactly run_spec_workload.
+std::unique_ptr<Machine> prepare_spec_workload(
+    const SpecWorkload& workload, const cpu::TaintPolicy& policy = {});
+SpecRunRow classify_spec_run(const SpecWorkload& workload, Machine& machine,
+                             const RunReport& report);
+
 }  // namespace ptaint::core

@@ -59,6 +59,64 @@ void Cpu::protect_region(uint32_t addr, uint32_t len, std::string name) {
   protected_regions_.push_back({addr, addr + len, std::move(name)});
 }
 
+void Cpu::set_executable_range(uint32_t begin, uint32_t end) {
+  text_begin_ = begin;
+  text_end_ = end;
+  // Cap the cache so a pathological range (e.g. a raw core that never saw a
+  // loader) cannot allocate gigabytes; fetches past the cap use the slow
+  // path with identical semantics.
+  constexpr uint32_t kMaxCachedInstructions = 4u << 20;
+  const uint64_t span = end > begin ? (static_cast<uint64_t>(end) - begin) / 4
+                                    : 0;
+  const size_t n = static_cast<size_t>(
+      span < kMaxCachedInstructions ? span : kMaxCachedInstructions);
+  decode_cache_.assign(n, Instruction{});
+  decode_valid_.assign(n, 0);
+}
+
+void Cpu::invalidate_decode_range(uint32_t addr, uint32_t len) {
+  if (decode_valid_.empty() || len == 0) return;
+  if (addr >= text_end_ || addr + len <= text_begin_) return;
+  const uint32_t lo = addr > text_begin_ ? addr : text_begin_;
+  const uint32_t hi = addr + len < text_end_ ? addr + len : text_end_;
+  for (uint32_t i = (lo - text_begin_) / 4; i <= (hi - 1 - text_begin_) / 4;
+       ++i) {
+    if (i >= decode_valid_.size()) break;
+    decode_valid_[i] = 0;
+  }
+}
+
+Cpu::State Cpu::save_state() const {
+  State s;
+  s.regs = regs_;
+  s.pc = pc_;
+  s.stop = stop_;
+  s.alert = alert_;
+  s.fault_message = fault_message_;
+  s.exit_status = exit_status_;
+  s.stats = stats_;
+  s.taint_stats = taint_unit_.stats();
+  s.protected_regions = protected_regions_;
+  s.text_begin = text_begin_;
+  s.text_end = text_end_;
+  return s;
+}
+
+void Cpu::restore_state(const State& s) {
+  regs_ = s.regs;
+  pc_ = s.pc;
+  stop_ = s.stop;
+  alert_ = s.alert;
+  fault_message_ = s.fault_message;
+  exit_status_ = s.exit_status;
+  stats_ = s.stats;
+  taint_unit_.set_stats(s.taint_stats);
+  protected_regions_ = s.protected_regions;
+  // Re-sizing the executable range also drops every cached decode; the
+  // cache refills lazily from the restored memory image.
+  set_executable_range(s.text_begin, s.text_end);
+}
+
 bool Cpu::annotation_kernel_write(uint32_t addr, uint32_t len) {
   if (protected_regions_.empty() || len == 0) return false;
   if (policy_.mode == DetectionMode::kOff) return false;
@@ -149,6 +207,22 @@ StopReason Cpu::step() {
     alert_ = std::move(alert);
     stop_ = StopReason::kSecurityAlert;
     return stop_;
+  }
+  // Fetch through the decoded-instruction cache when the PC is inside the
+  // cached text range; otherwise (shellcode on the stack, raw cores) decode
+  // from memory with identical semantics.
+  const uint32_t idx = (pc_ - text_begin_) / 4;
+  if (pc_ >= text_begin_ && idx < decode_cache_.size()) {
+    if (!decode_valid_[idx]) {
+      decode_cache_[idx] = isa::decode(memory_.load_word(pc_).value);
+      decode_valid_[idx] = 1;
+    }
+    const Instruction& inst = decode_cache_[idx];
+    if (inst.op == Op::kInvalid) {
+      fault("invalid instruction encoding");
+      return stop_;
+    }
+    return execute(inst);
   }
   const uint32_t word = memory_.load_word(pc_).value;
   const Instruction inst = isa::decode(word);
@@ -432,6 +506,9 @@ StopReason Cpu::execute(const Instruction& inst) {
                         rt.taint & ((1u << store_len) - 1))};
       if (detect_annotation(inst, ea, store_len, stored)) return stop_;
       if (rt.tainted()) ++stats_.tainted_stores;
+      if (ea < text_end_ && ea + store_len > text_begin_) {
+        invalidate_decode_range(ea, store_len);
+      }
       if (inst.op == Op::kSw) {
         if (ea % 4 != 0) { fault("misaligned sw"); return stop_; }
         memory_.store_word(ea, rt);

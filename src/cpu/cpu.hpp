@@ -132,9 +132,20 @@ class Cpu {
 
   /// Declares the executable text range for NX enforcement (set by the
   /// loader).  With policy.nx_protection, fetching outside it alerts.
-  void set_executable_range(uint32_t begin, uint32_t end) {
-    text_begin_ = begin;
-    text_end_ = end;
+  /// Also sizes the decoded-instruction cache covering the range.
+  void set_executable_range(uint32_t begin, uint32_t end);
+
+  /// Drops cached decodes overlapping [addr, addr+len).  The store path
+  /// calls this for guest stores into text; the OS layer calls it when a
+  /// kernel copy (SYS_READ/SYS_RECV) lands in guest memory, so
+  /// self-modifying code executes its current bytes.
+  void invalidate_decode_range(uint32_t addr, uint32_t len);
+
+  /// Marks the core stopped with kInstLimit if it is still running — the
+  /// campaign executor's budget enforcement (mirrors run() exhausting its
+  /// budget, so reports classify identically).
+  void mark_inst_limit() {
+    if (stop_ == StopReason::kRunning) stop_ = StopReason::kInstLimit;
   }
 
   /// Annotation check for kernel-side writes: the OS layer calls this when
@@ -150,13 +161,33 @@ class Cpu {
                          bool is_mem, uint32_t ea)>;
   void set_retire_hook(RetireHook hook) { retire_hook_ = std::move(hook); }
 
- private:
   struct ProtectedRegion {
     uint32_t begin = 0;
     uint32_t end = 0;  // exclusive
     std::string name;
   };
 
+  /// Complete architectural + bookkeeping state of the core, deep-copyable
+  /// for machine snapshot/restore.  Everything that can influence a future
+  /// step() or report() is included; the decode cache is derived state and
+  /// is rebuilt lazily after restore.
+  struct State {
+    mem::RegisterFile regs;
+    uint32_t pc = isa::layout::kTextBase;
+    StopReason stop = StopReason::kRunning;
+    std::optional<SecurityAlert> alert;
+    std::string fault_message;
+    int exit_status = 0;
+    CpuStats stats;
+    TaintUnit::Stats taint_stats;
+    std::vector<ProtectedRegion> protected_regions;
+    uint32_t text_begin = 0;
+    uint32_t text_end = 0xffffffff;
+  };
+  State save_state() const;
+  void restore_state(const State& state);
+
+ private:
   StopReason execute(const isa::Instruction& inst);
   bool detect_pointer(const isa::Instruction& inst, uint8_t reg,
                       mem::TaintedWord value, AlertKind kind);
@@ -183,6 +214,13 @@ class Cpu {
   std::vector<ProtectedRegion> protected_regions_;
   uint32_t text_begin_ = 0;
   uint32_t text_end_ = 0xffffffff;
+
+  // Decoded-instruction cache over the executable range: fetching becomes
+  // one bounds check + one table read instead of a page lookup plus a
+  // decode.  decode_valid_[i] gates entry i; stores into text and kernel
+  // copies invalidate overlapping entries.
+  std::vector<isa::Instruction> decode_cache_;
+  std::vector<uint8_t> decode_valid_;
 };
 
 }  // namespace ptaint::cpu

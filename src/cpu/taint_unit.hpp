@@ -45,6 +45,8 @@ class TaintUnit {
   };
   const Stats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
+  /// Overwrites the counters — machine snapshot/restore support.
+  void set_stats(const Stats& stats) { stats_ = stats; }
 
   /// Rough two-input-NAND-equivalent gate count of the tracking logic, for
   /// the Figure 3 / Section 5.4 area discussion.

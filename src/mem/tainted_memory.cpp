@@ -1,5 +1,6 @@
 #include "mem/tainted_memory.hpp"
 
+#include <algorithm>
 #include <array>
 #include <bit>
 
@@ -29,15 +30,37 @@ void set_bit(std::array<uint8_t, TaintedMemory::kPageSize / 8>& bits,
 
 }  // namespace
 
+TaintedMemory& TaintedMemory::operator=(const TaintedMemory& other) {
+  if (this != &other) {
+    pages_.clear();
+    pages_.reserve(other.pages_.size());
+    for (const auto& [idx, page] : other.pages_) {
+      pages_.emplace(idx, std::make_unique<Page>(*page));
+    }
+    memo_index_ = kNoPage;
+    memo_page_ = nullptr;
+  }
+  return *this;
+}
+
 TaintedMemory::Page& TaintedMemory::page_for(uint32_t addr) {
-  auto& slot = pages_[page_index(addr)];
+  const uint32_t idx = page_index(addr);
+  if (idx == memo_index_) return *memo_page_;
+  auto& slot = pages_[idx];
   if (!slot) slot = std::make_unique<Page>();
+  memo_index_ = idx;
+  memo_page_ = slot.get();
   return *slot;
 }
 
 const TaintedMemory::Page* TaintedMemory::find_page(uint32_t addr) const {
-  auto it = pages_.find(page_index(addr));
-  return it == pages_.end() ? nullptr : it->second.get();
+  const uint32_t idx = page_index(addr);
+  if (idx == memo_index_) return memo_page_;
+  auto it = pages_.find(idx);
+  if (it == pages_.end()) return nullptr;
+  memo_index_ = idx;
+  memo_page_ = it->second.get();
+  return it->second.get();
 }
 
 TaintedByte TaintedMemory::load_byte(uint32_t addr) const {
@@ -55,6 +78,18 @@ void TaintedMemory::store_byte(uint32_t addr, TaintedByte b) {
 }
 
 TaintedWord TaintedMemory::load_half(uint32_t addr) const {
+  if ((addr & 1) == 0) {
+    // Aligned halves sit inside one page and one taint byte.
+    const Page* p = find_page(addr);
+    if (!p) return {};
+    const uint32_t off = page_offset(addr);
+    const uint8_t* d = p->data.data() + off;
+    TaintedWord w;
+    w.value = static_cast<uint32_t>(d[0]) | (static_cast<uint32_t>(d[1]) << 8);
+    w.taint =
+        static_cast<TaintBits>((p->taint[off >> 3] >> (off & 7)) & 0x3);
+    return w;
+  }
   TaintedWord w;
   for (int i = 0; i < 2; ++i) {
     TaintedByte b = load_byte(addr + i);
@@ -65,6 +100,16 @@ TaintedWord TaintedMemory::load_half(uint32_t addr) const {
 }
 
 void TaintedMemory::store_half(uint32_t addr, TaintedWord w) {
+  if ((addr & 1) == 0) {
+    Page& p = page_for(addr);
+    const uint32_t off = page_offset(addr);
+    p.data[off] = static_cast<uint8_t>(w.value);
+    p.data[off + 1] = static_cast<uint8_t>(w.value >> 8);
+    const int sh = off & 7;
+    uint8_t& t = p.taint[off >> 3];
+    t = static_cast<uint8_t>((t & ~(0x3u << sh)) | ((w.taint & 0x3u) << sh));
+    return;
+  }
   for (int i = 0; i < 2; ++i) {
     store_byte(addr + i, {static_cast<uint8_t>(w.value >> (8 * i)),
                           byte_tainted(w.taint, i)});
@@ -72,6 +117,23 @@ void TaintedMemory::store_half(uint32_t addr, TaintedWord w) {
 }
 
 TaintedWord TaintedMemory::load_word(uint32_t addr) const {
+  if ((addr & 3) == 0) {
+    // Aligned words sit inside one page, and their 4 taint bits inside one
+    // taint byte (offset is a multiple of 4) — one lookup for the whole
+    // access.  This is the instruction-fetch and lw/sw fast path.
+    const Page* p = find_page(addr);
+    if (!p) return {};
+    const uint32_t off = page_offset(addr);
+    const uint8_t* d = p->data.data() + off;
+    TaintedWord w;
+    w.value = static_cast<uint32_t>(d[0]) |
+              (static_cast<uint32_t>(d[1]) << 8) |
+              (static_cast<uint32_t>(d[2]) << 16) |
+              (static_cast<uint32_t>(d[3]) << 24);
+    w.taint =
+        static_cast<TaintBits>((p->taint[off >> 3] >> (off & 7)) & 0xf);
+    return w;
+  }
   TaintedWord w;
   for (int i = 0; i < 4; ++i) {
     TaintedByte b = load_byte(addr + i);
@@ -82,6 +144,19 @@ TaintedWord TaintedMemory::load_word(uint32_t addr) const {
 }
 
 void TaintedMemory::store_word(uint32_t addr, TaintedWord w) {
+  if ((addr & 3) == 0) {
+    Page& p = page_for(addr);
+    const uint32_t off = page_offset(addr);
+    uint8_t* d = p.data.data() + off;
+    d[0] = static_cast<uint8_t>(w.value);
+    d[1] = static_cast<uint8_t>(w.value >> 8);
+    d[2] = static_cast<uint8_t>(w.value >> 16);
+    d[3] = static_cast<uint8_t>(w.value >> 24);
+    const int sh = off & 7;
+    uint8_t& t = p.taint[off >> 3];
+    t = static_cast<uint8_t>((t & ~(0xfu << sh)) | ((w.taint & 0xfu) << sh));
+    return;
+  }
   for (int i = 0; i < 4; ++i) {
     store_byte(addr + i, {static_cast<uint8_t>(w.value >> (8 * i)),
                           byte_tainted(w.taint, i)});
@@ -90,8 +165,16 @@ void TaintedMemory::store_word(uint32_t addr, TaintedWord w) {
 
 void TaintedMemory::write_block(uint32_t addr, std::span<const uint8_t> data,
                                 bool tainted) {
-  for (size_t i = 0; i < data.size(); ++i) {
-    store_byte(addr + static_cast<uint32_t>(i), {data[i], tainted});
+  size_t done = 0;
+  while (done < data.size()) {
+    Page& p = page_for(addr);
+    const uint32_t off = page_offset(addr);
+    const uint32_t chunk = std::min<uint32_t>(
+        kPageSize - off, static_cast<uint32_t>(data.size() - done));
+    std::copy_n(data.data() + done, chunk, p.data.data() + off);
+    for (uint32_t i = 0; i < chunk; ++i) set_bit(p.taint, off + i, tainted);
+    done += chunk;
+    addr += chunk;
   }
 }
 
@@ -113,9 +196,14 @@ std::string TaintedMemory::read_cstring(uint32_t addr, uint32_t max_len) const {
 }
 
 void TaintedMemory::set_taint(uint32_t addr, uint32_t len, bool tainted) {
-  for (uint32_t i = 0; i < len; ++i) {
-    Page& p = page_for(addr + i);
-    set_bit(p.taint, page_offset(addr + i), tainted);
+  uint32_t done = 0;
+  while (done < len) {
+    Page& p = page_for(addr);
+    const uint32_t off = page_offset(addr);
+    const uint32_t chunk = std::min<uint32_t>(kPageSize - off, len - done);
+    for (uint32_t i = 0; i < chunk; ++i) set_bit(p.taint, off + i, tainted);
+    done += chunk;
+    addr += chunk;
   }
 }
 

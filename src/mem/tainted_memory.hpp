@@ -24,6 +24,14 @@ class TaintedMemory {
   static constexpr uint32_t kPageShift = 12;
   static constexpr uint32_t kPageSize = 1u << kPageShift;
 
+  TaintedMemory() = default;
+  /// Deep copies (pages and taint bits) — the machine snapshot/restore
+  /// primitive.  The last-page memo is not carried over.
+  TaintedMemory(const TaintedMemory& other) { *this = other; }
+  TaintedMemory& operator=(const TaintedMemory& other);
+  TaintedMemory(TaintedMemory&&) = default;
+  TaintedMemory& operator=(TaintedMemory&&) = default;
+
   /// Byte accessors.
   TaintedByte load_byte(uint32_t addr) const;
   void store_byte(uint32_t addr, TaintedByte b);
@@ -67,6 +75,15 @@ class TaintedMemory {
   const Page* find_page(uint32_t addr) const;
 
   std::unordered_map<uint32_t, std::unique_ptr<Page>> pages_;
+
+  // Single-entry page memo: guest access streams are strongly local (the
+  // fetch stream alone stays on one page for up to 1024 instructions), so
+  // remembering the last page touched skips the hash lookup on the hot
+  // path.  Page objects are owned by unique_ptr, so the cached pointer
+  // stays valid across map growth.  Reset on copy.
+  static constexpr uint32_t kNoPage = 0xffffffffu;
+  mutable uint32_t memo_index_ = kNoPage;
+  mutable Page* memo_page_ = nullptr;
 };
 
 }  // namespace ptaint::mem

@@ -63,6 +63,7 @@ uint32_t SimOs::do_read(cpu::Cpu& cpu, int fd, uint32_t buf, uint32_t len,
   // The taint boundary (paper Section 4.4): every byte the kernel delivers
   // from an external source is marked tainted on its way to user space.
   cpu.memory().write_block(buf, data, taint_inputs_);
+  cpu.invalidate_decode_range(buf, static_cast<uint32_t>(data.size()));
   if (taint_inputs_) {
     stats_.input_bytes_tainted += data.size();
     // §5.3 annotation extension: tainted input landing on an annotated

@@ -35,6 +35,14 @@ class Profiler {
   /// Formats a flat profile table.
   std::string format(size_t max_rows = 16) const;
 
+  /// Drops all counts (machine restore support).
+  void reset() {
+    counts_.clear();
+    total_ = 0;
+    cached_begin_ = cached_end_ = 0;
+    cached_count_ = nullptr;
+  }
+
  private:
   const asmgen::Program& program_;
   // Counts keyed by function start address (resolved lazily to names).

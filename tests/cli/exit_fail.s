@@ -1,0 +1,5 @@
+# CLI end-to-end fixture: benign run that exits with a nonzero status.
+    .text
+main:
+    li $v0, 7
+    jr $ra

@@ -1,0 +1,181 @@
+// ptaint-campaign — parallel evaluation-campaign driver.
+//
+//   ptaint-campaign <ablation|falseneg|coverage> [options]
+//
+// Expands the named campaign into its app x payload x policy job matrix,
+// runs it on a work-stealing thread pool (each job forks a Machine from a
+// shared post-boot snapshot), and prints the same report text the original
+// serial bench printed — byte-identical regardless of worker count or
+// completion order.
+//
+// Options:
+//   --workers N     worker threads (default 4)
+//   --serial        run the matrix serially through the original
+//                   entry points instead of the engine
+//   --spec-scale N  SPEC surrogate input scale (ablation; default 1)
+//   --json PATH     also write per-job results as JSON
+//   --csv PATH      also write per-job results as CSV
+//   --summary       also print the per-policy verdict tally
+//   --time          print wall-clock and executor statistics to stderr
+//   --check         run BOTH engine and serial reference, diff every
+//                   verdict/alert, print the speedup; exit 1 on mismatch
+//
+// Exit codes: 0 ok, 1 verdict mismatch under --check or a job ended in a
+// harness error/timeout, 4 usage error.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "campaign/campaigns.hpp"
+#include "campaign/executor.hpp"
+#include "campaign/report.hpp"
+
+using namespace ptaint;
+using namespace ptaint::campaign;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void usage() {
+  std::cerr
+      << "usage: ptaint-campaign <ablation|falseneg|coverage> [options]\n"
+         "  --workers N   worker threads (default 4)\n"
+         "  --serial      serial reference run (no engine)\n"
+         "  --spec-scale N  SPEC input scale (ablation)\n"
+         "  --json PATH / --csv PATH   machine-readable results\n"
+         "  --summary     per-policy verdict tally\n"
+         "  --time        wall-clock + executor stats on stderr\n"
+         "  --check       engine vs serial verdict diff + speedup\n";
+  std::exit(4);
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "ptaint-campaign: cannot write " << path << "\n";
+    std::exit(4);
+  }
+  out << contents;
+}
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+bool has_failures(const std::vector<JobResult>& results) {
+  for (const JobResult& r : results) {
+    if (r.status == JobStatus::kHarnessError ||
+        r.status == JobStatus::kTimeout) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string campaign = argv[1];
+  {
+    bool known = false;
+    for (const std::string& name : campaign_names()) {
+      if (name == campaign) known = true;
+    }
+    if (!known) usage();
+  }
+
+  Executor::Config config;
+  int spec_scale = 1;
+  bool serial = false;
+  bool check = false;
+  bool timing = false;
+  bool summary = false;
+  std::string json_path, csv_path;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--workers") {
+      config.workers = static_cast<int>(std::strtol(value().c_str(), nullptr, 0));
+      if (config.workers < 1) usage();
+    } else if (arg == "--spec-scale") {
+      spec_scale = static_cast<int>(std::strtol(value().c_str(), nullptr, 0));
+      if (spec_scale < 1) usage();
+    } else if (arg == "--serial") {
+      serial = true;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--time") {
+      timing = true;
+    } else if (arg == "--summary") {
+      summary = true;
+    } else if (arg == "--json") {
+      json_path = value();
+    } else if (arg == "--csv") {
+      csv_path = value();
+    } else {
+      usage();
+    }
+  }
+
+  std::vector<JobResult> results;
+  double engine_s = 0.0, serial_s = 0.0;
+  SnapshotCache cache;
+  Executor executor(config);
+
+  if (!serial || check) {
+    const auto t0 = Clock::now();
+    const std::vector<Job> jobs = make_jobs(campaign, cache, spec_scale);
+    results = executor.run(jobs);
+    engine_s = seconds_since(t0);
+  }
+  if (serial || check) {
+    const auto t0 = Clock::now();
+    std::vector<JobResult> reference = run_serial_reference(campaign, spec_scale);
+    serial_s = seconds_since(t0);
+    if (check) {
+      const std::vector<std::string> diffs = diff_verdicts(results, reference);
+      if (!diffs.empty()) {
+        std::cerr << "ptaint-campaign: engine and serial reference disagree:\n";
+        for (const std::string& d : diffs) std::cerr << "  " << d << "\n";
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "check: %zu verdicts identical; engine %.2fs (%d workers) "
+                   "vs serial %.2fs (%.2fx)\n",
+                   results.size(), engine_s, config.workers, serial_s,
+                   engine_s > 0 ? serial_s / engine_s : 0.0);
+    } else {
+      results = std::move(reference);
+    }
+  }
+
+  std::fputs(format_campaign(campaign, results).c_str(), stdout);
+  if (summary) std::fputs(console_summary(results).c_str(), stdout);
+  if (!json_path.empty()) write_file(json_path, to_json(results));
+  if (!csv_path.empty()) write_file(csv_path, to_csv(results));
+  if (timing) {
+    const Executor::Stats& s = executor.stats();
+    std::fprintf(stderr,
+                 "time: engine %.2fs (%d workers, %llu jobs, %llu steals, "
+                 "%llu retries)%s\n",
+                 engine_s, config.workers,
+                 static_cast<unsigned long long>(s.jobs),
+                 static_cast<unsigned long long>(s.steals),
+                 static_cast<unsigned long long>(s.retries),
+                 serial || check
+                     ? (", serial " + std::to_string(serial_s) + "s").c_str()
+                     : "");
+  }
+  return has_failures(results) ? 1 : 0;
+}

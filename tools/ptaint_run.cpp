@@ -4,8 +4,13 @@
 //
 // Assembles the given sources (linked with the guest runtime unless
 // --no-runtime), loads them into a Machine, wires up inputs, runs, and
-// reports.  Exit code: guest exit status, or 2 on a security alert,
-// 3 on a fault, 4 on usage/assembly errors.
+// reports.  Exit codes are distinct per outcome so scripts can branch on
+// them without parsing stderr:
+//   0  guest ran to completion and exited 0
+//   1  guest ran to completion but exited nonzero
+//   2  security alert (pointer-taintedness detection fired)
+//   3  guest fault or exhausted instruction budget
+//   4  usage or assembly error (the guest never ran)
 //
 // Options:
 //   --stdin TEXT          guest stdin bytes
@@ -104,6 +109,8 @@ usage: ptaint-run [options] program.s [more.s ...]
   --trace N / --profile / --pipeline
   --listing             print the assembled text segment and exit
   --max-instr N / --quiet
+exit codes: 0 clean exit, 1 nonzero guest exit, 2 security alert,
+            3 fault/instruction budget, 4 usage or assembly error
 )");
       return 0;
     } else if (arg == "--stdin") {
@@ -249,6 +256,6 @@ usage: ptaint-run [options] program.s [more.s ...]
     }
   }
   if (report.stop == cpu::StopReason::kSecurityAlert) return 2;
-  if (report.stop == cpu::StopReason::kFault) return 3;
-  return report.exit_status & 0xff;
+  if (report.stop != cpu::StopReason::kExit) return 3;  // fault / budget
+  return report.exit_status == 0 ? 0 : 1;
 }
