@@ -1,0 +1,75 @@
+// Abstract taint lattice for the static pointer-taintedness analyzer.
+//
+// The dynamic detector (src/cpu) tracks one taint bit per byte.  The static
+// analyzer abstracts a whole 32-bit register into a three-point lattice:
+//
+//     Untainted  <  MaybeTainted  <  Top
+//
+//   * Untainted     — no byte of the register can be tainted on any
+//                     execution reaching this point (a *must* claim; only
+//                     these sites are eligible for check elision);
+//   * MaybeTainted  — some execution may leave a tainted byte here (the
+//                     abstract image of every load, since memory contents
+//                     are summarized as possibly tainted);
+//   * Top           — no information (states merged across unresolved
+//                     indirect control flow).
+//
+// Join is max; the transfer function is monotone, so the worklist iteration
+// in taint_analyzer.cpp terminates.  Soundness direction: the static value
+// must always be >= the dynamic taintedness, never below it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "isa/isa.hpp"
+
+namespace ptaint::analysis {
+
+enum class Taint : uint8_t {
+  kUntainted = 0,
+  kMaybeTainted = 1,
+  kTop = 2,
+};
+
+constexpr Taint join(Taint a, Taint b) { return a < b ? b : a; }
+
+/// True when the abstract value admits a tainted byte — i.e. the dynamic
+/// detector could fire on a dereference of this register.
+constexpr bool may_be_tainted(Taint t) { return t != Taint::kUntainted; }
+
+const char* to_string(Taint t);
+
+/// Abstract register state: the 32 general registers plus HI and LO.
+/// $zero is pinned to Untainted by every mutator.
+struct RegState {
+  static constexpr int kHi = 32;
+  static constexpr int kLo = 33;
+  static constexpr int kCount = 34;
+
+  std::array<Taint, kCount> regs{};  // value-initialized: all Untainted
+
+  Taint get(int r) const { return regs[static_cast<size_t>(r)]; }
+  void set(int r, Taint t) {
+    if (r == isa::kZero) return;  // hardwired zero stays untainted
+    regs[static_cast<size_t>(r)] = t;
+  }
+
+  /// In-place join; returns true when this state changed (worklist driver).
+  bool join_with(const RegState& other) {
+    bool changed = false;
+    for (int i = 0; i < kCount; ++i) {
+      const Taint j = join(regs[static_cast<size_t>(i)],
+                           other.regs[static_cast<size_t>(i)]);
+      if (j != regs[static_cast<size_t>(i)]) {
+        regs[static_cast<size_t>(i)] = j;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  bool operator==(const RegState&) const = default;
+};
+
+}  // namespace ptaint::analysis

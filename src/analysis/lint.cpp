@@ -1,0 +1,389 @@
+#include "analysis/lint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <optional>
+
+#include "analysis/lattice.hpp"
+#include "isa/isa.hpp"
+
+namespace ptaint::analysis {
+
+using isa::Instruction;
+using isa::Op;
+using isa::OpClass;
+
+namespace {
+
+constexpr int kHi = RegState::kHi;
+constexpr int kLo = RegState::kLo;
+
+/// Register reads/writes of one instruction over the 34-register domain.
+struct Effects {
+  int reads[3] = {-1, -1, -1};
+  int writes[2] = {-1, -1};
+};
+
+Effects effects_of(const Instruction& inst) {
+  Effects e;
+  auto r = [&](int a, int b = -1, int c = -1) {
+    e.reads[0] = a; e.reads[1] = b; e.reads[2] = c;
+  };
+  auto w = [&](int a, int b = -1) { e.writes[0] = a; e.writes[1] = b; };
+  switch (inst.op) {
+    case Op::kSll: case Op::kSrl: case Op::kSra:
+      r(inst.rt); w(inst.rd); break;
+    case Op::kSllv: case Op::kSrlv: case Op::kSrav:
+      r(inst.rt, inst.rs); w(inst.rd); break;
+    case Op::kAdd: case Op::kAddu: case Op::kSub: case Op::kSubu:
+    case Op::kAnd: case Op::kOr: case Op::kXor: case Op::kNor:
+    case Op::kSlt: case Op::kSltu:
+      r(inst.rs, inst.rt); w(inst.rd); break;
+    case Op::kMult: case Op::kMultu: case Op::kDiv: case Op::kDivu:
+      r(inst.rs, inst.rt); w(kHi, kLo); break;
+    case Op::kMfhi: r(kHi); w(inst.rd); break;
+    case Op::kMflo: r(kLo); w(inst.rd); break;
+    case Op::kMthi: r(inst.rs); w(kHi); break;
+    case Op::kMtlo: r(inst.rs); w(kLo); break;
+    case Op::kTaintSet: case Op::kTaintClr:
+      r(inst.rs); w(inst.rd); break;
+    case Op::kAddi: case Op::kAddiu: case Op::kAndi: case Op::kOri:
+    case Op::kXori: case Op::kSlti: case Op::kSltiu:
+      r(inst.rs); w(inst.rt); break;
+    case Op::kLui: w(inst.rt); break;
+    case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLbu: case Op::kLhu:
+      r(inst.rs); w(inst.rt); break;
+    case Op::kSb: case Op::kSh: case Op::kSw:
+      r(inst.rs, inst.rt); break;
+    case Op::kBeq: case Op::kBne:
+      r(inst.rs, inst.rt); break;
+    case Op::kBlez: case Op::kBgtz: case Op::kBltz: case Op::kBgez:
+      r(inst.rs); break;
+    case Op::kBltzal: case Op::kBgezal:
+      r(inst.rs); w(isa::kRa); break;
+    case Op::kJ: break;
+    case Op::kJal: w(isa::kRa); break;
+    case Op::kJr: r(inst.rs); break;
+    case Op::kJalr: r(inst.rs); w(inst.rd); break;
+    case Op::kSyscall: r(isa::kV0); w(isa::kV0); break;
+    case Op::kBreak: case Op::kInvalid: break;
+  }
+  return e;
+}
+
+bool is_call(const Instruction& inst) {
+  return inst.op == Op::kJal || inst.op == Op::kJalr ||
+         inst.op == Op::kBltzal || inst.op == Op::kBgezal;
+}
+
+bool is_nop(const Instruction& inst) {
+  return inst.op == Op::kSll && inst.rd == 0 && inst.rt == 0 &&
+         inst.shamt == 0;
+}
+
+std::string reg_str(int r) {
+  if (r == kHi) return "$hi";
+  if (r == kLo) return "$lo";
+  return std::string(isa::reg_name(static_cast<uint8_t>(r)));  // "$sN"-style
+}
+
+/// True when `pc` carries a text label: a potential alternate entry point
+/// (e.g. `send:` sharing code with `recv:`) even if nothing jumps there.
+bool is_labeled(const Cfg& cfg, uint32_t pc) {
+  const auto& labels = cfg.program().text_labels;
+  return std::binary_search(
+      labels.begin(), labels.end(), std::pair<uint32_t, std::string>{pc, {}},
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+const char* func_name(const Cfg& cfg, int f) {
+  return f >= 0 ? cfg.functions()[static_cast<size_t>(f)].name.c_str() : "?";
+}
+
+// ---- use-before-def --------------------------------------------------------
+//
+// Per-function forward must-defined dataflow.  Live-in at a function entry:
+// everything with a calling-convention value ($zero/$at/args/s-regs/$k/$gp/
+// $sp/$fp/$ra).  Caller-saved results ($v0/$v1), temporaries and HI/LO are
+// undefined until written.  A call defines $v0/$v1/$ra.
+void lint_use_before_def(const Cfg& cfg, std::vector<LintFinding>& out) {
+  using Mask = uint64_t;
+  constexpr Mask kAll = (Mask{1} << RegState::kCount) - 1;
+  auto bit = [](int r) { return Mask{1} << r; };
+
+  Mask entry_defined = 0;
+  for (int r :
+       {isa::kZero, isa::kAt, isa::kA0, isa::kA1, isa::kA2, isa::kA3,
+        isa::kS0, isa::kS1, isa::kS2, isa::kS3, isa::kS4, isa::kS5,
+        isa::kS6, isa::kS7, isa::kK0, isa::kK1, isa::kGp, isa::kSp,
+        isa::kFp, isa::kRa}) {
+    entry_defined |= bit(r);
+  }
+
+  const auto& blocks = cfg.blocks();
+  std::vector<Mask> in(blocks.size(), kAll);  // top of the must-lattice
+  std::vector<bool> has_in(blocks.size(), false);
+  std::vector<std::pair<uint32_t, int>> reported;
+
+  for (const Function& f : cfg.functions()) {
+    std::deque<int> worklist;
+    const int entry_block = cfg.block_at(f.entry);
+    if (entry_block < 0) continue;
+    in[static_cast<size_t>(entry_block)] = entry_defined;
+    has_in[static_cast<size_t>(entry_block)] = true;
+    worklist.push_back(entry_block);
+
+    while (!worklist.empty()) {
+      const int b = worklist.front();
+      worklist.pop_front();
+      const BasicBlock& bb = blocks[static_cast<size_t>(b)];
+      Mask defined = in[static_cast<size_t>(b)];
+
+      for (uint32_t pc = bb.begin; pc < bb.end; pc += 4) {
+        const Instruction& inst = cfg.inst_at(pc);
+        const Effects e = effects_of(inst);
+        for (int r : e.reads) {
+          if (r < 0 || (defined & bit(r))) continue;
+          if (std::find(reported.begin(), reported.end(),
+                        std::pair<uint32_t, int>{pc, r}) != reported.end()) {
+            continue;
+          }
+          reported.emplace_back(pc, r);
+          out.push_back({LintKind::kUseBeforeDef, pc, f.name,
+                         "use of " + reg_str(r) + " before definition: " +
+                             isa::disassemble(inst, pc)});
+          defined |= bit(r);  // report each register once per path
+        }
+        for (int r : e.writes) {
+          if (r >= 0) defined |= bit(r);
+        }
+        if (is_call(inst)) {
+          defined |= bit(isa::kV0) | bit(isa::kV1) | bit(isa::kRa);
+        }
+      }
+
+      // Intra-procedural propagation only: stay within this function's
+      // blocks (call/return edges are modeled by the call summary above).
+      // A returning block's successors are the call-return sites — an
+      // interprocedural edge even when mis-attribution puts both ends in
+      // the same recovered function.
+      if (bb.returns) continue;
+      for (int succ : bb.succs) {
+        if (succ < 0 ||
+            blocks[static_cast<size_t>(succ)].function != bb.function) {
+          continue;
+        }
+        auto us = static_cast<size_t>(succ);
+        const Mask next = has_in[us] ? (in[us] & defined) : defined;
+        if (!has_in[us] || next != in[us]) {
+          in[us] = next;
+          has_in[us] = true;
+          worklist.push_back(succ);
+        }
+      }
+    }
+  }
+}
+
+// ---- unreachable blocks ----------------------------------------------------
+
+void lint_unreachable(const Cfg& cfg, std::vector<LintFinding>& out) {
+  const std::vector<bool> reachable = cfg.reachable_blocks();
+  const auto& blocks = cfg.blocks();
+  const auto& labels = cfg.program().text_labels;
+
+  // Group blocks by nearest preceding text label.  A region none of whose
+  // blocks run is an unused library routine (this link never calls it), not
+  // dead code; only a dead block inside a region that does run is a finding.
+  auto region_of = [&](uint32_t pc) -> int {
+    auto it = std::upper_bound(
+        labels.begin(), labels.end(), std::pair<uint32_t, std::string>{pc, {}},
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    return static_cast<int>(it - labels.begin()) - 1;
+  };
+  std::vector<bool> region_live(labels.size() + 1, false);
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    if (reachable[b]) {
+      region_live[static_cast<size_t>(region_of(blocks[b].begin) + 1)] = true;
+    }
+  }
+
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    if (reachable[b]) continue;
+    const BasicBlock& bb = blocks[b];
+    if (!region_live[static_cast<size_t>(region_of(bb.begin) + 1)]) continue;
+    // A labeled block inside a live region is an alternate entry point
+    // (`send`/`recv` share a body) — unreferenced, not unreachable.
+    if (is_labeled(cfg, bb.begin)) continue;
+    bool only_padding = true;
+    for (uint32_t pc = bb.begin; pc < bb.end && only_padding; pc += 4) {
+      const Instruction& inst = cfg.inst_at(pc);
+      only_padding = is_nop(inst) || inst.op == Op::kBreak ||
+                     inst.op == Op::kInvalid;
+    }
+    if (only_padding) continue;  // .align fill, data-in-text, guard traps
+    char msg[96];
+    std::snprintf(msg, sizeof msg, "unreachable block of %zu instruction(s)",
+                  bb.size());
+    out.push_back({LintKind::kUnreachableBlock, bb.begin,
+                   func_name(cfg, bb.function), msg});
+  }
+}
+
+// ---- stack imbalance -------------------------------------------------------
+//
+// Tracks $sp as a constant delta from the function-entry value.  Any
+// non-constant adjustment (or conflicting deltas at a join) degrades to
+// unknown, which is never reported.
+void lint_stack_imbalance(const Cfg& cfg, std::vector<LintFinding>& out) {
+  struct Delta {
+    bool known = false;
+    int32_t value = 0;
+    bool operator==(const Delta&) const = default;
+  };
+  const Delta kUnknown{};
+  const auto& blocks = cfg.blocks();
+
+  for (const Function& f : cfg.functions()) {
+    std::vector<std::optional<Delta>> in(blocks.size());
+    std::deque<int> worklist;
+    const int entry_block = cfg.block_at(f.entry);
+    if (entry_block < 0) continue;
+    in[static_cast<size_t>(entry_block)] = Delta{true, 0};
+    worklist.push_back(entry_block);
+
+    while (!worklist.empty()) {
+      const int b = worklist.front();
+      worklist.pop_front();
+      const BasicBlock& bb = blocks[static_cast<size_t>(b)];
+      Delta d = *in[static_cast<size_t>(b)];
+
+      for (uint32_t pc = bb.begin; pc < bb.end; pc += 4) {
+        const Instruction& inst = cfg.inst_at(pc);
+        if ((inst.op == Op::kAddi || inst.op == Op::kAddiu) &&
+            inst.rt == isa::kSp) {
+          if (inst.rs == isa::kSp && d.known) {
+            d.value += inst.imm;
+          } else {
+            d = kUnknown;
+          }
+          continue;
+        }
+        const Effects e = effects_of(inst);
+        for (int w : e.writes) {
+          if (w == isa::kSp) d = kUnknown;
+        }
+        if (inst.op == Op::kJr && inst.rs == isa::kRa && d.known &&
+            d.value != 0) {
+          char msg[96];
+          std::snprintf(msg, sizeof msg,
+                        "$sp off by %+d bytes at return (push/pop imbalance)",
+                        d.value);
+          out.push_back({LintKind::kStackImbalance, pc, f.name, msg});
+          d = kUnknown;  // report once per site
+        }
+      }
+
+      if (bb.returns) continue;  // return edges are interprocedural
+      for (int succ : bb.succs) {
+        if (succ < 0 ||
+            blocks[static_cast<size_t>(succ)].function != bb.function) {
+          continue;
+        }
+        auto us = static_cast<size_t>(succ);
+        const Delta next =
+            !in[us].has_value() ? d : (*in[us] == d ? d : kUnknown);
+        if (!in[us].has_value() || next != *in[us]) {
+          in[us] = next;
+          worklist.push_back(succ);
+        }
+      }
+    }
+  }
+}
+
+// ---- clobbered callee-saved ------------------------------------------------
+//
+// Syntactic rule: a returning function that writes an s-register or $fp must
+// spill it somewhere in its body (`sw $sN, ...`).  Restores are not checked —
+// a spill with a bad restore shows up as a use-before-def or a test failure,
+// not here.
+void lint_clobbered_callee_saved(const Cfg& cfg,
+                                 std::vector<LintFinding>& out) {
+  const auto& blocks = cfg.blocks();
+  for (const Function& f : cfg.functions()) {
+    // "__"-prefixed helpers opt out of the standard convention (e.g.
+    // __pf_putc keeps the running count in $s5 which its caller spills).
+    if (f.name.rfind("__", 0) == 0) continue;
+    bool returns = false;
+    uint32_t written[isa::kNumRegs] = {};  // first write PC, 0 = none
+    bool spilled[isa::kNumRegs] = {};
+    for (int b : f.blocks) {
+      const BasicBlock& bb = blocks[static_cast<size_t>(b)];
+      if (bb.returns) returns = true;
+      for (uint32_t pc = bb.begin; pc < bb.end; pc += 4) {
+        const Instruction& inst = cfg.inst_at(pc);
+        if (inst.op == Op::kSw) {
+          spilled[inst.rt] = true;
+          continue;
+        }
+        const Effects e = effects_of(inst);
+        for (int w : e.writes) {
+          if (w < 0 || w >= isa::kNumRegs) continue;
+          const bool callee_saved =
+              (w >= isa::kS0 && w <= isa::kS7) || w == isa::kFp;
+          if (callee_saved && written[w] == 0) written[w] = pc;
+        }
+      }
+    }
+    if (!returns) continue;  // _start & noreturn helpers own every register
+    for (int r = 0; r < isa::kNumRegs; ++r) {
+      if (written[r] != 0 && !spilled[r]) {
+        out.push_back({LintKind::kClobberedCalleeSaved, written[r], f.name,
+                       "callee-saved " + reg_str(r) +
+                           " written but never spilled"});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const char* to_string(LintKind kind) {
+  switch (kind) {
+    case LintKind::kUseBeforeDef: return "use-before-def";
+    case LintKind::kUnreachableBlock: return "unreachable-block";
+    case LintKind::kStackImbalance: return "stack-imbalance";
+    case LintKind::kClobberedCalleeSaved: return "clobbered-callee-saved";
+  }
+  return "?";
+}
+
+std::vector<LintFinding> run_lints(const Cfg& cfg) {
+  std::vector<LintFinding> findings;
+  lint_use_before_def(cfg, findings);
+  lint_unreachable(cfg, findings);
+  lint_stack_imbalance(cfg, findings);
+  lint_clobbered_callee_saved(cfg, findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const LintFinding& a, const LintFinding& b) {
+              if (a.pc != b.pc) return a.pc < b.pc;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+  return findings;
+}
+
+std::string format_findings(const std::vector<LintFinding>& findings) {
+  std::string out;
+  char head[64];
+  for (const LintFinding& f : findings) {
+    std::snprintf(head, sizeof head, "%08x: %s: ", f.pc, to_string(f.kind));
+    out += head;
+    out += f.message;
+    out += " [in " + f.function + "]\n";
+  }
+  return out;
+}
+
+}  // namespace ptaint::analysis

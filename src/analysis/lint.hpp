@@ -1,0 +1,45 @@
+// Classic static lints over the recovered Cfg, surfaced by ptaint-lint.
+//
+// Four rules:
+//   * use-before-def      — a register read on some path before any
+//                           definition (per-function must-defined dataflow;
+//                           $sp/$gp/$fp/$ra/args/s-regs count as live-in)
+//   * unreachable-block   — a basic block no CFG path from the entry
+//                           reaches (alignment nop padding is exempt)
+//   * stack-imbalance     — $sp not restored to its entry value at a
+//                           `jr $ra` (constant-delta tracking)
+//   * clobbered-callee-saved — an s-register or $fp written inside a
+//                           returning function that never spills it
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+
+namespace ptaint::analysis {
+
+enum class LintKind {
+  kUseBeforeDef,
+  kUnreachableBlock,
+  kStackImbalance,
+  kClobberedCalleeSaved,
+};
+
+const char* to_string(LintKind kind);
+
+struct LintFinding {
+  LintKind kind;
+  uint32_t pc = 0;        // site of the finding
+  std::string function;   // enclosing function name ("?" when unknown)
+  std::string message;
+};
+
+/// Runs every lint rule; findings come back sorted by PC.
+std::vector<LintFinding> run_lints(const Cfg& cfg);
+
+/// One line per finding: "<pc>: <kind>: <message> [in <function>]".
+std::string format_findings(const std::vector<LintFinding>& findings);
+
+}  // namespace ptaint::analysis

@@ -36,6 +36,7 @@ struct PendingInst {
 struct Diag {
   SourceLoc loc;
   std::string message;
+  std::string token;  // offending source token, when identifiable
 };
 
 // An operand expression is `sym`, `sym+N`, `sym-N`, or a literal.
@@ -91,8 +92,26 @@ class Assembler {
 
  private:
   // ---- diagnostics ----
+  // Statement-level error, anchored at the mnemonic of the current line.
   void error(std::string message) {
-    diags_.push_back({{file_, line_no_}, std::move(message)});
+    diags_.push_back({here(), std::move(message),
+                      cur_line_ ? cur_line_->mnemonic : ""});
+  }
+
+  // Operand-level error.  `operand` must be a reference into the current
+  // line's operand vector; its source column is recovered by identity so
+  // every helper can report precise positions without threading indices.
+  void error_at(const std::string& operand, std::string message) {
+    SourceLoc loc = here();
+    if (cur_line_ != nullptr) {
+      for (size_t i = 0; i < cur_line_->operands.size(); ++i) {
+        if (&cur_line_->operands[i] == &operand) {
+          loc.col = cur_line_->col_of_operand(i);
+          break;
+        }
+      }
+    }
+    diags_.push_back({std::move(loc), std::move(message), operand});
   }
 
   [[noreturn]] void fail() {
@@ -103,12 +122,17 @@ class Assembler {
         os << "... (" << diags_.size() - 20 << " more)\n";
         break;
       }
-      os << d.loc.file << ":" << d.loc.line << ": " << d.message << "\n";
+      os << d.loc.file << ":" << d.loc.line << ":" << d.loc.col << ": "
+         << d.message;
+      if (!d.token.empty()) os << " [near '" << d.token << "']";
+      os << "\n";
     }
     throw AssemblyError(os.str());
   }
 
-  SourceLoc here() const { return {file_, line_no_}; }
+  SourceLoc here() const {
+    return {file_, line_no_, cur_line_ ? cur_line_->mnemonic_col : 0};
+  }
 
   // ---- symbol/expression handling ----
   std::optional<Expr> parse_expr(std::string_view s) const {
@@ -205,7 +229,7 @@ class Assembler {
   // ---- operand parsing helpers ----
   std::optional<uint8_t> reg(const std::string& s) {
     auto r = isa::parse_reg(s);
-    if (!r) error("expected register, got '" + s + "'");
+    if (!r) error_at(s, "expected register");
     return r;
   }
 
@@ -229,13 +253,13 @@ class Assembler {
       if (!expr) return std::nullopt;
       auto v = eval(*expr);
       if (!v) {
-        if (pass_ == 2) error("unresolved offset '" + off_str + "'");
+        if (pass_ == 2) error_at(s, "unresolved offset '" + off_str + "'");
         v = 0;
       }
       off = *v;
     }
     if (off < -32768 || off > 32767) {
-      error("memory offset out of 16-bit range");
+      error_at(s, "memory offset out of 16-bit range");
       off = 0;
     }
     MemOperand m;
@@ -247,6 +271,7 @@ class Assembler {
 
   // ---- statement processing ----
   void process(const Line& line) {
+    cur_line_ = &line;
     for (const auto& label : line.labels) {
       uint32_t addr = in_text_ ? text_pc_ : data_pc_;
       define_symbol(label, addr);
@@ -262,6 +287,7 @@ class Assembler {
       return;
     }
     instruction(line);
+    cur_line_ = nullptr;
   }
 
   void directive(const Line& line) {
@@ -274,7 +300,7 @@ class Assembler {
       if (ops.size() != 2) { error(d + " needs NAME, EXPR"); return; }
       auto expr = parse_expr(ops[1]);
       auto v = expr ? eval(*expr) : std::nullopt;
-      if (!v) { error("cannot evaluate " + d + " expression"); return; }
+      if (!v) { error_at(ops[1], "cannot evaluate " + d + " expression"); return; }
       define_symbol(ops[0], static_cast<uint32_t>(*v));
       return;
     }
@@ -287,7 +313,7 @@ class Assembler {
       for (const auto& op : ops) {
         auto expr = parse_expr(op);
         auto v = expr ? eval(*expr) : std::nullopt;
-        if (!v && pass_ == 2) error("unresolved expression '" + op + "'");
+        if (!v && pass_ == 2) error_at(op, "unresolved expression");
         uint32_t value = static_cast<uint32_t>(v.value_or(0));
         for (int i = 0; i < width; ++i) {
           data_put(static_cast<uint8_t>(value >> (8 * i)));
@@ -298,7 +324,7 @@ class Assembler {
     if (d == ".ascii" || d == ".asciiz") {
       if (ops.size() != 1) { error(d + " needs one string"); return; }
       auto s = parse_string_literal(ops[0]);
-      if (!s) { error("malformed string literal"); return; }
+      if (!s) { error_at(ops[0], "malformed string literal"); return; }
       for (char c : *s) data_put(static_cast<uint8_t>(c));
       if (d == ".asciiz") data_put(0);
       return;
@@ -355,7 +381,7 @@ class Assembler {
 
   void branch_expr(Op op, uint8_t rs, uint8_t rt, const std::string& target) {
     auto expr = parse_expr(target);
-    if (!expr) { error("bad branch target '" + target + "'"); return; }
+    if (!expr) { error_at(target, "bad branch target"); return; }
     Instruction i;
     i.op = op;
     i.rs = rs;
@@ -382,7 +408,7 @@ class Assembler {
       auto expr = parse_expr(ops[1]);
       auto v = expr ? eval(*expr) : std::nullopt;
       if (!rd) return;
-      if (!v) { error("li needs a constant known at this point"); return; }
+      if (!v) { error_at(ops[1], "li needs a constant known at this point"); return; }
       emit_li(*rd, *v);
       return;
     }
@@ -390,7 +416,8 @@ class Assembler {
       if (!need(2)) return;
       auto rd = reg(ops[0]);
       auto expr = parse_expr(ops[1]);
-      if (!rd || !expr) { error("la needs REG, SYMBOL[+OFF]"); return; }
+      if (!rd) return;
+      if (!expr) { error_at(ops[1], "la needs REG, SYMBOL[+OFF]"); return; }
       emit_i(Op::kLui, *rd, 0, 0, Fixup::kAbsHi, *expr);
       emit_i(Op::kOri, *rd, *rd, 0, Fixup::kAbsLo, *expr);
       return;
@@ -456,7 +483,7 @@ class Assembler {
           taken_if_set = false;
         }
         if (bound < -32768 || bound > 32767) {
-          error("branch immediate out of range");
+          error_at(ops[1], "branch immediate out of range");
           return;
         }
         emit_i(unsigned_cmp ? Op::kSltiu : Op::kSlti, isa::kAt, *ra,
@@ -521,7 +548,7 @@ class Assembler {
         auto rd = reg(ops[0]), rt = reg(ops[1]);
         auto sh = parse_int(ops[2]);
         if (!rd || !rt) return;
-        if (!sh || *sh < 0 || *sh > 31) { error("bad shift amount"); return; }
+        if (!sh || *sh < 0 || *sh > 31) { error_at(ops[2], "bad shift amount"); return; }
         emit_r(*op, *rd, 0, *rt, static_cast<uint8_t>(*sh));
         return;
       }
@@ -590,8 +617,8 @@ class Assembler {
         auto expr = parse_expr(ops[2]);
         auto v = expr ? eval(*expr) : std::nullopt;
         if (!rt || !rs) return;
-        if (!v) { error("immediate must be a known constant"); return; }
-        if (*v < -32768 || *v > 65535) { error("immediate out of range"); return; }
+        if (!v) { error_at(ops[2], "immediate must be a known constant"); return; }
+        if (*v < -32768 || *v > 65535) { error_at(ops[2], "immediate out of range"); return; }
         emit_i(*op, *rt, *rs, static_cast<int32_t>(*v));
         return;
       }
@@ -600,7 +627,7 @@ class Assembler {
         auto rt = reg(ops[0]);
         auto v = parse_int(ops[1]);
         if (!rt) return;
-        if (!v || *v < 0 || *v > 0xffff) { error("lui needs 0..0xffff"); return; }
+        if (!v || *v < 0 || *v > 0xffff) { error_at(ops[1], "lui needs 0..0xffff"); return; }
         emit_i(*op, *rt, 0, static_cast<int32_t>(*v));
         return;
       }
@@ -616,7 +643,7 @@ class Assembler {
         // Bare-label form: expands through $at.
         auto expr = parse_expr(ops[1]);
         if (!expr || expr->symbol.empty()) {
-          error("bad memory operand '" + ops[1] + "'");
+          error_at(ops[1], "bad memory operand");
           return;
         }
         emit_i(Op::kLui, isa::kAt, 0, 0, Fixup::kSignedHi, *expr);
@@ -639,7 +666,7 @@ class Assembler {
       case Op::kJ: case Op::kJal: {
         if (!need(1)) return;
         auto expr = parse_expr(ops[0]);
-        if (!expr) { error("bad jump target"); return; }
+        if (!expr) { error_at(ops[0], "bad jump target"); return; }
         Instruction i;
         i.op = *op;
         emit(i, Fixup::kJump, *expr);
@@ -659,7 +686,7 @@ class Assembler {
       if (!p.symbol.empty()) {
         auto it = symbols_.find(p.symbol);
         if (it == symbols_.end()) {
-          diags_.push_back({p.loc, "undefined symbol '" + p.symbol + "'"});
+          diags_.push_back({p.loc, "undefined symbol", p.symbol});
           continue;
         }
         value += it->second;
@@ -670,7 +697,7 @@ class Assembler {
         case Fixup::kBranch: {
           int64_t delta = value - (static_cast<int64_t>(pc) + 4);
           if (delta % 4 != 0 || delta < -131072 || delta > 131068) {
-            diags_.push_back({p.loc, "branch target out of range"});
+            diags_.push_back({p.loc, "branch target out of range", p.symbol});
             continue;
           }
           p.inst.imm = static_cast<int32_t>(delta >> 2);
@@ -703,6 +730,7 @@ class Assembler {
   uint32_t data_pc_ = layout::kDataBase;
   std::string file_;
   int line_no_ = 0;
+  const Line* cur_line_ = nullptr;  // statement being processed (diagnostics)
   std::map<std::string, uint32_t> symbols_;
   std::vector<PendingInst> pending_;
   std::vector<uint8_t> data_;

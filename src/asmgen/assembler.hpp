@@ -36,6 +36,7 @@ namespace ptaint::asmgen {
 struct SourceLoc {
   std::string file;
   int line = 0;
+  int col = 0;  // 1-based; 0 when no column information is available
 };
 
 /// One named assembly source ("translation unit"); units are concatenated
@@ -64,7 +65,14 @@ struct Program {
   std::string symbol_for(uint32_t pc) const;
 };
 
-/// Thrown when assembly fails; `what()` lists every diagnostic.
+/// Thrown when assembly fails; `what()` lists every diagnostic, one per
+/// line, in the format
+///
+///   file:line:col: message [near 'token']
+///
+/// where `col` is the 1-based column of the offending operand (or of the
+/// mnemonic when the statement as a whole is at fault) and `token` is the
+/// offending source token.
 class AssemblyError : public std::runtime_error {
  public:
   explicit AssemblyError(std::string message)

@@ -39,7 +39,10 @@ std::string_view strip_comment(std::string_view line) {
 }
 
 // Splits operands on commas that are outside quotes and parentheses.
-std::vector<std::string> split_operands(std::string_view s) {
+// `base_col` is the 1-based column of s[0]; each piece's start column is
+// appended to `cols` (parallel to the returned vector).
+std::vector<std::string> split_operands(std::string_view s, int base_col,
+                                        std::vector<int>& cols) {
   std::vector<std::string> out;
   bool in_string = false;
   bool in_char = false;
@@ -61,7 +64,10 @@ std::vector<std::string> split_operands(std::string_view s) {
       if (!(c == ',' && !in_string && !in_char && depth == 0)) continue;
     }
     auto piece = trim(s.substr(start, i - start));
-    if (!piece.empty()) out.emplace_back(piece);
+    if (!piece.empty()) {
+      out.emplace_back(piece);
+      cols.push_back(base_col + static_cast<int>(piece.data() - s.data()));
+    }
     start = i + 1;
   }
   return out;
@@ -101,9 +107,15 @@ std::vector<Line> lex(std::string_view text) {
     size_t eol = text.find('\n', pos);
     if (eol == std::string_view::npos) eol = text.size();
     ++line_no;
-    std::string_view raw = trim(strip_comment(text.substr(pos, eol - pos)));
+    const std::string_view orig = text.substr(pos, eol - pos);
+    std::string_view raw = trim(strip_comment(orig));
     pos = eol + 1;
     if (raw.empty()) continue;
+    // raw stays a subview of orig throughout, so 1-based columns are just
+    // pointer offsets into the original line.
+    auto col_of = [&](std::string_view piece) {
+      return static_cast<int>(piece.data() - orig.data()) + 1;
+    };
 
     Line line;
     line.line_no = line_no;
@@ -131,7 +143,10 @@ std::vector<Line> lex(std::string_view text) {
         ++sp;
       }
       line.mnemonic = to_lower(raw.substr(0, sp));
-      line.operands = split_operands(trim(raw.substr(sp)));
+      line.mnemonic_col = col_of(raw);
+      const std::string_view rest = trim(raw.substr(sp));
+      line.operands = split_operands(rest, rest.empty() ? 1 : col_of(rest),
+                                     line.operand_cols);
     }
     lines.push_back(std::move(line));
   }

@@ -15,6 +15,17 @@ struct Line {
   std::string mnemonic;                // lower-cased; empty if labels only
   std::vector<std::string> operands;   // split on top-level commas, trimmed
   int line_no = 0;
+
+  // 1-based source columns, for diagnostics: where the mnemonic starts and
+  // where each operand starts (parallel to `operands`).
+  int mnemonic_col = 1;
+  std::vector<int> operand_cols;
+
+  /// Column of operand `i`, falling back to the mnemonic for synthesized
+  /// lines that carry no per-operand positions.
+  int col_of_operand(size_t i) const {
+    return i < operand_cols.size() ? operand_cols[i] : mnemonic_col;
+  }
 };
 
 /// Splits source text into structural lines.  Strips `#` comments (except

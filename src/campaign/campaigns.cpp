@@ -1,10 +1,12 @@
 #include "campaign/campaigns.hpp"
 
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
 
+#include "analysis/taint_analyzer.hpp"
 #include "core/attack.hpp"
 #include "core/spec_workloads.hpp"
 #include "guest/apps/apps.hpp"
@@ -40,13 +42,16 @@ std::vector<std::shared_ptr<const core::SpecWorkload>> shared_workloads(
 
 /// Fork a machine from `snapshot` under `policy`.  The snapshot holds the
 /// armed pre-run state (policy-independent — taint bits are data); the
-/// fork's own config carries the detection policy for this job.
+/// fork's own config carries the detection policy for this job.  With
+/// `elide`, restore() re-runs the static analyzer and installs the
+/// check-elision bitmap for the fork's policy.
 std::unique_ptr<core::Machine> fork_machine(
     const std::shared_ptr<const core::MachineSnapshot>& snapshot,
-    const cpu::TaintPolicy& policy, uint64_t max_instructions) {
+    const cpu::TaintPolicy& policy, uint64_t max_instructions, bool elide) {
   core::MachineConfig cfg;
   cfg.policy = policy;
   cfg.max_instructions = max_instructions;
+  cfg.static_elision = elide;
   auto machine = std::make_unique<core::Machine>(cfg);
   machine->restore(*snapshot);
   return machine;
@@ -54,18 +59,18 @@ std::unique_ptr<core::Machine> fork_machine(
 
 Job spec_job(SnapshotCache& cache,
              const std::shared_ptr<const core::SpecWorkload>& w,
-             const PolicyVariant& variant) {
+             const PolicyVariant& variant, bool elide) {
   Job job;
   job.app = "spec";
   job.payload = w->name;
   job.policy = variant.name;
   job.max_instructions = kSpecBudget;
   const cpu::TaintPolicy policy = variant.policy;
-  job.make = [&cache, w, policy]() {
+  job.make = [&cache, w, policy, elide]() {
     auto snap = cache.get("spec:" + w->name, [&w]() {
       return core::prepare_spec_workload(*w, {})->snapshot();
     });
-    return fork_machine(snap, policy, kSpecBudget);
+    return fork_machine(snap, policy, kSpecBudget, elide);
   };
   job.classify = [w](core::Machine& m, const core::RunReport& report,
                      JobResult& out) {
@@ -79,19 +84,19 @@ Job spec_job(SnapshotCache& cache,
 Job attack_job(SnapshotCache& cache,
                const std::shared_ptr<const core::Scenario>& s,
                const std::string& policy_name,
-               const cpu::TaintPolicy& policy) {
+               const cpu::TaintPolicy& policy, bool elide) {
   Job job;
   job.app = "attack";
   job.payload = s->name();
   job.policy = policy_name;
   job.max_instructions = s->max_instructions();
-  job.make = [&cache, s, policy]() {
+  job.make = [&cache, s, policy, elide]() {
     auto snap = cache.get("attack:" + s->name(), [&s]() {
       // Arm under the default policy: the pre-run state is identical for
       // every variant, so one snapshot serves the whole policy column.
       return s->prepare_attack({})->snapshot();
     });
-    return fork_machine(snap, policy, s->max_instructions());
+    return fork_machine(snap, policy, s->max_instructions(), elide);
   };
   job.classify = [s](core::Machine& m, const core::RunReport& report,
                      JobResult& out) {
@@ -118,16 +123,16 @@ void classify_fn_format_write(const core::RunReport& report, JobResult& out) {
       report.detected() ? report.alert_line() : std::string("NOT DETECTED (!)");
 }
 
-Job fn_format_write_job(SnapshotCache& cache) {
+Job fn_format_write_job(SnapshotCache& cache, bool elide) {
   Job job;
   job.app = "attack";
   job.payload = "fn-format-write";
   job.policy = "paper";
   job.max_instructions = kContrastBudget;
-  job.make = [&cache]() {
+  job.make = [&cache, elide]() {
     auto snap = cache.get("attack:fn-format-write",
                           []() { return prepare_fn_format_write()->snapshot(); });
-    return fork_machine(snap, {}, kContrastBudget);
+    return fork_machine(snap, {}, kContrastBudget, elide);
   };
   job.classify = [](core::Machine&, const core::RunReport& report,
                     JobResult& out) { classify_fn_format_write(report, out); };
@@ -136,15 +141,18 @@ Job fn_format_write_job(SnapshotCache& cache) {
 
 // --- matrices -------------------------------------------------------------
 
-std::vector<Job> ablation_jobs(SnapshotCache& cache, int spec_scale) {
+std::vector<Job> ablation_jobs(SnapshotCache& cache, int spec_scale,
+                               bool elide) {
   const auto workloads = shared_workloads(spec_scale);
   const auto corpus = shared_corpus();
   std::vector<Job> jobs;
   for (const PolicyVariant& v : ablation_variants()) {
-    for (const auto& w : workloads) jobs.push_back(spec_job(cache, w, v));
+    for (const auto& w : workloads) {
+      jobs.push_back(spec_job(cache, w, v, elide));
+    }
     for (const auto& s : corpus) {
       if (!s->expected_detected()) continue;
-      jobs.push_back(attack_job(cache, s, v.name, v.policy));
+      jobs.push_back(attack_job(cache, s, v.name, v.policy, elide));
     }
   }
   return jobs;
@@ -157,14 +165,14 @@ const char* const kFalsenegLabels[] = {"(A) integer overflow index",
                                        "(B) auth-flag overwrite",
                                        "(C) format-string info leak"};
 
-std::vector<Job> falseneg_jobs(SnapshotCache& cache) {
+std::vector<Job> falseneg_jobs(SnapshotCache& cache, bool elide) {
   std::vector<Job> jobs;
   cpu::TaintPolicy paper;  // defaults: pointer-taintedness, all rules on
   for (core::AttackId id : kFalsenegIds) {
     std::shared_ptr<const core::Scenario> s = core::make_scenario(id);
-    jobs.push_back(attack_job(cache, s, "paper", paper));
+    jobs.push_back(attack_job(cache, s, "paper", paper, elide));
   }
-  jobs.push_back(fn_format_write_job(cache));
+  jobs.push_back(fn_format_write_job(cache, elide));
   return jobs;
 }
 
@@ -172,14 +180,15 @@ const cpu::DetectionMode kCoverageModes[] = {
     cpu::DetectionMode::kOff, cpu::DetectionMode::kControlDataOnly,
     cpu::DetectionMode::kPointerTaint};
 
-std::vector<Job> coverage_jobs(SnapshotCache& cache) {
+std::vector<Job> coverage_jobs(SnapshotCache& cache, bool elide) {
   const auto corpus = shared_corpus();
   std::vector<Job> jobs;
   for (cpu::DetectionMode mode : kCoverageModes) {
     cpu::TaintPolicy policy;
     policy.mode = mode;
     for (const auto& s : corpus) {
-      jobs.push_back(attack_job(cache, s, core::to_string(mode), policy));
+      jobs.push_back(
+          attack_job(cache, s, core::to_string(mode), policy, elide));
     }
   }
   return jobs;
@@ -392,10 +401,10 @@ std::vector<std::string> campaign_names() {
 }
 
 std::vector<Job> make_jobs(const std::string& campaign, SnapshotCache& cache,
-                           int spec_scale) {
-  if (campaign == "ablation") return ablation_jobs(cache, spec_scale);
-  if (campaign == "falseneg") return falseneg_jobs(cache);
-  if (campaign == "coverage") return coverage_jobs(cache);
+                           int spec_scale, bool elide) {
+  if (campaign == "ablation") return ablation_jobs(cache, spec_scale, elide);
+  if (campaign == "falseneg") return falseneg_jobs(cache, elide);
+  if (campaign == "coverage") return coverage_jobs(cache, elide);
   throw std::invalid_argument("unknown campaign: " + campaign);
 }
 
@@ -413,6 +422,93 @@ std::string format_campaign(const std::string& campaign,
   if (campaign == "falseneg") return format_falseneg(results);
   if (campaign == "coverage") return format_coverage(results);
   throw std::invalid_argument("unknown campaign: " + campaign);
+}
+
+StaticCheckReport static_check(const std::string& campaign,
+                               const std::vector<JobResult>& results,
+                               int spec_scale) {
+  StaticCheckReport out;
+
+  // Policy by matrix label.  Ablation variant names, coverage mode names
+  // and the falseneg "paper" column all resolve here.
+  std::map<std::string, cpu::TaintPolicy> policies;
+  for (const PolicyVariant& v : ablation_variants()) {
+    policies[v.name] = v.policy;
+  }
+  for (cpu::DetectionMode mode : kCoverageModes) {
+    cpu::TaintPolicy p;
+    p.mode = mode;
+    policies[core::to_string(mode)] = p;
+  }
+  policies["paper"] = cpu::TaintPolicy{};
+
+  // Program per payload (link-identical across the policy column) and
+  // analysis per payload x policy, both built on first use.
+  std::map<std::string, asmgen::Program> programs;
+  std::map<std::string, analysis::TaintAnalysis> analyses;
+  auto program_for = [&](const JobResult& r) -> const asmgen::Program& {
+    auto it = programs.find(r.payload);
+    if (it != programs.end()) return it->second;
+    std::unique_ptr<core::Machine> m;
+    if (r.app == "spec") {
+      for (const auto& w : core::make_spec_workloads(spec_scale)) {
+        if (w.name == r.payload) {
+          m = core::prepare_spec_workload(w, {});
+          break;
+        }
+      }
+    } else if (r.payload == "fn-format-write") {
+      m = prepare_fn_format_write();
+    } else {
+      for (const auto& s : core::make_attack_corpus()) {
+        if (s->name() == r.payload) {
+          m = s->prepare_attack({});
+          break;
+        }
+      }
+    }
+    if (!m) throw std::invalid_argument("static_check: unknown payload " +
+                                        r.payload);
+    return programs.emplace(r.payload, m->program()).first->second;
+  };
+
+  for (const JobResult& r : results) {
+    if (!r.report.alert) continue;
+    const cpu::SecurityAlert& alert = *r.report.alert;
+    // Only pointer-taintedness alerts have a static counterpart; the §5.3
+    // annotation check and the NX baseline fire on data values, which the
+    // analyzer deliberately summarizes away.
+    if (alert.kind != cpu::AlertKind::kTaintedJumpTarget &&
+        alert.kind != cpu::AlertKind::kTaintedLoadAddress &&
+        alert.kind != cpu::AlertKind::kTaintedStoreAddress) {
+      continue;
+    }
+    ++out.alerts_checked;
+    const std::string key = r.payload + "|" + r.policy;
+    auto it = analyses.find(key);
+    if (it == analyses.end()) {
+      auto pit = policies.find(r.policy);
+      if (pit == policies.end()) {
+        throw std::invalid_argument("static_check: unknown policy " +
+                                    r.policy);
+      }
+      it = analyses
+               .emplace(key, analysis::analyze_taint(program_for(r),
+                                                     pit->second))
+               .first;
+    }
+    if (!it->second.predicts_alert(alert.pc)) {
+      char line[256];
+      std::snprintf(line, sizeof line,
+                    "%s / %s / %s: dynamic alert at %08x (%s) not "
+                    "statically predicted",
+                    r.app.c_str(), r.payload.c_str(), r.policy.c_str(),
+                    alert.pc, alert.disasm.c_str());
+      out.missed.push_back(line);
+    }
+  }
+  (void)campaign;  // matrices self-describe via app/payload/policy labels
+  return out;
 }
 
 std::vector<std::string> diff_verdicts(const std::vector<JobResult>& engine,

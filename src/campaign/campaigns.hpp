@@ -44,8 +44,25 @@ std::vector<std::string> campaign_names();
 /// Builds the job matrix for `campaign`.  Jobs fork machines from
 /// snapshots in `cache`, which must outlive every returned job.
 /// `spec_scale` sizes the SPEC surrogate inputs (ablation only).
+/// With `elide`, every forked machine runs with static check-elision on
+/// (src/analysis proves sites clean; verdicts are unchanged — pair with
+/// --check against the non-elided serial reference to prove it).
 std::vector<Job> make_jobs(const std::string& campaign, SnapshotCache& cache,
-                           int spec_scale = 1);
+                           int spec_scale = 1, bool elide = false);
+
+/// Cross-validation of the dynamic campaign against the static analyzer:
+/// for every result whose run ended in a pointer-taintedness alert, the
+/// job's program is rebuilt, analyzed under the job's policy, and the alert
+/// PC checked against the statically-possible tainted dereference sites.
+/// Soundness means `missed` stays empty: a dynamic alert at a site the
+/// analyzer proved clean would make check-elision unsafe.
+struct StaticCheckReport {
+  size_t alerts_checked = 0;        // pointer-kind alerts cross-validated
+  std::vector<std::string> missed;  // one line per unpredicted alert
+};
+StaticCheckReport static_check(const std::string& campaign,
+                               const std::vector<JobResult>& results,
+                               int spec_scale = 1);
 
 /// Runs the same matrix serially through the original entry points and
 /// returns results in the same matrix order (status fields as the executor

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "analysis/taint_analyzer.hpp"
+
 namespace ptaint::core {
 
 using mem::TaintedWord;
@@ -74,6 +76,20 @@ void Machine::load_program(asmgen::Program program) {
   cpu_->set_pc(program_.entry);
   cpu_->regs().set(isa::kSp, TaintedWord{layout::kStackTop - aslr_offset()});
   setup_argv();
+  if (config_.static_elision) apply_static_elision();
+}
+
+size_t Machine::enable_static_elision() {
+  config_.static_elision = true;
+  return apply_static_elision();
+}
+
+size_t Machine::apply_static_elision() {
+  if (program_.text.empty()) return 0;
+  const analysis::TaintAnalysis analysis =
+      analysis::analyze_taint(program_, config_.policy);
+  cpu_->set_check_elision(analysis.elision);
+  return analysis.proven_clean;
 }
 
 uint32_t Machine::aslr_offset() const {
@@ -158,6 +174,9 @@ void Machine::restore(const MachineSnapshot& snapshot) {
   }
   if (tracer_) tracer_->clear();
   if (profiler_) profiler_->reset();
+  // restore_state dropped the decode cache (and with it any elision bits);
+  // re-derive the proof for the restored program image.
+  if (config_.static_elision) apply_static_elision();
 }
 
 cpu::StopReason Machine::run_for(uint64_t n) {

@@ -37,6 +37,14 @@ struct MachineConfig {
   std::vector<std::string> env;      // guest environment ("K=V")
   bool taint_argv = true;            // argv/env bytes are external input
 
+  /// Runs the static pointer-taintedness analyzer (src/analysis) over the
+  /// loaded program and installs its check-elision bitmap: dereference
+  /// sites statically proven clean under `policy` skip the dynamic
+  /// detector.  Detection verdicts are unchanged by construction (see
+  /// docs/ANALYSIS.md); the interpreter just does less work.  Re-applied
+  /// automatically on load_* and restore().
+  bool static_elision = false;
+
   /// Stack ASLR baseline (paper §2 related work): the initial stack
   /// pointer is lowered by a seed-derived, word-aligned offset drawn from
   /// `aslr_entropy_bits` bits of entropy.  0 disables randomization.
@@ -158,9 +166,14 @@ class Machine {
   /// The stack displacement applied by the ASLR baseline for this config.
   uint32_t aslr_offset() const;
 
+  /// Turns on config.static_elision and applies it to the loaded program
+  /// immediately.  Returns the number of dereference checks elided.
+  size_t enable_static_elision();
+
  private:
   void setup_argv();
   void install_retire_hook();
+  size_t apply_static_elision();
 
   MachineConfig config_;
   mem::TaintedMemory memory_;

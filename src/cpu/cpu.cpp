@@ -72,6 +72,20 @@ void Cpu::set_executable_range(uint32_t begin, uint32_t end) {
       span < kMaxCachedInstructions ? span : kMaxCachedInstructions);
   decode_cache_.assign(n, Instruction{});
   decode_valid_.assign(n, 0);
+  elide_bits_.clear();  // any installed elision proof is for the old image
+}
+
+void Cpu::set_check_elision(const std::vector<uint8_t>& elision) {
+  elide_bits_.assign(decode_cache_.size(), 0);
+  const size_t n = elision.size() < elide_bits_.size() ? elision.size()
+                                                       : elide_bits_.size();
+  for (size_t i = 0; i < n; ++i) elide_bits_[i] = elision[i] ? 1 : 0;
+  // Refresh entries that were already decoded under the previous bitmap.
+  for (size_t i = 0; i < decode_valid_.size(); ++i) {
+    if (decode_valid_[i] != 0) {
+      decode_valid_[i] = i < n && elide_bits_[i] ? 2 : 1;
+    }
+  }
 }
 
 void Cpu::invalidate_decode_range(uint32_t addr, uint32_t len) {
@@ -83,6 +97,9 @@ void Cpu::invalidate_decode_range(uint32_t addr, uint32_t len) {
        ++i) {
     if (i >= decode_valid_.size()) break;
     decode_valid_[i] = 0;
+    // Self-modifying code voids the static proof for this PC: the new
+    // instruction must be checked dynamically.
+    if (i < elide_bits_.size()) elide_bits_[i] = 0;
   }
 }
 
@@ -215,14 +232,15 @@ StopReason Cpu::step() {
   if (pc_ >= text_begin_ && idx < decode_cache_.size()) {
     if (!decode_valid_[idx]) {
       decode_cache_[idx] = isa::decode(memory_.load_word(pc_).value);
-      decode_valid_[idx] = 1;
+      decode_valid_[idx] =
+          idx < elide_bits_.size() && elide_bits_[idx] ? 2 : 1;
     }
     const Instruction& inst = decode_cache_[idx];
     if (inst.op == Op::kInvalid) {
       fault("invalid instruction encoding");
       return stop_;
     }
-    return execute(inst);
+    return execute(inst, decode_valid_[idx] == 2);
   }
   const uint32_t word = memory_.load_word(pc_).value;
   const Instruction inst = isa::decode(word);
@@ -241,7 +259,7 @@ StopReason Cpu::run(uint64_t max_instructions) {
   return stop_;
 }
 
-StopReason Cpu::execute(const Instruction& inst) {
+StopReason Cpu::execute(const Instruction& inst, bool elide) {
   uint32_t next_pc = pc_ + 4;
   bool taken = false;
   bool is_mem = false;
@@ -449,7 +467,8 @@ StopReason Cpu::execute(const Instruction& inst) {
       ++stats_.loads;
       // Memory-access detector (after EX/MEM): the address word is the base
       // register; a tainted base means the attacker chose the address.
-      if (detect_pointer(inst, inst.rs, rs, AlertKind::kTaintedLoadAddress)) {
+      if (!elide &&
+          detect_pointer(inst, inst.rs, rs, AlertKind::kTaintedLoadAddress)) {
         return stop_;
       }
       TaintedWord result;
@@ -495,7 +514,8 @@ StopReason Cpu::execute(const Instruction& inst) {
       ea = rs.value + static_cast<uint32_t>(inst.imm);
       is_mem = true;
       ++stats_.stores;
-      if (detect_pointer(inst, inst.rs, rs, AlertKind::kTaintedStoreAddress)) {
+      if (!elide &&
+          detect_pointer(inst, inst.rs, rs, AlertKind::kTaintedStoreAddress)) {
         return stop_;
       }
       const uint32_t store_len =
@@ -574,14 +594,16 @@ StopReason Cpu::execute(const Instruction& inst) {
     case Op::kJr:
       ++stats_.jumps;
       // Control-transfer detector (after ID/EX): tainted jump target.
-      if (detect_pointer(inst, inst.rs, rs, AlertKind::kTaintedJumpTarget)) {
+      if (!elide &&
+          detect_pointer(inst, inst.rs, rs, AlertKind::kTaintedJumpTarget)) {
         return stop_;
       }
       next_pc = rs.value;
       break;
     case Op::kJalr:
       ++stats_.jumps;
-      if (detect_pointer(inst, inst.rs, rs, AlertKind::kTaintedJumpTarget)) {
+      if (!elide &&
+          detect_pointer(inst, inst.rs, rs, AlertKind::kTaintedJumpTarget)) {
         return stop_;
       }
       regs_.set(inst.rd, TaintedWord{pc_ + 4});

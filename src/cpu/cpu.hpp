@@ -135,6 +135,15 @@ class Cpu {
   /// Also sizes the decoded-instruction cache covering the range.
   void set_executable_range(uint32_t begin, uint32_t end);
 
+  /// Installs the static analyzer's check-elision bitmap (one byte per
+  /// text instruction, 1 = the pointer-taintedness check at that PC is
+  /// statically proven to never fire; see src/analysis).  Elided PCs skip
+  /// only detect_pointer — annotation checks, NX and the taint propagation
+  /// itself are unaffected, so architectural state stays byte-identical.
+  /// Cleared by set_executable_range and per-entry by
+  /// invalidate_decode_range (self-modifying code voids the proof).
+  void set_check_elision(const std::vector<uint8_t>& elision);
+
   /// Drops cached decodes overlapping [addr, addr+len).  The store path
   /// calls this for guest stores into text; the OS layer calls it when a
   /// kernel copy (SYS_READ/SYS_RECV) lands in guest memory, so
@@ -188,7 +197,7 @@ class Cpu {
   void restore_state(const State& state);
 
  private:
-  StopReason execute(const isa::Instruction& inst);
+  StopReason execute(const isa::Instruction& inst, bool elide = false);
   bool detect_pointer(const isa::Instruction& inst, uint8_t reg,
                       mem::TaintedWord value, AlertKind kind);
   bool detect_annotation(const isa::Instruction& inst, uint32_t ea,
@@ -217,10 +226,12 @@ class Cpu {
 
   // Decoded-instruction cache over the executable range: fetching becomes
   // one bounds check + one table read instead of a page lookup plus a
-  // decode.  decode_valid_[i] gates entry i; stores into text and kernel
+  // decode.  decode_valid_[i] gates entry i (0 = invalid, 1 = valid,
+  // 2 = valid with the pointer check elided); stores into text and kernel
   // copies invalidate overlapping entries.
   std::vector<isa::Instruction> decode_cache_;
   std::vector<uint8_t> decode_valid_;
+  std::vector<uint8_t> elide_bits_;  // per-instruction, from set_check_elision
 };
 
 }  // namespace ptaint::cpu

@@ -283,6 +283,29 @@ TEST(AssemblerErrors, MessageCarriesFileAndLine) {
   }
 }
 
+TEST(AssemblerErrors, MessageCarriesColumnAndToken) {
+  // " addu $q1, $a0, $a1" — the offending operand "$q1" starts at column 7.
+  try {
+    assemble(".text\n addu $q1, $a0, $a1\n", "bad.s");
+    FAIL() << "expected AssemblyError";
+  } catch (const AssemblyError& e) {
+    EXPECT_NE(std::string(e.what()).find(
+                  "bad.s:2:7: expected register [near '$q1']"),
+              std::string::npos)
+        << e.what();
+  }
+  // Out-of-range immediate: anchored at the immediate operand (column 18).
+  try {
+    assemble(".text\n addiu $a0, $a0, 70000\n", "bad.s");
+    FAIL() << "expected AssemblyError";
+  } catch (const AssemblyError& e) {
+    EXPECT_NE(std::string(e.what()).find(
+                  "bad.s:2:18: immediate out of range [near '70000']"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(AssemblerErrors, InstructionInDataSegment) {
   EXPECT_THROW(assemble(".data\n addu $a0, $a0, $a0\n"), AssemblyError);
 }

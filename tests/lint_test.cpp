@@ -1,0 +1,226 @@
+// Tests for the classic lints (src/analysis/lint.cpp): each rule gets a
+// positive (finding fires) and a negative (clean code stays clean) case,
+// plus the alternate-entry and custom-convention escapes the guest runtime
+// relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/cfg.hpp"
+#include "analysis/lint.hpp"
+#include "guest/runtime.hpp"
+
+namespace ptaint::analysis {
+namespace {
+
+std::vector<LintFinding> lint(const std::string& text) {
+  const Cfg cfg(asmgen::assemble(text));
+  return run_lints(cfg);
+}
+
+bool has(const std::vector<LintFinding>& findings, LintKind kind) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const LintFinding& f) { return f.kind == kind; });
+}
+
+// Minimal exiting scaffold so programs terminate explicitly.
+constexpr const char* kExit = "  li $v0, 1\n  li $a0, 0\n  syscall\n";
+
+// ---- use-before-def --------------------------------------------------------
+
+TEST(LintUseBeforeDef, ReadingTemporaryBeforeWriteFires) {
+  const auto findings = lint(std::string(".text\n_start:\n"
+                                         "  addu $t1, $t0, $t0\n") +
+                             kExit);
+  ASSERT_TRUE(has(findings, LintKind::kUseBeforeDef));
+  EXPECT_NE(findings[0].message.find("$t0"), std::string::npos);
+}
+
+TEST(LintUseBeforeDef, WrittenThenReadIsClean) {
+  const auto findings = lint(std::string(".text\n_start:\n"
+                                         "  li $t0, 5\n"
+                                         "  addu $t1, $t0, $t0\n") +
+                             kExit);
+  EXPECT_FALSE(has(findings, LintKind::kUseBeforeDef));
+}
+
+TEST(LintUseBeforeDef, ArgumentAndSavedRegistersAreEntryDefined) {
+  // $a0-$a3, $s0-$s7, $sp, $ra arrive with caller values — no finding.
+  const auto findings = lint(std::string(".text\n_start:\n"
+                                         "  addu $t0, $a0, $s3\n"
+                                         "  addu $t1, $sp, $fp\n") +
+                             kExit);
+  EXPECT_FALSE(has(findings, LintKind::kUseBeforeDef));
+}
+
+TEST(LintUseBeforeDef, CallDefinesResultRegisters) {
+  const auto findings = lint(std::string(".text\n_start:\n"
+                                         "  jal helper\n"
+                                         "  addu $t0, $v0, $v1\n") +
+                             kExit + "helper:\n  li $v0, 7\n  jr $ra\n");
+  EXPECT_FALSE(has(findings, LintKind::kUseBeforeDef));
+}
+
+TEST(LintUseBeforeDef, ReadingHiBeforeMultFires) {
+  const auto findings =
+      lint(std::string(".text\n_start:\n  mfhi $t0\n") + kExit);
+  EXPECT_TRUE(has(findings, LintKind::kUseBeforeDef));
+}
+
+// ---- unreachable blocks ----------------------------------------------------
+
+TEST(LintUnreachable, CodeAfterUnconditionalJumpFires) {
+  const auto findings = lint(std::string(".text\n_start:\n"
+                                         "  j done\n"
+                                         "  addiu $t0, $t0, 1\n"
+                                         "  addiu $t0, $t0, 2\n"
+                                         "done:\n") +
+                             kExit);
+  EXPECT_TRUE(has(findings, LintKind::kUnreachableBlock));
+}
+
+TEST(LintUnreachable, AllReachableIsClean) {
+  const auto findings = lint(std::string(".text\n_start:\n"
+                                         "  beq $a0, $zero, done\n"
+                                         "  addiu $a0, $a0, -1\n"
+                                         "done:\n") +
+                             kExit);
+  EXPECT_FALSE(has(findings, LintKind::kUnreachableBlock));
+}
+
+TEST(LintUnreachable, UnusedLabeledRoutineIsNotDeadCode) {
+  // A never-called routine (its own label region) is an unused library
+  // function, not dead code — including its unlabeled interior blocks.
+  const auto findings = lint(std::string(".text\n_start:\n") + kExit +
+                             "unused_helper:\n"
+                             "  beq $a0, $zero, uh_done\n"
+                             "  addiu $a0, $a0, -1\n"
+                             "uh_done:\n"
+                             "  jr $ra\n");
+  EXPECT_FALSE(has(findings, LintKind::kUnreachableBlock));
+}
+
+TEST(LintUnreachable, PaddingAfterExitIsClean) {
+  const auto findings = lint(std::string(".text\n_start:\n") + kExit +
+                             "  nop\n  nop\n  break\n");
+  EXPECT_FALSE(has(findings, LintKind::kUnreachableBlock));
+}
+
+// ---- stack imbalance -------------------------------------------------------
+
+TEST(LintStackImbalance, PushWithoutPopFires) {
+  const auto findings = lint(std::string(".text\n_start:\n"
+                                         "  jal leaky\n") +
+                             kExit +
+                             "leaky:\n"
+                             "  addiu $sp, $sp, -16\n"
+                             "  sw $ra, 12($sp)\n"
+                             "  lw $ra, 12($sp)\n"
+                             "  jr $ra\n");
+  ASSERT_TRUE(has(findings, LintKind::kStackImbalance));
+  for (const LintFinding& f : findings) {
+    if (f.kind != LintKind::kStackImbalance) continue;
+    EXPECT_NE(f.message.find("-16"), std::string::npos) << f.message;
+    EXPECT_EQ(f.function, "leaky");
+  }
+}
+
+TEST(LintStackImbalance, BalancedFrameIsClean) {
+  const auto findings = lint(std::string(".text\n_start:\n"
+                                         "  jal ok\n") +
+                             kExit +
+                             "ok:\n"
+                             "  addiu $sp, $sp, -16\n"
+                             "  sw $ra, 12($sp)\n"
+                             "  lw $ra, 12($sp)\n"
+                             "  addiu $sp, $sp, 16\n"
+                             "  jr $ra\n");
+  EXPECT_FALSE(has(findings, LintKind::kStackImbalance));
+}
+
+TEST(LintStackImbalance, NonConstantAdjustmentDegradesToUnknown) {
+  // Computed $sp adjustments cannot be tracked; no false report.
+  const auto findings = lint(std::string(".text\n_start:\n"
+                                         "  jal vla\n") +
+                             kExit +
+                             "vla:\n"
+                             "  subu $sp, $sp, $a0\n"
+                             "  addu $sp, $sp, $a0\n"
+                             "  jr $ra\n");
+  EXPECT_FALSE(has(findings, LintKind::kStackImbalance));
+}
+
+// ---- clobbered callee-saved ------------------------------------------------
+
+TEST(LintClobberedCalleeSaved, UnspilledSRegisterFires) {
+  const auto findings = lint(std::string(".text\n_start:\n"
+                                         "  jal f\n") +
+                             kExit +
+                             "f:\n"
+                             "  li $s0, 1\n"
+                             "  jr $ra\n");
+  ASSERT_TRUE(has(findings, LintKind::kClobberedCalleeSaved));
+  for (const LintFinding& f : findings) {
+    if (f.kind != LintKind::kClobberedCalleeSaved) continue;
+    EXPECT_NE(f.message.find("$s0"), std::string::npos) << f.message;
+  }
+}
+
+TEST(LintClobberedCalleeSaved, SpilledSRegisterIsClean) {
+  const auto findings = lint(std::string(".text\n_start:\n"
+                                         "  jal f\n") +
+                             kExit +
+                             "f:\n"
+                             "  addiu $sp, $sp, -8\n"
+                             "  sw $s0, 4($sp)\n"
+                             "  li $s0, 1\n"
+                             "  lw $s0, 4($sp)\n"
+                             "  addiu $sp, $sp, 8\n"
+                             "  jr $ra\n");
+  EXPECT_FALSE(has(findings, LintKind::kClobberedCalleeSaved));
+}
+
+TEST(LintClobberedCalleeSaved, NonReturningFunctionOwnsEveryRegister) {
+  // _start never returns: it may use s-registers freely.
+  const auto findings = lint(std::string(".text\n_start:\n"
+                                         "  li $s5, 1\n") +
+                             kExit);
+  EXPECT_FALSE(has(findings, LintKind::kClobberedCalleeSaved));
+}
+
+TEST(LintClobberedCalleeSaved, DunderHelpersOptOut) {
+  // "__"-prefixed internal helpers use custom conventions (__pf_putc keeps
+  // the printf count in $s5, spilled by its caller).
+  const auto findings = lint(std::string(".text\n_start:\n"
+                                         "  jal __helper\n") +
+                             kExit +
+                             "__helper:\n"
+                             "  addiu $s5, $s5, 1\n"
+                             "  jr $ra\n");
+  EXPECT_FALSE(has(findings, LintKind::kClobberedCalleeSaved));
+}
+
+// ---- formatting & corpus ---------------------------------------------------
+
+TEST(LintFormat, FindingLineCarriesPcKindAndFunction) {
+  const auto findings = lint(std::string(".text\n_start:\n"
+                                         "  jal f\n") +
+                             kExit + "f:\n  li $s0, 1\n  jr $ra\n");
+  ASSERT_FALSE(findings.empty());
+  const std::string text = format_findings(findings);
+  EXPECT_NE(text.find("clobbered-callee-saved"), std::string::npos);
+  EXPECT_NE(text.find("[in f]"), std::string::npos);
+}
+
+TEST(LintCorpus, GuestRuntimeLintsClean) {
+  // The shipped runtime must stay lint-clean — the CI step runs
+  // ptaint-lint over every guest app and fails on findings.
+  std::vector<asmgen::Source> units = guest::runtime();
+  units.push_back({"main.s", ".text\nmain:\n  li $v0, 0\n  jr $ra\n"});
+  const Cfg cfg(asmgen::assemble(units));
+  const auto findings = run_lints(cfg);
+  EXPECT_TRUE(findings.empty()) << format_findings(findings);
+}
+
+}  // namespace
+}  // namespace ptaint::analysis

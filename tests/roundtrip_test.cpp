@@ -86,6 +86,108 @@ INSTANTIATE_TEST_SUITE_P(AllOps, DisasmAssembleRoundTrip,
                          ::testing::Range(static_cast<int>(Op::kSll),
                                           static_cast<int>(Op::kJal) + 1));
 
+/// Randomized variant of `representative`: random register/immediate fields
+/// with the same per-op canonical constraints the encoder demands.  Branch
+/// and jump targets land inside a stream of `n` instructions at position
+/// `index` so the disassembled text reassembles in any context.
+Instruction randomized(Op op, std::mt19937& rng, size_t index, size_t n) {
+  Instruction in = representative(op);
+  auto reg = [&] { return static_cast<uint8_t>(rng() % 32); };
+  auto simm = [&] { return static_cast<int32_t>(rng() % 0x10000) - 0x8000; };
+  switch (isa::op_format(op)) {
+    case isa::Format::kR:
+      in.rd = reg();
+      in.rs = reg();
+      in.rt = reg();
+      if (op == Op::kSll || op == Op::kSrl || op == Op::kSra) {
+        in.rs = 0;
+        in.shamt = static_cast<uint8_t>(rng() % 32);
+      }
+      if (op == Op::kJr) in.rd = in.rt = 0;
+      if (op == Op::kJalr) {
+        in.rd = 31;  // canonical link register form
+        in.rt = 0;
+      }
+      if (op == Op::kMult || op == Op::kMultu || op == Op::kDiv ||
+          op == Op::kDivu) {
+        in.rd = 0;
+      }
+      if (op == Op::kTaintSet || op == Op::kTaintClr) in.rt = 0;
+      if (op == Op::kMfhi || op == Op::kMflo) in.rs = in.rt = 0;
+      if (op == Op::kMthi || op == Op::kMtlo) in.rd = in.rt = 0;
+      if (op == Op::kSyscall || op == Op::kBreak) in.rd = in.rs = in.rt = 0;
+      break;
+    case isa::Format::kI:
+      in.rt = reg();
+      in.rs = reg();
+      in.imm = simm();
+      if (op == Op::kAndi || op == Op::kOri || op == Op::kXori) {
+        in.imm = static_cast<int32_t>(rng() % 0x10000);
+      }
+      if (op == Op::kLui) {
+        in.rs = 0;
+        in.imm = static_cast<int32_t>(rng() % 0x10000);
+      }
+      if (isa::op_class(op) == isa::OpClass::kBranch) {
+        if (op != Op::kBeq && op != Op::kBne) in.rt = 0;
+        // Aim at a random instruction in the stream: offset (in words)
+        // from the delay-free next pc.
+        const auto target = static_cast<int32_t>(rng() % n);
+        in.imm = target - static_cast<int32_t>(index) - 1;
+      }
+      break;
+    case isa::Format::kJ:
+      in.target = isa::layout::kTextBase +
+                  4 * static_cast<uint32_t>(rng() % n);
+      break;
+  }
+  return in;
+}
+
+// Satellite property test: disassemble -> assemble -> encode is the
+// identity for EVERY operation under randomized fields, >= 10k cases.
+TEST(AssemblerFuzz, RandomizedEveryOpRoundTrip10k) {
+  std::mt19937 rng(0x5005);
+  constexpr auto kFirst = static_cast<int>(Op::kSll);
+  constexpr auto kLast = static_cast<int>(Op::kJal);
+  constexpr size_t kRounds = 170;
+  constexpr size_t kPerRound = 64;
+  size_t cases = 0;
+
+  for (size_t round = 0; round < kRounds; ++round) {
+    // Every op at least once per round, padded with random picks.
+    std::vector<Op> ops;
+    for (int o = kFirst; o <= kLast; ++o) ops.push_back(static_cast<Op>(o));
+    while (ops.size() < kPerRound) {
+      ops.push_back(static_cast<Op>(kFirst + rng() % (kLast - kFirst + 1)));
+    }
+
+    std::string text = ".text\n";
+    std::vector<Instruction> expected;
+    for (size_t i = 0; i < ops.size(); ++i) {
+      const Instruction in = randomized(ops[i], rng, i, ops.size());
+      const uint32_t pc =
+          isa::layout::kTextBase + 4 * static_cast<uint32_t>(i);
+      text += isa::disassemble(in, pc) + "\n";
+      expected.push_back(in);
+    }
+
+    asmgen::Program prog;
+    ASSERT_NO_THROW(prog = assemble(text)) << text;
+    ASSERT_EQ(prog.text.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(prog.text[i], isa::encode(expected[i]))
+          << "round " << round << " line " << i << ": "
+          << isa::disassemble(expected[i],
+                              isa::layout::kTextBase +
+                                  4 * static_cast<uint32_t>(i));
+      EXPECT_EQ(isa::decode(prog.text[i]), expected[i]);
+      ++cases;
+    }
+  }
+  EXPECT_GE(cases, 10'000u);
+}
+
 TEST(AssemblerFuzz, GarbageNeverCrashes) {
   std::mt19937 rng(20050628);  // DSN'05 started June 28, 2005
   const std::string alphabet =

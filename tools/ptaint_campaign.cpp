@@ -19,9 +19,15 @@
 //   --time          print wall-clock and executor statistics to stderr
 //   --check         run BOTH engine and serial reference, diff every
 //                   verdict/alert, print the speedup; exit 1 on mismatch
+//   --elide         engine machines run with static check-elision on
+//                   (with --check the serial reference stays dynamic-only,
+//                   proving elision changes no verdict)
+//   --static-check  cross-validate: every dynamic pointer-taint alert must
+//                   be a statically-predicted tainted-dereference site;
+//                   exit 1 if the analyzer missed one
 //
-// Exit codes: 0 ok, 1 verdict mismatch under --check or a job ended in a
-// harness error/timeout, 4 usage error.
+// Exit codes: 0 ok, 1 verdict mismatch under --check / missed alert under
+// --static-check / a job ended in a harness error or timeout, 4 usage error.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -51,7 +57,10 @@ using Clock = std::chrono::steady_clock;
          "  --json PATH / --csv PATH   machine-readable results\n"
          "  --summary     per-policy verdict tally\n"
          "  --time        wall-clock + executor stats on stderr\n"
-         "  --check       engine vs serial verdict diff + speedup\n";
+         "  --check       engine vs serial verdict diff + speedup\n"
+         "  --elide       run engine machines with static check-elision\n"
+         "  --static-check  every dynamic alert must be statically "
+         "predicted\n";
   std::exit(4);
 }
 
@@ -95,6 +104,8 @@ int main(int argc, char** argv) {
   int spec_scale = 1;
   bool serial = false;
   bool check = false;
+  bool elide = false;
+  bool want_static_check = false;
   bool timing = false;
   bool summary = false;
   std::string json_path, csv_path;
@@ -115,6 +126,10 @@ int main(int argc, char** argv) {
       serial = true;
     } else if (arg == "--check") {
       check = true;
+    } else if (arg == "--elide") {
+      elide = true;
+    } else if (arg == "--static-check") {
+      want_static_check = true;
     } else if (arg == "--time") {
       timing = true;
     } else if (arg == "--summary") {
@@ -135,7 +150,8 @@ int main(int argc, char** argv) {
 
   if (!serial || check) {
     const auto t0 = Clock::now();
-    const std::vector<Job> jobs = make_jobs(campaign, cache, spec_scale);
+    const std::vector<Job> jobs =
+        make_jobs(campaign, cache, spec_scale, elide);
     results = executor.run(jobs);
     engine_s = seconds_since(t0);
   }
@@ -158,6 +174,22 @@ int main(int argc, char** argv) {
     } else {
       results = std::move(reference);
     }
+  }
+
+  if (want_static_check) {
+    const StaticCheckReport sc = static_check(campaign, results, spec_scale);
+    if (!sc.missed.empty()) {
+      std::cerr << "ptaint-campaign: static analyzer missed dynamic "
+                   "alerts (check-elision would be unsound):\n";
+      for (const std::string& line : sc.missed) {
+        std::cerr << "  " << line << "\n";
+      }
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "static-check: %zu dynamic alert(s), all statically "
+                 "predicted\n",
+                 sc.alerts_checked);
   }
 
   std::fputs(format_campaign(campaign, results).c_str(), stdout);

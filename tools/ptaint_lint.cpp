@@ -1,0 +1,179 @@
+// ptaint-lint — static analyzer front end.
+//
+//   ptaint-lint [options] program.s [more.s ...]
+//   ptaint-lint --app NAME
+//
+// Assembles the input (linked with the guest runtime unless --no-runtime),
+// recovers the CFG, and runs the classic lints (use-before-def, unreachable
+// blocks, stack push/pop imbalance, clobbered callee-saved registers).
+// With --taint-report it also prints the static pointer-taintedness
+// analyzer's possible tainted-dereference sites, and with --elision-stats
+// the proven-clean/possible site counts.
+//
+// Exit codes mirror ptaint-run's convention:
+//   0  no findings
+//   1  lint findings reported
+//   4  usage or assembly error
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "analysis/lint.hpp"
+#include "analysis/taint_analyzer.hpp"
+#include "guest/apps/apps.hpp"
+#include "guest/runtime.hpp"
+
+using namespace ptaint;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "ptaint-lint: cannot open " << path << "\n";
+    std::exit(4);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+using AppFactory = asmgen::Source (*)();
+constexpr std::pair<const char*, AppFactory> kApps[] = {
+      {"exp1", &guest::apps::exp1_stack},
+      {"exp2", &guest::apps::exp2_heap},
+      {"exp3", &guest::apps::exp3_format},
+      {"wu-ftpd", &guest::apps::wu_ftpd},
+      {"null-httpd", &guest::apps::null_httpd},
+      {"ghttpd", &guest::apps::ghttpd},
+      {"traceroute", &guest::apps::traceroute},
+      {"globd", &guest::apps::globd},
+      {"fn-int-overflow", &guest::apps::fn_int_overflow},
+      {"fn-auth-flag", &guest::apps::fn_auth_flag},
+      {"fn-format-leak", &guest::apps::fn_format_leak},
+      {"spec-bzip2", &guest::apps::spec_bzip2},
+      {"spec-gzip", &guest::apps::spec_gzip},
+      {"spec-gcc", &guest::apps::spec_gcc},
+      {"spec-mcf", &guest::apps::spec_mcf},
+      {"spec-parser", &guest::apps::spec_parser},
+      {"spec-vpr", &guest::apps::spec_vpr},
+};
+
+asmgen::Source app_source(const std::string& name) {
+  for (const auto& [key, make] : kApps) {
+    if (name == key) return make();
+  }
+  std::cerr << "ptaint-lint: unknown app '" << name << "'; known:";
+  for (const auto& [key, make] : kApps) std::cerr << " " << key;
+  std::cerr << "\n";
+  std::exit(4);
+}
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: ptaint-lint [options] program.s [more.s ...]\n"
+               "       ptaint-lint --app NAME\n"
+               "run ptaint-lint --help for the option list\n";
+  std::exit(4);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<asmgen::Source> sources;
+  cpu::TaintPolicy policy;  // paper defaults
+  bool with_runtime = true;
+  bool taint_report = false;
+  bool elision_stats = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--help") {
+      std::printf("%s", R"(ptaint-lint: static analyzer for PTA-32 assembly
+usage: ptaint-lint [options] program.s [more.s ...]
+  --app NAME            lint a built-in guest app (exp1, wu-ftpd, ...)
+  --list-apps           print the known app names, one per line, and exit
+  --no-runtime          do not link the guest runtime
+  --taint-report        print statically-possible tainted dereference sites
+  --elision-stats       print proven-clean vs possible site counts
+  --no-compare-untaint  analyze under the ablated compare rule
+  --quiet               suppress findings, set the exit code only
+exit codes: 0 no findings, 1 findings, 4 usage or assembly error
+)");
+      return 0;
+    } else if (arg == "--app") {
+      sources.push_back(app_source(value()));
+    } else if (arg == "--list-apps") {
+      for (const auto& [key, make] : kApps) {
+        (void)make;
+        std::printf("%s\n", key);
+      }
+      return 0;
+    } else if (arg == "--no-runtime") {
+      with_runtime = false;
+    } else if (arg == "--taint-report") {
+      taint_report = true;
+    } else if (arg == "--elision-stats") {
+      elision_stats = true;
+    } else if (arg == "--no-compare-untaint") {
+      policy.compare_untaints = false;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "ptaint-lint: unknown option " << arg << "\n";
+      usage();
+    } else {
+      sources.push_back({arg, read_file(arg)});
+    }
+  }
+  if (sources.empty()) usage();
+
+  std::vector<asmgen::Source> units;
+  if (with_runtime) units = guest::runtime();
+  for (auto& s : sources) units.push_back(std::move(s));
+
+  asmgen::Program program;
+  try {
+    program = asmgen::assemble(units);
+  } catch (const asmgen::AssemblyError& e) {
+    std::cerr << "assembly failed:\n" << e.what();
+    return 4;
+  }
+
+  const analysis::Cfg cfg(program);
+  const std::vector<analysis::LintFinding> findings = analysis::run_lints(cfg);
+
+  if (!quiet) {
+    std::fputs(analysis::format_findings(findings).c_str(), stdout);
+    if (taint_report || elision_stats) {
+      const analysis::TaintAnalysis ta = analysis::analyze_taint(cfg, policy);
+      if (taint_report) {
+        std::printf("possible tainted dereference sites:\n%s",
+                    ta.report(cfg).c_str());
+      }
+      if (elision_stats) {
+        std::printf("%zu dereference sites: %zu possibly tainted, "
+                    "%zu proven clean (%.1f%% elidable)\n",
+                    ta.sites.size(), ta.possible_sites, ta.proven_clean,
+                    ta.sites.empty()
+                        ? 0.0
+                        : 100.0 * static_cast<double>(ta.proven_clean) /
+                              static_cast<double>(ta.sites.size()));
+      }
+    }
+  }
+  std::fprintf(stderr, "%zu finding(s) in %zu instructions, %zu functions\n",
+               findings.size(), cfg.instructions().size(),
+               cfg.functions().size());
+  return findings.empty() ? 0 : 1;
+}

@@ -26,7 +26,14 @@
 //   --profile             print the per-function profile
 //   --pipeline            enable the timing model and print its stats
 //   --max-instr N         instruction budget (default 200M)
+//   --no-elide            skip the static analyzer; run every dynamic check
 //   --quiet               suppress everything except guest stdout
+//
+// Static check-elision is ON by default: the src/analysis pass proves most
+// dereference sites can never carry a tainted address and the interpreter
+// skips those checks.  Detection verdicts are identical either way (the
+// cli_elide test pins this); --no-elide keeps the dynamic-only
+// configuration reproducible.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -76,6 +83,7 @@ std::vector<std::string> split(const std::string& s, char sep) {
 
 int main(int argc, char** argv) {
   core::MachineConfig cfg;
+  cfg.static_elision = true;  // proven-clean sites skip the dynamic check
   std::vector<asmgen::Source> sources;
   std::string stdin_data;
   std::vector<std::pair<std::string, std::string>> vfs_files;
@@ -108,6 +116,7 @@ usage: ptaint-run [options] program.s [more.s ...]
   --protect SYM:LEN     never-tainted annotation on a data symbol
   --trace N / --profile / --pipeline
   --listing             print the assembled text segment and exit
+  --no-elide            disable static check-elision (check every site)
   --max-instr N / --quiet
 exit codes: 0 clean exit, 1 nonzero guest exit, 2 security alert,
             3 fault/instruction budget, 4 usage or assembly error
@@ -170,6 +179,8 @@ exit codes: 0 clean exit, 1 nonzero guest exit, 2 security alert,
       quiet = true;
     } else if (arg == "--listing") {
       listing_only = true;
+    } else if (arg == "--no-elide") {
+      cfg.static_elision = false;
     } else if (arg == "--no-runtime") {
       with_runtime = false;
     } else if (!arg.empty() && arg[0] == '-') {
