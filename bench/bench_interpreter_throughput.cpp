@@ -1,0 +1,121 @@
+// Interpreter throughput: step interpreter vs superblock engine.
+//
+// Runs every SPEC surrogate workload under both execution engines and
+// reports guest instructions per second, wall time, and the superblock
+// speedup.  Only Machine::run() is timed — assembly, loading, and snapshot
+// work is excluded — and each cell is the best of five repetitions so a
+// descheduled rep cannot understate an engine.
+//
+//   bench_interpreter_throughput [scale] [json-path]
+//
+// `scale` sizes the surrogate inputs (default 2); results are written to
+// `json-path` (default BENCH_throughput.json) for EXPERIMENTS.md and CI.
+// The run aborts with exit 1 if any workload's verdict differs between
+// engines — throughput numbers for diverging engines would be meaningless.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/spec_workloads.hpp"
+
+using namespace ptaint;
+using namespace ptaint::core;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Cell {
+  double best_s = 1e300;
+  uint64_t instructions = 0;
+  int stop = 0;
+  int exit_status = 0;
+  double ips() const { return best_s > 0 ? instructions / best_s : 0.0; }
+};
+
+Cell measure(const SpecWorkload& w, const char* engine, int reps) {
+  ::setenv("PTAINT_ENGINE", engine, 1);
+  Cell cell;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto machine = prepare_spec_workload(w);
+    const auto t0 = Clock::now();
+    RunReport r = machine->run();
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    cell.best_s = std::min(cell.best_s, s);
+    cell.instructions = r.cpu_stats.instructions;
+    cell.stop = static_cast<int>(r.stop);
+    cell.exit_status = r.exit_status;
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int scale = argc > 1 ? std::atoi(argv[1]) : 2;
+  const std::string json_path =
+      argc > 2 ? argv[2] : "BENCH_throughput.json";
+  constexpr int kReps = 5;
+
+  std::printf("== Interpreter throughput: step vs superblock (scale %d) ==\n\n",
+              scale);
+  std::printf("%-8s %14s %12s %12s %8s\n", "program", "instructions",
+              "step Mi/s", "sblock Mi/s", "speedup");
+
+  std::string json = "{\n  \"scale\": " + std::to_string(scale) +
+                     ",\n  \"workloads\": [\n";
+  double geomean = 1.0;
+  int rows = 0;
+  bool diverged = false;
+
+  for (const auto& w : make_spec_workloads(scale)) {
+    const Cell step = measure(w, "step", kReps);
+    const Cell sblock = measure(w, "superblock", kReps);
+    if (step.instructions != sblock.instructions ||
+        step.stop != sblock.stop || step.exit_status != sblock.exit_status) {
+      std::fprintf(stderr,
+                   "%s: engines diverge (insts %llu vs %llu) — not a valid "
+                   "throughput comparison\n",
+                   w.name.c_str(),
+                   static_cast<unsigned long long>(step.instructions),
+                   static_cast<unsigned long long>(sblock.instructions));
+      diverged = true;
+    }
+    const double speedup = step.best_s / sblock.best_s;
+    geomean *= speedup;
+    ++rows;
+    std::printf("%-8s %14llu %12.2f %12.2f %7.2fx\n", w.name.c_str(),
+                static_cast<unsigned long long>(step.instructions),
+                step.ips() / 1e6, sblock.ips() / 1e6, speedup);
+
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"instructions\": %llu, "
+                  "\"step_s\": %.6f, \"superblock_s\": %.6f, "
+                  "\"step_ips\": %.0f, \"superblock_ips\": %.0f, "
+                  "\"speedup\": %.3f},\n",
+                  w.name.c_str(),
+                  static_cast<unsigned long long>(step.instructions),
+                  step.best_s, sblock.best_s, step.ips(), sblock.ips(),
+                  speedup);
+    json += buf;
+  }
+
+  const double gm = rows > 0 ? std::pow(geomean, 1.0 / rows) : 0.0;
+  std::printf("\ngeomean speedup: %.2fx\n", gm);
+
+  if (json.size() >= 2 && json[json.size() - 2] == ',') {
+    json.erase(json.size() - 2, 1);  // trailing comma
+  }
+  json += "  ],\n  \"geomean_speedup\": " + std::to_string(gm) + "\n}\n";
+  std::ofstream out(json_path, std::ios::binary);
+  out << json;
+  std::printf("wrote %s\n", json_path.c_str());
+
+  return diverged ? 1 : 0;
+}

@@ -1,6 +1,7 @@
 #include "campaign/campaigns.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -47,30 +48,55 @@ std::vector<std::shared_ptr<const core::SpecWorkload>> shared_workloads(
 /// check-elision bitmap for the fork's policy.
 std::unique_ptr<core::Machine> fork_machine(
     const std::shared_ptr<const core::MachineSnapshot>& snapshot,
-    const cpu::TaintPolicy& policy, uint64_t max_instructions, bool elide) {
+    const cpu::TaintPolicy& policy, uint64_t max_instructions, bool elide,
+    std::optional<cpu::Engine> engine) {
   core::MachineConfig cfg;
   cfg.policy = policy;
   cfg.max_instructions = max_instructions;
   cfg.static_elision = elide;
+  cfg.engine = engine;
   auto machine = std::make_unique<core::Machine>(cfg);
   machine->restore(*snapshot);
   return machine;
 }
 
+/// Pins PTAINT_ENGINE for a scope (serial reference runs); restores the
+/// previous value on destruction.
+class ScopedEngineEnv {
+ public:
+  explicit ScopedEngineEnv(const char* value) {
+    if (const char* old = std::getenv("PTAINT_ENGINE")) saved_ = old;
+    ::setenv("PTAINT_ENGINE", value, /*overwrite=*/1);
+  }
+  ~ScopedEngineEnv() {
+    if (saved_) {
+      ::setenv("PTAINT_ENGINE", saved_->c_str(), 1);
+    } else {
+      ::unsetenv("PTAINT_ENGINE");
+    }
+  }
+  ScopedEngineEnv(const ScopedEngineEnv&) = delete;
+  ScopedEngineEnv& operator=(const ScopedEngineEnv&) = delete;
+
+ private:
+  std::optional<std::string> saved_;
+};
+
 Job spec_job(SnapshotCache& cache,
              const std::shared_ptr<const core::SpecWorkload>& w,
-             const PolicyVariant& variant, bool elide) {
+             const PolicyVariant& variant, bool elide,
+             std::optional<cpu::Engine> engine) {
   Job job;
   job.app = "spec";
   job.payload = w->name;
   job.policy = variant.name;
   job.max_instructions = kSpecBudget;
   const cpu::TaintPolicy policy = variant.policy;
-  job.make = [&cache, w, policy, elide]() {
+  job.make = [&cache, w, policy, elide, engine]() {
     auto snap = cache.get("spec:" + w->name, [&w]() {
       return core::prepare_spec_workload(*w, {})->snapshot();
     });
-    return fork_machine(snap, policy, kSpecBudget, elide);
+    return fork_machine(snap, policy, kSpecBudget, elide, engine);
   };
   job.classify = [w](core::Machine& m, const core::RunReport& report,
                      JobResult& out) {
@@ -84,19 +110,20 @@ Job spec_job(SnapshotCache& cache,
 Job attack_job(SnapshotCache& cache,
                const std::shared_ptr<const core::Scenario>& s,
                const std::string& policy_name,
-               const cpu::TaintPolicy& policy, bool elide) {
+               const cpu::TaintPolicy& policy, bool elide,
+               std::optional<cpu::Engine> engine) {
   Job job;
   job.app = "attack";
   job.payload = s->name();
   job.policy = policy_name;
   job.max_instructions = s->max_instructions();
-  job.make = [&cache, s, policy, elide]() {
+  job.make = [&cache, s, policy, elide, engine]() {
     auto snap = cache.get("attack:" + s->name(), [&s]() {
       // Arm under the default policy: the pre-run state is identical for
       // every variant, so one snapshot serves the whole policy column.
       return s->prepare_attack({})->snapshot();
     });
-    return fork_machine(snap, policy, s->max_instructions(), elide);
+    return fork_machine(snap, policy, s->max_instructions(), elide, engine);
   };
   job.classify = [s](core::Machine& m, const core::RunReport& report,
                      JobResult& out) {
@@ -123,16 +150,17 @@ void classify_fn_format_write(const core::RunReport& report, JobResult& out) {
       report.detected() ? report.alert_line() : std::string("NOT DETECTED (!)");
 }
 
-Job fn_format_write_job(SnapshotCache& cache, bool elide) {
+Job fn_format_write_job(SnapshotCache& cache, bool elide,
+                        std::optional<cpu::Engine> engine) {
   Job job;
   job.app = "attack";
   job.payload = "fn-format-write";
   job.policy = "paper";
   job.max_instructions = kContrastBudget;
-  job.make = [&cache, elide]() {
+  job.make = [&cache, elide, engine]() {
     auto snap = cache.get("attack:fn-format-write",
                           []() { return prepare_fn_format_write()->snapshot(); });
-    return fork_machine(snap, {}, kContrastBudget, elide);
+    return fork_machine(snap, {}, kContrastBudget, elide, engine);
   };
   job.classify = [](core::Machine&, const core::RunReport& report,
                     JobResult& out) { classify_fn_format_write(report, out); };
@@ -142,17 +170,18 @@ Job fn_format_write_job(SnapshotCache& cache, bool elide) {
 // --- matrices -------------------------------------------------------------
 
 std::vector<Job> ablation_jobs(SnapshotCache& cache, int spec_scale,
-                               bool elide) {
+                               bool elide,
+                               std::optional<cpu::Engine> engine) {
   const auto workloads = shared_workloads(spec_scale);
   const auto corpus = shared_corpus();
   std::vector<Job> jobs;
   for (const PolicyVariant& v : ablation_variants()) {
     for (const auto& w : workloads) {
-      jobs.push_back(spec_job(cache, w, v, elide));
+      jobs.push_back(spec_job(cache, w, v, elide, engine));
     }
     for (const auto& s : corpus) {
       if (!s->expected_detected()) continue;
-      jobs.push_back(attack_job(cache, s, v.name, v.policy, elide));
+      jobs.push_back(attack_job(cache, s, v.name, v.policy, elide, engine));
     }
   }
   return jobs;
@@ -165,14 +194,15 @@ const char* const kFalsenegLabels[] = {"(A) integer overflow index",
                                        "(B) auth-flag overwrite",
                                        "(C) format-string info leak"};
 
-std::vector<Job> falseneg_jobs(SnapshotCache& cache, bool elide) {
+std::vector<Job> falseneg_jobs(SnapshotCache& cache, bool elide,
+                               std::optional<cpu::Engine> engine) {
   std::vector<Job> jobs;
   cpu::TaintPolicy paper;  // defaults: pointer-taintedness, all rules on
   for (core::AttackId id : kFalsenegIds) {
     std::shared_ptr<const core::Scenario> s = core::make_scenario(id);
-    jobs.push_back(attack_job(cache, s, "paper", paper, elide));
+    jobs.push_back(attack_job(cache, s, "paper", paper, elide, engine));
   }
-  jobs.push_back(fn_format_write_job(cache, elide));
+  jobs.push_back(fn_format_write_job(cache, elide, engine));
   return jobs;
 }
 
@@ -180,7 +210,8 @@ const cpu::DetectionMode kCoverageModes[] = {
     cpu::DetectionMode::kOff, cpu::DetectionMode::kControlDataOnly,
     cpu::DetectionMode::kPointerTaint};
 
-std::vector<Job> coverage_jobs(SnapshotCache& cache, bool elide) {
+std::vector<Job> coverage_jobs(SnapshotCache& cache, bool elide,
+                               std::optional<cpu::Engine> engine) {
   const auto corpus = shared_corpus();
   std::vector<Job> jobs;
   for (cpu::DetectionMode mode : kCoverageModes) {
@@ -188,7 +219,7 @@ std::vector<Job> coverage_jobs(SnapshotCache& cache, bool elide) {
     policy.mode = mode;
     for (const auto& s : corpus) {
       jobs.push_back(
-          attack_job(cache, s, core::to_string(mode), policy, elide));
+          attack_job(cache, s, core::to_string(mode), policy, elide, engine));
     }
   }
   return jobs;
@@ -401,15 +432,21 @@ std::vector<std::string> campaign_names() {
 }
 
 std::vector<Job> make_jobs(const std::string& campaign, SnapshotCache& cache,
-                           int spec_scale, bool elide) {
-  if (campaign == "ablation") return ablation_jobs(cache, spec_scale, elide);
-  if (campaign == "falseneg") return falseneg_jobs(cache, elide);
-  if (campaign == "coverage") return coverage_jobs(cache, elide);
+                           int spec_scale, bool elide,
+                           std::optional<cpu::Engine> engine) {
+  if (campaign == "ablation") {
+    return ablation_jobs(cache, spec_scale, elide, engine);
+  }
+  if (campaign == "falseneg") return falseneg_jobs(cache, elide, engine);
+  if (campaign == "coverage") return coverage_jobs(cache, elide, engine);
   throw std::invalid_argument("unknown campaign: " + campaign);
 }
 
 std::vector<JobResult> run_serial_reference(const std::string& campaign,
                                             int spec_scale) {
+  // The serial reference is the semantic baseline, so it always runs on
+  // the reference interpreter regardless of the ambient engine selection.
+  ScopedEngineEnv pin("step");
   if (campaign == "ablation") return ablation_serial(spec_scale);
   if (campaign == "falseneg") return falseneg_serial();
   if (campaign == "coverage") return coverage_serial();

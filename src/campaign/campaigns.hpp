@@ -20,11 +20,13 @@
 // byte-identical to their seed output.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "campaign/job.hpp"
 #include "campaign/snapshot_cache.hpp"
+#include "cpu/cpu.hpp"
 #include "cpu/taint_policy.hpp"
 
 namespace ptaint::campaign {
@@ -47,8 +49,11 @@ std::vector<std::string> campaign_names();
 /// With `elide`, every forked machine runs with static check-elision on
 /// (src/analysis proves sites clean; verdicts are unchanged — pair with
 /// --check against the non-elided serial reference to prove it).
+/// `engine` pins every forked machine's execution engine; unset resolves
+/// through PTAINT_ENGINE / the superblock default (MachineConfig::engine).
 std::vector<Job> make_jobs(const std::string& campaign, SnapshotCache& cache,
-                           int spec_scale = 1, bool elide = false);
+                           int spec_scale = 1, bool elide = false,
+                           std::optional<cpu::Engine> engine = std::nullopt);
 
 /// Cross-validation of the dynamic campaign against the static analyzer:
 /// for every result whose run ended in a pointer-taintedness alert, the
@@ -66,7 +71,10 @@ StaticCheckReport static_check(const std::string& campaign,
 
 /// Runs the same matrix serially through the original entry points and
 /// returns results in the same matrix order (status fields as the executor
-/// would report them for a normally-ending guest).
+/// would report them for a normally-ending guest).  The reference always
+/// runs on the step engine (PTAINT_ENGINE is pinned to "step" for the
+/// duration), so --check doubles as a cross-engine identity check when the
+/// parallel side runs superblocks.
 std::vector<JobResult> run_serial_reference(const std::string& campaign,
                                             int spec_scale = 1);
 

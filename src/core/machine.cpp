@@ -1,6 +1,7 @@
 #include "core/machine.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 
 #include "analysis/taint_analyzer.hpp"
@@ -9,6 +10,21 @@ namespace ptaint::core {
 
 using mem::TaintedWord;
 namespace layout = isa::layout;
+
+namespace {
+
+/// Engine resolution: explicit config wins, then the PTAINT_ENGINE
+/// environment variable, then the superblock default.
+cpu::Engine resolve_engine(const std::optional<cpu::Engine>& configured) {
+  if (configured) return *configured;
+  if (const char* env = std::getenv("PTAINT_ENGINE")) {
+    if (std::strcmp(env, "step") == 0) return cpu::Engine::kStep;
+    if (std::strcmp(env, "superblock") == 0) return cpu::Engine::kSuperblock;
+  }
+  return cpu::Engine::kSuperblock;
+}
+
+}  // namespace
 
 std::string RunReport::alert_line() const {
   if (!alert) return "(no alert)";
@@ -21,6 +37,7 @@ Machine::Machine(MachineConfig config) : config_(std::move(config)) {
   os_ = std::make_unique<os::SimOs>();
   cpu_ = std::make_unique<cpu::Cpu>(memory_, config_.policy);
   cpu_->set_os(os_.get());
+  cpu_->set_engine(resolve_engine(config_.engine));
   if (config_.pipeline_model) {
     pipeline_ = std::make_unique<cpu::Pipeline>(config_.pipeline);
   }
@@ -86,9 +103,18 @@ size_t Machine::enable_static_elision() {
 
 size_t Machine::apply_static_elision() {
   if (program_.text.empty()) return 0;
+  const analysis::Cfg cfg(program_);
   const analysis::TaintAnalysis analysis =
-      analysis::analyze_taint(program_, config_.policy);
+      analysis::analyze_taint(cfg, config_.policy);
   cpu_->set_check_elision(analysis.elision);
+  // Hand the recovered block boundaries to the superblock engine so its
+  // translations align with the static CFG (translation hint only).
+  std::vector<uint8_t> leaders(program_.text.size(), 0);
+  for (const auto& block : cfg.blocks()) {
+    const size_t i = (block.begin - cfg.text_begin()) / 4;
+    if (i < leaders.size()) leaders[i] = 1;
+  }
+  cpu_->set_block_leaders(leaders);
   return analysis.proven_clean;
 }
 
@@ -180,13 +206,9 @@ void Machine::restore(const MachineSnapshot& snapshot) {
 }
 
 cpu::StopReason Machine::run_for(uint64_t n) {
-  // Unlike run(), exhausting the step budget here is not a stop condition —
-  // the machine stays resumable for incremental driving.
-  cpu::StopReason reason = cpu_->stop_reason();
-  for (uint64_t i = 0; i < n && reason == cpu::StopReason::kRunning; ++i) {
-    reason = cpu_->step();
-  }
-  return reason;
+  // Unlike run(), exhausting the budget here is not a stop condition — the
+  // machine stays resumable for incremental driving.
+  return cpu_->advance(n);
 }
 
 RunReport Machine::report() const {

@@ -45,6 +45,13 @@ struct MachineConfig {
   /// automatically on load_* and restore().
   bool static_elision = false;
 
+  /// Execution engine driving the core.  Unset resolves through the
+  /// PTAINT_ENGINE environment variable ("step" / "superblock") and then
+  /// defaults to the superblock engine (DESIGN.md §9).  Both engines are
+  /// verdict- and statistics-identical; "step" pins the reference
+  /// interpreter (CI runs the whole suite that way so it can never rot).
+  std::optional<cpu::Engine> engine;
+
   /// Stack ASLR baseline (paper §2 related work): the initial stack
   /// pointer is lowered by a seed-derived, word-aligned offset drawn from
   /// `aslr_entropy_bits` bits of entropy.  0 disables randomization.

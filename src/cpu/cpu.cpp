@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "cpu/superblock.hpp"
+
 namespace ptaint::cpu {
 
 using isa::Instruction;
@@ -25,6 +27,30 @@ std::string SecurityAlert::to_string() const {
 Cpu::Cpu(mem::TaintedMemory& memory, const TaintPolicy& policy)
     : memory_(memory), policy_(policy), taint_unit_(policy) {
   regs_.set(isa::kSp, TaintedWord{isa::layout::kStackTop});
+}
+
+Cpu::~Cpu() = default;
+
+void Cpu::set_engine(Engine engine) {
+  engine_ = engine;
+  if (engine == Engine::kSuperblock && sb_ == nullptr) {
+    sb_ = std::make_unique<SuperblockEngine>(*this);
+  }
+  if (sb_) sb_->reset();
+}
+
+void Cpu::set_block_leaders(const std::vector<uint8_t>& leaders) {
+  leader_bits_.assign(decode_cache_.size(), 0);
+  const size_t n = leaders.size() < leader_bits_.size() ? leaders.size()
+                                                        : leader_bits_.size();
+  for (size_t i = 0; i < n; ++i) leader_bits_[i] = leaders[i] ? 1 : 0;
+  // Existing blocks were built against the old leader set; retranslate.
+  if (sb_) sb_->flush_all();
+}
+
+const SuperblockStats& Cpu::superblock_stats() const {
+  static const SuperblockStats kZero;
+  return sb_ ? sb_->stats() : kZero;
 }
 
 void Cpu::request_exit(int status) {
@@ -73,6 +99,8 @@ void Cpu::set_executable_range(uint32_t begin, uint32_t end) {
   decode_cache_.assign(n, Instruction{});
   decode_valid_.assign(n, 0);
   elide_bits_.clear();  // any installed elision proof is for the old image
+  leader_bits_.clear();
+  if (sb_) sb_->reset();  // superblocks are derived state; refill lazily
 }
 
 void Cpu::set_check_elision(const std::vector<uint8_t>& elision) {
@@ -86,6 +114,8 @@ void Cpu::set_check_elision(const std::vector<uint8_t>& elision) {
       decode_valid_[i] = i < n && elide_bits_[i] ? 2 : 1;
     }
   }
+  // Cached superblocks baked the old verdicts into their micro-ops.
+  if (sb_) sb_->flush_all();
 }
 
 void Cpu::invalidate_decode_range(uint32_t addr, uint32_t len) {
@@ -101,6 +131,7 @@ void Cpu::invalidate_decode_range(uint32_t addr, uint32_t len) {
     // instruction must be checked dynamically.
     if (i < elide_bits_.size()) elide_bits_[i] = 0;
   }
+  if (sb_) sb_->on_invalidate(lo, hi - lo);
 }
 
 Cpu::State Cpu::save_state() const {
@@ -252,10 +283,20 @@ StopReason Cpu::step() {
 }
 
 StopReason Cpu::run(uint64_t max_instructions) {
+  advance(max_instructions);
+  if (stop_ == StopReason::kRunning) stop_ = StopReason::kInstLimit;
+  return stop_;
+}
+
+StopReason Cpu::advance(uint64_t max_instructions) {
+  // Retire hooks (trace/profile/pipeline) need per-instruction events the
+  // superblock handlers do not surface, so they force the reference path.
+  if (engine_ == Engine::kSuperblock && sb_ != nullptr && !retire_hook_) {
+    return sb_->advance(max_instructions);
+  }
   for (uint64_t i = 0; i < max_instructions; ++i) {
     if (step() != StopReason::kRunning) return stop_;
   }
-  if (stop_ == StopReason::kRunning) stop_ = StopReason::kInstLimit;
   return stop_;
 }
 

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,6 +26,32 @@
 namespace ptaint::cpu {
 
 class Cpu;
+class SuperblockEngine;
+
+/// Which execution engine drives the core (DESIGN.md §9).  Both produce
+/// byte-identical architectural state, stop reasons, alerts and statistics;
+/// the superblock engine is simply faster.
+enum class Engine : uint8_t {
+  kStep,        // reference interpreter: fetch/decode/execute per instruction
+  kSuperblock,  // translated superblocks with threaded dispatch
+};
+
+/// Observability counters for the superblock engine (ptaint-run
+/// --engine-stats).  Diagnostic only — never part of the cross-engine
+/// identity contract.
+struct SuperblockStats {
+  // Live block-cache shape.
+  uint64_t blocks = 0;              // blocks currently cached
+  uint64_t guest_instructions = 0;  // guest instructions they cover
+  uint64_t uops = 0;                // micro-ops they hold
+  uint64_t fused_pairs = 0;         // fused pairs inside them
+  // Cumulative execution counters.
+  uint64_t blocks_translated = 0;
+  uint64_t blocks_entered = 0;
+  uint64_t block_retired = 0;   // instructions retired inside superblocks
+  uint64_t step_retired = 0;    // instructions retired via the step fallback
+  uint64_t invalidations = 0;   // blocks retired by self-modifying stores
+};
 
 /// OS-services interface; the simulated kernel (src/os) implements it.
 class Os {
@@ -92,8 +119,16 @@ class Cpu {
  public:
   /// The policy object must outlive the Cpu.
   Cpu(mem::TaintedMemory& memory, const TaintPolicy& policy);
+  ~Cpu();  // out-of-line: unique_ptr to the (here-incomplete) engine
 
   void set_os(Os* os) { os_ = os; }
+
+  /// Selects the execution engine used by run()/advance().  Defaults to
+  /// kStep; the Machine layer switches on the superblock engine.  Retire
+  /// hooks (trace/profile/pipeline subscribers) force the step path
+  /// regardless, since superblocks do not surface per-retire events.
+  void set_engine(Engine engine);
+  Engine engine() const { return engine_; }
 
   mem::RegisterFile& regs() { return regs_; }
   const mem::RegisterFile& regs() const { return regs_; }
@@ -108,6 +143,12 @@ class Cpu {
 
   /// Runs until stop or until `max_instructions` more retire.
   StopReason run(uint64_t max_instructions);
+
+  /// Like run() but never marks kInstLimit when the budget runs out — the
+  /// campaign executor's slicing primitive.  Retires exactly
+  /// `max_instructions` unless the core stops first, on whichever engine is
+  /// selected (retire hooks force the step path).
+  StopReason advance(uint64_t max_instructions);
 
   StopReason stop_reason() const { return stop_; }
   const std::optional<SecurityAlert>& alert() const { return alert_; }
@@ -149,6 +190,16 @@ class Cpu {
   /// kernel copy (SYS_READ/SYS_RECV) lands in guest memory, so
   /// self-modifying code executes its current bytes.
   void invalidate_decode_range(uint32_t addr, uint32_t len);
+
+  /// Installs the static analyzer's basic-block leader bitmap (one byte per
+  /// text instruction, 1 = a CFG block starts here).  The superblock engine
+  /// ends translation at leaders so its blocks align with the static CFG;
+  /// purely a translation hint — never affects semantics.  Cleared by
+  /// set_executable_range.
+  void set_block_leaders(const std::vector<uint8_t>& leaders);
+
+  /// Superblock-engine observability counters (zeros under kStep).
+  const SuperblockStats& superblock_stats() const;
 
   /// Marks the core stopped with kInstLimit if it is still running — the
   /// campaign executor's budget enforcement (mirrors run() exhausting its
@@ -197,6 +248,8 @@ class Cpu {
   void restore_state(const State& state);
 
  private:
+  friend class SuperblockEngine;  // handlers mirror execute() bit-for-bit
+
   StopReason execute(const isa::Instruction& inst, bool elide = false);
   bool detect_pointer(const isa::Instruction& inst, uint8_t reg,
                       mem::TaintedWord value, AlertKind kind);
@@ -232,6 +285,10 @@ class Cpu {
   std::vector<isa::Instruction> decode_cache_;
   std::vector<uint8_t> decode_valid_;
   std::vector<uint8_t> elide_bits_;  // per-instruction, from set_check_elision
+
+  Engine engine_ = Engine::kStep;
+  std::unique_ptr<SuperblockEngine> sb_;   // created lazily by set_engine
+  std::vector<uint8_t> leader_bits_;       // per-instruction CFG leaders
 };
 
 }  // namespace ptaint::cpu

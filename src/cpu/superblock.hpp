@@ -1,0 +1,126 @@
+// Superblock threaded-dispatch execution engine (DESIGN.md §9).
+//
+// The step interpreter pays a fetch / decode-cache probe / switch dispatch
+// for every guest instruction.  This engine lazily translates straight-line
+// runs of instructions ("superblocks", ending at branches, jumps, syscalls
+// or static CFG leaders) into contiguous micro-op arrays and executes them
+// with a computed-goto threaded dispatch loop: one bounds/NX/alignment check
+// per block instead of per instruction, pre-classified handlers instead of
+// the big decode switch, static check-elision verdicts baked into the
+// micro-ops, and common pairs (lui+ori, compare+branch, addr-gen+load/store)
+// fused into single handlers.
+//
+// Identity contract: every handler replicates Cpu::execute()'s semantics
+// bit-for-bit — architectural state, stop reasons, alert records, CpuStats
+// and TaintUnit::Stats counters, and counter *ordering* around early stops.
+// The untainted fast paths skip TaintUnit::propagate only when its result
+// and counter bumps are provably reproduced inline.  The engine never runs
+// when a retire hook (trace/profile/pipeline) is installed; Cpu::advance
+// falls back to step() in that case.
+//
+// Invalidation: the block cache is keyed by entry PC over the decoded-text
+// range.  Cpu::invalidate_decode_range (guest stores into text, kernel
+// copies) retires overlapping blocks into a graveyard — freed only between
+// block executions, so a block invalidating *itself* mid-run keeps a valid
+// micro-op array; the store handlers then abort the block with the PC of
+// the next instruction and execution resumes through fresh translation.
+// snapshot/restore flushes everything via Cpu::set_executable_range; blocks
+// are derived state and refill lazily, exactly like the decode cache.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cpu/cpu.hpp"
+
+namespace ptaint::cpu {
+
+class SuperblockEngine {
+ public:
+  explicit SuperblockEngine(Cpu& cpu) : cpu_(cpu) {}
+
+  /// Runs until stop or until exactly `n` more instructions retire (same
+  /// budget semantics as the step loop in Cpu::run, minus the kInstLimit
+  /// marking).  Blocks longer than the remaining budget fall back to
+  /// single-stepping so budgets never overshoot.
+  StopReason advance(uint64_t n);
+
+  /// Retires every cached block overlapping [addr, addr+len) — the
+  /// self-modifying-code path, forwarded from Cpu::invalidate_decode_range.
+  void on_invalidate(uint32_t addr, uint32_t len);
+
+  /// Drops every cached block (elision/leader bitmap changed); safe to call
+  /// between runs only.
+  void flush_all();
+
+  /// Drops all blocks and re-sizes the cache to the CPU's current decoded
+  /// text range (set_executable_range / snapshot restore).
+  void reset();
+
+  const SuperblockStats& stats() const { return stats_; }
+
+ private:
+  /// Micro-op kinds.  Order must match the dispatch table in exec_block.
+  enum Kind : uint8_t {
+    kEnd,  // fall off the block (CFG leader / size cap): set pc, exit
+    kLui,
+    kAddRR, kSubRR, kOrRR, kNorRR, kXorRR, kAndRR, kSltRR, kSltuRR,
+    kSllI, kSrlI, kSraI, kSllvRR, kSrlvRR, kSravRR,
+    kAddI, kOrI, kXorI, kAndI, kSltI, kSltuI,
+    kMulDiv,  // mult/multu/div/divu/mfhi/mflo/mthi/mtlo/taintset/taintclr
+    kLw, kLoadOther,
+    kSw, kStoreSmall,
+    // fused pairs
+    kLuiOri, kAddrLw, kAddrSw,
+    // terminators
+    kBranch, kCmpBranch, kJ, kJal, kJr, kJalr, kSyscall, kBreak,
+    kNumKinds,
+  };
+
+  struct MicroOp {
+    uint8_t kind = kEnd;
+    uint8_t elide = 0;  // pointer check statically elided (mem / jr site)
+    uint8_t aux = 0;    // kLuiOri: intermediate write needed; kCmpBranch: bne
+    uint8_t pad = 0;
+    uint32_t pc = 0;     // guest PC of the (first) instruction
+    uint32_t value = 0;  // precomputed constant (kLui / kLuiOri)
+    isa::Instruction inst;
+    isa::Instruction inst2;  // second instruction of a fused pair
+  };
+
+  struct Block {
+    uint32_t entry_pc = 0;
+    uint32_t guest_len = 0;  // guest instructions covered
+    uint32_t byte_len = 0;   // text bytes covered (invalidation overlap)
+    uint32_t fused = 0;      // fused pairs inside
+    bool retired = false;    // flushed while possibly executing
+    // Chain memo: the successor block this one last exited into, keyed by
+    // exit pc and validated against the engine's invalidation generation.
+    // Loops chain block-to-block without touching block_at_ at all.
+    Block* succ = nullptr;
+    uint32_t succ_pc = 0;
+    uint64_t succ_gen = 0;
+    std::vector<MicroOp> uops;
+  };
+
+  Block* translate(uint32_t pc, uint32_t idx);
+  /// Executes `blk` and then chains: block-exit handlers dispatch straight
+  /// into the successor block while it is cached and fits the remaining
+  /// `budget` (in guest instructions), without returning to advance().
+  /// Chaining is what makes short, branchy blocks cheap — the per-entry
+  /// bookkeeping in advance() would otherwise dominate 3-instruction loops.
+  void exec_block(Block& blk, uint64_t budget);
+  void ensure_capacity();
+
+  Cpu& cpu_;
+  // Bumped whenever any translation dies (invalidation, flush, reset), so
+  // every Block::succ memo taken under an older generation stops matching.
+  uint64_t gen_ = 1;
+  std::vector<Block*> block_at_;  // per decode index, non-owning
+  std::vector<std::unique_ptr<Block>> blocks_;     // live, owning
+  std::vector<std::unique_ptr<Block>> graveyard_;  // invalidated mid-advance
+  SuperblockStats stats_;
+};
+
+}  // namespace ptaint::cpu

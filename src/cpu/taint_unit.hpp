@@ -47,6 +47,10 @@ class TaintUnit {
   void reset_stats() { stats_ = {}; }
   /// Overwrites the counters — machine snapshot/restore support.
   void set_stats(const Stats& stats) { stats_ = stats; }
+  /// Mutable counter access for the superblock engine's untainted fast
+  /// paths, which skip propagate() but must replicate its counter bumps
+  /// exactly (stats are part of the cross-engine identity contract).
+  Stats& stats_ref() const { return stats_; }
 
   /// Rough two-input-NAND-equivalent gate count of the tracking logic, for
   /// the Figure 3 / Section 5.4 area discussion.

@@ -37,8 +37,17 @@ TaintedMemory& TaintedMemory::operator=(const TaintedMemory& other) {
     for (const auto& [idx, page] : other.pages_) {
       pages_.emplace(idx, std::make_unique<Page>(*page));
     }
+    // Page summaries deep-copy with the pages; only the rollups need
+    // recomputing, from the per-page counts (no bitmap scan).
+    tainted_total_ = 0;
+    tainted_pages_ = 0;
+    for (const auto& [idx, page] : pages_) {
+      tainted_total_ += page->tainted_bytes;
+      if (page->tainted_bytes > 0) ++tainted_pages_;
+    }
     memo_index_ = kNoPage;
     memo_page_ = nullptr;
+    qstats_ = {};
   }
   return *this;
 }
@@ -63,29 +72,48 @@ const TaintedMemory::Page* TaintedMemory::find_page(uint32_t addr) const {
   return it->second.get();
 }
 
-TaintedByte TaintedMemory::load_byte(uint32_t addr) const {
+TaintedByte TaintedMemory::load_byte_slow(uint32_t addr) const {
+  ++qstats_.loads;
   const Page* p = find_page(addr);
   if (!p) return {};
+  if (p->tainted_bytes == 0) {
+    ++qstats_.clean_page_loads;
+    return {p->data[page_offset(addr)], false};
+  }
   const uint32_t off = page_offset(addr);
   return {p->data[off], get_bit(p->taint, off)};
 }
 
-void TaintedMemory::store_byte(uint32_t addr, TaintedByte b) {
+void TaintedMemory::store_byte_slow(uint32_t addr, TaintedByte b) {
   Page& p = page_for(addr);
   const uint32_t off = page_offset(addr);
   p.data[off] = b.value;
-  set_bit(p.taint, off, b.taint);
+  if (!b.taint && p.tainted_bytes == 0) return;  // clean page stays clean
+  store_byte_taint(p, off, b.taint);
+}
+
+void TaintedMemory::store_byte_taint(Page& p, uint32_t off, bool tainted) {
+  const bool old = get_bit(p.taint, off);
+  if (old != tainted) {
+    set_bit(p.taint, off, tainted);
+    adjust_taint(p, tainted ? 1 : -1);
+  }
 }
 
 TaintedWord TaintedMemory::load_half(uint32_t addr) const {
   if ((addr & 1) == 0) {
     // Aligned halves sit inside one page and one taint byte.
+    ++qstats_.loads;
     const Page* p = find_page(addr);
     if (!p) return {};
     const uint32_t off = page_offset(addr);
     const uint8_t* d = p->data.data() + off;
     TaintedWord w;
     w.value = static_cast<uint32_t>(d[0]) | (static_cast<uint32_t>(d[1]) << 8);
+    if (p->tainted_bytes == 0) {
+      ++qstats_.clean_page_loads;
+      return w;
+    }
     w.taint =
         static_cast<TaintBits>((p->taint[off >> 3] >> (off & 7)) & 0x3);
     return w;
@@ -105,9 +133,15 @@ void TaintedMemory::store_half(uint32_t addr, TaintedWord w) {
     const uint32_t off = page_offset(addr);
     p.data[off] = static_cast<uint8_t>(w.value);
     p.data[off + 1] = static_cast<uint8_t>(w.value >> 8);
+    const uint8_t fresh = static_cast<uint8_t>(w.taint & 0x3u);
+    if (fresh == 0 && p.tainted_bytes == 0) return;  // clean-page fast path
     const int sh = off & 7;
     uint8_t& t = p.taint[off >> 3];
-    t = static_cast<uint8_t>((t & ~(0x3u << sh)) | ((w.taint & 0x3u) << sh));
+    const uint8_t old = static_cast<uint8_t>((t >> sh) & 0x3u);
+    if (old != fresh) {
+      t = static_cast<uint8_t>((t & ~(0x3u << sh)) | (fresh << sh));
+      adjust_taint(p, std::popcount(fresh) - std::popcount(old));
+    }
     return;
   }
   for (int i = 0; i < 2; ++i) {
@@ -116,11 +150,13 @@ void TaintedMemory::store_half(uint32_t addr, TaintedWord w) {
   }
 }
 
-TaintedWord TaintedMemory::load_word(uint32_t addr) const {
+TaintedWord TaintedMemory::load_word_slow(uint32_t addr) const {
   if ((addr & 3) == 0) {
     // Aligned words sit inside one page, and their 4 taint bits inside one
     // taint byte (offset is a multiple of 4) — one lookup for the whole
-    // access.  This is the instruction-fetch and lw/sw fast path.
+    // access.  This is the instruction-fetch and lw/sw fast path; on a
+    // fully-untainted page the taint gather is skipped outright.
+    ++qstats_.loads;
     const Page* p = find_page(addr);
     if (!p) return {};
     const uint32_t off = page_offset(addr);
@@ -130,6 +166,10 @@ TaintedWord TaintedMemory::load_word(uint32_t addr) const {
               (static_cast<uint32_t>(d[1]) << 8) |
               (static_cast<uint32_t>(d[2]) << 16) |
               (static_cast<uint32_t>(d[3]) << 24);
+    if (p->tainted_bytes == 0) {
+      ++qstats_.clean_page_loads;
+      return w;
+    }
     w.taint =
         static_cast<TaintBits>((p->taint[off >> 3] >> (off & 7)) & 0xf);
     return w;
@@ -143,7 +183,17 @@ TaintedWord TaintedMemory::load_word(uint32_t addr) const {
   return w;
 }
 
-void TaintedMemory::store_word(uint32_t addr, TaintedWord w) {
+void TaintedMemory::store_word_taint(Page& p, uint32_t off, uint8_t fresh) {
+  const int sh = off & 7;
+  uint8_t& t = p.taint[off >> 3];
+  const uint8_t old = static_cast<uint8_t>((t >> sh) & 0xfu);
+  if (old != fresh) {
+    t = static_cast<uint8_t>((t & ~(0xfu << sh)) | (fresh << sh));
+    adjust_taint(p, std::popcount(fresh) - std::popcount(old));
+  }
+}
+
+void TaintedMemory::store_word_slow(uint32_t addr, TaintedWord w) {
   if ((addr & 3) == 0) {
     Page& p = page_for(addr);
     const uint32_t off = page_offset(addr);
@@ -152,9 +202,9 @@ void TaintedMemory::store_word(uint32_t addr, TaintedWord w) {
     d[1] = static_cast<uint8_t>(w.value >> 8);
     d[2] = static_cast<uint8_t>(w.value >> 16);
     d[3] = static_cast<uint8_t>(w.value >> 24);
-    const int sh = off & 7;
-    uint8_t& t = p.taint[off >> 3];
-    t = static_cast<uint8_t>((t & ~(0xfu << sh)) | ((w.taint & 0xfu) << sh));
+    const uint8_t fresh = static_cast<uint8_t>(w.taint & 0xfu);
+    if (fresh == 0 && p.tainted_bytes == 0) return;  // clean-page fast path
+    store_word_taint(p, off, fresh);
     return;
   }
   for (int i = 0; i < 4; ++i) {
@@ -172,7 +222,15 @@ void TaintedMemory::write_block(uint32_t addr, std::span<const uint8_t> data,
     const uint32_t chunk = std::min<uint32_t>(
         kPageSize - off, static_cast<uint32_t>(data.size() - done));
     std::copy_n(data.data() + done, chunk, p.data.data() + off);
-    for (uint32_t i = 0; i < chunk; ++i) set_bit(p.taint, off + i, tainted);
+    if (tainted || p.tainted_bytes != 0) {
+      for (uint32_t i = 0; i < chunk; ++i) {
+        const bool old = get_bit(p.taint, off + i);
+        if (old != tainted) {
+          set_bit(p.taint, off + i, tainted);
+          adjust_taint(p, tainted ? 1 : -1);
+        }
+      }
+    }
     done += chunk;
     addr += chunk;
   }
@@ -201,26 +259,40 @@ void TaintedMemory::set_taint(uint32_t addr, uint32_t len, bool tainted) {
     Page& p = page_for(addr);
     const uint32_t off = page_offset(addr);
     const uint32_t chunk = std::min<uint32_t>(kPageSize - off, len - done);
-    for (uint32_t i = 0; i < chunk; ++i) set_bit(p.taint, off + i, tainted);
+    if (tainted || p.tainted_bytes != 0) {
+      for (uint32_t i = 0; i < chunk; ++i) {
+        const bool old = get_bit(p.taint, off + i);
+        if (old != tainted) {
+          set_bit(p.taint, off + i, tainted);
+          adjust_taint(p, tainted ? 1 : -1);
+        }
+      }
+    }
     done += chunk;
     addr += chunk;
   }
 }
 
 bool TaintedMemory::any_tainted_in(uint32_t addr, uint32_t len) const {
-  for (uint32_t i = 0; i < len; ++i) {
-    const Page* p = find_page(addr + i);
-    if (p && get_bit(p->taint, page_offset(addr + i))) return true;
+  if (tainted_pages_ == 0 || len == 0) return false;
+  // Walk page by page; the summary skips fully-untainted pages without
+  // touching their bitmaps, so queries spanning page boundaries only scan
+  // the dirty pages they overlap.
+  uint32_t done = 0;
+  while (done < len) {
+    const uint32_t off = page_offset(addr);
+    const uint32_t chunk = std::min<uint32_t>(kPageSize - off, len - done);
+    const Page* p = find_page(addr);
+    if (p && p->tainted_bytes != 0) {
+      if (p->tainted_bytes == kPageSize) return true;  // saturated page
+      for (uint32_t i = 0; i < chunk; ++i) {
+        if (get_bit(p->taint, off + i)) return true;
+      }
+    }
+    done += chunk;
+    addr += chunk;
   }
   return false;
-}
-
-uint64_t TaintedMemory::tainted_byte_count() const {
-  uint64_t n = 0;
-  for (const auto& [idx, page] : pages_) {
-    for (uint8_t b : page->taint) n += std::popcount(b);
-  }
-  return n;
 }
 
 }  // namespace ptaint::mem

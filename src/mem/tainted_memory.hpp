@@ -6,6 +6,16 @@
 // gather the per-byte taint bits into a TaintBits vector in byte order, and
 // stores scatter them back, so taintedness travels with the data through the
 // whole hierarchy exactly as the paper requires.
+//
+// Each page additionally carries a sparse taint summary: an exact count of
+// its tainted bytes, rolled up into a global tainted-byte total and a
+// tainted-page count.  Taint state is sparse in practice (most pages never
+// see a tainted byte), so loads from fully-untainted pages skip the
+// taint-bit gather entirely, stores of untainted data into clean pages skip
+// the scatter, `any_tainted_in` short-circuits to O(pages overlapped) and
+// `tainted_byte_count` is O(1).  The summaries are derived from the taint
+// bitmaps and maintained exactly on every mutation, so they survive deep
+// copies (snapshot/restore) and `set_taint` by construction.
 #pragma once
 
 #include <cstdint>
@@ -32,17 +42,79 @@ class TaintedMemory {
   TaintedMemory(TaintedMemory&&) = default;
   TaintedMemory& operator=(TaintedMemory&&) = default;
 
-  /// Byte accessors.
-  TaintedByte load_byte(uint32_t addr) const;
-  void store_byte(uint32_t addr, TaintedByte b);
+  /// Byte accessors.  Like the word accessors below, the memo-hit case is
+  /// inlined and anything else takes the out-of-line slow path.
+  TaintedByte load_byte(uint32_t addr) const {
+    if ((addr >> kPageShift) == memo_index_) {
+      ++qstats_.loads;
+      const Page& p = *memo_page_;
+      const uint32_t off = addr & (kPageSize - 1);
+      if (p.tainted_bytes == 0) {
+        ++qstats_.clean_page_loads;
+        return {p.data[off], false};
+      }
+      return {p.data[off],
+              static_cast<bool>((p.taint[off >> 3] >> (off & 7)) & 1)};
+    }
+    return load_byte_slow(addr);
+  }
+  void store_byte(uint32_t addr, TaintedByte b) {
+    if ((addr >> kPageShift) == memo_index_) {
+      Page& p = *memo_page_;
+      const uint32_t off = addr & (kPageSize - 1);
+      p.data[off] = b.value;
+      if (!b.taint && p.tainted_bytes == 0) return;  // clean page stays clean
+      store_byte_taint(p, off, b.taint);
+      return;
+    }
+    store_byte_slow(addr, b);
+  }
 
   /// 16-bit accessors; taint bits land in positions 0..1.
   TaintedWord load_half(uint32_t addr) const;
   void store_half(uint32_t addr, TaintedWord w);
 
-  /// 32-bit accessors; taint bits land in positions 0..3.
-  TaintedWord load_word(uint32_t addr) const;
-  void store_word(uint32_t addr, TaintedWord w);
+  /// 32-bit accessors; taint bits land in positions 0..3.  The aligned
+  /// memo-hit case — virtually every data access in a running guest — is
+  /// inlined here; everything else (memo miss, unaligned) takes the
+  /// out-of-line slow path, which also refreshes the memo.
+  TaintedWord load_word(uint32_t addr) const {
+    if ((addr & 3) == 0 && (addr >> kPageShift) == memo_index_) {
+      ++qstats_.loads;
+      const Page& p = *memo_page_;
+      const uint32_t off = addr & (kPageSize - 1);
+      const uint8_t* d = p.data.data() + off;
+      TaintedWord w;
+      w.value = static_cast<uint32_t>(d[0]) |
+                (static_cast<uint32_t>(d[1]) << 8) |
+                (static_cast<uint32_t>(d[2]) << 16) |
+                (static_cast<uint32_t>(d[3]) << 24);
+      if (p.tainted_bytes == 0) {
+        ++qstats_.clean_page_loads;
+        return w;
+      }
+      w.taint =
+          static_cast<TaintBits>((p.taint[off >> 3] >> (off & 7)) & 0xf);
+      return w;
+    }
+    return load_word_slow(addr);
+  }
+  void store_word(uint32_t addr, TaintedWord w) {
+    if ((addr & 3) == 0 && (addr >> kPageShift) == memo_index_) {
+      Page& p = *memo_page_;
+      const uint32_t off = addr & (kPageSize - 1);
+      uint8_t* d = p.data.data() + off;
+      d[0] = static_cast<uint8_t>(w.value);
+      d[1] = static_cast<uint8_t>(w.value >> 8);
+      d[2] = static_cast<uint8_t>(w.value >> 16);
+      d[3] = static_cast<uint8_t>(w.value >> 24);
+      const uint8_t fresh = static_cast<uint8_t>(w.taint & 0xfu);
+      if (fresh == 0 && p.tainted_bytes == 0) return;  // clean-page fast path
+      store_word_taint(p, off, fresh);
+      return;
+    }
+    store_word_slow(addr, w);
+  }
 
   /// Bulk helpers used by the loader and the OS layer.
   void write_block(uint32_t addr, std::span<const uint8_t> data,
@@ -56,25 +128,72 @@ class TaintedMemory {
   /// RT-register trick of Section 4.4, used by the syscall layer.
   void set_taint(uint32_t addr, uint32_t len, bool tainted);
 
-  /// True if any of `len` bytes starting at `addr` is tainted.
+  /// True if any of `len` bytes starting at `addr` is tainted.  Pages whose
+  /// summary says fully-untainted are skipped without touching their taint
+  /// bitmap; with no tainted page anywhere this is O(1).
   bool any_tainted_in(uint32_t addr, uint32_t len) const;
 
-  /// Number of currently tainted bytes across all mapped pages.
-  uint64_t tainted_byte_count() const;
+  /// Number of currently tainted bytes across all mapped pages.  O(1): the
+  /// page summaries keep the total incrementally.
+  uint64_t tainted_byte_count() const { return tainted_total_; }
 
   /// Number of mapped pages (for footprint / area-overhead reporting).
   size_t mapped_pages() const { return pages_.size(); }
+
+  /// Number of mapped pages currently holding at least one tainted byte.
+  uint32_t tainted_page_count() const { return tainted_pages_; }
+
+  /// True when the page containing `addr` is mapped and fully untainted
+  /// (summary check only; an unmapped page reads as untainted zeroes but is
+  /// not "mapped and clean").
+  bool page_fully_untainted(uint32_t addr) const {
+    const Page* p = find_page(addr);
+    return p != nullptr && p->tainted_bytes == 0;
+  }
+
+  /// Observability counters for the clean-page fast path (ptaint-run
+  /// --engine-stats).  Diagnostic only: not part of the architectural
+  /// state, reset on copy, never compared across engines.
+  struct QueryStats {
+    uint64_t loads = 0;             // byte/half/word loads issued
+    uint64_t clean_page_loads = 0;  // served by the fully-untainted fast path
+  };
+  const QueryStats& query_stats() const { return qstats_; }
 
  private:
   struct Page {
     std::array<uint8_t, kPageSize> data{};
     std::array<uint8_t, kPageSize / 8> taint{};  // 1 bit per byte
+    uint32_t tainted_bytes = 0;  // exact popcount of `taint`
   };
 
   Page& page_for(uint32_t addr);
   const Page* find_page(uint32_t addr) const;
 
+  TaintedByte load_byte_slow(uint32_t addr) const;
+  void store_byte_slow(uint32_t addr, TaintedByte b);
+  TaintedWord load_word_slow(uint32_t addr) const;
+  void store_word_slow(uint32_t addr, TaintedWord w);
+  /// Taint-bitmap updates for memo-hit stores (out of line: touching the
+  /// bitmap means the page is or becomes dirty — off the hot path).
+  void store_byte_taint(Page& p, uint32_t off, bool tainted);
+  void store_word_taint(Page& p, uint32_t off, uint8_t fresh);
+
+  /// Applies a tainted-byte delta to a page summary and the global rollups.
+  void adjust_taint(Page& p, int32_t delta) {
+    if (delta == 0) return;
+    if (p.tainted_bytes == 0) ++tainted_pages_;
+    p.tainted_bytes = static_cast<uint32_t>(
+        static_cast<int64_t>(p.tainted_bytes) + delta);
+    tainted_total_ =
+        static_cast<uint64_t>(static_cast<int64_t>(tainted_total_) + delta);
+    if (p.tainted_bytes == 0) --tainted_pages_;
+  }
+
   std::unordered_map<uint32_t, std::unique_ptr<Page>> pages_;
+  uint64_t tainted_total_ = 0;  // sum of Page::tainted_bytes
+  uint32_t tainted_pages_ = 0;  // pages with tainted_bytes > 0
+  mutable QueryStats qstats_;
 
   // Single-entry page memo: guest access streams are strongly local (the
   // fetch stream alone stays on one page for up to 1024 instructions), so

@@ -114,6 +114,68 @@ TEST(RegisterFileTaint, SetGetAndUntaint) {
   EXPECT_EQ(rf.get(21).value, 0x1002bc20u);  // value preserved
 }
 
+TEST(Memory, AnyTaintedInAcrossPageBoundary) {
+  // The page-summary short-circuit must still see a single tainted byte on
+  // either side of a page boundary, for ranges that straddle it.
+  TaintedMemory m;
+  const uint32_t boundary = 0x10000000 + TaintedMemory::kPageSize;
+  m.store_byte(boundary - 1, {0xaa, true});  // last byte of page 0
+  EXPECT_TRUE(m.any_tainted_in(boundary - 4, 8));
+  EXPECT_TRUE(m.any_tainted_in(boundary - 1, 1));
+  EXPECT_FALSE(m.any_tainted_in(boundary, 8));  // page 1 is clean
+  m.set_taint(boundary - 1, 1, false);
+  m.store_byte(boundary, {0xbb, true});  // first byte of page 1
+  EXPECT_TRUE(m.any_tainted_in(boundary - 4, 8));
+  EXPECT_FALSE(m.any_tainted_in(boundary - 4, 4));
+  // Zero-length and unmapped ranges are never tainted.
+  EXPECT_FALSE(m.any_tainted_in(boundary, 0));
+  EXPECT_FALSE(m.any_tainted_in(0x60000000, 64));
+}
+
+TEST(Memory, PageSummariesTrackEveryMutation) {
+  TaintedMemory m;
+  const uint32_t a = 0x10000000;
+  EXPECT_EQ(m.tainted_byte_count(), 0u);
+  EXPECT_EQ(m.tainted_page_count(), 0u);
+
+  m.store_word(a, TaintedWord{0x01020304, 0b1111});
+  EXPECT_EQ(m.tainted_byte_count(), 4u);
+  EXPECT_EQ(m.tainted_page_count(), 1u);
+  EXPECT_FALSE(m.page_fully_untainted(a));
+
+  // Overwriting with a partially-tainted word adjusts, not double-counts.
+  m.store_word(a, TaintedWord{0x01020304, 0b0011});
+  EXPECT_EQ(m.tainted_byte_count(), 2u);
+
+  // A second page joins and leaves the tainted-page rollup independently.
+  const uint32_t b = a + 3 * TaintedMemory::kPageSize;
+  m.set_taint(b, 16, true);
+  EXPECT_EQ(m.tainted_byte_count(), 18u);
+  EXPECT_EQ(m.tainted_page_count(), 2u);
+  m.set_taint(b, 16, false);
+  EXPECT_EQ(m.tainted_page_count(), 1u);
+  EXPECT_TRUE(m.page_fully_untainted(b));
+
+  // Untainting the rest restores the clean-machine summary exactly.
+  m.store_word(a, TaintedWord{0x01020304});
+  EXPECT_EQ(m.tainted_byte_count(), 0u);
+  EXPECT_EQ(m.tainted_page_count(), 0u);
+  EXPECT_TRUE(m.page_fully_untainted(a));
+}
+
+TEST(Memory, PageSummariesSurviveCopies) {
+  // Snapshot/restore deep-copies the memory; the summaries are state, not
+  // cache, and must arrive intact (the diagnostic counters reset instead).
+  TaintedMemory m;
+  m.write_block(0x10000000, std::vector<uint8_t>(10, 0x41), true);
+  (void)m.load_word(0x10000000);
+  TaintedMemory copy = m;
+  EXPECT_EQ(copy.tainted_byte_count(), 10u);
+  EXPECT_EQ(copy.tainted_page_count(), 1u);
+  EXPECT_TRUE(copy.any_tainted_in(0x10000004, 2));
+  EXPECT_EQ(copy.query_stats().loads, 0u);
+}
+
 TEST(RegisterFileTaint, HiLo) {
   RegisterFile rf;
   rf.set_hi(TaintedWord{1, 0x3});

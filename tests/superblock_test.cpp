@@ -1,0 +1,248 @@
+// Superblock engine cross-engine identity.
+//
+// The superblock engine is a pure performance substitution: translated
+// blocks must leave the machine in exactly the state the step interpreter
+// would — registers, taint bits, stop reason, alerts, and every CpuStats /
+// TaintUnit counter.  These tests pin that contract on the attack corpus,
+// on self-modifying code that rewrites a block while it is executing, and
+// across snapshot/restore boundaries that fall between (and inside)
+// superblocks.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "core/attack.hpp"
+#include "core/machine.hpp"
+#include "core/spec_workloads.hpp"
+#include "isa/isa.hpp"
+
+namespace ptaint::core {
+namespace {
+
+/// Pins PTAINT_ENGINE for a scope, so machines built by scenario factories
+/// (which construct their own MachineConfig) resolve to a chosen engine.
+class ScopedEngine {
+ public:
+  explicit ScopedEngine(const char* value) {
+    if (const char* old = std::getenv("PTAINT_ENGINE")) saved_ = old;
+    ::setenv("PTAINT_ENGINE", value, 1);
+  }
+  ~ScopedEngine() {
+    if (!saved_.empty()) {
+      ::setenv("PTAINT_ENGINE", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("PTAINT_ENGINE");
+    }
+  }
+  ScopedEngine(const ScopedEngine&) = delete;
+  ScopedEngine& operator=(const ScopedEngine&) = delete;
+
+ private:
+  std::string saved_;
+};
+
+/// Full architectural fingerprint: run report, every stats counter, and the
+/// complete register file with taint bits.  Two engines agreeing on this
+/// string agree on everything a campaign (or a guest) can observe.
+std::string fingerprint(Machine& m, const RunReport& r) {
+  std::ostringstream ss;
+  ss << "stop=" << static_cast<int>(r.stop) << " exit=" << r.exit_status
+     << " alert=" << (r.alert ? r.alert_line() : "-")
+     << " alert_fn=" << r.alert_function << " fault=" << r.fault
+     << " stdout=[" << r.stdout_text << "] stderr=[" << r.stderr_text << "]";
+  const cpu::CpuStats& c = r.cpu_stats;
+  ss << " inst=" << c.instructions << " alu=" << c.alu_ops
+     << " loads=" << c.loads << " stores=" << c.stores
+     << " br=" << c.branches << " taken=" << c.taken_branches
+     << " jumps=" << c.jumps << " sys=" << c.syscalls
+     << " tload=" << c.tainted_loads << " tstore=" << c.tainted_stores
+     << " cuntaint=" << c.compare_untaints;
+  const cpu::TaintUnit::Stats& t = r.taint_stats;
+  ss << " evals=" << t.evaluations << " tevals=" << t.tainted_evaluations
+     << " tu_cmp=" << t.compare_untaints << " tu_and=" << t.and_zero_untaints
+     << " tu_xor=" << t.xor_self_untaints;
+  ss << " tmem=" << r.tainted_memory_bytes;
+  ss << " pc=" << std::hex << m.cpu().pc();
+  for (int i = 0; i < 32; ++i) {
+    const mem::TaintedWord w =
+        m.cpu().regs().get(static_cast<uint8_t>(i));
+    ss << " r" << std::dec << i << "=" << std::hex << w.value << "/"
+       << static_cast<int>(w.taint);
+  }
+  return ss.str();
+}
+
+std::string run_scenario(AttackId id, const char* engine) {
+  ScopedEngine pin(engine);
+  auto scenario = make_scenario(id);
+  auto machine = scenario->prepare_attack({});
+  RunReport r = machine->run();
+  return fingerprint(*machine, r);
+}
+
+TEST(Superblock, AttackCorpusIdenticalToStepEngine) {
+  // Every scenario in the corpus, detected and escaped alike, must end in
+  // the same architectural state under both engines.
+  for (const auto& scenario : make_attack_corpus()) {
+    const std::string step = run_scenario(scenario->id(), "step");
+    const std::string sb = run_scenario(scenario->id(), "superblock");
+    EXPECT_EQ(step, sb) << "engine divergence in " << scenario->name();
+  }
+}
+
+TEST(Superblock, BenignSpecSurrogateIdenticalToStepEngine) {
+  for (const SpecWorkload& w : make_spec_workloads(1)) {
+    std::string prints[2];
+    const char* engines[2] = {"step", "superblock"};
+    for (int e = 0; e < 2; ++e) {
+      ScopedEngine pin(engines[e]);
+      auto machine = prepare_spec_workload(w);
+      RunReport r = machine->run();
+      prints[e] = fingerprint(*machine, r);
+    }
+    EXPECT_EQ(prints[0], prints[1]) << "engine divergence in spec workload";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Self-modifying code: a store that rewrites an instruction *later in the
+// currently-executing superblock* must retire the block immediately; the
+// patched instruction executes with its new semantics, exactly as the step
+// interpreter (whose decode-cache invalidation is per-instruction) behaves.
+
+std::string smc_same_block_source() {
+  // Patch `site` (li $a0, 0 == addiu $a0, $zero, 0) into addiu $a0, $zero,
+  // 42 two instructions before it executes, in the same straight-line run.
+  isa::Instruction patched;
+  patched.op = isa::Op::kAddiu;
+  patched.rt = isa::kA0;
+  patched.rs = 0;
+  patched.imm = 42;
+  return R"(
+      .text
+  _start:
+      la $t0, site
+      li $t1, )" + std::to_string(isa::encode(patched)) + R"(
+      sw $t1, 0($t0)
+  site:
+      li $a0, 0
+      li $v0, 1
+      syscall
+)";
+}
+
+TEST(Superblock, SmcPatchInsideExecutingBlockTakesEffect) {
+  for (const char* engine : {"step", "superblock"}) {
+    ScopedEngine pin(engine);
+    Machine m;
+    m.load_source(smc_same_block_source());
+    RunReport r = m.run();
+    EXPECT_EQ(r.stop, cpu::StopReason::kExit) << engine;
+    EXPECT_EQ(r.exit_status, 42) << engine;  // stale block would exit 0
+  }
+}
+
+TEST(Superblock, SmcInvalidatesHotSuperblockMidLoop) {
+  // The loop body executes 50 times (hot, cached), then the guest rewrites
+  // its own increment from +1 to +2 for the remaining 50 iterations.  A
+  // stale cached block would keep adding 1 and exit with 100, not 150.
+  isa::Instruction add2;
+  add2.op = isa::Op::kAddiu;
+  add2.rt = isa::kS0;
+  add2.rs = isa::kS0;
+  add2.imm = 2;
+  const std::string source = R"(
+      .text
+  _start:
+      li $s0, 0          # accumulator
+      li $t0, 0          # iteration counter
+      li $t4, 50         # patch trigger
+      li $t5, 100        # loop bound
+      la $t2, site
+      li $t3, )" + std::to_string(isa::encode(add2)) + R"(
+  loop:
+  site:
+      addiu $s0, $s0, 1
+      addiu $t0, $t0, 1
+      bne $t0, $t4, skip
+      sw $t3, 0($t2)     # iteration 50: patch the increment
+  skip:
+      bne $t0, $t5, loop
+      addu $a0, $s0, $zero
+      li $v0, 1
+      syscall
+)";
+  std::string prints[2];
+  const char* engines[2] = {"step", "superblock"};
+  for (int e = 0; e < 2; ++e) {
+    ScopedEngine pin(engines[e]);
+    Machine m;
+    m.load_source(source);
+    RunReport r = m.run();
+    EXPECT_EQ(r.stop, cpu::StopReason::kExit) << engines[e];
+    EXPECT_EQ(r.exit_status, 150) << engines[e];
+    prints[e] = fingerprint(m, r);
+  }
+  EXPECT_EQ(prints[0], prints[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot/restore interacting with the block cache: restoring flushes
+// translations (the restored image may differ), and a snapshot taken between
+// run_for() slices — whose boundaries fall inside superblocks — must resume
+// to the same final state as an uninterrupted run and as the step engine.
+
+TEST(Superblock, SnapshotRestoreBetweenSuperblocksMatchesUninterrupted) {
+  auto scenario = make_scenario(AttackId::kExp1Stack);
+
+  ScopedEngine pin("superblock");
+  // Uninterrupted superblock run.
+  auto whole = scenario->prepare_attack({});
+  RunReport rw = whole->run();
+
+  // Sliced run: odd run_for() budgets force stops inside superblocks; a
+  // snapshot taken at one of those points restores into a fresh machine.
+  auto sliced = scenario->prepare_attack({});
+  sliced->run_for(37);
+  sliced->run_for(101);
+  MachineSnapshot snap = sliced->snapshot();
+
+  Machine resumed;
+  resumed.restore(snap);
+  RunReport rr = resumed.run();
+  EXPECT_EQ(fingerprint(*whole, rw), fingerprint(resumed, rr));
+
+  // And the step engine agrees with all of the above.
+  const std::string step = run_scenario(AttackId::kExp1Stack, "step");
+  EXPECT_EQ(step, fingerprint(*whole, rw));
+}
+
+TEST(Superblock, RunForBudgetIsExactMidBlock) {
+  // advance(n) must retire exactly n instructions even when n lands in the
+  // middle of a translated block — the campaign executor debits budgets
+  // unconditionally, so over-retirement would skew every time slice.
+  const std::string source = R"(
+      .text
+  _start:
+      li $t0, 0
+  loop:
+      addiu $t0, $t0, 1
+      addiu $t1, $t0, 7
+      xor $t2, $t1, $t0
+      j loop
+)";
+  for (const char* engine : {"step", "superblock"}) {
+    ScopedEngine pin(engine);
+    Machine m;
+    m.load_source(source);
+    m.run_for(1000);
+    EXPECT_EQ(m.report().cpu_stats.instructions, 1000u) << engine;
+    m.run_for(1);
+    EXPECT_EQ(m.report().cpu_stats.instructions, 1001u) << engine;
+  }
+}
+
+}  // namespace
+}  // namespace ptaint::core

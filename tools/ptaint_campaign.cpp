@@ -22,6 +22,11 @@
 //   --elide         engine machines run with static check-elision on
 //                   (with --check the serial reference stays dynamic-only,
 //                   proving elision changes no verdict)
+//   --engine E      step | superblock: pin the parallel side's execution
+//                   engine (default resolves PTAINT_ENGINE, then
+//                   superblock).  The serial reference always runs the
+//                   step interpreter, so --check with the default engine
+//                   is a cross-engine verdict-identity check.
 //   --static-check  cross-validate: every dynamic pointer-taint alert must
 //                   be a statically-predicted tainted-dereference site;
 //                   exit 1 if the analyzer missed one
@@ -59,6 +64,8 @@ using Clock = std::chrono::steady_clock;
          "  --time        wall-clock + executor stats on stderr\n"
          "  --check       engine vs serial verdict diff + speedup\n"
          "  --elide       run engine machines with static check-elision\n"
+         "  --engine E    step | superblock (parallel side; serial\n"
+         "                reference is always the step interpreter)\n"
          "  --static-check  every dynamic alert must be statically "
          "predicted\n";
   std::exit(4);
@@ -108,6 +115,7 @@ int main(int argc, char** argv) {
   bool want_static_check = false;
   bool timing = false;
   bool summary = false;
+  std::optional<cpu::Engine> engine;
   std::string json_path, csv_path;
 
   for (int i = 2; i < argc; ++i) {
@@ -128,6 +136,15 @@ int main(int argc, char** argv) {
       check = true;
     } else if (arg == "--elide") {
       elide = true;
+    } else if (arg == "--engine") {
+      const std::string name = value();
+      if (name == "step") {
+        engine = cpu::Engine::kStep;
+      } else if (name == "superblock") {
+        engine = cpu::Engine::kSuperblock;
+      } else {
+        usage();
+      }
     } else if (arg == "--static-check") {
       want_static_check = true;
     } else if (arg == "--time") {
@@ -151,7 +168,7 @@ int main(int argc, char** argv) {
   if (!serial || check) {
     const auto t0 = Clock::now();
     const std::vector<Job> jobs =
-        make_jobs(campaign, cache, spec_scale, elide);
+        make_jobs(campaign, cache, spec_scale, elide, engine);
     results = executor.run(jobs);
     engine_s = seconds_since(t0);
   }

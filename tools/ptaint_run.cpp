@@ -27,6 +27,8 @@
 //   --pipeline            enable the timing model and print its stats
 //   --max-instr N         instruction budget (default 200M)
 //   --no-elide            skip the static analyzer; run every dynamic check
+//   --engine E            step | superblock (default superblock; see below)
+//   --engine-stats        print superblock/taint-summary observability stats
 //   --quiet               suppress everything except guest stdout
 //
 // Static check-elision is ON by default: the src/analysis pass proves most
@@ -34,6 +36,12 @@
 // skips those checks.  Detection verdicts are identical either way (the
 // cli_elide test pins this); --no-elide keeps the dynamic-only
 // configuration reproducible.
+//
+// The execution engine defaults to the superblock translator (DESIGN.md §9),
+// which is verdict- and statistics-identical to the reference step
+// interpreter; --engine step (or PTAINT_ENGINE=step) pins the reference
+// path.  Trace/profile/pipeline runs use the step path regardless, since
+// they subscribe to per-retire events.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -93,6 +101,7 @@ int main(int argc, char** argv) {
   bool quiet = false;
   bool want_profile = false;
   bool listing_only = false;
+  bool engine_stats = false;
   size_t trace_n = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -117,6 +126,8 @@ usage: ptaint-run [options] program.s [more.s ...]
   --trace N / --profile / --pipeline
   --listing             print the assembled text segment and exit
   --no-elide            disable static check-elision (check every site)
+  --engine E            step | superblock (default; also PTAINT_ENGINE)
+  --engine-stats        block cache, fusion and clean-page counters
   --max-instr N / --quiet
 exit codes: 0 clean exit, 1 nonzero guest exit, 2 security alert,
             3 fault/instruction budget, 4 usage or assembly error
@@ -179,6 +190,17 @@ exit codes: 0 clean exit, 1 nonzero guest exit, 2 security alert,
       quiet = true;
     } else if (arg == "--listing") {
       listing_only = true;
+    } else if (arg == "--engine") {
+      const std::string engine = value();
+      if (engine == "step") {
+        cfg.engine = cpu::Engine::kStep;
+      } else if (engine == "superblock") {
+        cfg.engine = cpu::Engine::kSuperblock;
+      } else {
+        usage();
+      }
+    } else if (arg == "--engine-stats") {
+      engine_stats = true;
     } else if (arg == "--no-elide") {
       cfg.static_elision = false;
     } else if (arg == "--no-runtime") {
@@ -265,6 +287,43 @@ exit codes: 0 clean exit, 1 nonzero guest exit, 2 security alert,
                    static_cast<unsigned long long>(p.load_use_stalls),
                    static_cast<unsigned long long>(p.branch_flush_cycles));
     }
+  }
+  if (engine_stats) {
+    const cpu::SuperblockStats& sb = machine.cpu().superblock_stats();
+    const mem::TaintedMemory::QueryStats& q = machine.memory().query_stats();
+    const auto ull = [](uint64_t v) {
+      return static_cast<unsigned long long>(v);
+    };
+    std::fprintf(stderr, "engine: %s\n",
+                 machine.cpu().engine() == cpu::Engine::kSuperblock
+                     ? "superblock"
+                     : "step");
+    std::fprintf(stderr,
+                 "blocks: %llu cached (%llu translated, %llu invalidated), "
+                 "avg %.1f insts/block\n",
+                 ull(sb.blocks), ull(sb.blocks_translated),
+                 ull(sb.invalidations),
+                 sb.blocks ? static_cast<double>(sb.guest_instructions) /
+                                 static_cast<double>(sb.blocks)
+                           : 0.0);
+    std::fprintf(
+        stderr, "fusion: %llu fused pairs, %.1f%% of cached instructions\n",
+        ull(sb.fused_pairs),
+        sb.guest_instructions
+            ? 100.0 * 2.0 * static_cast<double>(sb.fused_pairs) /
+                  static_cast<double>(sb.guest_instructions)
+            : 0.0);
+    std::fprintf(stderr,
+                 "retired: %llu in superblocks, %llu via step fallback "
+                 "(%llu block entries)\n",
+                 ull(sb.block_retired), ull(sb.step_retired),
+                 ull(sb.blocks_entered));
+    std::fprintf(
+        stderr, "clean-page loads: %llu of %llu (%.1f%% hit rate)\n",
+        ull(q.clean_page_loads), ull(q.loads),
+        q.loads ? 100.0 * static_cast<double>(q.clean_page_loads) /
+                      static_cast<double>(q.loads)
+                : 0.0);
   }
   if (report.stop == cpu::StopReason::kSecurityAlert) return 2;
   if (report.stop != cpu::StopReason::kExit) return 3;  // fault / budget
