@@ -1,0 +1,260 @@
+// Snapshot restore throughput: COW delta restore vs full deep copy.
+//
+// Part 1 — restore microbench.  Each SPEC surrogate boots once and is
+// snapshotted; a single machine then loops { run a slice (dirtying pages),
+// restore } under both memory modes.  Full-copy mode (MachineConfig::
+// no_cow) deep-copies every mapped page per restore; COW mode pays only
+// for the pages the slice dirtied (a delta restore).  Only the restore
+// calls are timed; each cell is the best of three repetitions.
+//
+// Part 2 — forked-campaign wall time.  The ablation campaign runs on the
+// parallel engine under both modes; verdicts must match exactly, and the
+// wall-time ratio shows what COW restores buy an end-to-end sweep.
+//
+//   bench_snapshot_throughput [scale] [json-path]
+//   bench_snapshot_throughput --check
+//
+// Results go to `json-path` (default BENCH_snapshot.json) for
+// EXPERIMENTS.md and CI.  `--check` skips the timing reps and instead
+// verifies run-report identity between the modes: interleaved
+// restore/run/report cycles per workload, then the coverage campaign under
+// {step, superblock} x {COW, full-copy} — exit 1 on any divergence (made
+// for the sanitizer CI legs, where timing is meaningless anyway).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/campaigns.hpp"
+#include "campaign/executor.hpp"
+#include "campaign/snapshot_cache.hpp"
+#include "core/spec_workloads.hpp"
+
+using namespace ptaint;
+using namespace ptaint::core;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// One workload's restore-rate measurement for one memory mode.
+struct RestoreCell {
+  double restores_per_s = 0.0;
+  uint64_t dirty_pages = 0;   // pages the inter-restore slice dirtied
+  uint64_t mapped_pages = 0;  // snapshot footprint
+};
+
+constexpr int kRestores = 200;        // restores per repetition
+constexpr uint64_t kSlice = 50'000;   // guest instructions between restores
+
+RestoreCell measure_restores(const MachineSnapshot& snap, bool no_cow,
+                             int reps) {
+  RestoreCell cell;
+  for (int rep = 0; rep < reps; ++rep) {
+    MachineConfig cfg;
+    cfg.no_cow = no_cow;
+    Machine machine(cfg);
+    machine.restore(snap);  // first restore is full under either mode
+    double restore_s = 0.0;
+    for (int i = 0; i < kRestores; ++i) {
+      machine.run_for(kSlice);
+      cell.dirty_pages = machine.memory().dirty_page_count();
+      const auto t0 = Clock::now();
+      machine.restore(snap);
+      restore_s += seconds_since(t0);
+    }
+    cell.restores_per_s =
+        std::max(cell.restores_per_s, kRestores / restore_s);
+  }
+  cell.mapped_pages = snap.memory.mapped_pages();
+  return cell;
+}
+
+/// Fingerprint of a run's observable outcome; COW and full-copy modes must
+/// never disagree on it.
+std::string report_fingerprint(const RunReport& r) {
+  std::ostringstream ss;
+  ss << static_cast<int>(r.stop) << "|" << r.exit_status << "|"
+     << r.cpu_stats.instructions << "|" << r.tainted_memory_bytes << "|"
+     << (r.alert ? r.alert_line() : "") << "|" << r.alert_function;
+  return ss.str();
+}
+
+/// --check leg 1: interleaved restore/run/report cycles must produce the
+/// same report sequence under COW and full-copy memory.
+bool check_restore_identity(const SpecWorkload& w,
+                            const MachineSnapshot& snap) {
+  std::vector<std::string> prints[2];
+  for (int mode = 0; mode < 2; ++mode) {
+    MachineConfig cfg;
+    cfg.no_cow = mode == 1;
+    Machine machine(cfg);
+    for (int i = 0; i < 6; ++i) {
+      machine.restore(snap);
+      machine.run_for(kSlice * (1 + i % 3));  // vary the dirtied set
+      prints[mode].push_back(report_fingerprint(machine.report()));
+    }
+  }
+  if (prints[0] == prints[1]) return true;
+  std::fprintf(stderr, "%s: COW and full-copy runs diverge\n",
+               w.name.c_str());
+  return false;
+}
+
+/// Runs the named campaign on the parallel engine; returns wall seconds.
+double run_campaign(const std::string& name, bool no_cow,
+                    std::optional<cpu::Engine> engine,
+                    std::vector<campaign::JobResult>& out) {
+  if (no_cow) {
+    ::setenv("PTAINT_NO_COW", "1", 1);
+  } else {
+    ::unsetenv("PTAINT_NO_COW");
+  }
+  campaign::SnapshotCache cache;
+  campaign::Executor::Config config;
+  config.workers = 4;
+  campaign::Executor executor(config);
+  const std::vector<campaign::Job> jobs =
+      campaign::make_jobs(name, cache, /*spec_scale=*/1, /*elide=*/false,
+                          engine);
+  const auto t0 = Clock::now();
+  out = executor.run(jobs);
+  const double s = seconds_since(t0);
+  ::unsetenv("PTAINT_NO_COW");
+  return s;
+}
+
+int run_check() {
+  ::unsetenv("PTAINT_NO_COW");
+  bool ok = true;
+  for (const auto& w : make_spec_workloads(1)) {
+    const auto machine = prepare_spec_workload(w, {});
+    const MachineSnapshot snap = machine->snapshot();
+    ok = check_restore_identity(w, snap) && ok;
+  }
+  // Coverage campaign under every engine x memory-mode combination; all
+  // four verdict vectors must agree with the first.
+  std::vector<campaign::JobResult> reference;
+  run_campaign("coverage", /*no_cow=*/false, cpu::Engine::kStep, reference);
+  for (const cpu::Engine engine :
+       {cpu::Engine::kStep, cpu::Engine::kSuperblock}) {
+    for (const bool no_cow : {false, true}) {
+      std::vector<campaign::JobResult> results;
+      run_campaign("coverage", no_cow, engine, results);
+      const std::vector<std::string> diffs =
+          campaign::diff_verdicts(results, reference);
+      if (!diffs.empty()) {
+        std::fprintf(stderr, "coverage (%s, %s) diverges:\n",
+                     engine == cpu::Engine::kStep ? "step" : "superblock",
+                     no_cow ? "full-copy" : "cow");
+        for (const std::string& d : diffs) {
+          std::fprintf(stderr, "  %s\n", d.c_str());
+        }
+        ok = false;
+      }
+    }
+  }
+  std::printf("check: COW and full-copy memory are observably identical: %s\n",
+              ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--check") return run_check();
+
+  const int scale = argc > 1 ? std::atoi(argv[1]) : 1;
+  const std::string json_path = argc > 2 ? argv[2] : "BENCH_snapshot.json";
+  constexpr int kReps = 3;
+  ::unsetenv("PTAINT_NO_COW");
+
+  std::printf(
+      "== Snapshot restore throughput: COW delta vs full copy (scale %d) "
+      "==\n\n",
+      scale);
+  std::printf("%-8s %7s %7s %14s %14s %8s\n", "program", "pages", "dirty",
+              "full rest/s", "cow rest/s", "speedup");
+
+  std::string json = "{\n  \"scale\": " + std::to_string(scale) +
+                     ",\n  \"workloads\": [\n";
+  double geomean = 1.0;
+  int rows = 0;
+
+  for (const auto& w : make_spec_workloads(scale)) {
+    const auto machine = prepare_spec_workload(w, {});
+    const MachineSnapshot snap = machine->snapshot();
+    const RestoreCell full = measure_restores(snap, /*no_cow=*/true, kReps);
+    const RestoreCell cow = measure_restores(snap, /*no_cow=*/false, kReps);
+    const double speedup =
+        full.restores_per_s > 0 ? cow.restores_per_s / full.restores_per_s
+                                : 0.0;
+    geomean *= speedup;
+    ++rows;
+    std::printf("%-8s %7llu %7llu %14.0f %14.0f %7.2fx\n", w.name.c_str(),
+                static_cast<unsigned long long>(cow.mapped_pages),
+                static_cast<unsigned long long>(cow.dirty_pages),
+                full.restores_per_s, cow.restores_per_s, speedup);
+
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"mapped_pages\": %llu, "
+                  "\"dirty_pages\": %llu, \"full_restores_per_s\": %.0f, "
+                  "\"cow_restores_per_s\": %.0f, \"speedup\": %.3f},\n",
+                  w.name.c_str(),
+                  static_cast<unsigned long long>(cow.mapped_pages),
+                  static_cast<unsigned long long>(cow.dirty_pages),
+                  full.restores_per_s, cow.restores_per_s, speedup);
+    json += buf;
+  }
+
+  const double gm = rows > 0 ? std::pow(geomean, 1.0 / rows) : 0.0;
+  std::printf("\ngeomean restore speedup: %.2fx\n", gm);
+  if (json.size() >= 2 && json[json.size() - 2] == ',') {
+    json.erase(json.size() - 2, 1);  // trailing comma
+  }
+  json += "  ],\n  \"geomean_restore_speedup\": " + std::to_string(gm);
+
+  // Part 2: the ablation campaign end to end, both modes, verdicts diffed.
+  std::vector<campaign::JobResult> cow_results, full_results;
+  double cow_s = 1e300, full_s = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    cow_s = std::min(cow_s, run_campaign("ablation", false, {}, cow_results));
+    full_s =
+        std::min(full_s, run_campaign("ablation", true, {}, full_results));
+  }
+  const std::vector<std::string> diffs =
+      campaign::diff_verdicts(cow_results, full_results);
+  if (!diffs.empty()) {
+    std::fprintf(stderr, "ablation verdicts differ between COW and "
+                         "full-copy memory:\n");
+    for (const std::string& d : diffs) {
+      std::fprintf(stderr, "  %s\n", d.c_str());
+    }
+    return 1;
+  }
+  const double campaign_speedup = cow_s > 0 ? full_s / cow_s : 0.0;
+  std::printf("ablation campaign: full %.2fs vs cow %.2fs (%.2fx), "
+              "%zu verdicts identical\n",
+              full_s, cow_s, campaign_speedup, cow_results.size());
+
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                ",\n  \"campaign\": {\"name\": \"ablation\", "
+                "\"full_s\": %.3f, \"cow_s\": %.3f, \"speedup\": %.3f}\n}\n",
+                full_s, cow_s, campaign_speedup);
+  json += buf;
+  std::ofstream out(json_path, std::ios::binary);
+  out << json;
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

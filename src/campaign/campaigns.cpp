@@ -41,23 +41,35 @@ std::vector<std::shared_ptr<const core::SpecWorkload>> shared_workloads(
   return out;
 }
 
-/// Fork a machine from `snapshot` under `policy`.  The snapshot holds the
-/// armed pre-run state (policy-independent — taint bits are data); the
-/// fork's own config carries the detection policy for this job.  With
-/// `elide`, restore() re-runs the static analyzer and installs the
+/// Machine config for a fork of a shared snapshot under `policy`.  The
+/// snapshot holds the armed pre-run state (policy-independent — taint bits
+/// are data); the fork's own config carries the detection policy for this
+/// job.  With `elide`, restore() runs the static analyzer and installs the
 /// check-elision bitmap for the fork's policy.
-std::unique_ptr<core::Machine> fork_machine(
-    const std::shared_ptr<const core::MachineSnapshot>& snapshot,
-    const cpu::TaintPolicy& policy, uint64_t max_instructions, bool elide,
-    std::optional<cpu::Engine> engine) {
+core::MachineConfig fork_config(const cpu::TaintPolicy& policy,
+                                uint64_t max_instructions, bool elide,
+                                std::optional<cpu::Engine> engine) {
   core::MachineConfig cfg;
   cfg.policy = policy;
   cfg.max_instructions = max_instructions;
   cfg.static_elision = elide;
   cfg.engine = engine;
-  auto machine = std::make_unique<core::Machine>(cfg);
-  machine->restore(*snapshot);
-  return machine;
+  return cfg;
+}
+
+/// Machine-pool key: everything fork_config() puts in the MachineConfig,
+/// and nothing else.  Deliberately snapshot-independent — a kept machine
+/// restores *any* snapshot (a COW page share plus CPU state reset; a delta
+/// restore when the base happens to match), so the matrices' policy-major
+/// rows let one machine per worker serve a whole row of boots.
+std::string machine_key(const std::string& policy_name, uint64_t budget,
+                        bool elide, std::optional<cpu::Engine> engine) {
+  std::string key = policy_name + "|b" + std::to_string(budget);
+  if (elide) key += "|elide";
+  if (engine) {
+    key += *engine == cpu::Engine::kStep ? "|step" : "|superblock";
+  }
+  return key;
 }
 
 /// Pins PTAINT_ENGINE for a scope (serial reference runs); restores the
@@ -92,11 +104,14 @@ Job spec_job(SnapshotCache& cache,
   job.policy = variant.name;
   job.max_instructions = kSpecBudget;
   const cpu::TaintPolicy policy = variant.policy;
-  job.make = [&cache, w, policy, elide, engine]() {
-    auto snap = cache.get("spec:" + w->name, [&w]() {
+  job.machine_key = machine_key(variant.name, kSpecBudget, elide, engine);
+  job.make_config = [policy, elide, engine]() {
+    return fork_config(policy, kSpecBudget, elide, engine);
+  };
+  job.get_snapshot = [&cache, w]() {
+    return cache.get("spec:" + w->name, [&w]() {
       return core::prepare_spec_workload(*w, {})->snapshot();
     });
-    return fork_machine(snap, policy, kSpecBudget, elide, engine);
   };
   job.classify = [w](core::Machine& m, const core::RunReport& report,
                      JobResult& out) {
@@ -117,13 +132,17 @@ Job attack_job(SnapshotCache& cache,
   job.payload = s->name();
   job.policy = policy_name;
   job.max_instructions = s->max_instructions();
-  job.make = [&cache, s, policy, elide, engine]() {
-    auto snap = cache.get("attack:" + s->name(), [&s]() {
+  const uint64_t budget = s->max_instructions();
+  job.machine_key = machine_key(policy_name, budget, elide, engine);
+  job.make_config = [policy, budget, elide, engine]() {
+    return fork_config(policy, budget, elide, engine);
+  };
+  job.get_snapshot = [&cache, s]() {
+    return cache.get("attack:" + s->name(), [&s]() {
       // Arm under the default policy: the pre-run state is identical for
       // every variant, so one snapshot serves the whole policy column.
       return s->prepare_attack({})->snapshot();
     });
-    return fork_machine(snap, policy, s->max_instructions(), elide, engine);
   };
   job.classify = [s](core::Machine& m, const core::RunReport& report,
                      JobResult& out) {
@@ -157,10 +176,13 @@ Job fn_format_write_job(SnapshotCache& cache, bool elide,
   job.payload = "fn-format-write";
   job.policy = "paper";
   job.max_instructions = kContrastBudget;
-  job.make = [&cache, elide, engine]() {
-    auto snap = cache.get("attack:fn-format-write",
-                          []() { return prepare_fn_format_write()->snapshot(); });
-    return fork_machine(snap, {}, kContrastBudget, elide, engine);
+  job.machine_key = machine_key("paper", kContrastBudget, elide, engine);
+  job.make_config = [elide, engine]() {
+    return fork_config({}, kContrastBudget, elide, engine);
+  };
+  job.get_snapshot = [&cache]() {
+    return cache.get("attack:fn-format-write",
+                     []() { return prepare_fn_format_write()->snapshot(); });
   };
   job.classify = [](core::Machine&, const core::RunReport& report,
                     JobResult& out) { classify_fn_format_write(report, out); };

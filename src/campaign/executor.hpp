@@ -11,6 +11,14 @@
 // into its matrix slot.  Guest faults are captured in the job's result; a
 // job that throws is marked kHarnessError and retried once.  Results come
 // back in stable matrix order regardless of completion order.
+//
+// Jobs carrying the fork fields (machine_key / make_config / get_snapshot)
+// additionally let a worker keep a small pool of machines, one per
+// (snapshot × config) key: a repeat job restores its machine from the
+// shared snapshot — a COW delta restore, O(pages the last run dirtied) —
+// instead of constructing and deep-populating a fresh one.  The matrix is
+// dealt in contiguous chunks (not round-robin) so neighbouring jobs, which
+// share keys by construction, land on the same worker.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +47,14 @@ class Executor {
     uint64_t jobs = 0;
     uint64_t steals = 0;   // jobs a worker took from another's deque
     uint64_t retries = 0;  // extra attempts after harness errors
+    uint64_t machine_builds = 0;  // fork-path machines constructed
+    uint64_t machine_reuses = 0;  // fork-path jobs served by a kept machine
+    // Per-phase wall time summed over all jobs' successful attempts (they
+    // overlap across workers, so sums can exceed the campaign wall time).
+    double build_ms = 0.0;
+    double restore_ms = 0.0;
+    double run_ms = 0.0;
+    double judge_ms = 0.0;
   };
 
   Executor();
@@ -51,8 +67,6 @@ class Executor {
   const Stats& stats() const { return stats_; }
 
  private:
-  JobResult execute_job(const Job& job, size_t index);
-
   Config config_;
   Stats stats_;
 };

@@ -19,6 +19,12 @@ std::string stop_name(cpu::StopReason stop) {
   return "?";
 }
 
+std::string ms_fixed(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", ms);
+  return buf;
+}
+
 }  // namespace
 
 std::string json_escape(const std::string& s) {
@@ -56,6 +62,11 @@ std::string csv_escape(const std::string& s) {
 }
 
 std::string to_json(const std::vector<JobResult>& results) {
+  return to_json(results, ReportOptions{});
+}
+
+std::string to_json(const std::vector<JobResult>& results,
+                    const ReportOptions& opts) {
   std::ostringstream ss;
   ss << "[\n";
   for (size_t i = 0; i < results.size(); ++i) {
@@ -76,18 +87,37 @@ std::string to_json(const std::vector<JobResult>& results) {
        << ", \"instructions\": " << r.report.cpu_stats.instructions     //
        << ", \"tainted_memory_bytes\": " << r.report.tainted_memory_bytes
        << ", \"attempts\": " << r.attempts                              //
-       << ", \"error\": \"" << json_escape(r.error) << "\"}";
-    ss << (i + 1 < results.size() ? ",\n" : "\n");
+       << ", \"error\": \"" << json_escape(r.error) << "\"";
+    if (opts.with_timing) {
+      ss << ", \"wall_ms\": " << ms_fixed(r.wall_ms)          //
+         << ", \"build_ms\": " << ms_fixed(r.build_ms)        //
+         << ", \"restore_ms\": " << ms_fixed(r.restore_ms)    //
+         << ", \"run_ms\": " << ms_fixed(r.run_ms)            //
+         << ", \"judge_ms\": " << ms_fixed(r.judge_ms)        //
+         << ", \"dirty_pages\": " << r.dirty_pages            //
+         << ", \"shared_pages\": " << r.shared_pages;
+    }
+    ss << "}" << (i + 1 < results.size() ? ",\n" : "\n");
   }
   ss << "]\n";
   return ss.str();
 }
 
 std::string to_csv(const std::vector<JobResult>& results) {
+  return to_csv(results, ReportOptions{});
+}
+
+std::string to_csv(const std::vector<JobResult>& results,
+                   const ReportOptions& opts) {
   std::ostringstream ss;
   ss << "index,app,payload,policy,status,verdict,detail,stop,exit_status,"
         "alert,alert_function,instructions,tainted_memory_bytes,attempts,"
-        "error\n";
+        "error";
+  if (opts.with_timing) {
+    ss << ",wall_ms,build_ms,restore_ms,run_ms,judge_ms,dirty_pages,"
+          "shared_pages";
+  }
+  ss << "\n";
   for (const JobResult& r : results) {
     ss << r.index << "," << csv_escape(r.app) << "," << csv_escape(r.payload)
        << "," << csv_escape(r.policy) << "," << to_string(r.status) << ","
@@ -97,7 +127,14 @@ std::string to_csv(const std::vector<JobResult>& results) {
        << csv_escape(r.report.alert_function) << ","
        << r.report.cpu_stats.instructions << ","
        << r.report.tainted_memory_bytes << "," << r.attempts << ","
-       << csv_escape(r.error) << "\n";
+       << csv_escape(r.error);
+    if (opts.with_timing) {
+      ss << "," << ms_fixed(r.wall_ms) << "," << ms_fixed(r.build_ms) << ","
+         << ms_fixed(r.restore_ms) << "," << ms_fixed(r.run_ms) << ","
+         << ms_fixed(r.judge_ms) << "," << r.dirty_pages << ","
+         << r.shared_pages;
+    }
+    ss << "\n";
   }
   return ss.str();
 }

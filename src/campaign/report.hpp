@@ -13,11 +13,23 @@
 
 namespace ptaint::campaign {
 
+/// Opt-in report fields.  The defaults keep the emitters deterministic
+/// (byte-identical across worker counts and hosts); with_timing adds the
+/// per-phase wall-clock columns plus the COW page counters, which vary run
+/// to run and are meant for profiling output, not golden files.
+struct ReportOptions {
+  bool with_timing = false;
+};
+
 /// Machine-readable rows, one JSON object per job in matrix order.
 std::string to_json(const std::vector<JobResult>& results);
+std::string to_json(const std::vector<JobResult>& results,
+                    const ReportOptions& opts);
 
 /// Spreadsheet form: header + one row per job in matrix order.
 std::string to_csv(const std::vector<JobResult>& results);
+std::string to_csv(const std::vector<JobResult>& results,
+                   const ReportOptions& opts);
 
 /// Human console summary: per-policy verdict tallies plus any rows that
 /// need eyes (harness errors, timeouts), in matrix order.

@@ -1,5 +1,7 @@
 #include "campaign/snapshot_cache.hpp"
 
+#include <chrono>
+
 namespace ptaint::campaign {
 
 std::shared_ptr<const core::MachineSnapshot> SnapshotCache::get(
@@ -19,17 +21,31 @@ std::shared_ptr<const core::MachineSnapshot> SnapshotCache::get(
   }
   // Build outside mutex_ so unrelated keys boot concurrently; only callers
   // of this key serialize on build_mutex.
+  const auto t0 = std::chrono::steady_clock::now();
   auto snapshot =
       std::make_shared<const core::MachineSnapshot>(build());
-  entry->snapshot = snapshot;
+  const double built_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  // Publish under mutex_ as well: stats() walks entries_ without taking
+  // per-entry build mutexes.
   std::lock_guard<std::mutex> lock(mutex_);
+  entry->snapshot = snapshot;
   ++stats_.builds;
+  stats_.build_ms += built_ms;
   return snapshot;
 }
 
 SnapshotCache::Stats SnapshotCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats out = stats_;
+  for (const auto& [key, entry] : entries_) {
+    if (!entry || !entry->snapshot) continue;
+    out.snapshot_pages += entry->snapshot->memory.mapped_pages();
+    out.shared_pages += entry->snapshot->memory.shared_page_count();
+  }
+  return out;
 }
 
 }  // namespace ptaint::campaign

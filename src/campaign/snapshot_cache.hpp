@@ -33,7 +33,13 @@ class SnapshotCache {
   struct Stats {
     uint64_t builds = 0;  // snapshots actually built
     uint64_t hits = 0;    // requests served from the cache
+    double build_ms = 0.0;        // wall time spent inside builders
+    uint64_t snapshot_pages = 0;  // mapped pages across built snapshots
+    uint64_t shared_pages = 0;    // of those, pages currently shared (COW)
   };
+  /// builds/hits/build_ms are running counters; the page counts are
+  /// recomputed from the cached snapshots at call time (shared_pages is a
+  /// point-in-time reading that depends on which forks are alive).
   Stats stats() const;
 
  private:

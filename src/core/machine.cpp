@@ -24,6 +24,16 @@ cpu::Engine resolve_engine(const std::optional<cpu::Engine>& configured) {
   return cpu::Engine::kSuperblock;
 }
 
+/// COW escape-hatch resolution: explicit config wins, then the
+/// PTAINT_NO_COW environment variable (truthy = anything but "" / "0").
+bool resolve_no_cow(bool configured) {
+  if (configured) return true;
+  if (const char* env = std::getenv("PTAINT_NO_COW")) {
+    return env[0] != '\0' && std::strcmp(env, "0") != 0;
+  }
+  return false;
+}
+
 }  // namespace
 
 std::string RunReport::alert_line() const {
@@ -34,6 +44,7 @@ std::string RunReport::alert_line() const {
 }
 
 Machine::Machine(MachineConfig config) : config_(std::move(config)) {
+  no_cow_ = resolve_no_cow(config_.no_cow);
   os_ = std::make_unique<os::SimOs>();
   cpu_ = std::make_unique<cpu::Cpu>(memory_, config_.policy);
   cpu_->set_os(os_.get());
@@ -77,6 +88,10 @@ void Machine::load_sources(const std::vector<asmgen::Source>& sources) {
 }
 
 void Machine::load_program(asmgen::Program program) {
+  // The program (and the text/data it writes below) no longer corresponds
+  // to whatever snapshot this machine was last restored from; the next
+  // restore must be a full one.
+  memory_.forget_base();
   program_ = std::move(program);
   // Text segment.
   for (size_t i = 0; i < program_.text.size(); ++i) {
@@ -174,10 +189,19 @@ void Machine::protect_symbol(const std::string& symbol, uint32_t len) {
   cpu_->protect_region(program_.symbols.at(symbol), len, symbol);
 }
 
-MachineSnapshot Machine::snapshot() const {
+MachineSnapshot Machine::snapshot() {
   MachineSnapshot s;
   s.program = program_;
-  s.memory = memory_;
+  if (no_cow_) {
+    s.memory.deep_copy_from(memory_);  // debugging: no page sharing at all
+  } else {
+    s.memory = memory_;  // shares every page copy-on-write
+    // The machine and the snapshot are page-identical right now; track the
+    // divergence so restoring *back* to this snapshot is a delta.  Moves of
+    // the snapshot (returning it, stashing it in a cache) preserve the
+    // memory identity the tracking refers to.
+    memory_.track_against(s.memory);
+  }
   s.cpu = cpu_->save_state();
   s.os = *os_;
   if (pipeline_) s.pipeline = *pipeline_;
@@ -185,9 +209,31 @@ MachineSnapshot Machine::snapshot() const {
 }
 
 void Machine::restore(const MachineSnapshot& snapshot) {
-  program_ = snapshot.program;
-  memory_ = snapshot.memory;
-  cpu_->restore_state(snapshot.cpu);
+  bool caches_kept = false;
+  std::optional<std::vector<uint32_t>> reverted;
+  if (!no_cow_) reverted = memory_.delta_restore(snapshot.memory);
+  if (reverted) {
+    // Delta path: the memory already matched the snapshot except on the
+    // reverted pages, and the program is unchanged (load_program forgets
+    // the base), so the decode cache, superblock translations and any
+    // installed elision bitmap stay valid everywhere else.  Only decodes
+    // covering reverted pages — self-modified code — must go.
+    caches_kept = cpu_->restore_state_keep_caches(snapshot.cpu);
+    if (caches_kept) {
+      for (uint32_t idx : *reverted) {
+        cpu_->invalidate_decode_range(idx << mem::TaintedMemory::kPageShift,
+                                      mem::TaintedMemory::kPageSize);
+      }
+    }
+  } else {
+    program_ = snapshot.program;
+    if (no_cow_) {
+      memory_.deep_copy_from(snapshot.memory);
+    } else {
+      memory_ = snapshot.memory;  // share pages; snapshot becomes the base
+    }
+    cpu_->restore_state(snapshot.cpu);
+  }
   *os_ = snapshot.os;
   if (config_.pipeline_model) {
     // Pipeline state transfers only between same-shaped configs; restoring
@@ -200,9 +246,13 @@ void Machine::restore(const MachineSnapshot& snapshot) {
   }
   if (tracer_) tracer_->clear();
   if (profiler_) profiler_->reset();
-  // restore_state dropped the decode cache (and with it any elision bits);
-  // re-derive the proof for the restored program image.
-  if (config_.static_elision) apply_static_elision();
+  // When the decode cache was dropped (full restore), any elision bits
+  // went with it; re-derive the proof for the restored program image.  On
+  // the delta path the installed bitmap is still the right one: the
+  // program is identical, and bits voided by self-modifying code sit on
+  // reverted pages whose decodes were just invalidated (those sites are
+  // simply re-checked dynamically, which can never change a verdict).
+  if (config_.static_elision && !caches_kept) apply_static_elision();
 }
 
 cpu::StopReason Machine::run_for(uint64_t n) {

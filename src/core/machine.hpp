@@ -52,6 +52,12 @@ struct MachineConfig {
   /// interpreter (CI runs the whole suite that way so it can never rot).
   std::optional<cpu::Engine> engine;
 
+  /// Debugging escape hatch for the copy-on-write snapshot machinery
+  /// (DESIGN.md §10): force full deep-copy snapshot/restore, exactly the
+  /// pre-COW semantics.  Also settable via the PTAINT_NO_COW environment
+  /// variable (any value other than empty or "0"); either source wins.
+  bool no_cow = false;
+
   /// Stack ASLR baseline (paper §2 related work): the initial stack
   /// pointer is lowered by a seed-derived, word-aligned offset drawn from
   /// `aslr_entropy_bits` bits of entropy.  0 disables randomization.
@@ -89,7 +95,7 @@ struct RunReport {
   std::string alert_line() const;
 };
 
-/// A deep, deterministic copy of everything a run can observe or mutate:
+/// A deterministic copy of everything a run can observe or mutate:
 /// the tainted memory image, register file + taint bits, CPU bookkeeping
 /// (stop state, alert, stats, annotations), the whole simulated OS (VFS
 /// contents and open files, network sessions, fd table, captured output,
@@ -106,6 +112,13 @@ struct RunReport {
 /// data, so a pre-run (or pre-divergence) snapshot can be forked across
 /// policy variants; each fork then propagates and detects under its own
 /// policy exactly as a from-scratch serial run would.
+///
+/// The memory image is shared copy-on-write (DESIGN.md §10): taking a
+/// snapshot and restoring one cost O(mapped pages) pointer copies, a
+/// machine restored *again* from the same snapshot pays only for the pages
+/// it dirtied, and N forked machines share one immutable page set.
+/// Observable behaviour is identical to a deep copy; PTAINT_NO_COW=1 (or
+/// MachineConfig::no_cow) forces actual deep copies for debugging.
 struct MachineSnapshot {
   asmgen::Program program;
   mem::TaintedMemory memory;
@@ -151,7 +164,10 @@ class Machine {
 
   /// Captures the complete machine state (see MachineSnapshot).  Legal at
   /// any point: after load, mid-run (via run_for driving), or at stop.
-  MachineSnapshot snapshot() const;
+  /// Non-const: besides sharing its pages into the snapshot, the machine
+  /// rebases its delta tracking onto it, so restoring this machine from
+  /// the snapshot it just took is already a delta restore.
+  MachineSnapshot snapshot();
 
   /// Restores a snapshot into this machine, replacing program, memory, CPU,
   /// OS and pipeline state; the machine's own config (policy, instruction
@@ -159,6 +175,13 @@ class Machine {
   /// run reports exactly like the original.  A machine restored from a
   /// snapshot of machine M behaves byte-identically to M continuing from
   /// the snapshot point.
+  ///
+  /// Restoring from the snapshot this machine was last restored from is a
+  /// delta restore: only the pages the machine dirtied are dropped back to
+  /// the shared blocks, registers/CPU/taint-unit/OS state are reset, and
+  /// decode caches plus superblock translations survive except on the
+  /// truly-changed pages (self-modifying code) — O(dirty set), the
+  /// campaign executor's machine-reuse fast path.
   void restore(const MachineSnapshot& snapshot);
 
   /// Runs until exit/alert/fault or the instruction budget is exhausted.
@@ -183,6 +206,7 @@ class Machine {
   size_t apply_static_elision();
 
   MachineConfig config_;
+  bool no_cow_ = false;  // resolved once from config + PTAINT_NO_COW
   mem::TaintedMemory memory_;
   std::unique_ptr<os::SimOs> os_;
   std::unique_ptr<cpu::Cpu> cpu_;

@@ -165,6 +165,26 @@ void Cpu::restore_state(const State& s) {
   set_executable_range(s.text_begin, s.text_end);
 }
 
+bool Cpu::restore_state_keep_caches(const State& s) {
+  if (s.text_begin != text_begin_ || s.text_end != text_end_) {
+    restore_state(s);
+    return false;
+  }
+  regs_ = s.regs;
+  pc_ = s.pc;
+  stop_ = s.stop;
+  alert_ = s.alert;
+  fault_message_ = s.fault_message;
+  exit_status_ = s.exit_status;
+  stats_ = s.stats;
+  taint_unit_.set_stats(s.taint_stats);
+  protected_regions_ = s.protected_regions;
+  // Decode cache, elide/leader bits and superblock translations survive:
+  // they are derived from text bytes the caller proves unchanged, page by
+  // page, via invalidate_decode_range on the delta-restored pages.
+  return true;
+}
+
 bool Cpu::annotation_kernel_write(uint32_t addr, uint32_t len) {
   if (protected_regions_.empty() || len == 0) return false;
   if (policy_.mode == DetectionMode::kOff) return false;

@@ -247,6 +247,15 @@ class Cpu {
   State save_state() const;
   void restore_state(const State& state);
 
+  /// Like restore_state, but keeps the decoded-instruction cache, elision
+  /// and leader bitmaps, and cached superblock translations — the
+  /// delta-restore path, where the restored memory image differs from the
+  /// current one only on pages the caller then passes to
+  /// invalidate_decode_range.  Falls back to a full restore_state (and
+  /// returns false) when the text range changed, since every derived
+  /// structure is sized to it.
+  bool restore_state_keep_caches(const State& state);
+
  private:
   friend class SuperblockEngine;  // handlers mirror execute() bit-for-bit
 

@@ -2,14 +2,12 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <bit>
 
 namespace ptaint::mem {
 namespace {
 
-constexpr uint32_t page_index(uint32_t addr) {
-  return addr >> TaintedMemory::kPageShift;
-}
 constexpr uint32_t page_offset(uint32_t addr) {
   return addr & (TaintedMemory::kPageSize - 1);
 }
@@ -28,48 +26,128 @@ void set_bit(std::array<uint8_t, TaintedMemory::kPageSize / 8>& bits,
   }
 }
 
-}  // namespace
-
-TaintedMemory& TaintedMemory::operator=(const TaintedMemory& other) {
-  if (this != &other) {
-    pages_.clear();
-    pages_.reserve(other.pages_.size());
-    for (const auto& [idx, page] : other.pages_) {
-      pages_.emplace(idx, std::make_unique<Page>(*page));
-    }
-    // Page summaries deep-copy with the pages; only the rollups need
-    // recomputing, from the per-page counts (no bitmap scan).
-    tainted_total_ = 0;
-    tainted_pages_ = 0;
-    for (const auto& [idx, page] : pages_) {
-      tainted_total_ += page->tainted_bytes;
-      if (page->tainted_bytes > 0) ++tainted_pages_;
-    }
-    memo_index_ = kNoPage;
-    memo_page_ = nullptr;
-    qstats_ = {};
-  }
-  return *this;
+uint64_t next_memory_id() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
-TaintedMemory::Page& TaintedMemory::page_for(uint32_t addr) {
-  const uint32_t idx = page_index(addr);
-  if (idx == memo_index_) return *memo_page_;
+}  // namespace
+
+TaintedMemory::TaintedMemory() : id_(next_memory_id()) {}
+
+void TaintedMemory::share_from(const TaintedMemory& other) {
+  pages_ = other.pages_;  // every page shared, copy-on-write from here on
+  tainted_total_ = other.tainted_total_;
+  tainted_pages_ = other.tainted_pages_;
+  base_id_ = other.id_;
+  tracking_ = true;
+  dirty_.clear();
+  memo_index_ = kNoPage;
+  memo_page_ = nullptr;
+  wmemo_index_ = kNoPage;
+  wmemo_page_ = nullptr;
+  qstats_ = {};
+  ++cstats_.shares;
+  // The source's pages are shared now, so its write memo (which promises
+  // exclusive ownership) must go.  Conditional so that copying *from* an
+  // immutable snapshot — the concurrent campaign case — never writes to it.
+  if (other.wmemo_index_ != kNoPage) {
+    other.wmemo_index_ = kNoPage;
+    other.wmemo_page_ = nullptr;
+  }
+}
+
+void TaintedMemory::deep_copy_from(const TaintedMemory& other) {
+  if (this == &other) return;
+  pages_.clear();
+  pages_.reserve(other.pages_.size());
+  for (const auto& [idx, page] : other.pages_) {
+    pages_.emplace(idx, std::make_shared<Page>(*page));
+  }
+  // Page summaries deep-copy with the pages; the rollups transfer directly.
+  tainted_total_ = other.tainted_total_;
+  tainted_pages_ = other.tainted_pages_;
+  base_id_ = 0;
+  tracking_ = false;
+  dirty_.clear();
+  memo_index_ = kNoPage;
+  memo_page_ = nullptr;
+  wmemo_index_ = kNoPage;
+  wmemo_page_ = nullptr;
+  qstats_ = {};
+  ++cstats_.deep_copies;
+}
+
+std::optional<std::vector<uint32_t>> TaintedMemory::delta_restore(
+    const TaintedMemory& base) {
+  if (!tracking_ || base_id_ != base.id_ || this == &base) {
+    return std::nullopt;
+  }
+  std::vector<uint32_t> restored(dirty_.begin(), dirty_.end());
+  std::sort(restored.begin(), restored.end());
+  for (uint32_t idx : restored) {
+    const auto it = base.pages_.find(idx);
+    if (it == base.pages_.end()) {
+      pages_.erase(idx);  // page created after the copy: unmap it again
+    } else {
+      pages_[idx] = it->second;  // diverged page: drop back to the shared block
+    }
+  }
+  dirty_.clear();
+  // Clean pages still share the base's blocks and the dirty ones were just
+  // reverted, so the rollups are the base's rollups — no scan needed.
+  tainted_total_ = base.tainted_total_;
+  tainted_pages_ = base.tainted_pages_;
+  memo_index_ = kNoPage;
+  memo_page_ = nullptr;
+  wmemo_index_ = kNoPage;
+  wmemo_page_ = nullptr;
+  qstats_ = {};
+  ++cstats_.delta_restores;
+  cstats_.pages_delta_restored += restored.size();
+  // Same conditional write-memo invalidation as share_from (no-op for the
+  // shared-snapshot case, where the base never had a write memo).
+  if (base.wmemo_index_ != kNoPage) {
+    base.wmemo_index_ = kNoPage;
+    base.wmemo_page_ = nullptr;
+  }
+  return restored;
+}
+
+void TaintedMemory::forget_base() {
+  tracking_ = false;
+  base_id_ = 0;
+  dirty_.clear();
+}
+
+size_t TaintedMemory::shared_page_count() const {
+  size_t n = 0;
+  for (const auto& [idx, page] : pages_) {
+    if (page.use_count() > 1) ++n;
+  }
+  return n;
+}
+
+TaintedMemory::Page& TaintedMemory::page_for_slow(uint32_t idx) {
   auto& slot = pages_[idx];
-  if (!slot) slot = std::make_unique<Page>();
+  if (!slot) {
+    slot = std::make_shared<Page>();
+  } else if (slot.use_count() > 1) {
+    // Copy-on-write break: we hold one of several references, but other
+    // holders can only *release* theirs (a snapshot's refs are immutable
+    // and machine copies happen on their own threads), so the use_count
+    // test is a stable exclusivity check for the owning thread.
+    slot = std::make_shared<Page>(*slot);
+    ++cstats_.cow_breaks;
+  }
+  if (tracking_) dirty_.insert(idx);
+  // Both memos move to the (now exclusively-owned) page: the read memo must
+  // never keep serving a superseded shared block.
+  wmemo_index_ = idx;
+  wmemo_page_ = slot.get();
   memo_index_ = idx;
   memo_page_ = slot.get();
   return *slot;
-}
-
-const TaintedMemory::Page* TaintedMemory::find_page(uint32_t addr) const {
-  const uint32_t idx = page_index(addr);
-  if (idx == memo_index_) return memo_page_;
-  auto it = pages_.find(idx);
-  if (it == pages_.end()) return nullptr;
-  memo_index_ = idx;
-  memo_page_ = it->second.get();
-  return it->second.get();
 }
 
 TaintedByte TaintedMemory::load_byte_slow(uint32_t addr) const {

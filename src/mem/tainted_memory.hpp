@@ -14,15 +14,30 @@
 // taint-bit gather entirely, stores of untainted data into clean pages skip
 // the scatter, `any_tainted_in` short-circuits to O(pages overlapped) and
 // `tainted_byte_count` is O(1).  The summaries are derived from the taint
-// bitmaps and maintained exactly on every mutation, so they survive deep
-// copies (snapshot/restore) and `set_taint` by construction.
+// bitmaps and maintained exactly on every mutation, so they survive copies
+// (snapshot/restore) and `set_taint` by construction.
+//
+// Copy-on-write (DESIGN.md §10): pages (data + taint bits + summary) are
+// immutable ref-counted blocks.  Copying a TaintedMemory shares every page
+// — O(mapped pages) pointer copies, no byte movement — and the first store
+// or taint-write into a shared page clones just that page.  Because pages
+// are only ever mutated through an exclusively-owned reference, a
+// MachineSnapshot and any number of forked machines can share one page set;
+// the snapshot's image is immutable by construction.  Each copy also
+// remembers the identity of the memory it was copied from plus the set of
+// pages it has diverged on, so restoring from the *same* source again is a
+// delta: `delta_restore` drops the dirty pages back to the shared blocks
+// and touches nothing else — O(dirty set) instead of O(address space).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "mem/taint.hpp"
@@ -34,16 +49,25 @@ class TaintedMemory {
   static constexpr uint32_t kPageShift = 12;
   static constexpr uint32_t kPageSize = 1u << kPageShift;
 
-  TaintedMemory() = default;
-  /// Deep copies (pages and taint bits) — the machine snapshot/restore
-  /// primitive.  The last-page memo is not carried over.
-  TaintedMemory(const TaintedMemory& other) { *this = other; }
-  TaintedMemory& operator=(const TaintedMemory& other);
+  TaintedMemory();
+  /// Copies share every page copy-on-write; behaviour is indistinguishable
+  /// from a deep copy (the machine snapshot/restore primitive), the cost is
+  /// O(mapped pages) pointer copies.  The page memos are not carried over.
+  TaintedMemory(const TaintedMemory& other) : TaintedMemory() {
+    share_from(other);
+  }
+  TaintedMemory& operator=(const TaintedMemory& other) {
+    if (this != &other) share_from(other);
+    return *this;
+  }
   TaintedMemory(TaintedMemory&&) = default;
   TaintedMemory& operator=(TaintedMemory&&) = default;
 
   /// Byte accessors.  Like the word accessors below, the memo-hit case is
-  /// inlined and anything else takes the out-of-line slow path.
+  /// inlined and anything else takes the out-of-line slow path.  Loads and
+  /// stores use separate memos: the store memo only ever points to an
+  /// exclusively-owned (already copied-on-write, dirty-tracked) page, so
+  /// the hot store path stays one compare even under page sharing.
   TaintedByte load_byte(uint32_t addr) const {
     if ((addr >> kPageShift) == memo_index_) {
       ++qstats_.loads;
@@ -59,8 +83,8 @@ class TaintedMemory {
     return load_byte_slow(addr);
   }
   void store_byte(uint32_t addr, TaintedByte b) {
-    if ((addr >> kPageShift) == memo_index_) {
-      Page& p = *memo_page_;
+    if ((addr >> kPageShift) == wmemo_index_) {
+      Page& p = *wmemo_page_;
       const uint32_t off = addr & (kPageSize - 1);
       p.data[off] = b.value;
       if (!b.taint && p.tainted_bytes == 0) return;  // clean page stays clean
@@ -100,8 +124,8 @@ class TaintedMemory {
     return load_word_slow(addr);
   }
   void store_word(uint32_t addr, TaintedWord w) {
-    if ((addr & 3) == 0 && (addr >> kPageShift) == memo_index_) {
-      Page& p = *memo_page_;
+    if ((addr & 3) == 0 && (addr >> kPageShift) == wmemo_index_) {
+      Page& p = *wmemo_page_;
       const uint32_t off = addr & (kPageSize - 1);
       uint8_t* d = p.data.data() + off;
       d[0] = static_cast<uint8_t>(w.value);
@@ -151,6 +175,64 @@ class TaintedMemory {
     return p != nullptr && p->tainted_bytes == 0;
   }
 
+  // --- copy-on-write snapshot support (DESIGN.md §10) ---------------------
+
+  /// Stable identity of this memory object (unique per construction,
+  /// preserved across moves).  `delta_restore` uses it to prove the caller
+  /// is restoring from the same source it last copied from.
+  uint64_t id() const { return id_; }
+
+  /// Forces an actual deep copy — private pages, no sharing, no delta
+  /// tracking.  The PTAINT_NO_COW debugging path and the reference
+  /// implementation the COW tests cross-check against.
+  void deep_copy_from(const TaintedMemory& other);
+
+  /// Delta restore: if this memory was last copied from `base` (same id),
+  /// drop every page it has diverged on back to the shared block and return
+  /// the page indices that were reverted (the caller invalidates derived
+  /// state — decode caches — for exactly those pages).  Clean pages are
+  /// untouched.  Returns nullopt (and changes nothing) when the base does
+  /// not match; the caller falls back to a full copy.
+  std::optional<std::vector<uint32_t>> delta_restore(
+      const TaintedMemory& base);
+
+  /// Drops the delta-tracking baseline (e.g. after the owner loads a new
+  /// program into this memory): the next restore must be a full copy.
+  void forget_base();
+
+  /// Declares `base` — which must currently be an identical page-for-page
+  /// share of this memory, e.g. a snapshot just copied from it — as the
+  /// delta baseline, so the *first* restore back to that snapshot already
+  /// takes the delta path.  Clears the write memo: every page is shared
+  /// with the baseline now, so the next store must re-enter the tracked
+  /// copy-on-write path.
+  void track_against(const TaintedMemory& base) {
+    base_id_ = base.id_;
+    tracking_ = true;
+    dirty_.clear();
+    wmemo_index_ = kNoPage;
+    wmemo_page_ = nullptr;
+  }
+
+  /// Pages this memory has diverged on (created or copied-on-write) since
+  /// it last copied from its base; 0 when not tracking a base.
+  size_t dirty_page_count() const { return dirty_.size(); }
+
+  /// Pages still shared with another TaintedMemory (ref-count > 1).
+  /// O(mapped pages) — reporting only, not for hot paths.
+  size_t shared_page_count() const;
+
+  /// Copy-on-write observability counters.  Diagnostic only: cumulative
+  /// over this object's lifetime, never part of architectural state.
+  struct CowStats {
+    uint64_t shares = 0;          // full-copy restores served by sharing
+    uint64_t deep_copies = 0;     // forced full deep copies (PTAINT_NO_COW)
+    uint64_t cow_breaks = 0;      // shared pages cloned by a first write
+    uint64_t delta_restores = 0;  // restores served by the dirty-page delta
+    uint64_t pages_delta_restored = 0;  // dirty pages dropped back to shared
+  };
+  const CowStats& cow_stats() const { return cstats_; }
+
   /// Observability counters for the clean-page fast path (ptaint-run
   /// --engine-stats).  Diagnostic only: not part of the architectural
   /// state, reset on copy, never compared across engines.
@@ -167,15 +249,43 @@ class TaintedMemory {
     uint32_t tainted_bytes = 0;  // exact popcount of `taint`
   };
 
-  Page& page_for(uint32_t addr);
-  const Page* find_page(uint32_t addr) const;
+  /// Returns an exclusively-owned page for writing, cloning a shared page
+  /// (copy-on-write) or creating a missing one.  The memo-hit check is
+  /// inlined; the miss path is out of line (hash probe + ownership check).
+  Page& page_for(uint32_t addr) {
+    const uint32_t idx = addr >> kPageShift;
+    if (idx == wmemo_index_) return *wmemo_page_;
+    return page_for_slow(idx);
+  }
+  Page& page_for_slow(uint32_t idx);
+
+  /// Read-only page lookup.  Inlined including the miss path's map probe:
+  /// loads are the hottest slow-path caller (fetch stream, any_tainted_in)
+  /// and the probe is two compares + a find once the memo check fails.
+  const Page* find_page(uint32_t addr) const {
+    const uint32_t idx = addr >> kPageShift;
+    if (idx == memo_index_) return memo_page_;
+    const auto it = pages_.find(idx);
+    if (it == pages_.end()) return nullptr;
+    memo_index_ = idx;
+    memo_page_ = it->second.get();
+    return memo_page_;
+  }
+
+  /// Becomes a copy of `other` by sharing every page (copy-on-write) and
+  /// records `other` as the delta baseline.  Never reads `other`'s memos,
+  /// so concurrent copies from one shared snapshot are race-free; it does
+  /// conditionally clear `other`'s *write* memo (the snapshotting machine
+  /// must not keep writing through a now-shared page), a write that only
+  /// fires on the owner's own thread — snapshots never have one set.
+  void share_from(const TaintedMemory& other);
 
   TaintedByte load_byte_slow(uint32_t addr) const;
   void store_byte_slow(uint32_t addr, TaintedByte b);
   TaintedWord load_word_slow(uint32_t addr) const;
   void store_word_slow(uint32_t addr, TaintedWord w);
   /// Taint-bitmap updates for memo-hit stores (out of line: touching the
-  /// bitmap means the page is or becomes dirty — off the hot path).
+  /// bitmap means the page is or becomes tainted — off the hot path).
   void store_byte_taint(Page& p, uint32_t off, bool tainted);
   void store_word_taint(Page& p, uint32_t off, uint8_t fresh);
 
@@ -190,19 +300,33 @@ class TaintedMemory {
     if (p.tainted_bytes == 0) --tainted_pages_;
   }
 
-  std::unordered_map<uint32_t, std::unique_ptr<Page>> pages_;
+  std::unordered_map<uint32_t, std::shared_ptr<Page>> pages_;
   uint64_t tainted_total_ = 0;  // sum of Page::tainted_bytes
   uint32_t tainted_pages_ = 0;  // pages with tainted_bytes > 0
   mutable QueryStats qstats_;
+  CowStats cstats_;
 
-  // Single-entry page memo: guest access streams are strongly local (the
+  // Delta-restore bookkeeping: identity of the memory this one last shared
+  // its pages from, and the pages it has diverged on since (every index in
+  // dirty_ holds an exclusively-owned page or one created after the copy).
+  uint64_t id_ = 0;       // this object's identity (see id())
+  uint64_t base_id_ = 0;  // identity of the share_from source
+  bool tracking_ = false;
+  std::unordered_set<uint32_t> dirty_;
+
+  // Single-entry page memos: guest access streams are strongly local (the
   // fetch stream alone stays on one page for up to 1024 instructions), so
   // remembering the last page touched skips the hash lookup on the hot
-  // path.  Page objects are owned by unique_ptr, so the cached pointer
-  // stays valid across map growth.  Reset on copy.
+  // path.  Pages are heap blocks owned by shared_ptr, so the cached
+  // pointers stay valid across map growth.  The read memo may point to a
+  // shared page; the write memo only ever points to an exclusively-owned,
+  // dirty-tracked page (page_for_slow guarantees it) and is cleared
+  // whenever this memory's pages become shared.  Reset on copy.
   static constexpr uint32_t kNoPage = 0xffffffffu;
   mutable uint32_t memo_index_ = kNoPage;
   mutable Page* memo_page_ = nullptr;
+  mutable uint32_t wmemo_index_ = kNoPage;
+  mutable Page* wmemo_page_ = nullptr;
 };
 
 }  // namespace ptaint::mem

@@ -8,7 +8,10 @@
 // interaction.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "core/attack.hpp"
 #include "core/machine.hpp"
@@ -16,6 +19,14 @@
 
 namespace ptaint::core {
 namespace {
+
+/// True when the PTAINT_NO_COW escape hatch is on: every restore is a deep
+/// copy, so assertions about sharing/delta counters must be skipped (the
+/// behavioural assertions still hold — that is the point of the hatch).
+bool cow_disabled() {
+  const char* env = std::getenv("PTAINT_NO_COW");
+  return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
 
 /// Everything observable about a finished run, as one comparable string.
 std::string fingerprint(const RunReport& r) {
@@ -154,6 +165,133 @@ TEST(Snapshot, SelfModifyingCodeInvalidatesDecodeCacheAcrossRestore) {
   m.restore(snap);
   RunReport second = m.run();
   EXPECT_EQ(fingerprint(first), fingerprint(second));
+}
+
+// --- COW restore path -----------------------------------------------------
+
+TEST(Snapshot, RepeatedRestoreTakesDeltaPathWithMatchingRollups) {
+  auto scenario = make_scenario(AttackId::kExp1Stack);
+  auto machine = scenario->prepare_attack({});
+  MachineSnapshot snap = machine->snapshot();
+  const uint64_t armed_tainted = snap.memory.tainted_byte_count();
+
+  RunReport first = machine->run();
+  if (!cow_disabled()) {
+    EXPECT_GT(machine->memory().dirty_page_count(), 0u)
+        << "the run must have dirtied pages for a delta to exist";
+  }
+
+  machine->restore(snap);
+  if (!cow_disabled()) {
+    const auto stats = machine->memory().cow_stats();
+    EXPECT_GE(stats.delta_restores, 1u)
+        << "restoring to the snapshot this machine took must be a delta";
+    EXPECT_GE(stats.pages_delta_restored, 1u);
+    EXPECT_EQ(machine->memory().dirty_page_count(), 0u);
+  }
+  // Page-summary rollups come back from the base, not from a rescan.
+  EXPECT_EQ(machine->memory().tainted_byte_count(), armed_tainted);
+
+  RunReport second = machine->run();
+  EXPECT_EQ(fingerprint(first), fingerprint(second));
+}
+
+TEST(Snapshot, ManyForksWithInterleavedRestoresMatchFullCopyReference) {
+  // N COW forks of one snapshot, each run/restored/re-run on staggered
+  // schedules, must all report exactly what a PTAINT_NO_COW-style deep-copy
+  // machine reports.
+  auto scenario = make_scenario(AttackId::kExp2Heap);
+  MachineSnapshot snap = scenario->prepare_attack({})->snapshot();
+
+  MachineConfig full_cfg;
+  full_cfg.no_cow = true;
+  Machine reference(full_cfg);
+  reference.restore(snap);
+  const std::string want = fingerprint(reference.run());
+
+  constexpr int kForks = 6;
+  std::vector<std::unique_ptr<Machine>> forks;
+  for (int i = 0; i < kForks; ++i) {
+    forks.push_back(std::make_unique<Machine>());
+    forks.back()->restore(snap);
+  }
+  // Stagger: odd forks run a prefix, restore, then everyone runs to the
+  // end — writes on one fork's pages must never reach a sibling's.
+  for (int i = 1; i < kForks; i += 2) {
+    forks[i]->run_for(500 * static_cast<uint64_t>(i));
+    forks[i]->restore(snap);
+    if (!cow_disabled()) {
+      EXPECT_GE(forks[i]->memory().cow_stats().delta_restores, 1u);
+    }
+  }
+  for (int i = 0; i < kForks; ++i) {
+    EXPECT_EQ(fingerprint(forks[i]->run()), want) << "fork " << i;
+  }
+}
+
+TEST(Snapshot, SelfModifyingCodeOnSharedPageAcrossForks) {
+  // Two forks share the code page; each patches its own COW copy.  The
+  // patch must break the share (not write through to the sibling or the
+  // snapshot), and each fork's superblock/decode caches must drop the
+  // stale translation for its own copy only.
+  Machine booted;
+  booted.load_source(kSelfModifying);
+  MachineSnapshot snap = booted.snapshot();
+
+  Machine a, b;
+  a.restore(snap);
+  b.restore(snap);
+  RunReport ra = a.run();
+  EXPECT_EQ(ra.exit_status, 42);
+  if (a.memory().cow_stats().shares > 0) {  // not under PTAINT_NO_COW=1
+    EXPECT_GT(a.memory().cow_stats().cow_breaks, 0u)
+        << "patching shared text must copy the page";
+  }
+
+  RunReport rb = b.run();
+  EXPECT_EQ(rb.exit_status, 42);
+  EXPECT_EQ(fingerprint(ra), fingerprint(rb));
+
+  // The snapshot still holds unpatched text: a fresh fork replays the
+  // whole patch dance, and a delta restore reverts a patched fork.
+  Machine c;
+  c.restore(snap);
+  EXPECT_EQ(fingerprint(c.run()), fingerprint(ra));
+  a.restore(snap);
+  EXPECT_EQ(fingerprint(a.run()), fingerprint(ra));
+}
+
+TEST(Snapshot, ConcurrentForkRestoreStress) {
+  // Eight threads hammer one shared snapshot: each owns a machine and
+  // loops restore -> run -> fingerprint.  Exercises the concurrent
+  // ref-count traffic on shared pages (the TSan CI leg runs this).
+  auto scenario = make_scenario(AttackId::kExp3Format);
+  const MachineSnapshot snap = scenario->prepare_attack({})->snapshot();
+
+  Machine serial;
+  serial.restore(snap);
+  const std::string want = fingerprint(serial.run());
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 4;
+  std::vector<std::string> got(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&snap, &got, t]() {
+      Machine machine;
+      std::string print;
+      for (int round = 0; round < kRounds; ++round) {
+        machine.restore(snap);
+        print = fingerprint(machine.run());
+      }
+      got[static_cast<size_t>(t)] = std::move(print);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(got[static_cast<size_t>(t)], want) << "thread " << t;
+  }
 }
 
 }  // namespace

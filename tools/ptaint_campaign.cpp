@@ -13,10 +13,12 @@
 //   --serial        run the matrix serially through the original
 //                   entry points instead of the engine
 //   --spec-scale N  SPEC surrogate input scale (ablation; default 1)
-//   --json PATH     also write per-job results as JSON
-//   --csv PATH      also write per-job results as CSV
+//   --json PATH     also write per-job results as JSON (includes per-phase
+//                   build/restore/run/judge timings and COW page counters)
+//   --csv PATH      also write per-job results as CSV (same extra columns)
 //   --summary       also print the per-policy verdict tally
-//   --time          print wall-clock and executor statistics to stderr
+//   --time          print wall-clock, per-phase, machine-pool and
+//                   snapshot-cache statistics to stderr
 //   --check         run BOTH engine and serial reference, diff every
 //                   verdict/alert, print the speedup; exit 1 on mismatch
 //   --elide         engine machines run with static check-elision on
@@ -211,8 +213,11 @@ int main(int argc, char** argv) {
 
   std::fputs(format_campaign(campaign, results).c_str(), stdout);
   if (summary) std::fputs(console_summary(results).c_str(), stdout);
-  if (!json_path.empty()) write_file(json_path, to_json(results));
-  if (!csv_path.empty()) write_file(csv_path, to_csv(results));
+  // Sidecar files carry the per-phase timings and COW page counters; the
+  // stdout report stays a deterministic function of the verdicts.
+  const ReportOptions report_opts{/*with_timing=*/true};
+  if (!json_path.empty()) write_file(json_path, to_json(results, report_opts));
+  if (!csv_path.empty()) write_file(csv_path, to_csv(results, report_opts));
   if (timing) {
     const Executor::Stats& s = executor.stats();
     std::fprintf(stderr,
@@ -225,6 +230,22 @@ int main(int argc, char** argv) {
                  serial || check
                      ? (", serial " + std::to_string(serial_s) + "s").c_str()
                      : "");
+    std::fprintf(stderr,
+                 "time: phases build %.1fms restore %.1fms run %.1fms "
+                 "judge %.1fms (summed across workers)\n",
+                 s.build_ms, s.restore_ms, s.run_ms, s.judge_ms);
+    std::fprintf(stderr,
+                 "time: machines built %llu reused %llu\n",
+                 static_cast<unsigned long long>(s.machine_builds),
+                 static_cast<unsigned long long>(s.machine_reuses));
+    const SnapshotCache::Stats cs = cache.stats();
+    std::fprintf(stderr,
+                 "time: snapshot cache %llu built (%.1fms) %llu hits, "
+                 "%llu pages mapped, %llu shared\n",
+                 static_cast<unsigned long long>(cs.builds), cs.build_ms,
+                 static_cast<unsigned long long>(cs.hits),
+                 static_cast<unsigned long long>(cs.snapshot_pages),
+                 static_cast<unsigned long long>(cs.shared_pages));
   }
   return has_failures(results) ? 1 : 0;
 }
