@@ -1,0 +1,83 @@
+// Register read/write effects of one instruction over the 34-register
+// analysis domain (32 GPRs + HI + LO).  Shared by the lint passes, the
+// stack-height dataflow, and the value-set prover; previously private to
+// lint.cpp.
+#pragma once
+
+#include "analysis/lattice.hpp"
+#include "isa/isa.hpp"
+
+namespace ptaint::analysis {
+
+struct Effects {
+  int reads[3] = {-1, -1, -1};
+  int writes[2] = {-1, -1};
+};
+
+inline Effects effects_of(const isa::Instruction& inst) {
+  using isa::Op;
+  constexpr int kHi = RegState::kHi;
+  constexpr int kLo = RegState::kLo;
+  Effects e;
+  auto r = [&](int a, int b = -1, int c = -1) {
+    e.reads[0] = a; e.reads[1] = b; e.reads[2] = c;
+  };
+  auto w = [&](int a, int b = -1) { e.writes[0] = a; e.writes[1] = b; };
+  switch (inst.op) {
+    case Op::kSll: case Op::kSrl: case Op::kSra:
+      r(inst.rt); w(inst.rd); break;
+    case Op::kSllv: case Op::kSrlv: case Op::kSrav:
+      r(inst.rt, inst.rs); w(inst.rd); break;
+    case Op::kAdd: case Op::kAddu: case Op::kSub: case Op::kSubu:
+    case Op::kAnd: case Op::kOr: case Op::kXor: case Op::kNor:
+    case Op::kSlt: case Op::kSltu:
+      r(inst.rs, inst.rt); w(inst.rd); break;
+    case Op::kMult: case Op::kMultu: case Op::kDiv: case Op::kDivu:
+      r(inst.rs, inst.rt); w(kHi, kLo); break;
+    case Op::kMfhi: r(kHi); w(inst.rd); break;
+    case Op::kMflo: r(kLo); w(inst.rd); break;
+    case Op::kMthi: r(inst.rs); w(kHi); break;
+    case Op::kMtlo: r(inst.rs); w(kLo); break;
+    case Op::kTaintSet: case Op::kTaintClr:
+      r(inst.rs); w(inst.rd); break;
+    case Op::kAddi: case Op::kAddiu: case Op::kAndi: case Op::kOri:
+    case Op::kXori: case Op::kSlti: case Op::kSltiu:
+      r(inst.rs); w(inst.rt); break;
+    case Op::kLui: w(inst.rt); break;
+    case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLbu: case Op::kLhu:
+      r(inst.rs); w(inst.rt); break;
+    case Op::kSb: case Op::kSh: case Op::kSw:
+      r(inst.rs, inst.rt); break;
+    case Op::kBeq: case Op::kBne:
+      r(inst.rs, inst.rt); break;
+    case Op::kBlez: case Op::kBgtz: case Op::kBltz: case Op::kBgez:
+      r(inst.rs); break;
+    case Op::kBltzal: case Op::kBgezal:
+      r(inst.rs); w(isa::kRa); break;
+    case Op::kJ: break;
+    case Op::kJal: w(isa::kRa); break;
+    case Op::kJr: r(inst.rs); break;
+    case Op::kJalr: r(inst.rs); w(inst.rd); break;
+    case Op::kSyscall: r(isa::kV0); w(isa::kV0); break;
+    case Op::kBreak: case Op::kInvalid: break;
+  }
+  return e;
+}
+
+inline bool writes_reg(const isa::Instruction& inst, int reg) {
+  const Effects e = effects_of(inst);
+  return e.writes[0] == reg || e.writes[1] == reg;
+}
+
+inline bool is_call(const isa::Instruction& inst) {
+  using isa::Op;
+  return inst.op == Op::kJal || inst.op == Op::kJalr ||
+         inst.op == Op::kBltzal || inst.op == Op::kBgezal;
+}
+
+inline bool is_nop(const isa::Instruction& inst) {
+  return inst.op == isa::Op::kSll && inst.rd == 0 && inst.rt == 0 &&
+         inst.shamt == 0;
+}
+
+}  // namespace ptaint::analysis

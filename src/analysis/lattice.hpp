@@ -40,6 +40,117 @@ constexpr bool may_be_tainted(Taint t) { return t != Taint::kUntainted; }
 
 const char* to_string(Taint t);
 
+// ---- value sets ------------------------------------------------------------
+//
+// The memory-aware prover (vsa.cpp) needs to know *where* a register points,
+// not just whether it is tainted.  A ValueSet is a coarse abstraction of the
+// set of concrete values a register may hold:
+//
+//        kConst(v)      exactly the constant v
+//        kStackRel(c)   exactly (function-entry $sp) + c
+//          |    |
+//        kDataRegion    some address in [kDataBase, kStackLimit)
+//        kStackRegion   some address in [kStackLimit, kStackTop)
+//          |    |
+//             kAny      anything
+//
+// Joins of unequal precise values degrade to the region containing both, or
+// to kAny across regions.  Region kinds are closed under pointer arithmetic:
+// "region + unknown offset" stays in the region.  This is the standard VSA
+// in-region assumption — a computed address is assumed not to wander out of
+// the allocation area its base came from.  It is *weaker* than full
+// soundness (a wild offset can physically reach another region); the
+// bidirectional `ptaint-campaign --static-check` leg revalidates it
+// empirically against every dynamic alert, mirroring the recovered-CFG
+// caveat already documented for the register-only analyzer.
+enum class VsKind : uint8_t {
+  kConst = 0,       // exactly `value`
+  kStackRel = 1,    // function-entry $sp plus `value` (byte offset)
+  kStackRegion = 2, // somewhere in the stack
+  kDataRegion = 3,  // somewhere in globals/heap (brk-grown)
+  kAny = 4,         // no information
+};
+
+/// Coarse address-space classification used when constants collide in a join
+/// and when deciding which memory cells a load/store can touch.
+enum class Region : uint8_t { kText, kData, kStack, kArgv, kOther };
+
+constexpr Region region_of_addr(uint32_t addr) {
+  if (addr >= isa::layout::kStackTop) return Region::kArgv;
+  if (addr >= isa::layout::kStackLimit) return Region::kStack;
+  if (addr >= isa::layout::kDataBase) return Region::kData;
+  if (addr >= isa::layout::kTextBase) return Region::kText;
+  return Region::kOther;
+}
+
+struct ValueSet {
+  VsKind kind = VsKind::kAny;
+  int32_t value = 0;  // kConst: the constant; kStackRel: frame byte offset
+
+  static constexpr ValueSet constant(int32_t v) {
+    return {VsKind::kConst, v};
+  }
+  static constexpr ValueSet stack_rel(int32_t off) {
+    return {VsKind::kStackRel, off};
+  }
+  static constexpr ValueSet any() { return {VsKind::kAny, 0}; }
+  static constexpr ValueSet stack_region() {
+    return {VsKind::kStackRegion, 0};
+  }
+  static constexpr ValueSet data_region() { return {VsKind::kDataRegion, 0}; }
+
+  bool is_const() const { return kind == VsKind::kConst; }
+  bool is_stack_rel() const { return kind == VsKind::kStackRel; }
+
+  bool operator==(const ValueSet&) const = default;
+};
+
+constexpr ValueSet join(ValueSet a, ValueSet b) {
+  if (a == b) return a;
+  if (a.kind == VsKind::kAny || b.kind == VsKind::kAny) {
+    return ValueSet::any();
+  }
+  // Normalize each side to its region class, then join region classes.
+  auto region_kind = [](ValueSet v) -> VsKind {
+    switch (v.kind) {
+      case VsKind::kConst:
+        switch (region_of_addr(static_cast<uint32_t>(v.value))) {
+          case Region::kData: return VsKind::kDataRegion;
+          case Region::kStack: return VsKind::kStackRegion;
+          default: return VsKind::kAny;
+        }
+      case VsKind::kStackRel: return VsKind::kStackRegion;
+      default: return v.kind;
+    }
+  };
+  const VsKind ra = region_kind(a);
+  const VsKind rb = region_kind(b);
+  if (ra == rb && ra != VsKind::kAny) return {ra, 0};
+  return ValueSet::any();
+}
+
+/// Abstract value of a register or memory cell: taintedness plus value set.
+struct AbsVal {
+  Taint taint = Taint::kUntainted;
+  ValueSet vs = ValueSet::any();
+
+  static constexpr AbsVal untainted_any() {
+    return {Taint::kUntainted, ValueSet::any()};
+  }
+  static constexpr AbsVal maybe_any() {
+    return {Taint::kMaybeTainted, ValueSet::any()};
+  }
+  static constexpr AbsVal untainted_const(int32_t v) {
+    return {Taint::kUntainted, ValueSet::constant(v)};
+  }
+
+  bool operator==(const AbsVal&) const = default;
+};
+
+constexpr AbsVal join(AbsVal a, AbsVal b) {
+  return {join(a.taint, b.taint), join(a.vs, b.vs)};
+}
+
 /// Abstract register state: the 32 general registers plus HI and LO.
 /// $zero is pinned to Untainted by every mutator.
 struct RegState {

@@ -5,7 +5,9 @@
 #include <deque>
 #include <optional>
 
+#include "analysis/effects.hpp"
 #include "analysis/lattice.hpp"
+#include "analysis/stack_height.hpp"
 #include "isa/isa.hpp"
 
 namespace ptaint::analysis {
@@ -18,69 +20,6 @@ namespace {
 
 constexpr int kHi = RegState::kHi;
 constexpr int kLo = RegState::kLo;
-
-/// Register reads/writes of one instruction over the 34-register domain.
-struct Effects {
-  int reads[3] = {-1, -1, -1};
-  int writes[2] = {-1, -1};
-};
-
-Effects effects_of(const Instruction& inst) {
-  Effects e;
-  auto r = [&](int a, int b = -1, int c = -1) {
-    e.reads[0] = a; e.reads[1] = b; e.reads[2] = c;
-  };
-  auto w = [&](int a, int b = -1) { e.writes[0] = a; e.writes[1] = b; };
-  switch (inst.op) {
-    case Op::kSll: case Op::kSrl: case Op::kSra:
-      r(inst.rt); w(inst.rd); break;
-    case Op::kSllv: case Op::kSrlv: case Op::kSrav:
-      r(inst.rt, inst.rs); w(inst.rd); break;
-    case Op::kAdd: case Op::kAddu: case Op::kSub: case Op::kSubu:
-    case Op::kAnd: case Op::kOr: case Op::kXor: case Op::kNor:
-    case Op::kSlt: case Op::kSltu:
-      r(inst.rs, inst.rt); w(inst.rd); break;
-    case Op::kMult: case Op::kMultu: case Op::kDiv: case Op::kDivu:
-      r(inst.rs, inst.rt); w(kHi, kLo); break;
-    case Op::kMfhi: r(kHi); w(inst.rd); break;
-    case Op::kMflo: r(kLo); w(inst.rd); break;
-    case Op::kMthi: r(inst.rs); w(kHi); break;
-    case Op::kMtlo: r(inst.rs); w(kLo); break;
-    case Op::kTaintSet: case Op::kTaintClr:
-      r(inst.rs); w(inst.rd); break;
-    case Op::kAddi: case Op::kAddiu: case Op::kAndi: case Op::kOri:
-    case Op::kXori: case Op::kSlti: case Op::kSltiu:
-      r(inst.rs); w(inst.rt); break;
-    case Op::kLui: w(inst.rt); break;
-    case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLbu: case Op::kLhu:
-      r(inst.rs); w(inst.rt); break;
-    case Op::kSb: case Op::kSh: case Op::kSw:
-      r(inst.rs, inst.rt); break;
-    case Op::kBeq: case Op::kBne:
-      r(inst.rs, inst.rt); break;
-    case Op::kBlez: case Op::kBgtz: case Op::kBltz: case Op::kBgez:
-      r(inst.rs); break;
-    case Op::kBltzal: case Op::kBgezal:
-      r(inst.rs); w(isa::kRa); break;
-    case Op::kJ: break;
-    case Op::kJal: w(isa::kRa); break;
-    case Op::kJr: r(inst.rs); break;
-    case Op::kJalr: r(inst.rs); w(inst.rd); break;
-    case Op::kSyscall: r(isa::kV0); w(isa::kV0); break;
-    case Op::kBreak: case Op::kInvalid: break;
-  }
-  return e;
-}
-
-bool is_call(const Instruction& inst) {
-  return inst.op == Op::kJal || inst.op == Op::kJalr ||
-         inst.op == Op::kBltzal || inst.op == Op::kBgezal;
-}
-
-bool is_nop(const Instruction& inst) {
-  return inst.op == Op::kSll && inst.rd == 0 && inst.rt == 0 &&
-         inst.shamt == 0;
-}
 
 std::string reg_str(int r) {
   if (r == kHi) return "$hi";
@@ -233,71 +172,27 @@ void lint_unreachable(const Cfg& cfg, std::vector<LintFinding>& out) {
 
 // ---- stack imbalance -------------------------------------------------------
 //
-// Tracks $sp as a constant delta from the function-entry value.  Any
-// non-constant adjustment (or conflicting deltas at a join) degrades to
-// unknown, which is never reported.
+// Consumes the shared stack-height facts (stack_height.cpp): $sp as a
+// constant delta from the function-entry value.  Any non-constant adjustment
+// (or conflicting deltas at a join) is absent from the facts and never
+// reported.  The same facts key the frame cells of the value-set prover, so
+// the lint and the prover agree on frame layout by construction.
 void lint_stack_imbalance(const Cfg& cfg, std::vector<LintFinding>& out) {
-  struct Delta {
-    bool known = false;
-    int32_t value = 0;
-    bool operator==(const Delta&) const = default;
-  };
-  const Delta kUnknown{};
+  const StackHeights heights = compute_stack_heights(cfg);
   const auto& blocks = cfg.blocks();
-
   for (const Function& f : cfg.functions()) {
-    std::vector<std::optional<Delta>> in(blocks.size());
-    std::deque<int> worklist;
-    const int entry_block = cfg.block_at(f.entry);
-    if (entry_block < 0) continue;
-    in[static_cast<size_t>(entry_block)] = Delta{true, 0};
-    worklist.push_back(entry_block);
-
-    while (!worklist.empty()) {
-      const int b = worklist.front();
-      worklist.pop_front();
+    for (int b : f.blocks) {
       const BasicBlock& bb = blocks[static_cast<size_t>(b)];
-      Delta d = *in[static_cast<size_t>(b)];
-
       for (uint32_t pc = bb.begin; pc < bb.end; pc += 4) {
         const Instruction& inst = cfg.inst_at(pc);
-        if ((inst.op == Op::kAddi || inst.op == Op::kAddiu) &&
-            inst.rt == isa::kSp) {
-          if (inst.rs == isa::kSp && d.known) {
-            d.value += inst.imm;
-          } else {
-            d = kUnknown;
-          }
-          continue;
-        }
-        const Effects e = effects_of(inst);
-        for (int w : e.writes) {
-          if (w == isa::kSp) d = kUnknown;
-        }
-        if (inst.op == Op::kJr && inst.rs == isa::kRa && d.known &&
-            d.value != 0) {
-          char msg[96];
-          std::snprintf(msg, sizeof msg,
-                        "$sp off by %+d bytes at return (push/pop imbalance)",
-                        d.value);
-          out.push_back({LintKind::kStackImbalance, pc, f.name, msg});
-          d = kUnknown;  // report once per site
-        }
-      }
-
-      if (bb.returns) continue;  // return edges are interprocedural
-      for (int succ : bb.succs) {
-        if (succ < 0 ||
-            blocks[static_cast<size_t>(succ)].function != bb.function) {
-          continue;
-        }
-        auto us = static_cast<size_t>(succ);
-        const Delta next =
-            !in[us].has_value() ? d : (*in[us] == d ? d : kUnknown);
-        if (!in[us].has_value() || next != *in[us]) {
-          in[us] = next;
-          worklist.push_back(succ);
-        }
+        if (inst.op != Op::kJr || inst.rs != isa::kRa) continue;
+        const std::optional<int32_t> d = heights.at(pc);
+        if (!d.has_value() || *d == 0) continue;
+        char msg[96];
+        std::snprintf(msg, sizeof msg,
+                      "$sp off by %+d bytes at return (push/pop imbalance)",
+                      *d);
+        out.push_back({LintKind::kStackImbalance, pc, f.name, msg});
       }
     }
   }

@@ -1,0 +1,84 @@
+#include "analysis/stack_height.hpp"
+
+#include <deque>
+#include <vector>
+
+#include "analysis/effects.hpp"
+#include "isa/isa.hpp"
+
+namespace ptaint::analysis {
+
+using isa::Instruction;
+using isa::Op;
+
+StackHeights compute_stack_heights(const Cfg& cfg) {
+  struct Delta {
+    bool known = false;
+    int32_t value = 0;
+    bool operator==(const Delta&) const = default;
+  };
+  constexpr Delta kUnknown{};
+  const auto& blocks = cfg.blocks();
+  StackHeights heights;
+
+  for (const Function& f : cfg.functions()) {
+    std::vector<std::optional<Delta>> in(blocks.size());
+    std::deque<int> worklist;
+    const int entry_block = cfg.block_at(f.entry);
+    if (entry_block < 0) continue;
+    in[static_cast<size_t>(entry_block)] = Delta{true, 0};
+    worklist.push_back(entry_block);
+
+    while (!worklist.empty()) {
+      const int b = worklist.front();
+      worklist.pop_front();
+      const BasicBlock& bb = blocks[static_cast<size_t>(b)];
+      Delta d = *in[static_cast<size_t>(b)];
+
+      for (uint32_t pc = bb.begin; pc < bb.end; pc += 4) {
+        const Instruction& inst = cfg.inst_at(pc);
+        if (d.known) {
+          heights.set(pc, d.value);
+        }
+        if ((inst.op == Op::kAddi || inst.op == Op::kAddiu) &&
+            inst.rt == isa::kSp) {
+          if (inst.rs == isa::kSp && d.known) {
+            d.value += inst.imm;
+          } else {
+            d = kUnknown;
+          }
+          continue;
+        }
+        if (writes_reg(inst, isa::kSp)) d = kUnknown;
+      }
+
+      if (bb.returns) continue;  // return edges are interprocedural
+      for (int succ : bb.succs) {
+        if (succ < 0 ||
+            blocks[static_cast<size_t>(succ)].function != bb.function) {
+          continue;
+        }
+        auto us = static_cast<size_t>(succ);
+        const Delta next =
+            !in[us].has_value() ? d : (*in[us] == d ? d : kUnknown);
+        if (!in[us].has_value() || next != *in[us]) {
+          // A conflicting join invalidates heights already recorded from the
+          // earlier visit; the revisit below overwrites per-PC entries, and
+          // entries set under a now-unknown delta are erased lazily by never
+          // being re-set — so clear the block's range first.
+          if (in[us].has_value() && next == kUnknown) {
+            const BasicBlock& sb = blocks[us];
+            for (uint32_t pc = sb.begin; pc < sb.end; pc += 4) {
+              heights.erase(pc);
+            }
+          }
+          in[us] = next;
+          worklist.push_back(succ);
+        }
+      }
+    }
+  }
+  return heights;
+}
+
+}  // namespace ptaint::analysis

@@ -1,0 +1,44 @@
+// Per-PC stack-height facts: the constant delta of $sp from its value at
+// function entry, where that delta is provably the same on every
+// intra-procedural path.  This is the dataflow previously embedded in the
+// stack-imbalance lint; it is factored out here because the value-set
+// analysis (vsa.cpp) keys stack frame cells by exactly these offsets — a
+// frame cell `f[c]` is the word at (function-entry $sp) + c, and the height
+// facts let the prover re-anchor $sp after joins that would otherwise
+// degrade it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "analysis/cfg.hpp"
+
+namespace ptaint::analysis {
+
+class StackHeights {
+ public:
+  /// Delta of $sp (in bytes, relative to function entry) *before* the
+  /// instruction at `pc` executes.  nullopt when unknown (non-constant
+  /// adjustment, or conflicting deltas at a join).
+  std::optional<int32_t> at(uint32_t pc) const {
+    auto it = delta_.find(pc);
+    if (it == delta_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void set(uint32_t pc, int32_t delta) { delta_[pc] = delta; }
+  void erase(uint32_t pc) { delta_.erase(pc); }
+
+  const std::map<uint32_t, int32_t>& all() const { return delta_; }
+
+ private:
+  std::map<uint32_t, int32_t> delta_;  // pc -> known delta; absent = unknown
+};
+
+/// Runs the per-function constant-$sp-delta fixpoint over every recovered
+/// function.  Deterministic: functions in address order, blocks via a FIFO
+/// worklist seeded from the entry block.
+StackHeights compute_stack_heights(const Cfg& cfg);
+
+}  // namespace ptaint::analysis

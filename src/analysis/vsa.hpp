@@ -1,0 +1,116 @@
+// Memory-aware value-set taint prover (second-generation static analysis).
+//
+// The register-only analyzer (taint_analyzer.cpp) summarizes all of memory
+// as possibly tainted, so any value that transits memory — a spilled $ra, a
+// pointer parked in a frame slot, a global flag — comes back MaybeTainted
+// and poisons every dereference it later feeds.  This pass removes that
+// cliff by tracking an abstract memory alongside the registers:
+//
+//   * stack frames    — per-function cells keyed by the frame-relative word
+//                       offset from the function-entry $sp; the offsets are
+//                       the stack-height facts shared with the lint pass
+//                       (stack_height.cpp).  A missing cell means "unknown":
+//                       junk below $sp or unseen caller memory, summarized
+//                       as possibly tainted.
+//   * globals/labels  — a map of absolute word addresses inside the data
+//                       segment, initially untainted (the loader clears the
+//                       taint plane), degraded to a region summary when a
+//                       tainted store goes through an imprecise pointer.
+//   * heap            — one taint summary for the brk-grown area; SYS_BRK
+//                       results carry the kDataRegion value set.
+//
+// Interprocedural scheme: per-function frame coordinates.  A `jal` rebases
+// register value sets into the callee frame (StackRel c -> c - delta) and
+// contributes {registers, globals, heap} to the callee's entry state; the
+// caller's own frame cells are *not* visible to the callee (a missing cell
+// already means possibly-tainted, so this is sound and avoids cross-caller
+// collisions).  On return the callee's exit registers are rebased back and
+// the caller's cells are reconciled against the callee's *caller-writes
+// summary*: every store the callee may perform at non-negative frame
+// offsets (i.e. into its caller), plus an unknown-stack-store flag for
+// stores through imprecise stack pointers.  Small leaf functions (the
+// read/recv/strcpy-style wrappers) are instead inlined as a sub-fixpoint in
+// caller coordinates, which is what lets a SYS_READ inside `read()` taint
+// the precise caller cells its buffer argument names.
+//
+// Soundness is relative to the same recovered-CFG caveat as the first
+// generation analyzer plus the in-region assumption documented on ValueSet
+// (lattice.hpp): computed addresses are assumed not to wander out of the
+// region their base came from.  Both are revalidated empirically by the
+// bidirectional `ptaint-campaign --static-check` leg.
+//
+// Outputs:
+//   * per-site verdicts (same DerefSite shape as gen-1) and a VSA elision
+//     bitmap; `gen2_elision()` unions it with the register-only bitmap so
+//     the shipped table strictly supersedes gen-1 by construction;
+//   * on request, a *witness* per possibly-tainted site: a shortest
+//     source-rooted may-taint path (syscall input / argv / taintset /
+//     uninitialized stack -> memory cells -> registers -> dereference PC)
+//     over the propagation events observed at the fixpoint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "analysis/lattice.hpp"
+#include "analysis/taint_analyzer.hpp"
+#include "cpu/taint_policy.hpp"
+
+namespace ptaint::analysis {
+
+/// One hop of a may-taint path.  `pc` is the instruction that propagated
+/// the taint (0 for roots that have no single program point).
+struct WitnessStep {
+  uint32_t pc = 0;
+  std::string event;  // e.g. "syscall read taints stack cells" or a disasm
+  std::string loc;    // destination location, e.g. "reg:$3", "stack",
+                      // "global:0x10000040", "heap"
+};
+
+struct Witness {
+  uint32_t site_pc = 0;
+  bool complete = false;           // a source-rooted path was found
+  std::vector<WitnessStep> steps;  // source first, dereference last
+};
+
+struct VsaAnalysis {
+  std::vector<DerefSite> sites;  // ascending by PC, verdicts from the VSA
+  std::vector<uint8_t> elision;  // VSA-only bitmap (see gen2_elision)
+  size_t possible_sites = 0;
+  size_t proven_clean = 0;
+
+  /// Witnesses for every reachable may-tainted site, ascending by site PC.
+  /// Empty unless VsaOptions::witnesses was set.
+  std::vector<Witness> witnesses;
+
+  bool predicts_alert(uint32_t pc) const;
+  const DerefSite* site_at(uint32_t pc) const;
+  const Witness* witness_at(uint32_t pc) const;
+  std::string report(const Cfg& cfg) const;
+};
+
+struct VsaOptions {
+  bool witnesses = false;
+};
+
+VsaAnalysis analyze_vsa(const Cfg& cfg, const cpu::TaintPolicy& policy,
+                        const VsaOptions& options = {});
+
+/// The second-generation elision table: bitwise union of the register-only
+/// analyzer's bitmap and the VSA bitmap.  Every gen-1 elision survives by
+/// construction; the VSA adds sites whose cleanliness transits memory plus
+/// sites it proves dead (paths killed at exit syscalls or constant-false
+/// branches — only when the fixpoint completed without exhaustion).
+struct Gen2Elision {
+  std::vector<uint8_t> elision;
+  size_t gen1_clean = 0;  // sites the register-only analyzer proves clean
+  size_t gen2_clean = 0;  // sites whose check the union table skips
+                          // (clean or proven dead; >= gen1_clean)
+  size_t sites = 0;       // all dereference sites in the program
+};
+
+Gen2Elision gen2_elision(const Cfg& cfg, const cpu::TaintPolicy& policy);
+
+}  // namespace ptaint::analysis

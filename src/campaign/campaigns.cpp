@@ -7,7 +7,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "analysis/cfg.hpp"
 #include "analysis/taint_analyzer.hpp"
+#include "analysis/vsa.hpp"
 #include "core/attack.hpp"
 #include "core/spec_workloads.hpp"
 #include "guest/apps/apps.hpp"
@@ -502,9 +504,16 @@ StaticCheckReport static_check(const std::string& campaign,
   policies["paper"] = cpu::TaintPolicy{};
 
   // Program per payload (link-identical across the policy column) and
-  // analysis per payload x policy, both built on first use.
+  // analyses per payload x policy, both built on first use.  Each cache
+  // entry holds the same pair of results Machine::apply_static_elision
+  // unions into the gen-2 table, so the backward check validates exactly
+  // the bitmap elided runs execute under.
+  struct Statics {
+    analysis::TaintAnalysis g1;
+    analysis::VsaAnalysis g2;
+  };
   std::map<std::string, asmgen::Program> programs;
-  std::map<std::string, analysis::TaintAnalysis> analyses;
+  std::map<std::string, Statics> analyses;
   auto program_for = [&](const JobResult& r) -> const asmgen::Program& {
     auto it = programs.find(r.payload);
     if (it != programs.end()) return it->second;
@@ -551,19 +560,36 @@ StaticCheckReport static_check(const std::string& campaign,
         throw std::invalid_argument("static_check: unknown policy " +
                                     r.policy);
       }
-      it = analyses
-               .emplace(key, analysis::analyze_taint(program_for(r),
-                                                     pit->second))
-               .first;
+      const analysis::Cfg cfg(program_for(r));
+      Statics st;
+      st.g1 = analysis::analyze_taint(cfg, pit->second);
+      st.g2 = analysis::analyze_vsa(cfg, pit->second);
+      it = analyses.emplace(key, std::move(st)).first;
     }
-    if (!it->second.predicts_alert(alert.pc)) {
+    const Statics& st = it->second;
+    // Forward: the prover must hold a may-taint witness for the alert site.
+    if (!st.g2.predicts_alert(alert.pc)) {
       char line[256];
       std::snprintf(line, sizeof line,
-                    "%s / %s / %s: dynamic alert at %08x (%s) not "
-                    "statically predicted",
+                    "%s / %s / %s: dynamic alert at %08x (%s) has no "
+                    "prover witness",
                     r.app.c_str(), r.payload.c_str(), r.policy.c_str(),
                     alert.pc, alert.disasm.c_str());
       out.missed.push_back(line);
+    }
+    // Backward: the alert site must not be in the gen-2 elision union
+    // (gen-1 clean OR prover clean) — an elided run would skip the check.
+    auto clean = [&](const analysis::DerefSite* s) {
+      return s && s->reachable && !may_be_tainted(s->may_taint);
+    };
+    if (clean(st.g1.site_at(alert.pc)) || clean(st.g2.site_at(alert.pc))) {
+      char line[256];
+      std::snprintf(line, sizeof line,
+                    "%s / %s / %s: dynamic alert at %08x (%s) sits in the "
+                    "gen-2 elision table",
+                    r.app.c_str(), r.payload.c_str(), r.policy.c_str(),
+                    alert.pc, alert.disasm.c_str());
+      out.elided_alerts.push_back(line);
     }
   }
   (void)campaign;  // matrices self-describe via app/payload/policy labels

@@ -55,15 +55,23 @@ std::vector<Job> make_jobs(const std::string& campaign, SnapshotCache& cache,
                            int spec_scale = 1, bool elide = false,
                            std::optional<cpu::Engine> engine = std::nullopt);
 
-/// Cross-validation of the dynamic campaign against the static analyzer:
-/// for every result whose run ended in a pointer-taintedness alert, the
-/// job's program is rebuilt, analyzed under the job's policy, and the alert
-/// PC checked against the statically-possible tainted dereference sites.
-/// Soundness means `missed` stays empty: a dynamic alert at a site the
-/// analyzer proved clean would make check-elision unsafe.
+/// Bidirectional cross-validation of the dynamic campaign against the
+/// static analyzers.  For every result whose run ended in a
+/// pointer-taintedness alert, the job's program is rebuilt and analyzed
+/// under the job's policy by BOTH the register-only analyzer (gen-1) and
+/// the memory-aware value-set prover (gen-2, analysis/vsa.cpp):
+///
+///   forward   — the alert PC must sit in the prover's may-set, i.e. the
+///               prover holds a witness trace for it (`missed` stays empty);
+///   backward  — the alert PC must NOT be in the second-generation elision
+///               table (the gen-1 / gen-2 clean union actually installed by
+///               Machine::apply_static_elision); an alert at an elided site
+///               would mean the elided detector silently skips it
+///               (`elided_alerts` stays empty).
 struct StaticCheckReport {
   size_t alerts_checked = 0;        // pointer-kind alerts cross-validated
-  std::vector<std::string> missed;  // one line per unpredicted alert
+  std::vector<std::string> missed;  // alerts with no prover witness
+  std::vector<std::string> elided_alerts;  // alerts at gen-2-elided sites
 };
 StaticCheckReport static_check(const std::string& campaign,
                                const std::vector<JobResult>& results,

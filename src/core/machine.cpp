@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "analysis/taint_analyzer.hpp"
+#include "analysis/vsa.hpp"
 
 namespace ptaint::core {
 
@@ -119,9 +120,12 @@ size_t Machine::enable_static_elision() {
 size_t Machine::apply_static_elision() {
   if (program_.text.empty()) return 0;
   const analysis::Cfg cfg(program_);
-  const analysis::TaintAnalysis analysis =
-      analysis::analyze_taint(cfg, config_.policy);
-  cpu_->set_check_elision(analysis.elision);
+  // Second-generation table: the register-only analyzer's bitmap unioned
+  // with the memory-aware value-set prover's (vsa.cpp), so every gen-1
+  // elision survives and sites whose cleanliness transits memory join them.
+  const analysis::Gen2Elision gen2 =
+      analysis::gen2_elision(cfg, config_.policy);
+  cpu_->set_check_elision(gen2.elision);
   // Hand the recovered block boundaries to the superblock engine so its
   // translations align with the static CFG (translation hint only).
   std::vector<uint8_t> leaders(program_.text.size(), 0);
@@ -130,7 +134,7 @@ size_t Machine::apply_static_elision() {
     if (i < leaders.size()) leaders[i] = 1;
   }
   cpu_->set_block_leaders(leaders);
-  return analysis.proven_clean;
+  return gen2.gen2_clean;
 }
 
 uint32_t Machine::aslr_offset() const {

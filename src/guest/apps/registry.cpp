@@ -1,0 +1,37 @@
+#include "guest/apps/registry.hpp"
+
+#include "guest/apps/apps.hpp"
+
+namespace ptaint::guest::apps {
+
+const std::vector<AppEntry>& registry() {
+  static const std::vector<AppEntry> kApps = {
+      {"exp1", &exp1_stack},
+      {"exp2", &exp2_heap},
+      {"exp3", &exp3_format},
+      {"wu-ftpd", &wu_ftpd},
+      {"null-httpd", &null_httpd},
+      {"ghttpd", &ghttpd},
+      {"traceroute", &traceroute},
+      {"globd", &globd},
+      {"fn-int-overflow", &fn_int_overflow},
+      {"fn-auth-flag", &fn_auth_flag},
+      {"fn-format-leak", &fn_format_leak},
+      {"spec-bzip2", &spec_bzip2},
+      {"spec-gzip", &spec_gzip},
+      {"spec-gcc", &spec_gcc},
+      {"spec-mcf", &spec_mcf},
+      {"spec-parser", &spec_parser},
+      {"spec-vpr", &spec_vpr},
+  };
+  return kApps;
+}
+
+const AppEntry* find_app(const std::string& name) {
+  for (const AppEntry& e : registry()) {
+    if (name == e.name) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace ptaint::guest::apps

@@ -1,0 +1,26 @@
+// Name -> source-factory registry of every built-in guest application.
+// Shared by the analysis CLIs (ptaint-lint, ptaint-prove) so the app list
+// exists in exactly one place; the campaign layer keeps its own richer
+// tables (attack payloads, workloads) keyed by the same names.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "asmgen/assembler.hpp"
+
+namespace ptaint::guest::apps {
+
+struct AppEntry {
+  const char* name;
+  asmgen::Source (*make)();
+};
+
+/// Every built-in app, in the canonical listing order (experiment apps,
+/// servers, false-negative studies, SPEC surrogates).
+const std::vector<AppEntry>& registry();
+
+/// Factory for `name`, or nullptr when unknown.
+const AppEntry* find_app(const std::string& name);
+
+}  // namespace ptaint::guest::apps

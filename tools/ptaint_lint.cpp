@@ -26,7 +26,7 @@
 #include "analysis/cfg.hpp"
 #include "analysis/lint.hpp"
 #include "analysis/taint_analyzer.hpp"
-#include "guest/apps/apps.hpp"
+#include "guest/apps/registry.hpp"
 #include "guest/runtime.hpp"
 
 using namespace ptaint;
@@ -44,35 +44,57 @@ std::string read_file(const std::string& path) {
   return ss.str();
 }
 
-using AppFactory = asmgen::Source (*)();
-constexpr std::pair<const char*, AppFactory> kApps[] = {
-      {"exp1", &guest::apps::exp1_stack},
-      {"exp2", &guest::apps::exp2_heap},
-      {"exp3", &guest::apps::exp3_format},
-      {"wu-ftpd", &guest::apps::wu_ftpd},
-      {"null-httpd", &guest::apps::null_httpd},
-      {"ghttpd", &guest::apps::ghttpd},
-      {"traceroute", &guest::apps::traceroute},
-      {"globd", &guest::apps::globd},
-      {"fn-int-overflow", &guest::apps::fn_int_overflow},
-      {"fn-auth-flag", &guest::apps::fn_auth_flag},
-      {"fn-format-leak", &guest::apps::fn_format_leak},
-      {"spec-bzip2", &guest::apps::spec_bzip2},
-      {"spec-gzip", &guest::apps::spec_gzip},
-      {"spec-gcc", &guest::apps::spec_gcc},
-      {"spec-mcf", &guest::apps::spec_mcf},
-      {"spec-parser", &guest::apps::spec_parser},
-      {"spec-vpr", &guest::apps::spec_vpr},
-};
-
 asmgen::Source app_source(const std::string& name) {
-  for (const auto& [key, make] : kApps) {
-    if (name == key) return make();
+  if (const guest::apps::AppEntry* e = guest::apps::find_app(name)) {
+    return e->make();
   }
   std::cerr << "ptaint-lint: unknown app '" << name << "'; known:";
-  for (const auto& [key, make] : kApps) std::cerr << " " << key;
+  for (const auto& e : guest::apps::registry()) std::cerr << " " << e.name;
   std::cerr << "\n";
   std::exit(4);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Machine-readable findings: one JSON array, each element carrying the
+/// rule id, the text PC, the enclosing function, and the source location
+/// the assembler recorded for that PC (file/line/col; col may be 0).
+void print_json(const asmgen::Program& program,
+                const std::vector<analysis::LintFinding>& findings) {
+  std::printf("[");
+  bool first = true;
+  for (const analysis::LintFinding& f : findings) {
+    const char* sep = first ? "\n" : ",\n";
+    first = false;
+    std::string file;
+    int line = 0, col = 0;
+    auto it = program.text_locs.find(f.pc);
+    if (it != program.text_locs.end()) {
+      file = it->second.file;
+      line = it->second.line;
+      col = it->second.col;
+    }
+    std::printf(
+        "%s  {\"rule\": \"%s\", \"pc\": \"0x%08x\", "
+        "\"function\": \"%s\", \"file\": \"%s\", "
+        "\"line\": %d, \"col\": %d, \"message\": \"%s\"}",
+        sep, analysis::to_string(f.kind), f.pc,
+        json_escape(f.function).c_str(), json_escape(file).c_str(), line,
+        col, json_escape(f.message).c_str());
+  }
+  std::printf("%s]\n", first ? "" : "\n");
 }
 
 [[noreturn]] void usage() {
@@ -91,6 +113,7 @@ int main(int argc, char** argv) {
   bool taint_report = false;
   bool elision_stats = false;
   bool quiet = false;
+  bool json = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -107,6 +130,8 @@ usage: ptaint-lint [options] program.s [more.s ...]
   --taint-report        print statically-possible tainted dereference sites
   --elision-stats       print proven-clean vs possible site counts
   --no-compare-untaint  analyze under the ablated compare rule
+  --json                print findings as a JSON array (rule id, pc,
+                        function, source file/line/col, message)
   --quiet               suppress findings, set the exit code only
 exit codes: 0 no findings, 1 findings, 4 usage or assembly error
 )");
@@ -114,9 +139,8 @@ exit codes: 0 no findings, 1 findings, 4 usage or assembly error
     } else if (arg == "--app") {
       sources.push_back(app_source(value()));
     } else if (arg == "--list-apps") {
-      for (const auto& [key, make] : kApps) {
-        (void)make;
-        std::printf("%s\n", key);
+      for (const auto& e : guest::apps::registry()) {
+        std::printf("%s\n", e.name);
       }
       return 0;
     } else if (arg == "--no-runtime") {
@@ -127,6 +151,8 @@ exit codes: 0 no findings, 1 findings, 4 usage or assembly error
       elision_stats = true;
     } else if (arg == "--no-compare-untaint") {
       policy.compare_untaints = false;
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -153,7 +179,9 @@ exit codes: 0 no findings, 1 findings, 4 usage or assembly error
   const analysis::Cfg cfg(program);
   const std::vector<analysis::LintFinding> findings = analysis::run_lints(cfg);
 
-  if (!quiet) {
+  if (json) {
+    print_json(program, findings);
+  } else if (!quiet) {
     std::fputs(analysis::format_findings(findings).c_str(), stdout);
     if (taint_report || elision_stats) {
       const analysis::TaintAnalysis ta = analysis::analyze_taint(cfg, policy);
@@ -172,8 +200,11 @@ exit codes: 0 no findings, 1 findings, 4 usage or assembly error
       }
     }
   }
-  std::fprintf(stderr, "%zu finding(s) in %zu instructions, %zu functions\n",
-               findings.size(), cfg.instructions().size(),
-               cfg.functions().size());
+  if (!json) {
+    std::fprintf(stderr,
+                 "%zu finding(s) in %zu instructions, %zu functions\n",
+                 findings.size(), cfg.instructions().size(),
+                 cfg.functions().size());
+  }
   return findings.empty() ? 0 : 1;
 }

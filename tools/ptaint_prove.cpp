@@ -1,0 +1,253 @@
+// ptaint-prove — memory-aware value-set taint prover front end.
+//
+//   ptaint-prove [options] program.s [more.s ...]
+//   ptaint-prove --app NAME
+//
+// Assembles the input (linked with the guest runtime unless --no-runtime)
+// and runs both static analyzers: the register-only pass (gen-1) and the
+// value-set prover (gen-2, src/analysis/vsa.cpp).  For every dereference
+// site the prover cannot clear it prints a *witness*: a shortest
+// source-rooted may-taint path (syscall input / argv / TAINTSET /
+// unmodeled stack read -> memory cells -> registers -> the dereference).
+// A witness whose chain could not be connected to any taint source is
+// *unexplained* — on a non-attack program that indicates an analysis
+// modeling gap, and the CI sweep requires zero of them.
+//
+// Exit codes:
+//   0  every witness is source-rooted (or there are no may-tainted sites)
+//   1  unexplained witnesses present
+//   4  usage or assembly error
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "analysis/taint_analyzer.hpp"
+#include "analysis/vsa.hpp"
+#include "guest/apps/registry.hpp"
+#include "guest/runtime.hpp"
+
+using namespace ptaint;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "ptaint-prove: cannot open " << path << "\n";
+    std::exit(4);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+asmgen::Source app_source(const std::string& name) {
+  if (const guest::apps::AppEntry* e = guest::apps::find_app(name)) {
+    return e->make();
+  }
+  std::cerr << "ptaint-prove: unknown app '" << name << "'; known:";
+  for (const auto& e : guest::apps::registry()) std::cerr << " " << e.name;
+  std::cerr << "\n";
+  std::exit(4);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: ptaint-prove [options] program.s [more.s ...]\n"
+               "       ptaint-prove --app NAME\n"
+               "run ptaint-prove --help for the option list\n";
+  std::exit(4);
+}
+
+struct Stats {
+  size_t sites = 0;       // reachable dereference sites
+  size_t gen1_clean = 0;  // proven clean by the register-only analyzer
+  size_t gen2_clean = 0;  // proven clean by the unioned gen-2 table
+  size_t may_sites = 0;   // sites the prover cannot clear (VSA verdict)
+  size_t unexplained = 0; // may sites with no source-rooted witness
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<asmgen::Source> sources;
+  cpu::TaintPolicy policy;  // paper defaults
+  std::string app_name = "program";
+  bool with_runtime = true;
+  bool json = false;
+  bool quiet = false;
+  bool witnesses = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--help") {
+      std::printf("%s", R"(ptaint-prove: value-set taint prover for PTA-32 assembly
+usage: ptaint-prove [options] program.s [more.s ...]
+  --app NAME            prove a built-in guest app (exp1, wu-ftpd, ...)
+  --list-apps           print the known app names, one per line, and exit
+  --no-runtime          do not link the guest runtime
+  --json                emit the report as JSON (schema: docs/ANALYSIS.md)
+  --no-witnesses        verdicts and elision stats only (faster)
+  --no-compare-untaint  analyze under the ablated compare rule
+  --quiet               suppress the report, set the exit code only
+exit codes: 0 all witnesses source-rooted, 1 unexplained witnesses,
+            4 usage or assembly error
+)");
+      return 0;
+    } else if (arg == "--app") {
+      app_name = value();
+      sources.push_back(app_source(app_name));
+    } else if (arg == "--list-apps") {
+      for (const auto& e : guest::apps::registry()) {
+        std::printf("%s\n", e.name);
+      }
+      return 0;
+    } else if (arg == "--no-runtime") {
+      with_runtime = false;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--no-witnesses") {
+      witnesses = false;
+    } else if (arg == "--no-compare-untaint") {
+      policy.compare_untaints = false;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "ptaint-prove: unknown option " << arg << "\n";
+      usage();
+    } else {
+      app_name = arg;
+      sources.push_back({arg, read_file(arg)});
+    }
+  }
+  if (sources.empty()) usage();
+
+  std::vector<asmgen::Source> units;
+  if (with_runtime) units = guest::runtime();
+  for (auto& s : sources) units.push_back(std::move(s));
+
+  asmgen::Program program;
+  try {
+    program = asmgen::assemble(units);
+  } catch (const asmgen::AssemblyError& e) {
+    std::cerr << "assembly failed:\n" << e.what();
+    return 4;
+  }
+
+  const analysis::Cfg cfg(program);
+  const analysis::TaintAnalysis g1 = analysis::analyze_taint(cfg, policy);
+  analysis::VsaOptions opts;
+  opts.witnesses = witnesses;
+  const analysis::VsaAnalysis g2 = analysis::analyze_vsa(cfg, policy, opts);
+
+  Stats st;
+  for (size_t i = 0; i < g1.sites.size(); ++i) {
+    const analysis::DerefSite& s1 = g1.sites[i];
+    const analysis::DerefSite& s2 = g2.sites[i];
+    if (!s1.reachable && !s2.reachable) continue;
+    ++st.sites;
+    // Use the elision bitmaps so the counts match the table the
+    // interpreter installs (they include sites the prover shows dead).
+    const size_t idx = cfg.index_of(s1.pc);
+    const bool bit1 = g1.elision[idx] != 0;
+    const bool bit2 = g2.elision[idx] != 0;
+    if (bit1) ++st.gen1_clean;
+    if (bit1 || bit2) ++st.gen2_clean;
+    if (s2.reachable && may_be_tainted(s2.may_taint)) ++st.may_sites;
+  }
+  for (const analysis::Witness& w : g2.witnesses) {
+    if (!w.complete) ++st.unexplained;
+  }
+
+  auto func_name = [&](uint32_t pc) -> std::string {
+    const int f = cfg.function_at(pc);
+    return f >= 0 ? cfg.functions()[static_cast<size_t>(f)].name : "?";
+  };
+
+  if (json && !quiet) {
+    std::printf("{\n");
+    std::printf("  \"app\": \"%s\",\n", json_escape(app_name).c_str());
+    std::printf("  \"sites\": %zu,\n", st.sites);
+    std::printf("  \"gen1_clean\": %zu,\n", st.gen1_clean);
+    std::printf("  \"gen2_clean\": %zu,\n", st.gen2_clean);
+    std::printf("  \"may_tainted\": %zu,\n", st.may_sites);
+    std::printf("  \"unexplained\": %zu,\n", st.unexplained);
+    std::printf("  \"witnesses\": [");
+    bool first = true;
+    for (const analysis::Witness& w : g2.witnesses) {
+      std::printf("%s\n    {\"site_pc\": \"0x%08x\", \"site\": \"%s\", "
+                  "\"function\": \"%s\", \"complete\": %s, \"steps\": [",
+                  first ? "" : ",", w.site_pc,
+                  json_escape(isa::disassemble(cfg.inst_at(w.site_pc),
+                                               w.site_pc))
+                      .c_str(),
+                  json_escape(func_name(w.site_pc)).c_str(),
+                  w.complete ? "true" : "false");
+      first = false;
+      bool sfirst = true;
+      for (const analysis::WitnessStep& step : w.steps) {
+        std::printf("%s\n      {\"pc\": \"0x%08x\", \"event\": \"%s\", "
+                    "\"loc\": \"%s\"}",
+                    sfirst ? "" : ",", step.pc,
+                    json_escape(step.event).c_str(),
+                    json_escape(step.loc).c_str());
+        sfirst = false;
+      }
+      std::printf("%s]}", sfirst ? "" : "\n    ");
+    }
+    std::printf("%s]\n}\n", first ? "" : "\n  ");
+  } else if (!quiet) {
+    std::printf("%zu reachable dereference site(s): %zu proven clean by the "
+                "register-only analyzer, %zu by the gen-2 table "
+                "(%.1f%% -> %.1f%% elidable), %zu may-tainted\n",
+                st.sites, st.gen1_clean, st.gen2_clean,
+                st.sites ? 100.0 * static_cast<double>(st.gen1_clean) /
+                               static_cast<double>(st.sites)
+                         : 0.0,
+                st.sites ? 100.0 * static_cast<double>(st.gen2_clean) /
+                               static_cast<double>(st.sites)
+                         : 0.0,
+                st.may_sites);
+    if (witnesses) {
+      for (const analysis::Witness& w : g2.witnesses) {
+        std::printf("\nwitness for %08x: %s  [in %s]%s\n", w.site_pc,
+                    isa::disassemble(cfg.inst_at(w.site_pc), w.site_pc)
+                        .c_str(),
+                    func_name(w.site_pc).c_str(),
+                    w.complete ? "" : "  (UNEXPLAINED: no source-rooted "
+                                      "path found)");
+        size_t n = 1;
+        for (const analysis::WitnessStep& step : w.steps) {
+          std::printf("  %2zu. %08x  %-44s -> %s\n", n++, step.pc,
+                      step.event.c_str(), step.loc.c_str());
+        }
+      }
+      std::printf("\n%zu witness(es), %zu unexplained\n",
+                  g2.witnesses.size(), st.unexplained);
+    }
+  }
+  return st.unexplained == 0 ? 0 : 1;
+}
