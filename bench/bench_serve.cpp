@@ -1,0 +1,164 @@
+// Sustained serving throughput of the ptaint-serve daemon.
+//
+// Boots a ServeDaemon in-process on a scratch socket + journal, then
+// drives the seed ablation workload — every detectable attack cell under
+// the paper policy — through the full socket protocol with the shared
+// load generator (streaming submits over concurrent connections).  The
+// measured path is the real daemon path end to end: NDJSON parse, quota
+// check, journal append, fair-queue dispatch, snapshot-fork execution on
+// shard workers, judge-batch adjudication, second journal append, event
+// fan-out, socket write.
+//
+//   bench_serve [json-path] [--jobs N] [--connections N] [--batch N]
+//               [--workers N] [--check]
+//
+// Two timed phases per configuration: a warmup pass (boots the snapshots
+// and populates every shard's machine pool) and the measured pass.
+// Results — sustained jobs/sec plus p50/p99 submit-to-verdict latency —
+// go to `json-path` (default BENCH_serve.json) for EXPERIMENTS.md and CI.
+// `--check` instead runs a small pass and exits 1 unless every job
+// verdicted (made for sanitizer legs, where timing is meaningless).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "campaign/campaigns.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+using namespace ptaint;
+using namespace ptaint::serve;
+
+namespace {
+
+std::string scratch_path(const char* suffix) {
+  return "/tmp/bench_serve." + std::to_string(::getpid()) + suffix;
+}
+
+/// The seed load: the ablation matrix's detectable attack cells under the
+/// paper policy — small guests, one shared snapshot per scenario, the
+/// workload the acceptance bar is defined against.
+std::vector<std::string> seed_specs() {
+  std::vector<std::string> specs;
+  for (const auto& cell : campaign::campaign_cells("ablation")) {
+    if (cell.app != "attack") continue;
+    if (cell.policy != "paper (all rules on)") continue;
+    specs.push_back("{\"app\": \"attack\", \"payload\": \"" + cell.payload +
+                    "\", \"policy\": \"paper\"}");
+  }
+  return specs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_serve.json";
+  uint64_t jobs = 4000;
+  int connections = 4, batch = 32, workers = 8;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_serve: %s needs a value\n", arg.c_str());
+        std::exit(4);
+      }
+      return argv[++i];
+    };
+    if (arg == "--jobs") {
+      jobs = std::strtoull(value(), nullptr, 0);
+    } else if (arg == "--connections") {
+      connections = std::atoi(value());
+    } else if (arg == "--batch") {
+      batch = std::atoi(value());
+    } else if (arg == "--workers") {
+      workers = std::atoi(value());
+    } else if (arg == "--check") {
+      check = true;
+    } else if (!arg.empty() && arg[0] != '-') {
+      json_path = arg;
+    } else {
+      std::fprintf(stderr, "bench_serve: unknown option %s\n", arg.c_str());
+      return 4;
+    }
+  }
+  if (check) {
+    jobs = 64;
+    connections = 2;
+  }
+
+  ServeDaemon::Config config;
+  config.socket_path = scratch_path(".sock");
+  config.journal_path = scratch_path(".journal");
+  config.workers = workers;
+  ::unlink(config.journal_path.c_str());
+
+  ServeDaemon daemon(config);
+  daemon.start();
+  const std::vector<std::string> specs = seed_specs();
+
+  // Warmup: boots every scenario snapshot into the shared cache and a kept
+  // machine into each shard's pool, so the measured pass times serving,
+  // not first-touch construction.
+  const LoadStats warm = run_load(config.socket_path, specs,
+                                  specs.size() * 4, connections, batch);
+  const LoadStats stats =
+      run_load(config.socket_path, specs, jobs, connections, batch);
+
+  {
+    Client client(config.socket_path);
+    client.request("{\"cmd\": \"shutdown\"}");
+  }
+  daemon.wait();
+  ::unlink(config.journal_path.c_str());
+
+  std::printf("== ptaint-serve sustained throughput ==\n\n");
+  std::printf("workload: %zu ablation attack cells, %llu jobs, %d workers, "
+              "%d connections x batch %d\n",
+              specs.size(), static_cast<unsigned long long>(stats.jobs),
+              workers, connections, batch);
+  std::printf("sustained: %.0f jobs/s over %.2fs\n", stats.jobs_per_sec,
+              stats.wall_s);
+  std::printf("latency:   p50 %.2fms  p99 %.2fms (submit -> verdict)\n",
+              stats.p50_ms, stats.p99_ms);
+  if (stats.errors != 0 || warm.errors != 0) {
+    std::fprintf(stderr, "bench_serve: %llu load errors\n",
+                 static_cast<unsigned long long>(stats.errors + warm.errors));
+    return 1;
+  }
+  if (check) {
+    const bool ok = stats.jobs == jobs;
+    std::printf("\ncheck: %s (%llu/%llu verdicts)\n", ok ? "ok" : "FAILED",
+                static_cast<unsigned long long>(stats.jobs),
+                static_cast<unsigned long long>(jobs));
+    return ok ? 0 : 1;
+  }
+
+  std::ostringstream json;
+  char line[256];
+  json << "{\n  \"bench\": \"serve_throughput\",\n";
+  json << "  \"workload\": \"ablation-attack-cells\",\n";
+  std::snprintf(line, sizeof line,
+                "  \"jobs\": %llu,\n  \"workers\": %d,\n"
+                "  \"connections\": %d,\n  \"batch\": %d,\n",
+                static_cast<unsigned long long>(stats.jobs), workers,
+                connections, batch);
+  json << line;
+  std::snprintf(line, sizeof line,
+                "  \"wall_s\": %.3f,\n  \"jobs_per_sec\": %.1f,\n"
+                "  \"p50_ms\": %.3f,\n  \"p99_ms\": %.3f\n}\n",
+                stats.wall_s, stats.jobs_per_sec, stats.p50_ms, stats.p99_ms);
+  json << line;
+  std::ofstream out(json_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "bench_serve: cannot write %s\n", json_path.c_str());
+    return 4;
+  }
+  out << json.str();
+  return 0;
+}

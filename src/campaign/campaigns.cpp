@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 
@@ -13,6 +14,7 @@
 #include "core/attack.hpp"
 #include "core/spec_workloads.hpp"
 #include "guest/apps/apps.hpp"
+#include "guest/apps/registry.hpp"
 #include "guest/runtime.hpp"
 
 namespace ptaint::campaign {
@@ -41,6 +43,32 @@ std::vector<std::shared_ptr<const core::SpecWorkload>> shared_workloads(
     out.push_back(std::make_shared<const core::SpecWorkload>(std::move(w)));
   }
   return out;
+}
+
+/// Process-wide memoized corpora for the per-cell entry points.  Building
+/// the attack corpus assembles every scenario's guest program (~90ms) —
+/// negligible once per batch campaign, ruinous when the serve daemon pays
+/// it on every submitted cell.  Scenarios and workloads are immutable, and
+/// batch campaigns already share them across worker threads, so one
+/// process-wide copy changes nothing semantically.
+const std::vector<std::shared_ptr<const core::Scenario>>& cached_corpus() {
+  static const std::vector<std::shared_ptr<const core::Scenario>> corpus =
+      shared_corpus();
+  return corpus;
+}
+
+const std::vector<std::shared_ptr<const core::SpecWorkload>>&
+cached_workloads(int scale) {
+  static std::mutex mutex;
+  static std::map<int,
+                  std::vector<std::shared_ptr<const core::SpecWorkload>>>
+      by_scale;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = by_scale.find(scale);
+  if (it == by_scale.end()) {
+    it = by_scale.emplace(scale, shared_workloads(scale)).first;
+  }
+  return it->second;
 }
 
 /// Machine config for a fork of a shared snapshot under `policy`.  The
@@ -466,6 +494,142 @@ std::vector<Job> make_jobs(const std::string& campaign, SnapshotCache& cache,
   throw std::invalid_argument("unknown campaign: " + campaign);
 }
 
+std::vector<CellRef> campaign_cells(const std::string& campaign,
+                                    int spec_scale) {
+  std::vector<CellRef> out;
+  if (campaign == "ablation") {
+    const auto workloads = core::make_spec_workloads(spec_scale);
+    const auto corpus = core::make_attack_corpus();
+    for (const PolicyVariant& v : ablation_variants()) {
+      for (const auto& w : workloads) out.push_back({"spec", w.name, v.name});
+      for (const auto& s : corpus) {
+        if (!s->expected_detected()) continue;
+        out.push_back({"attack", s->name(), v.name});
+      }
+    }
+    return out;
+  }
+  if (campaign == "falseneg") {
+    for (core::AttackId id : kFalsenegIds) {
+      out.push_back({"attack", core::make_scenario(id)->name(), "paper"});
+    }
+    out.push_back({"attack", "fn-format-write", "paper"});
+    return out;
+  }
+  if (campaign == "coverage") {
+    const auto corpus = core::make_attack_corpus();
+    for (cpu::DetectionMode mode : kCoverageModes) {
+      for (const auto& s : corpus) {
+        out.push_back({"attack", s->name(), core::to_string(mode)});
+      }
+    }
+    return out;
+  }
+  throw std::invalid_argument("unknown campaign: " + campaign);
+}
+
+std::optional<cpu::TaintPolicy> policy_by_name(const std::string& name) {
+  for (const PolicyVariant& v : ablation_variants()) {
+    if (v.name == name) return v.policy;
+  }
+  for (cpu::DetectionMode mode : kCoverageModes) {
+    if (core::to_string(mode) == name) {
+      cpu::TaintPolicy p;
+      p.mode = mode;
+      return p;
+    }
+  }
+  if (name == "paper") return cpu::TaintPolicy{};
+  return std::nullopt;
+}
+
+Job make_cell_job(const CellRef& cell, SnapshotCache& cache, int spec_scale,
+                  bool elide, std::optional<cpu::Engine> engine) {
+  const std::optional<cpu::TaintPolicy> policy = policy_by_name(cell.policy);
+  if (!policy) {
+    throw std::invalid_argument("unknown policy: " + cell.policy);
+  }
+  if (cell.app == "spec") {
+    for (const auto& w : cached_workloads(spec_scale)) {
+      if (w->name == cell.payload) {
+        return spec_job(cache, w, {cell.policy, *policy}, elide, engine);
+      }
+    }
+    throw std::invalid_argument("unknown spec workload: " + cell.payload);
+  }
+  if (cell.app == "attack") {
+    if (cell.payload == "fn-format-write") {
+      if (cell.policy != "paper") {
+        throw std::invalid_argument(
+            "fn-format-write runs under the \"paper\" policy only");
+      }
+      return fn_format_write_job(cache, elide, engine);
+    }
+    for (const auto& s : cached_corpus()) {
+      if (s->name() == cell.payload) {
+        return attack_job(cache, s, cell.policy, *policy, elide, engine);
+      }
+    }
+    throw std::invalid_argument("unknown attack scenario: " + cell.payload);
+  }
+  throw std::invalid_argument("unknown app kind: " + cell.app);
+}
+
+Job make_session_job(const std::string& app_name,
+                     const std::vector<std::string>& session,
+                     const std::string& stdin_text,
+                     const std::string& policy_name, SnapshotCache& cache,
+                     bool elide, std::optional<cpu::Engine> engine) {
+  const std::optional<cpu::TaintPolicy> policy = policy_by_name(policy_name);
+  if (!policy) {
+    throw std::invalid_argument("unknown policy: " + policy_name);
+  }
+  if (guest::apps::find_app(app_name) == nullptr) {
+    throw std::invalid_argument("unknown guest app: " + app_name);
+  }
+  Job job;
+  job.app = "guest";
+  job.payload = app_name;
+  job.policy = policy_name;
+  job.max_instructions = kContrastBudget;
+  job.machine_key = machine_key(policy_name, kContrastBudget, elide, engine);
+  const cpu::TaintPolicy p = *policy;
+  job.make_config = [p, elide, engine]() {
+    return fork_config(p, kContrastBudget, elide, engine);
+  };
+  // The armed inputs are part of the boot, so the snapshot key must cover
+  // them: two submissions differing only in session bytes fork different
+  // snapshots, identical ones share.
+  std::string snap_key = "guest:" + app_name;
+  for (const std::string& line : session) snap_key += "\x1f" + line;
+  snap_key += "\x1e" + stdin_text;
+  job.get_snapshot = [&cache, snap_key, app_name, session, stdin_text]() {
+    return cache.get(snap_key, [&]() {
+      auto m = std::make_unique<core::Machine>(core::MachineConfig{});
+      m->load_sources(
+          guest::link_with_runtime(guest::apps::find_app(app_name)->make()));
+      if (!session.empty()) m->os().net().add_session(session);
+      if (!stdin_text.empty()) m->os().set_stdin(stdin_text);
+      return m->snapshot();
+    });
+  };
+  job.classify = [](core::Machine&, const core::RunReport& report,
+                    JobResult& out) {
+    if (report.detected()) {
+      out.verdict = "DETECTED";
+      out.detail = report.alert_line();
+    } else if (report.stop == cpu::StopReason::kFault) {
+      out.verdict = "CRASHED";
+      out.detail = report.fault;
+    } else if (report.stop == cpu::StopReason::kInstLimit) {
+      out.verdict = "BUDGET";
+    } else {
+      out.verdict = "EXIT:" + std::to_string(report.exit_status);
+    }
+  };
+  return job;
+}
+
 std::vector<JobResult> run_serial_reference(const std::string& campaign,
                                             int spec_scale) {
   // The serial reference is the semantic baseline, so it always runs on
@@ -489,19 +653,6 @@ StaticCheckReport static_check(const std::string& campaign,
                                const std::vector<JobResult>& results,
                                int spec_scale) {
   StaticCheckReport out;
-
-  // Policy by matrix label.  Ablation variant names, coverage mode names
-  // and the falseneg "paper" column all resolve here.
-  std::map<std::string, cpu::TaintPolicy> policies;
-  for (const PolicyVariant& v : ablation_variants()) {
-    policies[v.name] = v.policy;
-  }
-  for (cpu::DetectionMode mode : kCoverageModes) {
-    cpu::TaintPolicy p;
-    p.mode = mode;
-    policies[core::to_string(mode)] = p;
-  }
-  policies["paper"] = cpu::TaintPolicy{};
 
   // Program per payload (link-identical across the policy column) and
   // analyses per payload x policy, both built on first use.  Each cache
@@ -555,15 +706,15 @@ StaticCheckReport static_check(const std::string& campaign,
     const std::string key = r.payload + "|" + r.policy;
     auto it = analyses.find(key);
     if (it == analyses.end()) {
-      auto pit = policies.find(r.policy);
-      if (pit == policies.end()) {
+      const std::optional<cpu::TaintPolicy> policy = policy_by_name(r.policy);
+      if (!policy) {
         throw std::invalid_argument("static_check: unknown policy " +
                                     r.policy);
       }
       const analysis::Cfg cfg(program_for(r));
       Statics st;
-      st.g1 = analysis::analyze_taint(cfg, pit->second);
-      st.g2 = analysis::analyze_vsa(cfg, pit->second);
+      st.g1 = analysis::analyze_taint(cfg, *policy);
+      st.g2 = analysis::analyze_vsa(cfg, *policy);
       it = analyses.emplace(key, std::move(st)).first;
     }
     const Statics& st = it->second;

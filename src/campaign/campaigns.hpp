@@ -43,6 +43,47 @@ std::vector<PolicyVariant> ablation_variants();
 /// Campaign names accepted below, in a stable order.
 std::vector<std::string> campaign_names();
 
+/// One matrix cell by label — the unit the serve daemon accepts over the
+/// socket.  `app` is "spec" or "attack"; `payload` names the workload or
+/// scenario; `policy` is an ablation-variant name, a coverage-mode name,
+/// or "paper".
+struct CellRef {
+  std::string app;
+  std::string payload;
+  std::string policy;
+};
+
+/// The cells of `campaign` in matrix order, labels only (no machines are
+/// built).  make_cell_job on each cell reproduces make_jobs exactly.
+std::vector<CellRef> campaign_cells(const std::string& campaign,
+                                    int spec_scale = 1);
+
+/// Resolves a policy label (ablation variant name, coverage mode name, or
+/// "paper") to its TaintPolicy; nullopt for unknown labels.
+std::optional<cpu::TaintPolicy> policy_by_name(const std::string& name);
+
+/// Builds the single job for one matrix cell.  Snapshot sharing, machine
+/// keys, budgets and classifiers are identical to the cell's make_jobs
+/// counterpart, so a daemon running cells one at a time reports exactly
+/// what a batch campaign run reports.  Throws std::invalid_argument for an
+/// unknown app/payload/policy label.
+Job make_cell_job(const CellRef& cell, SnapshotCache& cache,
+                  int spec_scale = 1, bool elide = false,
+                  std::optional<cpu::Engine> engine = std::nullopt);
+
+/// A custom analysis job outside the fixed matrices (the serve daemon's
+/// "guest" app kind): boot built-in app `app_name` (guest/apps registry),
+/// arm the scripted client `session` and `stdin_text` as external (tainted)
+/// input, and judge generically — DETECTED / CRASHED / BUDGET / EXIT:<n>.
+/// The snapshot key covers the app and the armed inputs, so identical
+/// submissions share one boot and COW-fork the rest.
+Job make_session_job(const std::string& app_name,
+                     const std::vector<std::string>& session,
+                     const std::string& stdin_text,
+                     const std::string& policy_name, SnapshotCache& cache,
+                     bool elide = false,
+                     std::optional<cpu::Engine> engine = std::nullopt);
+
 /// Builds the job matrix for `campaign`.  Jobs fork machines from
 /// snapshots in `cache`, which must outlive every returned job.
 /// `spec_scale` sizes the SPEC surrogate inputs (ablation only).

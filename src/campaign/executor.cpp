@@ -1,16 +1,14 @@
 #include "campaign/executor.hpp"
 
 #include <atomic>
-#include <chrono>
 #include <deque>
-#include <exception>
 #include <mutex>
 #include <thread>
 #include <utility>
 
-namespace ptaint::campaign {
+#include "campaign/worker.hpp"
 
-using Clock = std::chrono::steady_clock;
+namespace ptaint::campaign {
 
 const char* to_string(JobStatus status) {
   switch (status) {
@@ -31,10 +29,6 @@ Executor::Executor(Config config) : config_(config) {
 }
 
 namespace {
-
-double ms_between(Clock::time_point a, Clock::time_point b) {
-  return std::chrono::duration<double, std::milli>(b - a).count();
-}
 
 /// One worker's job queue.  Owner pops newest (back), thieves steal oldest
 /// (front); a plain mutex per deque is plenty — jobs are whole guest runs,
@@ -59,156 +53,6 @@ struct WorkQueue {
     return true;
   }
 };
-
-/// Per-worker machine pool for the fork path: one machine per
-/// (snapshot × config) key, FIFO-evicted past a small cap so a campaign
-/// with many boots cannot hoard decode caches.  Strictly thread-local to
-/// its worker — machines are single-threaded by contract.
-class MachinePool {
- public:
-  core::Machine* find(const std::string& key) {
-    for (auto& [k, m] : entries_) {
-      if (k == key) return m.get();
-    }
-    return nullptr;
-  }
-
-  void put(const std::string& key, std::unique_ptr<core::Machine> machine) {
-    if (entries_.size() >= kCapacity) entries_.pop_front();
-    entries_.emplace_back(key, std::move(machine));
-  }
-
-  /// Drops the machine for `key` (a harness error may have left it
-  /// half-restored; the retry rebuilds from scratch).
-  void drop(const std::string& key) {
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-      if (it->first == key) {
-        entries_.erase(it);
-        return;
-      }
-    }
-  }
-
- private:
-  static constexpr size_t kCapacity = 8;
-  std::deque<std::pair<std::string, std::unique_ptr<core::Machine>>> entries_;
-};
-
-struct ForkCounters {
-  std::atomic<uint64_t> machine_builds{0};
-  std::atomic<uint64_t> machine_reuses{0};
-};
-
-JobResult execute_job(const Job& job, size_t index,
-                      const Executor::Config& config, MachinePool& machines,
-                      ForkCounters& counters) {
-  JobResult result;
-  result.index = index;
-  result.app = job.app;
-  result.payload = job.payload;
-  result.policy = job.policy;
-
-  const bool fork_path =
-      !job.machine_key.empty() && job.make_config && job.get_snapshot;
-
-  for (int attempt = 1;; ++attempt) {
-    result.attempts = attempt;
-    result.error.clear();
-    const auto start = Clock::now();
-    try {
-      std::unique_ptr<core::Machine> legacy;
-      std::shared_ptr<const core::MachineSnapshot> snapshot;
-      core::Machine* machine = nullptr;
-      auto armed_at = start;
-      if (fork_path) {
-        snapshot = job.get_snapshot();  // cold cache = the guest boots here
-        const auto resolved_at = Clock::now();
-        result.build_ms = ms_between(start, resolved_at);
-        machine = machines.find(job.machine_key);
-        if (machine == nullptr) {
-          auto fresh = std::make_unique<core::Machine>(job.make_config());
-          machine = fresh.get();
-          machines.put(job.machine_key, std::move(fresh));
-          counters.machine_builds.fetch_add(1, std::memory_order_relaxed);
-        } else {
-          counters.machine_reuses.fetch_add(1, std::memory_order_relaxed);
-        }
-        // Repeat restores from one snapshot take the COW delta path inside
-        // Machine::restore — O(pages the previous run dirtied).
-        machine->restore(*snapshot);
-        armed_at = Clock::now();
-        result.restore_ms = ms_between(resolved_at, armed_at);
-      } else {
-        legacy = job.make();
-        machine = legacy.get();
-        armed_at = Clock::now();
-        result.build_ms = ms_between(start, armed_at);
-        result.restore_ms = 0.0;
-      }
-      const auto deadline = start + job.timeout;
-      uint64_t budget = job.max_instructions;
-      cpu::StopReason reason = cpu::StopReason::kRunning;
-      bool timed_out = false;
-      while (budget > 0) {
-        const uint64_t slice = budget < config.slice_instructions
-                                   ? budget
-                                   : config.slice_instructions;
-        reason = machine->run_for(slice);
-        budget -= slice;
-        if (reason != cpu::StopReason::kRunning) break;
-        if (Clock::now() >= deadline) {
-          timed_out = true;
-          break;
-        }
-      }
-      if (!timed_out && reason == cpu::StopReason::kRunning) {
-        // Budget exhausted: mirror Machine::run's kInstLimit stop so the
-        // report (and any classifier) sees exactly what a serial run saw.
-        machine->cpu().mark_inst_limit();
-        reason = cpu::StopReason::kInstLimit;
-      }
-      const auto stopped_at = Clock::now();
-      result.run_ms = ms_between(armed_at, stopped_at);
-      if (fork_path) {
-        result.dirty_pages = machine->memory().dirty_page_count();
-        result.shared_pages = machine->memory().shared_page_count();
-      }
-      result.report = machine->report();
-      if (timed_out) {
-        result.status = JobStatus::kTimeout;
-        result.verdict = "TIMEOUT";
-      } else if (reason == cpu::StopReason::kFault) {
-        result.status = JobStatus::kGuestFault;
-      } else if (reason == cpu::StopReason::kInstLimit) {
-        result.status = JobStatus::kBudgetExhausted;
-      } else {
-        result.status = JobStatus::kOk;
-      }
-      // Classify guest-side endings (including faults and exhausted
-      // budgets — serial harnesses judge those too); skip only timeouts,
-      // where the run is incomplete by the harness's own hand.
-      if (!timed_out && job.classify) {
-        job.classify(*machine, result.report, result);
-      }
-      result.judge_ms = ms_between(stopped_at, Clock::now());
-    } catch (const std::exception& e) {
-      result.status = JobStatus::kHarnessError;
-      result.error = e.what();
-    } catch (...) {
-      result.status = JobStatus::kHarnessError;
-      result.error = "unknown exception";
-    }
-    result.wall_ms = ms_between(start, Clock::now());
-    if (result.status != JobStatus::kHarnessError ||
-        attempt > config.max_retries) {
-      return result;
-    }
-    // One bounded retry on a harness-side failure (spurious by definition:
-    // the guest never got to run its deterministic course).  A kept
-    // machine may be mid-restore or mid-run — rebuild it from scratch.
-    if (fork_path) machines.drop(job.machine_key);
-  }
-}
 
 }  // namespace
 
@@ -235,6 +79,8 @@ std::vector<JobResult> Executor::run(const std::vector<Job>& jobs) {
   std::atomic<uint64_t> steals{0};
   std::atomic<uint64_t> retries{0};
   ForkCounters counters;
+  const WorkerConfig worker_config{config_.slice_instructions,
+                                   config_.max_retries};
 
   auto worker_main = [&](int me) {
     MachinePool machines;
@@ -253,8 +99,8 @@ std::vector<JobResult> Executor::run(const std::vector<Job>& jobs) {
         std::this_thread::yield();
         continue;
       }
-      JobResult r = execute_job(jobs[index], index, config_, machines,
-                                counters);
+      JobResult r =
+          run_job(jobs[index], index, worker_config, machines, counters);
       if (r.attempts > 1) {
         retries.fetch_add(static_cast<uint64_t>(r.attempts - 1),
                           std::memory_order_relaxed);

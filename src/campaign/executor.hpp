@@ -19,6 +19,11 @@
 // instead of constructing and deep-populating a fresh one.  The matrix is
 // dealt in contiguous chunks (not round-robin) so neighbouring jobs, which
 // share keys by construction, land on the same worker.
+//
+// The per-worker execution core (MachinePool + run_job) lives in
+// campaign/worker.hpp, shared with the ptaint-serve daemon's shard
+// workers; this class adds the batch concerns: dealing, stealing, stable
+// result merging, and aggregate stats.
 #pragma once
 
 #include <cstdint>

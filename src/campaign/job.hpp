@@ -72,6 +72,15 @@ struct Job {
 
   /// Per-job wall-clock deadline.
   std::chrono::milliseconds timeout{120'000};
+
+  /// Treat a wall-clock timeout like a spurious harness failure and retry
+  /// it (bounded by the worker's max_retries).  Off for batch campaigns —
+  /// a timeout there is a result worth reporting — but the serve daemon
+  /// turns it on, where a shard briefly descheduled under load would
+  /// otherwise fail a job that retries fine.  Each attempt gets the full
+  /// `timeout` budget and the result's timings describe the successful
+  /// attempt only.
+  bool retry_on_timeout = false;
 };
 
 /// One merged result cell, in stable matrix order.

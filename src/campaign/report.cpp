@@ -65,42 +65,57 @@ std::string to_json(const std::vector<JobResult>& results) {
   return to_json(results, ReportOptions{});
 }
 
+std::string to_json_row(const JobResult& r, const ReportOptions& opts) {
+  std::ostringstream ss;
+  ss << "{\"index\": " << r.index                                     //
+     << ", \"app\": \"" << json_escape(r.app) << "\""                 //
+     << ", \"payload\": \"" << json_escape(r.payload) << "\""         //
+     << ", \"policy\": \"" << json_escape(r.policy) << "\""           //
+     << ", \"status\": \"" << to_string(r.status) << "\""             //
+     << ", \"verdict\": \"" << json_escape(r.verdict) << "\""         //
+     << ", \"detail\": \"" << json_escape(r.detail) << "\""           //
+     << ", \"stop\": \"" << stop_name(r.report.stop) << "\""          //
+     << ", \"exit_status\": " << r.report.exit_status                 //
+     << ", \"alert\": \""
+     << json_escape(r.report.alert ? r.report.alert_line() : "") << "\""
+     << ", \"alert_function\": \"" << json_escape(r.report.alert_function)
+     << "\""                                                          //
+     << ", \"instructions\": " << r.report.cpu_stats.instructions     //
+     << ", \"tainted_memory_bytes\": " << r.report.tainted_memory_bytes
+     << ", \"attempts\": " << r.attempts                              //
+     << ", \"error\": \"" << json_escape(r.error) << "\"";
+  if (opts.with_timing) {
+    ss << ", \"wall_ms\": " << ms_fixed(r.wall_ms)          //
+       << ", \"build_ms\": " << ms_fixed(r.build_ms)        //
+       << ", \"restore_ms\": " << ms_fixed(r.restore_ms)    //
+       << ", \"run_ms\": " << ms_fixed(r.run_ms)            //
+       << ", \"judge_ms\": " << ms_fixed(r.judge_ms)        //
+       << ", \"dirty_pages\": " << r.dirty_pages            //
+       << ", \"shared_pages\": " << r.shared_pages;
+  }
+  ss << "}";
+  return ss.str();
+}
+
 std::string to_json(const std::vector<JobResult>& results,
                     const ReportOptions& opts) {
   std::ostringstream ss;
   ss << "[\n";
   for (size_t i = 0; i < results.size(); ++i) {
-    const JobResult& r = results[i];
-    ss << "  {\"index\": " << r.index                                   //
-       << ", \"app\": \"" << json_escape(r.app) << "\""                 //
-       << ", \"payload\": \"" << json_escape(r.payload) << "\""         //
-       << ", \"policy\": \"" << json_escape(r.policy) << "\""           //
-       << ", \"status\": \"" << to_string(r.status) << "\""             //
-       << ", \"verdict\": \"" << json_escape(r.verdict) << "\""         //
-       << ", \"detail\": \"" << json_escape(r.detail) << "\""           //
-       << ", \"stop\": \"" << stop_name(r.report.stop) << "\""          //
-       << ", \"exit_status\": " << r.report.exit_status                 //
-       << ", \"alert\": \""
-       << json_escape(r.report.alert ? r.report.alert_line() : "") << "\""
-       << ", \"alert_function\": \"" << json_escape(r.report.alert_function)
-       << "\""                                                          //
-       << ", \"instructions\": " << r.report.cpu_stats.instructions     //
-       << ", \"tainted_memory_bytes\": " << r.report.tainted_memory_bytes
-       << ", \"attempts\": " << r.attempts                              //
-       << ", \"error\": \"" << json_escape(r.error) << "\"";
-    if (opts.with_timing) {
-      ss << ", \"wall_ms\": " << ms_fixed(r.wall_ms)          //
-         << ", \"build_ms\": " << ms_fixed(r.build_ms)        //
-         << ", \"restore_ms\": " << ms_fixed(r.restore_ms)    //
-         << ", \"run_ms\": " << ms_fixed(r.run_ms)            //
-         << ", \"judge_ms\": " << ms_fixed(r.judge_ms)        //
-         << ", \"dirty_pages\": " << r.dirty_pages            //
-         << ", \"shared_pages\": " << r.shared_pages;
-    }
-    ss << "}" << (i + 1 < results.size() ? ",\n" : "\n");
+    ss << "  " << to_json_row(results[i], opts)
+       << (i + 1 < results.size() ? ",\n" : "\n");
   }
   ss << "]\n";
   return ss.str();
+}
+
+int exit_code_for(const std::vector<JobResult>& results) {
+  bool timed_out = false;
+  for (const JobResult& r : results) {
+    if (r.status == JobStatus::kHarnessError) return 2;
+    if (r.status == JobStatus::kTimeout) timed_out = true;
+  }
+  return timed_out ? 3 : 0;
 }
 
 std::string to_csv(const std::vector<JobResult>& results) {

@@ -26,6 +26,21 @@ std::string to_json(const std::vector<JobResult>& results);
 std::string to_json(const std::vector<JobResult>& results,
                     const ReportOptions& opts);
 
+/// One result as a single-line JSON object — the exact row to_json emits
+/// for it, without the surrounding array.  The serve daemon streams these
+/// as `verdict` events and journals them as `done` records, so a streamed
+/// verdict and a batch sidecar row for the same run are field-identical.
+std::string to_json_row(const JobResult& result, const ReportOptions& opts);
+
+/// Exit-code contract shared by ptaint-campaign and scripted callers:
+///   0 — every job ended in a guest-side outcome (ok / guest fault /
+///       budget exhausted);
+///   2 — at least one job ended in a harness error;
+///   3 — at least one job timed out (and none harness-errored).
+/// Codes 1 (verdict/static-check mismatch) and 4 (usage) are decided by
+/// the CLI before results exist; see docs/CAMPAIGN.md.
+int exit_code_for(const std::vector<JobResult>& results);
+
 /// Spreadsheet form: header + one row per job in matrix order.
 std::string to_csv(const std::vector<JobResult>& results);
 std::string to_csv(const std::vector<JobResult>& results,

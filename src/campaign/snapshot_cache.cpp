@@ -19,6 +19,10 @@ std::shared_ptr<const core::MachineSnapshot> SnapshotCache::get(
     ++stats_.hits;
     return entry->snapshot;
   }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.misses;
+  }
   // Build outside mutex_ so unrelated keys boot concurrently; only callers
   // of this key serialize on build_mutex.
   const auto t0 = std::chrono::steady_clock::now();

@@ -33,13 +33,18 @@ class SnapshotCache {
   struct Stats {
     uint64_t builds = 0;  // snapshots actually built
     uint64_t hits = 0;    // requests served from the cache
+    uint64_t misses = 0;  // requests that had to build (≥ builds: a
+                          // throwing builder is a miss but not a build)
     double build_ms = 0.0;        // wall time spent inside builders
     uint64_t snapshot_pages = 0;  // mapped pages across built snapshots
     uint64_t shared_pages = 0;    // of those, pages currently shared (COW)
   };
-  /// builds/hits/build_ms are running counters; the page counts are
+  /// builds/hits/misses/build_ms are running counters; the page counts are
   /// recomputed from the cached snapshots at call time (shared_pages is a
   /// point-in-time reading that depends on which forks are alive).
+  /// Programmatic mirror of the --time console line: the serve daemon's
+  /// `status` reply and the tests read these directly instead of parsing
+  /// stderr.
   Stats stats() const;
 
  private:

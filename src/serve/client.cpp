@@ -1,0 +1,186 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+namespace ptaint::serve {
+
+Client::Client(const std::string& socket_path) {
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof addr.sun_path) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("socket path too long: " + socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("connect " + socket_path + ": " +
+                             std::strerror(err));
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::send_line(const std::string& line) {
+  std::string out = line;
+  out += '\n';
+  size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n =
+        ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+std::optional<std::string> Client::read_line() {
+  for (;;) {
+    const size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return std::nullopt;
+    }
+    if (n == 0) return std::nullopt;
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+std::string Client::request(const std::string& line) {
+  send_line(line);
+  auto reply = read_line();
+  if (!reply) throw std::runtime_error("daemon hung up mid-request");
+  return *reply;
+}
+
+LoadStats run_load(const std::string& socket_path,
+                   const std::vector<std::string>& spec_jsons,
+                   uint64_t total_jobs, int connections, int batch) {
+  if (spec_jsons.empty() || total_jobs == 0) return {};
+  if (connections < 1) connections = 1;
+  if (batch < 1) batch = 1;
+
+  using clock = std::chrono::steady_clock;
+  std::atomic<uint64_t> next_job{0};
+  std::mutex merge_mutex;
+  std::vector<double> latencies_ms;
+  std::atomic<uint64_t> errors{0};
+  latencies_ms.reserve(total_jobs);
+
+  const auto t0 = clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(connections));
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([&]() {
+      std::vector<double> local;
+      try {
+        Client client(socket_path);
+        for (;;) {
+          // Claim the next batch of job indices; stop when the global
+          // budget is spent.
+          const uint64_t begin = next_job.fetch_add(
+              static_cast<uint64_t>(batch));
+          if (begin >= total_jobs) break;
+          const uint64_t count =
+              std::min<uint64_t>(static_cast<uint64_t>(batch),
+                                 total_jobs - begin);
+          std::ostringstream req;
+          req << "{\"cmd\": \"submit\", \"stream\": true, \"jobs\": [";
+          for (uint64_t i = 0; i < count; ++i) {
+            req << (i ? ", " : "")
+                << spec_jsons[(begin + i) % spec_jsons.size()];
+          }
+          req << "]}";
+          const auto submit_at = clock::now();
+          client.send_line(req.str());
+          // One accepted line, then `count` verdict events in completion
+          // order; each event's latency is measured against the batch's
+          // submission instant.
+          uint64_t seen = 0;
+          bool accepted = false;
+          while (seen < count) {
+            const auto line = client.read_line();
+            if (!line) {
+              errors.fetch_add(count - seen);
+              return;
+            }
+            if (line->find("\"event\": \"verdict\"") != std::string::npos) {
+              const double ms =
+                  std::chrono::duration<double, std::milli>(clock::now() -
+                                                            submit_at)
+                      .count();
+              local.push_back(ms);
+              ++seen;
+            } else if (line->find("\"event\": \"accepted\"") !=
+                       std::string::npos) {
+              accepted = true;
+            } else if (line->find("\"event\": \"error\"") !=
+                       std::string::npos) {
+              // Rejected batch (e.g. over quota): nothing will stream.
+              errors.fetch_add(count);
+              break;
+            }
+          }
+          (void)accepted;
+        }
+      } catch (const std::exception&) {
+        errors.fetch_add(1);
+      }
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      latencies_ms.insert(latencies_ms.end(), local.begin(), local.end());
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto t1 = clock::now();
+
+  LoadStats stats;
+  stats.jobs = latencies_ms.size();
+  stats.errors = errors.load();
+  stats.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  if (stats.wall_s > 0.0) {
+    stats.jobs_per_sec = static_cast<double>(stats.jobs) / stats.wall_s;
+  }
+  if (!latencies_ms.empty()) {
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    const auto at = [&](double q) {
+      const size_t i = static_cast<size_t>(
+          q * static_cast<double>(latencies_ms.size() - 1));
+      return latencies_ms[i];
+    };
+    stats.p50_ms = at(0.50);
+    stats.p99_ms = at(0.99);
+  }
+  return stats;
+}
+
+}  // namespace ptaint::serve

@@ -1,0 +1,62 @@
+// Client side of the ptaint-serve socket protocol.
+//
+// Client is a thin line-oriented connection: one newline-delimited JSON
+// request out, reply lines (and, for streaming submits, verdict events)
+// back.  run_load() is the load generator shared by `ptaint-client load`
+// and bench_serve: it drives streaming submissions over several
+// concurrent connections and reports sustained throughput plus p50/p99
+// per-job latency, measured from batch submission to each job's verdict
+// event arriving back over the socket.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ptaint::serve {
+
+class Client {
+ public:
+  /// Connects to the daemon's Unix-domain socket; throws
+  /// std::runtime_error when nobody is listening.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Writes one protocol line (terminator appended).  Throws on a broken
+  /// connection.
+  void send_line(const std::string& line);
+
+  /// Reads the next line from the daemon; nullopt once it hangs up.
+  std::optional<std::string> read_line();
+
+  /// send_line + read_line for single-reply commands; throws if the
+  /// daemon hangs up before replying.
+  std::string request(const std::string& line);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+struct LoadStats {
+  uint64_t jobs = 0;         // verdict events received
+  uint64_t errors = 0;       // error events / rejected submissions
+  double wall_s = 0.0;       // submission of first batch -> last verdict
+  double jobs_per_sec = 0.0;
+  double p50_ms = 0.0;       // per-job submit->verdict latency
+  double p99_ms = 0.0;
+};
+
+/// Submits `total_jobs` streaming jobs (cycling through `spec_jsons`,
+/// each a JSON job-spec object) in batches of `batch` across
+/// `connections` concurrent client connections, and waits for every
+/// verdict event.
+LoadStats run_load(const std::string& socket_path,
+                   const std::vector<std::string>& spec_jsons,
+                   uint64_t total_jobs, int connections, int batch);
+
+}  // namespace ptaint::serve

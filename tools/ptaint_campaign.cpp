@@ -34,8 +34,12 @@
 //                   witness (forward) and must not sit in the gen-2
 //                   elision table (backward); exit 1 on either violation
 //
-// Exit codes: 0 ok, 1 verdict mismatch under --check / missed alert under
-// --static-check / a job ended in a harness error or timeout, 4 usage error.
+// Exit codes (docs/CAMPAIGN.md):
+//   0  every job ended in a guest-side outcome (ok/fault/budget)
+//   1  verdict mismatch under --check, or a --static-check violation
+//   2  at least one job ended in a harness error
+//   3  at least one job timed out (and none harness-errored)
+//   4  usage error (bad campaign name, bad option, unwritable sidecar)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -84,16 +88,6 @@ void write_file(const std::string& path, const std::string& contents) {
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
-}
-
-bool has_failures(const std::vector<JobResult>& results) {
-  for (const JobResult& r : results) {
-    if (r.status == JobStatus::kHarnessError ||
-        r.status == JobStatus::kTimeout) {
-      return true;
-    }
-  }
-  return false;
 }
 
 }  // namespace
@@ -254,5 +248,5 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(cs.snapshot_pages),
                  static_cast<unsigned long long>(cs.shared_pages));
   }
-  return has_failures(results) ? 1 : 0;
+  return exit_code_for(results);
 }

@@ -1,0 +1,295 @@
+// ptaint-client — command-line client for the ptaint-serve daemon.
+//
+//   ptaint-client --socket PATH <subcommand> [options]
+//
+// Subcommands:
+//   submit <app> <payload> [--policy P] [--tenant T] [--engine E]
+//          [--elide] [--timeout-ms N] [--wait]
+//       submit one job; --wait streams until its verdict event arrives
+//       and prints the verdict row (JSON) to stdout
+//   campaign <ablation|falseneg|coverage> [--spec-scale N] [--tenant T]
+//          [--engine E] [--elide] [--render|--rows]
+//       submit every cell of a named campaign, stream the verdicts, and
+//       (--render, default) print the batch CLI's report text —
+//       byte-identical to `ptaint-campaign <name>` stdout — or (--rows)
+//       print the raw verdict rows in matrix order
+//   status                        print the daemon's status reply
+//   result <id>                   print one job's state (and row if done)
+//   cancel <id>                   cancel a queued job
+//   drain                         stop intake, wait until idle
+//   shutdown                      ask the daemon to exit
+//   load [--jobs N] [--connections N] [--batch N] [--spec-scale N]
+//       drive the ablation attack cells as a sustained load and print
+//       jobs/sec and p50/p99 latency
+//
+// Exit codes: 0 ok, 1 daemon reported an error event, 2 at least one
+// streamed verdict was a harness error, 3 at least one timed out,
+// 4 usage/connection error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/campaigns.hpp"
+#include "campaign/report.hpp"
+#include "serve/client.hpp"
+#include "serve/json.hpp"
+
+using namespace ptaint;
+using namespace ptaint::serve;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr
+      << "usage: ptaint-client --socket PATH <subcommand> [options]\n"
+         "  submit <app> <payload> [--policy P] [--tenant T] [--engine E]\n"
+         "         [--elide] [--timeout-ms N] [--wait]\n"
+         "  campaign <name> [--spec-scale N] [--tenant T] [--engine E]\n"
+         "         [--elide] [--render|--rows]\n"
+         "  status | result <id> | cancel <id> | drain | shutdown\n"
+         "  load [--jobs N] [--connections N] [--batch N] [--spec-scale N]\n";
+  std::exit(4);
+}
+
+std::string spec_json(const std::string& app, const std::string& payload,
+                      const std::string& policy, const std::string& tenant,
+                      const std::string& engine, bool elide,
+                      uint64_t timeout_ms) {
+  std::ostringstream ss;
+  ss << "{\"app\": \"" << campaign::json_escape(app) << "\", \"payload\": \""
+     << campaign::json_escape(payload) << "\", \"policy\": \""
+     << campaign::json_escape(policy) << "\", \"tenant\": \""
+     << campaign::json_escape(tenant) << "\"";
+  if (!engine.empty()) {
+    ss << ", \"engine\": \"" << campaign::json_escape(engine) << "\"";
+  }
+  if (elide) ss << ", \"elide\": true";
+  if (timeout_ms != 0) ss << ", \"timeout_ms\": " << timeout_ms;
+  ss << "}";
+  return ss.str();
+}
+
+campaign::JobStatus status_from_name(const std::string& name) {
+  if (name == "ok") return campaign::JobStatus::kOk;
+  if (name == "guest-fault") return campaign::JobStatus::kGuestFault;
+  if (name == "budget-exhausted") {
+    return campaign::JobStatus::kBudgetExhausted;
+  }
+  if (name == "timeout") return campaign::JobStatus::kTimeout;
+  return campaign::JobStatus::kHarnessError;
+}
+
+/// A streamed verdict row back into the result cell the report layer
+/// renders from (labels and verdicts only; reports never need timings).
+campaign::JobResult result_from_row(const JsonValue& row) {
+  campaign::JobResult r;
+  r.app = row.get_string("app");
+  r.payload = row.get_string("payload");
+  r.policy = row.get_string("policy");
+  r.status = status_from_name(row.get_string("status"));
+  r.verdict = row.get_string("verdict");
+  r.detail = row.get_string("detail");
+  r.error = row.get_string("error");
+  r.attempts = static_cast<int>(row.get_u64("attempts"));
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::vector<std::string> rest;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket") {
+      if (i + 1 >= argc) usage();
+      socket_path = argv[++i];
+    } else {
+      rest.push_back(arg);
+    }
+  }
+  if (socket_path.empty() || rest.empty()) usage();
+  const std::string cmd = rest[0];
+
+  // Per-subcommand options.
+  std::string policy = "paper", tenant = "default", engine;
+  bool elide = false, wait = false, render = true;
+  uint64_t timeout_ms = 0, jobs = 2000;
+  int connections = 4, batch = 32, spec_scale = 1;
+  std::vector<std::string> positional;
+  for (size_t i = 1; i < rest.size(); ++i) {
+    const std::string& arg = rest[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= rest.size()) usage();
+      return rest[++i];
+    };
+    if (arg == "--policy") {
+      policy = value();
+    } else if (arg == "--tenant") {
+      tenant = value();
+    } else if (arg == "--engine") {
+      engine = value();
+    } else if (arg == "--elide") {
+      elide = true;
+    } else if (arg == "--wait") {
+      wait = true;
+    } else if (arg == "--render") {
+      render = true;
+    } else if (arg == "--rows") {
+      render = false;
+    } else if (arg == "--timeout-ms") {
+      timeout_ms = std::strtoull(value().c_str(), nullptr, 0);
+    } else if (arg == "--jobs") {
+      jobs = std::strtoull(value().c_str(), nullptr, 0);
+    } else if (arg == "--connections") {
+      connections = static_cast<int>(std::strtol(value().c_str(), nullptr, 0));
+    } else if (arg == "--batch") {
+      batch = static_cast<int>(std::strtol(value().c_str(), nullptr, 0));
+    } else if (arg == "--spec-scale") {
+      spec_scale = static_cast<int>(std::strtol(value().c_str(), nullptr, 0));
+      if (spec_scale < 1) usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  try {
+    if (cmd == "load") {
+      // The seed load: every detectable attack cell of the ablation matrix
+      // under the paper policy — small guests, one shared snapshot each.
+      std::vector<std::string> specs;
+      for (const auto& cell : campaign::campaign_cells("ablation", spec_scale)) {
+        if (cell.app != "attack") continue;
+        if (cell.policy != "paper (all rules on)") continue;
+        specs.push_back(spec_json(cell.app, cell.payload, cell.policy, tenant,
+                                  engine, elide, timeout_ms));
+      }
+      const LoadStats stats =
+          run_load(socket_path, specs, jobs, connections, batch);
+      std::printf(
+          "load: %llu jobs in %.2fs = %.0f jobs/s (p50 %.2fms, p99 %.2fms, "
+          "%llu errors)\n",
+          static_cast<unsigned long long>(stats.jobs), stats.wall_s,
+          stats.jobs_per_sec, stats.p50_ms, stats.p99_ms,
+          static_cast<unsigned long long>(stats.errors));
+      return stats.errors == 0 ? 0 : 1;
+    }
+
+    Client client(socket_path);
+
+    if (cmd == "status") {
+      std::cout << client.request("{\"cmd\": \"status\"}") << "\n";
+      return 0;
+    }
+    if (cmd == "drain") {
+      std::cout << client.request("{\"cmd\": \"drain\"}") << "\n";
+      return 0;
+    }
+    if (cmd == "shutdown") {
+      std::cout << client.request("{\"cmd\": \"shutdown\"}") << "\n";
+      return 0;
+    }
+    if (cmd == "result" || cmd == "cancel") {
+      if (positional.size() != 1) usage();
+      std::cout << client.request("{\"cmd\": \"" + cmd +
+                                  "\", \"id\": " + positional[0] + "}")
+                << "\n";
+      return 0;
+    }
+
+    if (cmd == "submit") {
+      if (positional.size() != 2) usage();
+      std::ostringstream req;
+      req << "{\"cmd\": \"submit\"";
+      if (wait) req << ", \"stream\": true";
+      req << ", \"job\": "
+          << spec_json(positional[0], positional[1], policy, tenant, engine,
+                       elide, timeout_ms)
+          << "}";
+      const std::string reply = client.request(req.str());
+      std::cout << reply << "\n";
+      if (reply.find("\"event\": \"error\"") != std::string::npos) return 1;
+      if (wait) {
+        const auto event = client.read_line();
+        if (!event) {
+          std::cerr << "ptaint-client: daemon hung up before the verdict\n";
+          return 4;
+        }
+        std::cout << *event << "\n";
+        const JsonValue v = JsonValue::parse(*event);
+        if (const JsonValue* row = v.get("result")) {
+          return campaign::exit_code_for({result_from_row(*row)});
+        }
+      }
+      return 0;
+    }
+
+    if (cmd == "campaign") {
+      if (positional.size() != 1) usage();
+      const std::string name = positional[0];
+      const std::vector<campaign::CellRef> cells =
+          campaign::campaign_cells(name, spec_scale);
+      std::ostringstream req;
+      req << "{\"cmd\": \"submit\", \"stream\": true, \"jobs\": [";
+      for (size_t i = 0; i < cells.size(); ++i) {
+        req << (i ? ", " : "")
+            << spec_json(cells[i].app, cells[i].payload, cells[i].policy,
+                         tenant, engine, elide, timeout_ms);
+      }
+      req << "]}";
+      const std::string accepted = client.request(req.str());
+      if (accepted.find("\"event\": \"accepted\"") == std::string::npos) {
+        std::cerr << "ptaint-client: " << accepted << "\n";
+        return 1;
+      }
+      // Accepted ids correspond to cells in submission order; verdicts
+      // stream back in completion order and are re-slotted by id.
+      const JsonValue accepted_json = JsonValue::parse(accepted);
+      std::vector<uint64_t> ids;
+      for (const JsonValue& id : accepted_json.get("ids")->as_array()) {
+        ids.push_back(id.as_u64());
+      }
+      std::map<uint64_t, size_t> slot;
+      for (size_t i = 0; i < ids.size(); ++i) slot[ids[i]] = i;
+      std::vector<campaign::JobResult> results(cells.size());
+      std::vector<std::string> rows(cells.size());
+      for (size_t seen = 0; seen < ids.size(); ++seen) {
+        const auto line = client.read_line();
+        if (!line) {
+          std::cerr << "ptaint-client: daemon hung up mid-stream\n";
+          return 4;
+        }
+        const JsonValue event = JsonValue::parse(*line);
+        if (event.get_string("event") != "verdict") {
+          std::cerr << "ptaint-client: " << *line << "\n";
+          return 1;
+        }
+        const auto it = slot.find(event.get_u64("id"));
+        if (it == slot.end()) continue;
+        const JsonValue* row = event.get("result");
+        if (row == nullptr) continue;
+        campaign::JobResult r = result_from_row(*row);
+        r.index = it->second;
+        results[it->second] = std::move(r);
+        rows[it->second] = *line;
+      }
+      if (render) {
+        std::fputs(campaign::format_campaign(name, results).c_str(), stdout);
+      } else {
+        for (const std::string& row : rows) std::cout << row << "\n";
+      }
+      return campaign::exit_code_for(results);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "ptaint-client: " << e.what() << "\n";
+    return 4;
+  }
+  usage();
+}
