@@ -23,7 +23,7 @@ void dump_heap(Machine& m, uint32_t base, uint32_t len, const char* when) {
     for (uint32_t i = row; i < row + 32 && i < len; ++i) {
       const bool chunk_edge = i % 16 == 0 && i != 0;
       if (chunk_edge) std::printf("|");
-      std::printf("%c", m.memory().load_byte(base + i).taint ? '#' : '.');
+      std::printf("%c", m.memory().load_byte(base + i).tainted() ? '#' : '.');
     }
     std::printf("\n");
   }

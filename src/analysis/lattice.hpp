@@ -23,6 +23,7 @@
 #include <cstdint>
 
 #include "isa/isa.hpp"
+#include "mem/taint.hpp"
 
 namespace ptaint::analysis {
 
@@ -129,26 +130,45 @@ constexpr ValueSet join(ValueSet a, ValueSet b) {
   return ValueSet::any();
 }
 
-/// Abstract value of a register or memory cell: taintedness plus value set.
+/// Abstract value of a register or memory cell: taintedness plus value set
+/// plus address provenance.
+///
+/// `aprov` is the static mirror of the dynamic address-provenance planes
+/// (mem/taint.hpp): the same 16-bit layout — bit i of the stack/heap/text
+/// nibble means "byte i MAY carry that provenance class"; the data nibble is
+/// unused here (data taintedness is `taint`).  Unlike `taint`, whose
+/// kUntainted is a must-claim, aprov is a pure may-set: join is bitwise OR,
+/// 0 means "provably carries no address bytes" and only those values are
+/// eligible for leak-check elision.  Byte granularity matters: a formatted
+/// output scratch byte must stay provably clean even when the surrounding
+/// word once held a saved pointer.
 struct AbsVal {
   Taint taint = Taint::kUntainted;
   ValueSet vs = ValueSet::any();
+  mem::TaintBits aprov = 0;
 
   static constexpr AbsVal untainted_any() {
-    return {Taint::kUntainted, ValueSet::any()};
+    return {Taint::kUntainted, ValueSet::any(), 0};
   }
   static constexpr AbsVal maybe_any() {
-    return {Taint::kMaybeTainted, ValueSet::any()};
+    // An unknown value may be any address: all provenance planes set.
+    return {Taint::kMaybeTainted, ValueSet::any(), mem::kAddrMask};
   }
   static constexpr AbsVal untainted_const(int32_t v) {
-    return {Taint::kUntainted, ValueSet::constant(v)};
+    return {Taint::kUntainted, ValueSet::constant(v), 0};
+  }
+  /// Fresh external input (SYS_READ / SYS_RECV bytes): data-tainted but
+  /// provenance-free — the kernel overwrote whatever pointer was there.
+  static constexpr AbsVal tainted_input() {
+    return {Taint::kMaybeTainted, ValueSet::any(), 0};
   }
 
   bool operator==(const AbsVal&) const = default;
 };
 
 constexpr AbsVal join(AbsVal a, AbsVal b) {
-  return {join(a.taint, b.taint), join(a.vs, b.vs)};
+  return {join(a.taint, b.taint), join(a.vs, b.vs),
+          static_cast<mem::TaintBits>(a.aprov | b.aprov)};
 }
 
 /// Abstract register state: the 32 general registers plus HI and LO.

@@ -41,6 +41,16 @@ bool region_shaped(ValueSet v) {
   return v.kind == VsKind::kStackRegion || v.kind == VsKind::kDataRegion;
 }
 
+/// Stack lineage for the static pointer-difference rule: kStackRel and
+/// kStackRegion values derive from the (plane-seeded) boot $sp, so they
+/// must carry the stack-address plane dynamically.  kConst is excluded — a
+/// materialized stack-range constant carries no planes.  This rides on the
+/// same in-region assumption ValueSet documents, revalidated empirically by
+/// the bidirectional --static-check leg.
+bool sp_derived(ValueSet v) {
+  return v.kind == VsKind::kStackRel || v.kind == VsKind::kStackRegion;
+}
+
 ValueSet vs_add(ValueSet a, ValueSet b) {
   if (a.kind > b.kind) std::swap(a, b);  // const < stackrel < regions < any
   if (a.is_const()) {
@@ -121,6 +131,12 @@ struct State {
   Taint globals_default = Taint::kUntainted;
   Taint heap = Taint::kUntainted;
   Taint text = Taint::kUntainted;
+  // Address-provenance may-summaries of the same regions.  Invariant: kept
+  // plane-widened (each plane 0 or full nibble) — a byte loaded from a
+  // summarized region may land at any byte position downstream.
+  mem::TaintBits globals_aprov = 0;
+  mem::TaintBits heap_aprov = 0;
+  mem::TaintBits text_aprov = 0;
 
   State() { regs[0] = AbsVal::untainted_const(0); }
 
@@ -139,7 +155,7 @@ struct State {
   }
 
   AbsVal global_default_val() const {
-    return {globals_default, ValueSet::any()};
+    return {globals_default, ValueSet::any(), globals_aprov};
   }
   AbsVal global_cell(uint32_t addr) const {
     auto it = globals.find(addr);
@@ -162,6 +178,10 @@ State join_states(const State& a, const State& b) {
   r.globals_default = join(a.globals_default, b.globals_default);
   r.heap = join(a.heap, b.heap);
   r.text = join(a.text, b.text);
+  r.globals_aprov = static_cast<mem::TaintBits>(a.globals_aprov |
+                                                b.globals_aprov);
+  r.heap_aprov = static_cast<mem::TaintBits>(a.heap_aprov | b.heap_aprov);
+  r.text_aprov = static_cast<mem::TaintBits>(a.text_aprov | b.text_aprov);
   // Stack: absent = kStackDefault, which is the top of the cell lattice, so
   // only cells present on both sides can survive the join.
   for (const auto& [off, va] : a.stack) {
@@ -191,6 +211,11 @@ enum class Root : uint8_t {
   kArgv,          // command-line bytes (tainted by the loader)
   kUninitStack,   // read of a stack cell the analysis never saw written
   kTaintSet,      // TAINTSET instruction
+  // Address-provenance roots (leak witnesses).
+  kStackAddrIntro,  // the boot $sp — root of stack address provenance
+  kHeapAddrIntro,   // SYS_BRK result — root of heap address provenance
+  kTextAddrIntro,   // call link / text-range constant
+  kUnmodeledAddr,   // unmodeled memory that may hold addresses
 };
 
 constexpr uint64_t kKindReg = 1, kKindStack = 2, kKindGlobalCell = 3,
@@ -241,6 +266,15 @@ std::string loc_name(uint64_t loc) {
   return "?";
 }
 
+/// Union of the address-provenance planes the abstract globals/heap image
+/// admits — what an output buffer somewhere in the data region may expose.
+mem::TaintBits globals_region_aprov(const State& s) {
+  mem::TaintBits p = static_cast<mem::TaintBits>(s.globals_aprov |
+                                                 s.heap_aprov);
+  for (const auto& [a, v] : s.globals) p |= v.aprov;
+  return static_cast<mem::TaintBits>(p & mem::kAddrMask);
+}
+
 // ---- per-function interprocedural records -----------------------------------
 
 /// Flow-insensitive may-write summary of one function's effect on its
@@ -251,6 +285,7 @@ struct FnSummary {
   std::map<int32_t, AbsVal> caller_writes;  // callee-frame coords, off >= 0
   bool unknown_write = false;
   Taint unknown_taint = Taint::kUntainted;
+  mem::TaintBits unknown_aprov = 0;  // plane-widened, like region summaries
 };
 
 struct FnInfo {
@@ -289,6 +324,17 @@ class VsaEngine {
       site_of_[i] = static_cast<int>(sites_.size());
       sites_.push_back(site);
     }
+    // Every syscall instruction is a potential kernel-output site: whether
+    // it is a SYS_WRITE/SYS_SEND depends on the (abstract) $v0 at the site.
+    leak_site_of_.assign(insts.size(), -1);
+    for (size_t i = 0; i < insts.size(); ++i) {
+      if (insts[i].op != Op::kSyscall) continue;
+      LeakSite ls;
+      ls.pc = cfg.text_begin() + 4 * static_cast<uint32_t>(i);
+      leak_site_of_[i] = static_cast<int>(leak_sites_.size());
+      leak_sites_.push_back(ls);
+    }
+    leak_srcs_.resize(leak_sites_.size());
     const size_t nblocks = cfg.blocks().size();
     in_state_.resize(nblocks);
     has_in_.assign(nblocks, false);
@@ -320,8 +366,10 @@ class VsaEngine {
   void do_store(uint32_t pc, const Instruction& inst, State& s,
                 EventSet* sink);
   void do_syscall(uint32_t pc, State& s, EventSet* sink, bool& dead);
+  void record_leak_site(uint32_t pc, const State& s);
+  void record_leak_site_all(uint32_t pc);
   void summary_write(int32_t off, AbsVal v);
-  void summary_unknown_write(Taint t);
+  void summary_unknown_write(Taint t, mem::TaintBits aprov);
   void summary_changed(int fidx);
 
   // leaf inlining
@@ -333,6 +381,7 @@ class VsaEngine {
   // witnesses
   void event_pass();
   void build_witnesses(VsaAnalysis& res) const;
+  void build_leak_witnesses(VsaAnalysis& res) const;
   WitnessStep render_step(const Event& e) const;
 
   const Cfg& cfg_;
@@ -341,6 +390,12 @@ class VsaEngine {
 
   std::vector<DerefSite> sites_;
   std::vector<int> site_of_;
+
+  std::vector<LeakSite> leak_sites_;
+  std::vector<int> leak_site_of_;
+  // Per leak site: memory locations whose address planes made it dirty
+  // (witness BFS targets).
+  std::vector<std::set<uint64_t>> leak_srcs_;
 
   std::vector<State> in_state_;
   std::vector<bool> has_in_;
@@ -356,6 +411,7 @@ class VsaEngine {
   std::map<int, std::optional<std::vector<int>>> inline_plans_;
 
   EventSet events_;
+  EventSet aprov_events_;  // address-provenance flows (leak witnesses)
   size_t block_runs_ = 0;
   bool exhausted_ = false;
   int cur_fn_ = -1;  // function whose frame coords the transfer is in
@@ -378,16 +434,26 @@ void VsaEngine::do_load(uint32_t pc, const Instruction& inst, State& s,
   const ValueSet addr = vs_add(base.vs, ValueSet::constant(inst.imm));
   const bool word = inst.op == Op::kLw;
   AbsVal result = AbsVal::untainted_any();
-  std::vector<uint64_t> srcs;  // tainted contributing locations
-  std::vector<Root> roots;     // source roots contributing directly
+  std::vector<uint64_t> srcs;   // tainted contributing locations
+  std::vector<Root> roots;      // source roots contributing directly
+  std::vector<uint64_t> asrcs;  // address-plane contributing locations
+  std::vector<Root> aroots;     // address-plane roots
 
   auto add = [&](AbsVal v, uint64_t loc) {
     result = join(result, v);
     if (may_be_tainted(v.taint)) srcs.push_back(loc);
+    if ((v.aprov & mem::kAddrMask) != 0) asrcs.push_back(loc);
   };
   auto add_root = [&](Root r) {
     result = join(result, AbsVal::maybe_any());
     roots.push_back(r);
+    aroots.push_back(r == Root::kUninitStack ? Root::kUninitStack
+                                             : Root::kUnmodeledAddr);
+  };
+  // A sub-word load widens the loaded byte's planes over the whole result
+  // (the dynamic lb/lh shape); byte positions inside the cell are lost.
+  auto narrow = [&](mem::TaintBits ap) {
+    return mem::widen_planes(static_cast<mem::TaintBits>(ap & mem::kAddrMask));
   };
 
   auto load_stack_cell = [&](int32_t off) {
@@ -396,32 +462,40 @@ void VsaEngine::do_load(uint32_t pc, const Instruction& inst, State& s,
     if (it == s.stack.end()) {
       add_root(Root::kUninitStack);
       srcs.push_back(kLocStack);
+      asrcs.push_back(kLocStack);
     } else if (word && (off & 3) == 0) {
       add(it->second, kLocStack);
     } else {
-      add({it->second.taint, ValueSet::any()}, kLocStack);
+      add({it->second.taint, ValueSet::any(), narrow(it->second.aprov)},
+          kLocStack);
     }
   };
   auto load_stack_region = [&]() {
     add_root(Root::kUninitStack);
     srcs.push_back(kLocStack);
+    asrcs.push_back(kLocStack);
   };
   auto load_globals_region = [&]() {
     Taint t = join(s.globals_default, s.heap);
     for (const auto& [a, v] : s.globals) t = join(t, v.taint);
-    add({t, ValueSet::any()}, kLocGlobals);
+    add({t, ValueSet::any(), globals_region_aprov(s)}, kLocGlobals);
     if (may_be_tainted(s.heap)) srcs.push_back(kLocHeap);
+    if (s.heap_aprov != 0) asrcs.push_back(kLocHeap);
   };
   auto load_global_cell = [&](uint32_t a) {
     const uint32_t w = a & ~3u;
     auto it = s.globals.find(w);
     if (it != s.globals.end()) {
       if (word && (a & 3u) == 0) add(it->second, loc_global(w));
-      else add({it->second.taint, ValueSet::any()}, loc_global(w));
+      else add({it->second.taint, ValueSet::any(), narrow(it->second.aprov)},
+               loc_global(w));
       if (may_be_tainted(s.globals_default)) srcs.push_back(kLocGlobals);
     } else {
-      add({join(s.globals_default, s.heap), ValueSet::any()}, kLocGlobals);
+      add({join(s.globals_default, s.heap), ValueSet::any(),
+           static_cast<mem::TaintBits>(s.globals_aprov | s.heap_aprov)},
+          kLocGlobals);
       if (may_be_tainted(s.heap)) srcs.push_back(kLocHeap);
+      if (s.heap_aprov != 0) asrcs.push_back(kLocHeap);
     }
   };
 
@@ -431,7 +505,9 @@ void VsaEngine::do_load(uint32_t pc, const Instruction& inst, State& s,
       switch (region_of_addr(a)) {
         case Region::kData: load_global_cell(a); break;
         case Region::kStack: load_stack_region(); break;  // absolute stack
-        case Region::kText: add({s.text, ValueSet::any()}, kLocText); break;
+        case Region::kText:
+          add({s.text, ValueSet::any(), s.text_aprov}, kLocText);
+          break;
         case Region::kArgv: add_root(Root::kArgv); break;
         case Region::kOther: result = join(result, AbsVal::maybe_any()); break;
       }
@@ -443,7 +519,7 @@ void VsaEngine::do_load(uint32_t pc, const Instruction& inst, State& s,
     case VsKind::kAny:
       load_stack_region();
       load_globals_region();
-      add({s.text, ValueSet::any()}, kLocText);
+      add({s.text, ValueSet::any(), s.text_aprov}, kLocText);
       add_root(Root::kArgv);
       break;
   }
@@ -452,8 +528,10 @@ void VsaEngine::do_load(uint32_t pc, const Instruction& inst, State& s,
   // the provenance edge from the pointer keeps the witness chain connected.
   if (may_be_tainted(base.taint)) {
     result = join(result, AbsVal::maybe_any());
-    if (sink) sink->insert({pc, loc_reg(inst.rt), loc_reg(inst.rs),
-                            Root::kNone});
+    if (sink) {
+      sink->insert({pc, loc_reg(inst.rt), loc_reg(inst.rs), Root::kNone});
+      aprov_events_.insert({pc, loc_reg(inst.rt), 0, Root::kUnmodeledAddr});
+    }
   }
 
   s.set_reg(inst.rt, result);
@@ -463,6 +541,12 @@ void VsaEngine::do_load(uint32_t pc, const Instruction& inst, State& s,
       sink->insert({pc, loc_reg(inst.rt), loc, Root::kNone});
     }
     for (Root r : roots) sink->insert({pc, loc_reg(inst.rt), 0, r});
+  }
+  if (sink && (result.aprov & mem::kAddrMask) != 0) {
+    for (uint64_t loc : asrcs) {
+      aprov_events_.insert({pc, loc_reg(inst.rt), loc, Root::kNone});
+    }
+    for (Root r : aroots) aprov_events_.insert({pc, loc_reg(inst.rt), 0, r});
   }
 }
 
@@ -474,9 +558,16 @@ void VsaEngine::do_store(uint32_t pc, const Instruction& inst, State& s,
   const bool word = inst.op == Op::kSw;
   const int size = inst.op == Op::kSw ? 4 : inst.op == Op::kSh ? 2 : 1;
   const bool tainted = may_be_tainted(val.taint);
+  // Planes the stored bytes may carry, widened over the target cell (exact
+  // byte positions survive only the aligned-word strong update below).
+  const mem::TaintBits pa = mem::widen_planes(static_cast<mem::TaintBits>(
+      val.aprov & (((1u << size) - 1) * 0x1111u) & mem::kAddrMask));
   auto emit = [&](uint64_t loc) {
     if (sink && tainted) {
       sink->insert({pc, loc, loc_reg(inst.rt), Root::kNone});
+    }
+    if (sink && pa != 0) {
+      aprov_events_.insert({pc, loc, loc_reg(inst.rt), Root::kNone});
     }
   };
 
@@ -489,19 +580,20 @@ void VsaEngine::do_store(uint32_t pc, const Instruction& inst, State& s,
       if (w >= 0) summary_write(w, val);
     } else {
       for (int32_t c = w; c < off + size; c += 4) {
-        s.set_stack(c, join(s.stack_cell(c), {val.taint, ValueSet::any()}));
-        if (c >= 0) summary_write(c, {val.taint, ValueSet::any()});
+        s.set_stack(c, join(s.stack_cell(c),
+                            {val.taint, ValueSet::any(), pa}));
+        if (c >= 0) summary_write(c, {val.taint, ValueSet::any(), pa});
       }
     }
     emit(kLocStack);
   };
   auto store_stack_region = [&]() {
     for (auto it = s.stack.begin(); it != s.stack.end();) {
-      const AbsVal nv = join(it->second, {val.taint, ValueSet::any()});
+      const AbsVal nv = join(it->second, {val.taint, ValueSet::any(), pa});
       if (nv == kStackDefault) it = s.stack.erase(it);
       else { it->second = nv; ++it; }
     }
-    summary_unknown_write(val.taint);
+    summary_unknown_write(val.taint, pa);
     emit(kLocStack);
   };
   auto store_global_cell = [&](uint32_t a) {
@@ -511,16 +603,19 @@ void VsaEngine::do_store(uint32_t pc, const Instruction& inst, State& s,
     // coordinate system (another function may read this global).
     v2.vs = unanchor_vs(v2.vs);
     if (word && (a & 3u) == 0) s.set_global(w, v2);
-    else s.set_global(w, join(s.global_cell(w), {val.taint, ValueSet::any()}));
+    else s.set_global(w, join(s.global_cell(w),
+                              {val.taint, ValueSet::any(), pa}));
     emit(loc_global(w));
     emit(kLocGlobals);
   };
   auto store_globals_region = [&]() {
     s.globals_default = join(s.globals_default, val.taint);
     s.heap = join(s.heap, val.taint);
+    s.globals_aprov = static_cast<mem::TaintBits>(s.globals_aprov | pa);
+    s.heap_aprov = static_cast<mem::TaintBits>(s.heap_aprov | pa);
     const AbsVal def = s.global_default_val();
     for (auto it = s.globals.begin(); it != s.globals.end();) {
-      const AbsVal nv = join(it->second, {val.taint, ValueSet::any()});
+      const AbsVal nv = join(it->second, {val.taint, ValueSet::any(), pa});
       if (nv == def) it = s.globals.erase(it);
       else { it->second = nv; ++it; }
     }
@@ -529,6 +624,7 @@ void VsaEngine::do_store(uint32_t pc, const Instruction& inst, State& s,
   };
   auto store_text = [&]() {
     s.text = join(s.text, val.taint);
+    s.text_aprov = static_cast<mem::TaintBits>(s.text_aprov | pa);
     emit(kLocText);
   };
 
@@ -561,22 +657,25 @@ void VsaEngine::do_syscall(uint32_t pc, State& s, EventSet* sink, bool& dead) {
   auto root_at = [&](uint64_t loc) {
     if (sink) sink->insert({pc, loc, 0, Root::kSyscallInput});
   };
+  // Input bytes are data-tainted but provenance-free (the kernel overwrote
+  // whatever pointer was parked there); the join keeps any prior planes,
+  // which is sound — only a strong update could clear them.
   auto taint_stack_range = [&](int32_t c, uint32_t n) {
     for (int32_t off = c & ~3; off < c + static_cast<int32_t>(n); off += 4) {
-      s.set_stack(off, join(s.stack_cell(off), AbsVal::maybe_any()));
+      s.set_stack(off, join(s.stack_cell(off), AbsVal::tainted_input()));
     }
     root_at(kLocStack);
   };
   auto taint_global_range = [&](uint32_t a, uint32_t n) {
     for (uint32_t w = a & ~3u; w < a + n; w += 4) {
-      s.set_global(w, join(s.global_cell(w), AbsVal::maybe_any()));
+      s.set_global(w, join(s.global_cell(w), AbsVal::tainted_input()));
       root_at(loc_global(w));
     }
     root_at(kLocGlobals);
   };
   auto taint_stack_all = [&]() {
     s.stack.clear();  // absent = possibly tainted
-    summary_unknown_write(Taint::kMaybeTainted);
+    summary_unknown_write(Taint::kMaybeTainted, 0);
     root_at(kLocStack);
   };
   auto taint_globals_all = [&]() {
@@ -592,11 +691,18 @@ void VsaEngine::do_syscall(uint32_t pc, State& s, EventSet* sink, bool& dead) {
   };
 
   if (!v0.vs.is_const()) {
-    // Unknown syscall number: could be any input syscall with any buffer.
+    // Unknown syscall number: could be any input syscall with any buffer —
+    // and could be an output syscall leaking any address, or a SYS_BRK
+    // whose result carries heap provenance.
+    record_leak_site_all(pc);
     taint_stack_all();
     taint_globals_all();
     taint_text();
-    s.set_reg(isa::kV0, AbsVal::untainted_any());
+    s.set_reg(isa::kV0,
+              {Taint::kUntainted, ValueSet::any(), mem::kHeapAddrMask});
+    if (sink) {
+      aprov_events_.insert({pc, loc_reg(isa::kV0), 0, Root::kHeapAddrIntro});
+    }
     return;
   }
   const uint32_t no = static_cast<uint32_t>(v0.vs.value);
@@ -605,7 +711,19 @@ void VsaEngine::do_syscall(uint32_t pc, State& s, EventSet* sink, bool& dead) {
     return;
   }
   if (no == os::kSysBrk) {
-    s.set_reg(isa::kV0, {Taint::kUntainted, ValueSet::data_region()});
+    // The returned break is the root of heap address provenance.
+    s.set_reg(isa::kV0, {Taint::kUntainted, ValueSet::data_region(),
+                         mem::kHeapAddrMask});
+    if (sink) {
+      aprov_events_.insert({pc, loc_reg(isa::kV0), 0, Root::kHeapAddrIntro});
+    }
+    return;
+  }
+  if (no == os::kSysWrite || no == os::kSysSend) {
+    // Kernel-output site: classify what the buffer may expose (the static
+    // mirror of Cpu::kernel_output_leak).
+    record_leak_site(pc, s);
+    s.set_reg(isa::kV0, AbsVal::untainted_any());
     return;
   }
   if (no == os::kSysRead || no == os::kSysRecv) {
@@ -654,12 +772,119 @@ void VsaEngine::do_syscall(uint32_t pc, State& s, EventSet* sink, bool& dead) {
   s.set_reg(isa::kV0, AbsVal::untainted_any());
 }
 
+void VsaEngine::record_leak_site(uint32_t pc, const State& s) {
+  const int li = leak_site_of_[cfg_.index_of(pc)];
+  if (li < 0) return;
+  LeakSite& site = leak_sites_[static_cast<size_t>(li)];
+  std::set<uint64_t>& locs = leak_srcs_[static_cast<size_t>(li)];
+  site.reachable = true;
+
+  mem::TaintBits planes = 0;
+  auto addp = [&](mem::TaintBits p, uint64_t loc) {
+    p &= mem::kAddrMask;
+    planes |= p;
+    if (p != 0) locs.insert(loc);
+  };
+  auto scan_stack_byte = [&](int32_t a) {
+    auto it = s.stack.find(a & ~3);
+    const mem::TaintBits cell =
+        it == s.stack.end() ? mem::kAddrMask : it->second.aprov;
+    addp(static_cast<mem::TaintBits>(
+             cell & mem::planes_to_word(mem::kByteAddrMask, a & 3)),
+         kLocStack);
+  };
+  auto scan_global_byte = [&](uint32_t a) {
+    auto it = s.globals.find(a & ~3u);
+    if (it == s.globals.end()) {
+      addp(static_cast<mem::TaintBits>(s.globals_aprov | s.heap_aprov),
+           kLocGlobals);
+      if (s.heap_aprov != 0) locs.insert(kLocHeap);
+    } else {
+      addp(static_cast<mem::TaintBits>(
+               it->second.aprov &
+               mem::planes_to_word(mem::kByteAddrMask,
+                                   static_cast<int>(a & 3u))),
+           loc_global(a & ~3u));
+    }
+  };
+  auto all_stack = [&] { addp(mem::kAddrMask, kLocStack); };
+  auto all_globals = [&] {
+    addp(globals_region_aprov(s), kLocGlobals);
+    if (s.heap_aprov != 0) locs.insert(kLocHeap);
+  };
+  auto all_text = [&] { addp(s.text_aprov, kLocText); };
+  auto everything = [&] {
+    all_stack();
+    all_globals();
+    all_text();
+  };
+
+  const AbsVal buf = s.reg(isa::kA1);
+  const AbsVal len = s.reg(isa::kA2);
+  uint32_t n = 0;
+  bool n_known = false;
+  if (len.vs.is_const() && static_cast<uint32_t>(len.vs.value) <= 4096) {
+    n = static_cast<uint32_t>(len.vs.value);
+    n_known = true;
+  }
+  ValueSet b = buf.vs;
+  if (may_be_tainted(buf.taint)) b = ValueSet::any();  // wild buffer pointer
+  switch (b.kind) {
+    case VsKind::kStackRel:
+      if (n_known) {
+        for (uint32_t j = 0; j < n; ++j) {
+          scan_stack_byte(b.value + static_cast<int32_t>(j));
+        }
+      } else {
+        all_stack();
+      }
+      break;
+    case VsKind::kConst: {
+      const uint32_t a = static_cast<uint32_t>(b.value);
+      switch (region_of_addr(a)) {
+        case Region::kData:
+          if (n_known) {
+            for (uint32_t j = 0; j < n; ++j) scan_global_byte(a + j);
+          } else {
+            all_globals();
+          }
+          break;
+        case Region::kStack: all_stack(); break;
+        case Region::kText: all_text(); break;
+        // Argv / low memory: stores there are not modeled, so assume the
+        // worst rather than claim cleanliness the model cannot back.
+        default: everything(); break;
+      }
+      break;
+    }
+    case VsKind::kStackRegion: all_stack(); break;
+    case VsKind::kDataRegion: all_globals(); break;
+    case VsKind::kAny: everything(); break;
+  }
+  site.may_planes |= planes;
+}
+
+void VsaEngine::record_leak_site_all(uint32_t pc) {
+  const int li = leak_site_of_[cfg_.index_of(pc)];
+  if (li < 0) return;
+  LeakSite& site = leak_sites_[static_cast<size_t>(li)];
+  site.reachable = true;
+  site.may_planes = mem::kAddrMask;
+  leak_srcs_[static_cast<size_t>(li)].insert(
+      {kLocStack, kLocGlobals, kLocHeap, kLocText});
+}
+
 void VsaEngine::transfer(uint32_t pc, const Instruction& inst, State& s,
                          EventSet* sink, bool& dead) {
   const AbsVal rs = s.reg(inst.rs);
   const AbsVal rt = s.reg(inst.rt);
   std::array<AbsVal, RegState::kCount> pre;
   if (sink) pre = s.regs;
+  // Address-plane or-merge of both operands (the dynamic default rule);
+  // byte positions are preserved, as in the dynamic per-byte or.
+  const auto ap2 = [&]() {
+    return static_cast<mem::TaintBits>((rs.aprov | rt.aprov) & mem::kAddrMask);
+  };
 
   switch (inst.op) {
     case Op::kSll: case Op::kSrl: case Op::kSra: {
@@ -673,19 +898,32 @@ void VsaEngine::transfer(uint32_t pc, const Instruction& inst, State& s,
                                  static_cast<int32_t>(x) >> sh);
         v = ValueSet::constant(static_cast<int32_t>(y));
       }
-      s.set_reg(inst.rd, {rt.taint, v});
+      // A constant shift moves bytes: widen any plane over the result.
+      s.set_reg(inst.rd, {rt.taint, v, mem::widen_planes(rt.aprov)});
       break;
     }
     case Op::kSllv: case Op::kSrlv: case Op::kSrav:
-      s.set_reg(inst.rd, {join(rt.taint, rs.taint), ValueSet::any()});
+      s.set_reg(inst.rd, {join(rt.taint, rs.taint), ValueSet::any(),
+                          mem::widen_planes(ap2())});
       break;
 
     case Op::kAdd: case Op::kAddu:
-      s.set_reg(inst.rd, {join(rs.taint, rt.taint), vs_add(rs.vs, rt.vs)});
+      s.set_reg(inst.rd,
+                {join(rs.taint, rt.taint), vs_add(rs.vs, rt.vs), ap2()});
       break;
-    case Op::kSub: case Op::kSubu:
-      s.set_reg(inst.rd, {join(rs.taint, rt.taint), vs_sub(rs.vs, rt.vs)});
+    case Op::kSub: case Op::kSubu: {
+      // Pointer difference: a plane present on BOTH operands cancels
+      // dynamically (ptr - ptr is a length, not an address).  The static
+      // mirror cancels the stack plane when both operands are sp-derived —
+      // a must-claim modulo the in-region assumption (see sp_derived).
+      mem::TaintBits ap = ap2();
+      if (sp_derived(rs.vs) && sp_derived(rt.vs)) {
+        ap &= static_cast<mem::TaintBits>(~mem::kStackAddrMask);
+      }
+      s.set_reg(inst.rd,
+                {join(rs.taint, rt.taint), vs_sub(rs.vs, rt.vs), ap});
       break;
+    }
 
     case Op::kOr: case Op::kNor: {
       ValueSet v = ValueSet::any();
@@ -699,7 +937,7 @@ void VsaEngine::transfer(uint32_t pc, const Instruction& inst, State& s,
       } else if (inst.op == Op::kOr && inst.rs == isa::kZero) {
         v = rt.vs;
       }
-      s.set_reg(inst.rd, {join(rs.taint, rt.taint), v});
+      s.set_reg(inst.rd, {join(rs.taint, rt.taint), v, ap2()});
       break;
     }
     case Op::kAnd: {
@@ -714,7 +952,9 @@ void VsaEngine::transfer(uint32_t pc, const Instruction& inst, State& s,
       const Taint t = (policy_.and_zero_untaints && with_zero)
                           ? Taint::kUntainted
                           : join(rs.taint, rt.taint);
-      s.set_reg(inst.rd, {t, v});
+      const mem::TaintBits ap =
+          (policy_.and_zero_untaints && with_zero) ? 0 : ap2();
+      s.set_reg(inst.rd, {t, v, ap});
       break;
     }
     case Op::kXor: {
@@ -728,32 +968,39 @@ void VsaEngine::transfer(uint32_t pc, const Instruction& inst, State& s,
       const Taint t = (policy_.xor_self_untaints && inst.rs == inst.rt)
                           ? Taint::kUntainted
                           : join(rs.taint, rt.taint);
-      s.set_reg(inst.rd, {t, v});
+      const mem::TaintBits ap =
+          (policy_.xor_self_untaints && inst.rs == inst.rt) ? 0 : ap2();
+      s.set_reg(inst.rd, {t, v, ap});
       break;
     }
 
     // Compare family: the untaint rule clears taint but never the value set
-    // (validating a pointer does not change where it points).
+    // (validating a pointer does not change where it points) nor the
+    // address planes (provenance is sticky through compares); the 0/1
+    // result itself carries no address bytes.
     case Op::kSlt: case Op::kSltu:
       if (policy_.compare_untaints) {
-        s.set_reg(inst.rs, {Taint::kUntainted, rs.vs});
-        s.set_reg(inst.rt, {Taint::kUntainted, rt.vs});
-        s.set_reg(inst.rd, {Taint::kUntainted, ValueSet::any()});
+        s.set_reg(inst.rs, {Taint::kUntainted, rs.vs, rs.aprov});
+        s.set_reg(inst.rt, {Taint::kUntainted, rt.vs, rt.aprov});
+        s.set_reg(inst.rd, {Taint::kUntainted, ValueSet::any(), 0});
       } else {
-        s.set_reg(inst.rd, {join(rs.taint, rt.taint), ValueSet::any()});
+        s.set_reg(inst.rd, {join(rs.taint, rt.taint), ValueSet::any(), 0});
       }
       break;
     case Op::kSlti: case Op::kSltiu:
       if (policy_.compare_untaints) {
-        s.set_reg(inst.rs, {Taint::kUntainted, rs.vs});
-        s.set_reg(inst.rt, {Taint::kUntainted, ValueSet::any()});
+        s.set_reg(inst.rs, {Taint::kUntainted, rs.vs, rs.aprov});
+        s.set_reg(inst.rt, {Taint::kUntainted, ValueSet::any(), 0});
       } else {
-        s.set_reg(inst.rt, {rs.taint, ValueSet::any()});
+        s.set_reg(inst.rt, {rs.taint, ValueSet::any(), 0});
       }
       break;
 
     case Op::kMult: case Op::kMultu: case Op::kDiv: case Op::kDivu: {
-      const AbsVal v{join(rs.taint, rt.taint), ValueSet::any()};
+      // The dynamic rule or-merges the full plane vector into HI and LO
+      // (this is what lets a divu-formatted pointer keep its provenance).
+      const AbsVal v{join(rs.taint, rt.taint), ValueSet::any(),
+                     mem::widen_planes(ap2())};
       s.set_reg(RegState::kHi, v);
       s.set_reg(RegState::kLo, v);
       break;
@@ -764,16 +1011,19 @@ void VsaEngine::transfer(uint32_t pc, const Instruction& inst, State& s,
     case Op::kMtlo: s.set_reg(RegState::kLo, rs); break;
 
     case Op::kTaintSet:
-      s.set_reg(inst.rd, {Taint::kMaybeTainted, rs.vs});
+      // TAINTSET taints the data plane; address planes ride through.
+      s.set_reg(inst.rd, {Taint::kMaybeTainted, rs.vs, rs.aprov});
       if (sink) sink->insert({pc, loc_reg(inst.rd), 0, Root::kTaintSet});
       break;
     case Op::kTaintClr:
-      s.set_reg(inst.rd, {Taint::kUntainted, rs.vs});
+      // TAINTCLR clears the whole plane vector (mirrors the dynamic rule).
+      s.set_reg(inst.rd, {Taint::kUntainted, rs.vs, 0});
       break;
 
     case Op::kAddi: case Op::kAddiu:
-      s.set_reg(inst.rt, {rs.taint, vs_add(rs.vs,
-                                           ValueSet::constant(inst.imm))});
+      s.set_reg(inst.rt, {rs.taint,
+                          vs_add(rs.vs, ValueSet::constant(inst.imm)),
+                          rs.aprov});
       break;
     case Op::kOri: case Op::kXori: {
       ValueSet v = ValueSet::any();
@@ -783,7 +1033,7 @@ void VsaEngine::transfer(uint32_t pc, const Instruction& inst, State& s,
         v = ValueSet::constant(static_cast<int32_t>(
             inst.op == Op::kOri ? x | imm16 : x ^ imm16));
       }
-      s.set_reg(inst.rt, {rs.taint, v});
+      s.set_reg(inst.rt, {rs.taint, v, rs.aprov});
       break;
     }
     case Op::kAndi: {
@@ -796,15 +1046,28 @@ void VsaEngine::transfer(uint32_t pc, const Instruction& inst, State& s,
       }
       const Taint t = (policy_.and_zero_untaints && imm16 == 0)
                           ? Taint::kUntainted : rs.taint;
-      s.set_reg(inst.rt, {t, v});
+      const mem::TaintBits ap =
+          (policy_.and_zero_untaints && imm16 == 0) ? 0 : rs.aprov;
+      s.set_reg(inst.rt, {t, v, ap});
       break;
     }
-    case Op::kLui:
+    case Op::kLui: {
+      // A text-range constant (`la label` of code, function pointers,
+      // return targets) is a text address: seed text provenance, exactly
+      // as the dynamic engines do.
+      const uint32_t lv = (static_cast<uint32_t>(inst.imm) & 0xffffu) << 16;
+      const uint32_t tb = cfg_.text_begin();
+      const uint32_t te =
+          tb + 4 * static_cast<uint32_t>(cfg_.instructions().size());
+      const mem::TaintBits lt =
+          lv >= tb && lv < te ? mem::kTextAddrMask : mem::kUntainted;
       s.set_reg(inst.rt, {Taint::kUntainted,
-                          ValueSet::constant(static_cast<int32_t>(
-                              (static_cast<uint32_t>(inst.imm) & 0xffffu)
-                              << 16))});
+                          ValueSet::constant(static_cast<int32_t>(lv)), lt});
+      if (sink && lt != 0) {
+        aprov_events_.insert({pc, loc_reg(inst.rt), 0, Root::kTextAddrIntro});
+      }
       break;
+    }
 
     case Op::kLb: case Op::kLh: case Op::kLw: case Op::kLbu: case Op::kLhu:
       do_load(pc, inst, s, sink);
@@ -815,32 +1078,45 @@ void VsaEngine::transfer(uint32_t pc, const Instruction& inst, State& s,
 
     case Op::kBeq: case Op::kBne:
       if (policy_.compare_untaints) {
-        s.set_reg(inst.rs, {Taint::kUntainted, rs.vs});
-        s.set_reg(inst.rt, {Taint::kUntainted, rt.vs});
+        s.set_reg(inst.rs, {Taint::kUntainted, rs.vs, rs.aprov});
+        s.set_reg(inst.rt, {Taint::kUntainted, rt.vs, rt.aprov});
       }
       break;
     case Op::kBlez: case Op::kBgtz: case Op::kBltz: case Op::kBgez:
       if (policy_.compare_untaints) {
-        s.set_reg(inst.rs, {Taint::kUntainted, rs.vs});
+        s.set_reg(inst.rs, {Taint::kUntainted, rs.vs, rs.aprov});
       }
       break;
     case Op::kBltzal: case Op::kBgezal:
       if (policy_.compare_untaints) {
-        s.set_reg(inst.rs, {Taint::kUntainted, rs.vs});
+        s.set_reg(inst.rs, {Taint::kUntainted, rs.vs, rs.aprov});
       }
-      s.set_reg(isa::kRa, AbsVal::untainted_const(
-                              static_cast<int32_t>(pc + 4)));
+      // The link register holds a return address: text provenance.
+      s.set_reg(isa::kRa, {Taint::kUntainted,
+                           ValueSet::constant(static_cast<int32_t>(pc + 4)),
+                           mem::kTextAddrMask});
+      if (sink) {
+        aprov_events_.insert({pc, loc_reg(isa::kRa), 0, Root::kTextAddrIntro});
+      }
       break;
 
     case Op::kJ: break;
     case Op::kJal:
-      s.set_reg(isa::kRa, AbsVal::untainted_const(
-                              static_cast<int32_t>(pc + 4)));
+      s.set_reg(isa::kRa, {Taint::kUntainted,
+                           ValueSet::constant(static_cast<int32_t>(pc + 4)),
+                           mem::kTextAddrMask});
+      if (sink) {
+        aprov_events_.insert({pc, loc_reg(isa::kRa), 0, Root::kTextAddrIntro});
+      }
       break;
     case Op::kJr: break;
     case Op::kJalr:
-      s.set_reg(inst.rd, AbsVal::untainted_const(
-                             static_cast<int32_t>(pc + 4)));
+      s.set_reg(inst.rd, {Taint::kUntainted,
+                          ValueSet::constant(static_cast<int32_t>(pc + 4)),
+                          mem::kTextAddrMask});
+      if (sink) {
+        aprov_events_.insert({pc, loc_reg(inst.rd), 0, Root::kTextAddrIntro});
+      }
       break;
 
     case Op::kSyscall:
@@ -852,17 +1128,23 @@ void VsaEngine::transfer(uint32_t pc, const Instruction& inst, State& s,
   }
 
   // Generic register-to-register provenance edges for the witness fabric
-  // (loads/stores/syscalls/TAINTSET emit their own above).
+  // (loads/stores/syscalls/TAINTSET emit their own above).  The address
+  // planes get a parallel edge set feeding the leak witnesses.
   if (sink && !inst.is_mem() && inst.op != Op::kSyscall &&
       inst.op != Op::kTaintSet) {
     const Effects e = effects_of(inst);
     for (int w : e.writes) {
-      if (w < 0 || !may_be_tainted(s.regs[static_cast<size_t>(w)].taint)) {
-        continue;
-      }
+      if (w < 0) continue;
+      const AbsVal& post = s.regs[static_cast<size_t>(w)];
       for (int r : e.reads) {
-        if (r >= 0 && may_be_tainted(pre[static_cast<size_t>(r)].taint)) {
+        if (r < 0) continue;
+        const AbsVal& prev = pre[static_cast<size_t>(r)];
+        if (may_be_tainted(post.taint) && may_be_tainted(prev.taint)) {
           sink->insert({pc, loc_reg(w), loc_reg(r), Root::kNone});
+        }
+        if ((post.aprov & mem::kAddrMask) != 0 &&
+            (prev.aprov & mem::kAddrMask) != 0) {
+          aprov_events_.insert({pc, loc_reg(w), loc_reg(r), Root::kNone});
         }
       }
     }
@@ -882,13 +1164,17 @@ void VsaEngine::summary_write(int32_t off, AbsVal v) {
   }
 }
 
-void VsaEngine::summary_unknown_write(Taint t) {
+void VsaEngine::summary_unknown_write(Taint t, mem::TaintBits aprov) {
   if (cur_fn_ < 0) return;
   FnSummary& sum = fns_[static_cast<size_t>(cur_fn_)].summary;
   const Taint nt = join(sum.unknown_taint, t);
-  if (!sum.unknown_write || nt != sum.unknown_taint) {
+  const mem::TaintBits na =
+      static_cast<mem::TaintBits>(sum.unknown_aprov | aprov);
+  if (!sum.unknown_write || nt != sum.unknown_taint ||
+      na != sum.unknown_aprov) {
     sum.unknown_write = true;
     sum.unknown_taint = nt;
+    sum.unknown_aprov = na;
     summary_changed(cur_fn_);
   }
 }
@@ -944,6 +1230,9 @@ State VsaEngine::smash_unknown_call() {
   r.globals_default = Taint::kMaybeTainted;
   r.heap = Taint::kMaybeTainted;
   r.text = Taint::kMaybeTainted;
+  r.globals_aprov = mem::kAddrMask;
+  r.heap_aprov = mem::kAddrMask;
+  r.text_aprov = mem::kAddrMask;
   return r;  // stack empty: absent = kStackDefault = maybe-any
 }
 
@@ -958,11 +1247,15 @@ State VsaEngine::make_entry(const CallSite& cs) const {
   // By definition of the callee frame coordinates, the entry $sp is offset
   // zero; the convention is verified (not assumed) because the exit $sp is
   // whatever the analysis computes and is rebased back at compose time.
-  e.set_reg(isa::kSp, {cs.state.reg(isa::kSp).taint, ValueSet::stack_rel(0)});
+  e.set_reg(isa::kSp, {cs.state.reg(isa::kSp).taint, ValueSet::stack_rel(0),
+                       cs.state.reg(isa::kSp).aprov});
   e.globals = cs.state.globals;
   e.globals_default = cs.state.globals_default;
   e.heap = cs.state.heap;
   e.text = cs.state.text;
+  e.globals_aprov = cs.state.globals_aprov;
+  e.heap_aprov = cs.state.heap_aprov;
+  e.text_aprov = cs.state.text_aprov;
   return e;
 }
 
@@ -1023,13 +1316,17 @@ void VsaEngine::compose(uint32_t call_pc, int fidx) {
   r.globals_default = fn.exit.globals_default;
   r.heap = fn.exit.heap;
   r.text = fn.exit.text;
+  r.globals_aprov = fn.exit.globals_aprov;
+  r.heap_aprov = fn.exit.heap_aprov;
+  r.text_aprov = fn.exit.text_aprov;
 
   if (cs.d_known) {
     for (const auto& [c, v] : cs.state.stack) {
       if (c < cs.d) continue;  // below the callee's entry $sp: dead on return
       AbsVal nv = v;
       if (fn.summary.unknown_write) {
-        nv = join(nv, {fn.summary.unknown_taint, ValueSet::any()});
+        nv = join(nv, {fn.summary.unknown_taint, ValueSet::any(),
+                       fn.summary.unknown_aprov});
       }
       if (nv != kStackDefault) r.stack.emplace(c, nv);
     }
@@ -1037,7 +1334,7 @@ void VsaEngine::compose(uint32_t call_pc, int fidx) {
       const int32_t c = cp + cs.d;
       auto it = r.stack.find(c);
       if (it == r.stack.end()) continue;  // absent: already possibly tainted
-      const AbsVal wv2{wv.taint, rebase_vs(wv.vs, cs.d)};
+      const AbsVal wv2{wv.taint, rebase_vs(wv.vs, cs.d), wv.aprov};
       const AbsVal nv = join(it->second, wv2);
       if (nv == kStackDefault) r.stack.erase(it);
       else it->second = nv;
@@ -1053,17 +1350,22 @@ void VsaEngine::compose(uint32_t call_pc, int fidx) {
     if (cs.d_known) {
       for (const auto& [cp, wv] : fn.summary.caller_writes) {
         const int32_t c = cp + cs.d;
-        if (c >= 0) summary_write(c, {wv.taint, rebase_vs(wv.vs, cs.d)});
+        if (c >= 0) {
+          summary_write(c, {wv.taint, rebase_vs(wv.vs, cs.d), wv.aprov});
+        }
       }
       if (fn.summary.unknown_write) {
-        summary_unknown_write(fn.summary.unknown_taint);
+        summary_unknown_write(fn.summary.unknown_taint,
+                              fn.summary.unknown_aprov);
       }
     } else if (fn.summary.unknown_write || !fn.summary.caller_writes.empty()) {
       Taint t = fn.summary.unknown_taint;
+      mem::TaintBits ap = fn.summary.unknown_aprov;
       for (const auto& [cp, wv] : fn.summary.caller_writes) {
         t = join(t, wv.taint);
+        ap = static_cast<mem::TaintBits>(ap | mem::widen_planes(wv.aprov));
       }
-      summary_unknown_write(t);
+      summary_unknown_write(t, ap);
     }
     cur_fn_ = saved;
   }
@@ -1280,7 +1582,10 @@ void VsaEngine::run() {
   const int entry = cfg_.block_at(cfg_.program().entry);
   if (entry < 0) return;
   State boot;
-  boot.set_reg(isa::kSp, {Taint::kUntainted, ValueSet::stack_rel(0)});
+  // The initial $sp is the root of stack address provenance (mirrors the
+  // dynamic loader seed).
+  boot.set_reg(isa::kSp, {Taint::kUntainted, ValueSet::stack_rel(0),
+                          mem::kStackAddrMask});
   flow_to(entry, boot);
 
   while (!worklist_.empty() || !compose_q_.empty()) {
@@ -1306,6 +1611,9 @@ void VsaEngine::run() {
 // ---- witness generation ----------------------------------------------------
 
 void VsaEngine::event_pass() {
+  // The boot $sp seed has no program point; anchor its root at the entry.
+  aprov_events_.insert(
+      {cfg_.program().entry, loc_reg(isa::kSp), 0, Root::kStackAddrIntro});
   for (size_t b = 0; b < has_in_.size(); ++b) {
     if (!has_in_[b]) continue;
     const BasicBlock& bb = cfg_.blocks()[b];
@@ -1347,6 +1655,18 @@ WitnessStep VsaEngine::render_step(const Event& e) const {
       break;
     case Root::kTaintSet:
       st.event = "taint source: " + disasm;
+      break;
+    case Root::kStackAddrIntro:
+      st.event = "stack address introduced (initial $sp)";
+      break;
+    case Root::kHeapAddrIntro:
+      st.event = "heap address introduced (SYS_BRK): " + disasm;
+      break;
+    case Root::kTextAddrIntro:
+      st.event = "text address introduced: " + disasm;
+      break;
+    case Root::kUnmodeledAddr:
+      st.event = "unmodeled memory may hold addresses: " + disasm;
       break;
   }
   return st;
@@ -1415,11 +1735,78 @@ void VsaEngine::build_witnesses(VsaAnalysis& res) const {
   }
 }
 
+void VsaEngine::build_leak_witnesses(VsaAnalysis& res) const {
+  // Same shortest-path construction as build_witnesses, over the
+  // address-provenance event graph, targeting the memory locations whose
+  // planes dirtied each output buffer.
+  std::map<uint64_t, std::vector<const Event*>> adj;
+  std::map<uint64_t, const Event*> pred;
+  std::deque<uint64_t> q;
+  for (const Event& e : aprov_events_) {
+    if (e.root == Root::kNone) adj[e.src].push_back(&e);
+  }
+  const auto drain = [&] {
+    while (!q.empty()) {
+      const uint64_t n = q.front();
+      q.pop_front();
+      auto it = adj.find(n);
+      if (it == adj.end()) continue;
+      for (const Event* e : it->second) {
+        if (pred.emplace(e->dst, e).second) q.push_back(e->dst);
+      }
+    }
+  };
+  // Genuine address introductions first; the unmodeled-memory fallbacks
+  // second (same two-wave reasoning as the data-taint witnesses).
+  for (const Event& e : aprov_events_) {
+    if (e.root == Root::kStackAddrIntro || e.root == Root::kHeapAddrIntro ||
+        e.root == Root::kTextAddrIntro) {
+      if (pred.emplace(e.dst, &e).second) q.push_back(e.dst);
+    }
+  }
+  drain();
+  for (const Event& e : aprov_events_) {
+    if (e.root != Root::kNone) {
+      if (pred.emplace(e.dst, &e).second) q.push_back(e.dst);
+    }
+  }
+  drain();
+
+  for (size_t i = 0; i < leak_sites_.size(); ++i) {
+    const LeakSite& site = leak_sites_[i];
+    if (!site.reachable || site.may_planes == 0) continue;
+    Witness w;
+    w.site_pc = site.pc;
+    for (uint64_t target : leak_srcs_[i]) {
+      if (!pred.count(target)) continue;
+      std::vector<WitnessStep> rev;
+      uint64_t n = target;
+      while (true) {
+        const Event* e = pred.at(n);
+        rev.push_back(render_step(*e));
+        if (e->root != Root::kNone) break;
+        n = e->src;
+      }
+      std::reverse(rev.begin(), rev.end());
+      w.steps = std::move(rev);
+      w.complete = true;
+      break;
+    }
+    w.steps.push_back({site.pc,
+                       "output: " +
+                           isa::disassemble(cfg_.inst_at(site.pc), site.pc) +
+                           " (SYS_WRITE/SYS_SEND buffer)",
+                       "buffer"});
+    res.leak_witnesses.push_back(std::move(w));
+  }
+}
+
 VsaAnalysis VsaEngine::finish(const VsaOptions& options) {
   VsaAnalysis res;
   if (exhausted_) {
     // Budget exhausted: degrade every reachable site to "may be tainted"
-    // (no elision, every site gets an incomplete witness) — sound.
+    // (no elision, every site gets an incomplete witness) — sound.  The
+    // leak sites degrade the same way: any reachable output may leak.
     const std::vector<bool> reach = cfg_.reachable_blocks();
     for (DerefSite& s : sites_) {
       const int b = cfg_.block_at(s.pc);
@@ -1428,7 +1815,15 @@ VsaAnalysis VsaEngine::finish(const VsaOptions& options) {
         s.may_taint = Taint::kTop;
       }
     }
+    for (LeakSite& s : leak_sites_) {
+      const int b = cfg_.block_at(s.pc);
+      if (b >= 0 && reach[static_cast<size_t>(b)]) {
+        s.reachable = true;
+        s.may_planes = mem::kAddrMask;
+      }
+    }
     events_.clear();
+    aprov_events_.clear();
   } else if (options.witnesses) {
     event_pass();
   }
@@ -1452,13 +1847,52 @@ VsaAnalysis VsaEngine::finish(const VsaOptions& options) {
       res.elision[cfg_.index_of(site.pc)] = 1;
     }
   }
-  if (options.witnesses) build_witnesses(res);
+  // Leak-site classification: a site is elided when its buffer is provably
+  // plane-free on every reaching state, or when the completed fixpoint
+  // proves the syscall dead.
+  res.leak_sites = leak_sites_;
+  res.output_sites = leak_sites_.size();
+  res.leak_elision.assign(cfg_.instructions().size(), 0);
+  for (const LeakSite& site : res.leak_sites) {
+    if (!site.reachable) {
+      if (!exhausted_) {
+        res.leak_elision[cfg_.index_of(site.pc)] = 1;
+        ++res.leak_clean;
+      }
+      continue;
+    }
+    if (site.may_planes != 0) {
+      ++res.leak_possible;
+    } else {
+      ++res.leak_clean;
+      res.leak_elision[cfg_.index_of(site.pc)] = 1;
+    }
+  }
+  if (options.witnesses) {
+    build_witnesses(res);
+    build_leak_witnesses(res);
+  }
   return res;
 }
 
 }  // namespace
 
 // ---- public API ------------------------------------------------------------
+
+namespace {
+std::string plane_classes(mem::TaintBits p) {
+  std::string s;
+  auto addc = [&](mem::TaintBits m, const char* name) {
+    if ((p & m) == 0) return;
+    if (!s.empty()) s += ',';
+    s += name;
+  };
+  addc(mem::kStackAddrMask, "stack-addr");
+  addc(mem::kHeapAddrMask, "heap-addr");
+  addc(mem::kTextAddrMask, "text-addr");
+  return s;
+}
+}  // namespace
 
 bool VsaAnalysis::predicts_alert(uint32_t pc) const {
   const DerefSite* s = site_at(pc);
@@ -1479,6 +1913,42 @@ const Witness* VsaAnalysis::witness_at(uint32_t pc) const {
       [](const Witness& w, uint32_t p) { return w.site_pc < p; });
   if (it == witnesses.end() || it->site_pc != pc) return nullptr;
   return &*it;
+}
+
+bool VsaAnalysis::predicts_leak(uint32_t pc) const {
+  const LeakSite* s = leak_site_at(pc);
+  return s != nullptr && s->reachable && s->may_planes != 0;
+}
+
+const LeakSite* VsaAnalysis::leak_site_at(uint32_t pc) const {
+  auto it = std::lower_bound(
+      leak_sites.begin(), leak_sites.end(), pc,
+      [](const LeakSite& s, uint32_t p) { return s.pc < p; });
+  if (it == leak_sites.end() || it->pc != pc) return nullptr;
+  return &*it;
+}
+
+const Witness* VsaAnalysis::leak_witness_at(uint32_t pc) const {
+  auto it = std::lower_bound(
+      leak_witnesses.begin(), leak_witnesses.end(), pc,
+      [](const Witness& w, uint32_t p) { return w.site_pc < p; });
+  if (it == leak_witnesses.end() || it->site_pc != pc) return nullptr;
+  return &*it;
+}
+
+std::string VsaAnalysis::leak_report(const Cfg& cfg) const {
+  std::string out;
+  char line[256];
+  for (const LeakSite& s : leak_sites) {
+    if (!s.reachable || s.may_planes == 0) continue;
+    const int f = cfg.function_at(s.pc);
+    std::snprintf(line, sizeof line, "%x: syscall (output)  may leak %-30s  [in %s]\n",
+                  s.pc, plane_classes(s.may_planes).c_str(),
+                  f >= 0 ? cfg.functions()[static_cast<size_t>(f)].name.c_str()
+                         : "?");
+    out += line;
+  }
+  return out;
 }
 
 std::string VsaAnalysis::report(const Cfg& cfg) const {
@@ -1520,6 +1990,11 @@ Gen2Elision gen2_elision(const Cfg& cfg, const cpu::TaintPolicy& policy) {
   for (const DerefSite& site : g1.sites) {
     if (r.elision[cfg.index_of(site.pc)]) ++r.gen2_clean;
   }
+  // Leak-check elision is VSA-only: the register-only analyzer has no
+  // address-provenance notion to contribute.
+  r.leak_elision = g2.leak_elision;
+  r.output_sites = g2.output_sites;
+  r.leak_clean = g2.leak_clean;
   return r;
 }
 

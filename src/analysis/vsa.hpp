@@ -47,6 +47,18 @@
 //     source-rooted may-taint path (syscall input / argv / taintset /
 //     uninitialized stack -> memory cells -> registers -> dereference PC)
 //     over the propagation events observed at the fixpoint.
+//
+// Leak-site prover (the inverse taint direction): alongside data taint the
+// abstract values carry address-provenance planes (AbsVal::aprov), seeded
+// where the dynamic engines seed them — the boot $sp (stack), SYS_BRK
+// results (heap), call links and text-range constants (text) — and
+// propagated by the same per-plane rules.  Every `syscall` instruction is a
+// potential kernel-output site (SYS_WRITE / SYS_SEND); the prover scans the
+// abstract buffer each reaching state names and classifies the site
+// provably-clean (no byte of the buffer can carry an address plane) or
+// possibly-leaking.  Clean sites feed a leak-check elision bitmap the
+// dynamic detector consults at syscall time; possibly-leaking sites get a
+// witness tracing an address introduction to the output buffer.
 #pragma once
 
 #include <cstdint>
@@ -75,20 +87,49 @@ struct Witness {
   std::vector<WitnessStep> steps;  // source first, dereference last
 };
 
+/// One kernel-output site: a `syscall` instruction that may execute
+/// SYS_WRITE / SYS_SEND and emit guest memory to the outside world.
+struct LeakSite {
+  uint32_t pc = 0;
+  bool reachable = false;
+  /// Union over every reaching abstract state of the address-provenance
+  /// planes (mem/taint.hpp layout; data nibble unused) the output buffer
+  /// may hold.  0 = provably clean: the dynamic leak check cannot fire.
+  mem::TaintBits may_planes = 0;
+};
+
 struct VsaAnalysis {
   std::vector<DerefSite> sites;  // ascending by PC, verdicts from the VSA
   std::vector<uint8_t> elision;  // VSA-only bitmap (see gen2_elision)
   size_t possible_sites = 0;
   size_t proven_clean = 0;
 
+  // Leak-site prover outputs (address-taint direction).
+  std::vector<LeakSite> leak_sites;     // ascending by PC
+  std::vector<uint8_t> leak_elision;    // 1 = leak check elided at that PC
+  size_t output_sites = 0;   // syscall instructions (potential output sites)
+  size_t leak_possible = 0;  // reachable sites that may leak an address
+  size_t leak_clean = 0;     // sites whose dynamic leak check is elided
+
   /// Witnesses for every reachable may-tainted site, ascending by site PC.
   /// Empty unless VsaOptions::witnesses was set.
   std::vector<Witness> witnesses;
+
+  /// Witnesses for every possibly-leaking output site (address introduction
+  /// -> output buffer), ascending by site PC.  Same opt-in.
+  std::vector<Witness> leak_witnesses;
 
   bool predicts_alert(uint32_t pc) const;
   const DerefSite* site_at(uint32_t pc) const;
   const Witness* witness_at(uint32_t pc) const;
   std::string report(const Cfg& cfg) const;
+
+  /// True when a dynamic address-leak alert at `pc` was statically
+  /// predicted — the --static-check contract for the leak direction.
+  bool predicts_leak(uint32_t pc) const;
+  const LeakSite* leak_site_at(uint32_t pc) const;
+  const Witness* leak_witness_at(uint32_t pc) const;
+  std::string leak_report(const Cfg& cfg) const;
 };
 
 struct VsaOptions {
@@ -109,6 +150,11 @@ struct Gen2Elision {
   size_t gen2_clean = 0;  // sites whose check the union table skips
                           // (clean or proven dead; >= gen1_clean)
   size_t sites = 0;       // all dereference sites in the program
+
+  // Leak-check elision (VSA-only: gen-1 has no address-provenance notion).
+  std::vector<uint8_t> leak_elision;
+  size_t output_sites = 0;
+  size_t leak_clean = 0;
 };
 
 Gen2Elision gen2_elision(const Cfg& cfg, const cpu::TaintPolicy& policy);

@@ -258,20 +258,35 @@ std::vector<Job> falseneg_jobs(SnapshotCache& cache, bool elide,
   return jobs;
 }
 
-const cpu::DetectionMode kCoverageModes[] = {
-    cpu::DetectionMode::kOff, cpu::DetectionMode::kControlDataOnly,
-    cpu::DetectionMode::kPointerTaint};
+// Coverage policy columns: the three detection modes plus the address-leak
+// direction ("leak-aware": paper pointer-taint with
+// TaintPolicy::leak_detection armed).  One list shared by coverage_jobs /
+// coverage_serial / campaign_cells / policy_by_name so the four views of
+// the matrix can never disagree on the column set.
+std::vector<PolicyVariant> coverage_columns() {
+  std::vector<PolicyVariant> out;
+  for (cpu::DetectionMode mode :
+       {cpu::DetectionMode::kOff, cpu::DetectionMode::kControlDataOnly,
+        cpu::DetectionMode::kPointerTaint}) {
+    cpu::TaintPolicy p;
+    p.mode = mode;
+    out.push_back({core::to_string(mode), p});
+  }
+  {
+    cpu::TaintPolicy p;  // paper defaults plus the leak direction
+    p.leak_detection = true;
+    out.push_back({"leak-aware", p});
+  }
+  return out;
+}
 
 std::vector<Job> coverage_jobs(SnapshotCache& cache, bool elide,
                                std::optional<cpu::Engine> engine) {
   const auto corpus = shared_corpus();
   std::vector<Job> jobs;
-  for (cpu::DetectionMode mode : kCoverageModes) {
-    cpu::TaintPolicy policy;
-    policy.mode = mode;
+  for (const PolicyVariant& v : coverage_columns()) {
     for (const auto& s : corpus) {
-      jobs.push_back(
-          attack_job(cache, s, core::to_string(mode), policy, elide, engine));
+      jobs.push_back(attack_job(cache, s, v.name, v.policy, elide, engine));
     }
   }
   return jobs;
@@ -352,13 +367,10 @@ std::vector<JobResult> falseneg_serial() {
 std::vector<JobResult> coverage_serial() {
   std::vector<JobResult> out;
   const auto corpus = core::make_attack_corpus();
-  for (cpu::DetectionMode mode : kCoverageModes) {
-    cpu::TaintPolicy policy;
-    policy.mode = mode;
+  for (const PolicyVariant& v : coverage_columns()) {
     for (const auto& s : corpus) {
-      JobResult r =
-          serial_row(out.size(), "attack", s->name(), core::to_string(mode));
-      core::ScenarioResult sr = s->run_attack_with(policy);
+      JobResult r = serial_row(out.size(), "attack", s->name(), v.name);
+      core::ScenarioResult sr = s->run_attack_with(v.policy);
       r.report = sr.report;
       r.verdict = core::to_string(sr.outcome);
       r.detail = sr.detail;
@@ -476,6 +488,11 @@ std::vector<PolicyVariant> ablation_variants() {
     p.per_word_taint = true;
     out.push_back({"per-word taint", p});
   }
+  {
+    cpu::TaintPolicy p;  // paper rules plus the address-leak direction
+    p.leak_detection = true;
+    out.push_back({"leak detection", p});
+  }
   return out;
 }
 
@@ -518,9 +535,9 @@ std::vector<CellRef> campaign_cells(const std::string& campaign,
   }
   if (campaign == "coverage") {
     const auto corpus = core::make_attack_corpus();
-    for (cpu::DetectionMode mode : kCoverageModes) {
+    for (const PolicyVariant& v : coverage_columns()) {
       for (const auto& s : corpus) {
-        out.push_back({"attack", s->name(), core::to_string(mode)});
+        out.push_back({"attack", s->name(), v.name});
       }
     }
     return out;
@@ -532,12 +549,8 @@ std::optional<cpu::TaintPolicy> policy_by_name(const std::string& name) {
   for (const PolicyVariant& v : ablation_variants()) {
     if (v.name == name) return v.policy;
   }
-  for (cpu::DetectionMode mode : kCoverageModes) {
-    if (core::to_string(mode) == name) {
-      cpu::TaintPolicy p;
-      p.mode = mode;
-      return p;
-    }
+  for (const PolicyVariant& v : coverage_columns()) {
+    if (v.name == name) return v.policy;
   }
   if (name == "paper") return cpu::TaintPolicy{};
   return std::nullopt;
@@ -694,10 +707,11 @@ StaticCheckReport static_check(const std::string& campaign,
   for (const JobResult& r : results) {
     if (!r.report.alert) continue;
     const cpu::SecurityAlert& alert = *r.report.alert;
-    // Only pointer-taintedness alerts have a static counterpart; the §5.3
-    // annotation check and the NX baseline fire on data values, which the
-    // analyzer deliberately summarizes away.
-    if (alert.kind != cpu::AlertKind::kTaintedJumpTarget &&
+    // Only pointer-taintedness and address-leak alerts have a static
+    // counterpart; the §5.3 annotation check and the NX baseline fire on
+    // data values, which the analyzer deliberately summarizes away.
+    const bool is_leak = alert.kind == cpu::AlertKind::kAddressLeak;
+    if (!is_leak && alert.kind != cpu::AlertKind::kTaintedJumpTarget &&
         alert.kind != cpu::AlertKind::kTaintedLoadAddress &&
         alert.kind != cpu::AlertKind::kTaintedStoreAddress) {
       continue;
@@ -718,6 +732,31 @@ StaticCheckReport static_check(const std::string& campaign,
       it = analyses.emplace(key, std::move(st)).first;
     }
     const Statics& st = it->second;
+    if (is_leak) {
+      // Forward: the aprov layer must hold a may-leak witness for the
+      // kernel-output site; backward: the site must not be in the leak
+      // elision bitmap (a leak-elided run would skip the check).
+      if (!st.g2.predicts_leak(alert.pc)) {
+        char line[256];
+        std::snprintf(line, sizeof line,
+                      "%s / %s / %s: leak alert at %08x (%s) has no prover "
+                      "leak witness",
+                      r.app.c_str(), r.payload.c_str(), r.policy.c_str(),
+                      alert.pc, alert.disasm.c_str());
+        out.missed.push_back(line);
+      }
+      const analysis::LeakSite* site = st.g2.leak_site_at(alert.pc);
+      if (site && site->reachable && site->may_planes == 0) {
+        char line[256];
+        std::snprintf(line, sizeof line,
+                      "%s / %s / %s: leak alert at %08x (%s) sits in the "
+                      "leak elision table",
+                      r.app.c_str(), r.payload.c_str(), r.policy.c_str(),
+                      alert.pc, alert.disasm.c_str());
+        out.elided_alerts.push_back(line);
+      }
+      continue;
+    }
     // Forward: the prover must hold a may-taint witness for the alert site.
     if (!st.g2.predicts_alert(alert.pc)) {
       char line[256];

@@ -1,12 +1,13 @@
 // The paper's evaluation matrices expressed as campaign job lists.
 //
 // Three named campaigns:
-//   "ablation"  — bench_ablation_policy's matrix: 6 policy variants ×
+//   "ablation"  — bench_ablation_policy's matrix: 7 policy variants ×
 //                 (6 SPEC surrogates + 9 detectable attacks);
 //   "falseneg"  — bench_table4_false_negatives: the three Table 4 escape
 //                 scenarios plus the detected WRITE contrast;
 //   "coverage"  — the full attack corpus × {unprotected, control-data,
-//                 pointer-taint} detection modes.
+//                 pointer-taint, leak-aware} policy columns ("leak-aware"
+//                 is the paper policy with TaintPolicy::leak_detection on).
 //
 // Each campaign comes in three pieces that must agree:
 //   make_jobs()             — the parallel matrix (snapshot-fork per job);
@@ -36,8 +37,9 @@ struct PolicyVariant {
   cpu::TaintPolicy policy;
 };
 
-/// The ablation study's six policy variants (DESIGN.md §5), in bench order:
-/// paper defaults, one Table 1 rule disabled at a time, per-word taint.
+/// The ablation study's seven policy variants (DESIGN.md §5), in bench
+/// order: paper defaults, one Table 1 rule disabled at a time, per-word
+/// taint, and the paper rules with the address-leak direction armed.
 std::vector<PolicyVariant> ablation_variants();
 
 /// Campaign names accepted below, in a stable order.
@@ -45,7 +47,7 @@ std::vector<std::string> campaign_names();
 
 /// One matrix cell by label — the unit the serve daemon accepts over the
 /// socket.  `app` is "spec" or "attack"; `payload` names the workload or
-/// scenario; `policy` is an ablation-variant name, a coverage-mode name,
+/// scenario; `policy` is an ablation-variant name, a coverage-column name,
 /// or "paper".
 struct CellRef {
   std::string app;
@@ -58,8 +60,8 @@ struct CellRef {
 std::vector<CellRef> campaign_cells(const std::string& campaign,
                                     int spec_scale = 1);
 
-/// Resolves a policy label (ablation variant name, coverage mode name, or
-/// "paper") to its TaintPolicy; nullopt for unknown labels.
+/// Resolves a policy label (ablation variant name, coverage column name,
+/// or "paper") to its TaintPolicy; nullopt for unknown labels.
 std::optional<cpu::TaintPolicy> policy_by_name(const std::string& name);
 
 /// Builds the single job for one matrix cell.  Snapshot sharing, machine
@@ -109,8 +111,14 @@ std::vector<Job> make_jobs(const std::string& campaign, SnapshotCache& cache,
 ///               Machine::apply_static_elision); an alert at an elided site
 ///               would mean the elided detector silently skips it
 ///               (`elided_alerts` stays empty).
+///
+/// Address-leak alerts (AlertKind::kAddressLeak) are cross-validated the
+/// same way against the prover's leak-site layer: forward, the alert PC
+/// must be a may-leak site (predicts_leak / leak witness); backward, the
+/// site must not be leak-elided (may_planes == 0 would have skipped the
+/// dynamic check).
 struct StaticCheckReport {
-  size_t alerts_checked = 0;        // pointer-kind alerts cross-validated
+  size_t alerts_checked = 0;        // pointer + leak alerts cross-validated
   std::vector<std::string> missed;  // alerts with no prover witness
   std::vector<std::string> elided_alerts;  // alerts at gen-2-elided sites
 };

@@ -593,6 +593,114 @@ std::unique_ptr<Scenario> fn_fmtleak_scenario() {
   return std::make_unique<SpecScenario>(std::move(s));
 }
 
+// ---- address-leak -> precise-overwrite scenarios ----
+//
+// The disclosure phase is deterministic, so the "attacker" is modeled the
+// way the ghttpd scenario models reconnaissance: a recon run reads the
+// dbg_* drop to learn the address a live attacker would parse from the
+// leaked bytes, and the scripted session replays the leak request (the
+// detection point under leak_detection) followed by the computed overwrite.
+
+/// Runs `app` against `recon_session` and returns the word the app dropped
+/// at `symbol` — the same address the leak phase disclosed on the wire.
+uint32_t recon_leaked_word(const asmgen::Source& app,
+                           const std::vector<std::string>& recon_session,
+                           const char* symbol) {
+  MachineConfig cfg;
+  cfg.max_instructions = 10'000'000;
+  Machine recon(cfg);
+  recon.load_sources(link_with_runtime(app));
+  recon.os().net().add_session(recon_session);
+  recon.run();
+  const uint32_t addr =
+      recon.memory().load_word(recon.program().symbols.at(symbol)).value;
+  assert(addr != 0);
+  return addr;
+}
+
+std::optional<std::string> shell_exec_evidence(Machine& m, const char* what) {
+  for (const auto& path : m.os().exec_log()) {
+    if (path == "/bin/sh") return std::string(what);
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<Scenario> leak_telemetry_scenario() {
+  ScenarioSpec s;
+  s.id = AttackId::kLeakTelemetry;
+  s.name = "leak-telemetry-peek";
+  s.category = "address leak";
+  s.control_data = false;
+  s.expected_detected = false;  // data-taint direction: compare-validated
+  s.app = apps::leak_telemetry();
+  s.arm_attack = [](Machine& m, const asmgen::Program&) {
+    // PEEK leaks &reqbuf; is_admin sits 8 bytes below it (sp+24 vs sp+32).
+    const uint32_t reqbuf = recon_leaked_word(
+        apps::leak_telemetry(), {"PEEK", "QUIT"}, "dbg_reqbuf");
+    m.os().net().add_session(
+        {"PEEK", "POKE" + le_bytes(reqbuf - 8) + le_bytes(1), "QUIT"});
+  };
+  s.arm_benign = [](Machine& m, const asmgen::Program&) {
+    m.os().net().add_session({"STAT", "QUIT"});
+  };
+  s.evidence = [](Machine& m, const RunReport&) {
+    return shell_exec_evidence(
+        m, "leaked stack address pinpointed is_admin; spawned /bin/sh");
+  };
+  return std::make_unique<SpecScenario>(std::move(s));
+}
+
+std::unique_ptr<Scenario> leak_session_scenario() {
+  ScenarioSpec s;
+  s.id = AttackId::kLeakSession;
+  s.name = "leak-session-token";
+  s.category = "address leak";
+  s.control_data = false;
+  s.expected_detected = false;
+  s.app = apps::leak_session();
+  s.arm_attack = [](Machine& m, const asmgen::Program&) {
+    // SESS leaks the session record's heap address; uid is its first word.
+    const uint32_t record = recon_leaked_word(
+        apps::leak_session(), {"SESS", "QUIT"}, "dbg_session");
+    m.os().net().add_session(
+        {"SESS", "SETU" + le_bytes(record) + le_bytes(0), "QUIT"});
+  };
+  s.arm_benign = [](Machine& m, const asmgen::Program&) {
+    m.os().net().add_session({"HELO", "QUIT"});
+  };
+  s.evidence = [](Machine& m, const RunReport&) {
+    return shell_exec_evidence(
+        m, "session token disclosed the uid word; forged uid 0, /bin/sh");
+  };
+  return std::make_unique<SpecScenario>(std::move(s));
+}
+
+std::unique_ptr<Scenario> leak_banner_scenario() {
+  ScenarioSpec s;
+  s.id = AttackId::kLeakBanner;
+  s.name = "leak-banner-format";
+  s.category = "address leak";
+  s.control_data = false;
+  s.expected_detected = false;
+  s.app = apps::leak_banner();
+  s.arm_attack = [](Machine& m, const asmgen::Program&) {
+    // "%x" prints the spilled request-buffer pointer in hex; the audited
+    // flag sits 8 bytes below the buffer (sp+24 vs sp+32).
+    const uint32_t reqbuf = recon_leaked_word(
+        apps::leak_banner(), {"audit %x", "status"}, "dbg_reqbuf");
+    m.os().net().add_session(
+        {"audit %x", "POKE" + le_bytes(reqbuf - 8) + le_bytes(1)});
+  };
+  s.arm_benign = [](Machine& m, const asmgen::Program&) {
+    m.os().net().add_session({"hello from client", "status check"});
+  };
+  s.evidence = [](Machine& m, const RunReport&) {
+    return shell_exec_evidence(
+        m, "%x leaked the frame address; audited flag forged, /bin/sh");
+  };
+  return std::make_unique<SpecScenario>(std::move(s));
+}
+
 }  // namespace
 
 const char* to_string(Outcome outcome) {
@@ -628,6 +736,9 @@ std::unique_ptr<Scenario> make_scenario(AttackId id) {
     case AttackId::kFnIntOverflow: return fn_intoverflow_scenario();
     case AttackId::kFnAuthFlag: return fn_authflag_scenario();
     case AttackId::kFnFormatLeak: return fn_fmtleak_scenario();
+    case AttackId::kLeakTelemetry: return leak_telemetry_scenario();
+    case AttackId::kLeakSession: return leak_session_scenario();
+    case AttackId::kLeakBanner: return leak_banner_scenario();
   }
   return nullptr;
 }
@@ -641,7 +752,9 @@ std::vector<std::unique_ptr<Scenario>> make_attack_corpus() {
         AttackId::kGhttpdStack, AttackId::kTracerouteDoubleFree,
         AttackId::kGlobExpansion,
         AttackId::kFnIntOverflow, AttackId::kFnAuthFlag,
-        AttackId::kFnFormatLeak}) {
+        AttackId::kFnFormatLeak,
+        AttackId::kLeakTelemetry, AttackId::kLeakSession,
+        AttackId::kLeakBanner}) {
     corpus.push_back(make_scenario(id));
   }
   return corpus;

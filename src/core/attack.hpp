@@ -25,6 +25,13 @@ enum class AttackId {
   kFnIntOverflow,       // Table 4(A): known false negative
   kFnAuthFlag,          // Table 4(B): known false negative
   kFnFormatLeak,        // Table 4(C): known false negative
+  // Address-leak -> precise-overwrite scenarios (the inverse taint
+  // direction).  Under the paper policy the overwrite is compare-validated
+  // and lands silently (like the Table 4 trio); with
+  // TaintPolicy::leak_detection on, the disclosure itself is the alert.
+  kLeakTelemetry,       // raw stack pointer shipped as debug telemetry
+  kLeakSession,         // heap pointer recycled as a session token
+  kLeakBanner,          // %x format leak of a spilled stack pointer
 };
 
 /// What a scenario run ended as.

@@ -107,7 +107,10 @@ void Machine::load_program(asmgen::Program program) {
       layout::kTextBase,
       layout::kTextBase + 4 * static_cast<uint32_t>(program_.text.size()));
   cpu_->set_pc(program_.entry);
-  cpu_->regs().set(isa::kSp, TaintedWord{layout::kStackTop - aslr_offset()});
+  // The initial stack pointer is the root of stack address provenance:
+  // every frame and local address derives from it.
+  cpu_->regs().set(isa::kSp, TaintedWord{layout::kStackTop - aslr_offset(),
+                                         mem::kStackAddrMask});
   setup_argv();
   if (config_.static_elision) apply_static_elision();
 }
@@ -126,6 +129,7 @@ size_t Machine::apply_static_elision() {
   const analysis::Gen2Elision gen2 =
       analysis::gen2_elision(cfg, config_.policy);
   cpu_->set_check_elision(gen2.elision);
+  cpu_->set_leak_elision(gen2.leak_elision);
   // Hand the recovered block boundaries to the superblock engine so its
   // translations align with the static CFG (translation hint only).
   std::vector<uint8_t> leaders(program_.text.size(), 0);

@@ -17,6 +17,9 @@ std::string SecurityAlert::to_string() const {
     std::snprintf(buf, sizeof buf,
                   "%x: %s\ttainted write into annotated region '%s'", pc,
                   disasm.c_str(), region.c_str());
+  } else if (kind == AlertKind::kAddressLeak) {
+    std::snprintf(buf, sizeof buf, "%x: %s\tleak of %s byte at 0x%x", pc,
+                  disasm.c_str(), region.c_str(), reg_value);
   } else {
     std::snprintf(buf, sizeof buf, "%x: %s\t$%d=0x%x", pc, disasm.c_str(),
                   reg, reg_value);
@@ -26,7 +29,9 @@ std::string SecurityAlert::to_string() const {
 
 Cpu::Cpu(mem::TaintedMemory& memory, const TaintPolicy& policy)
     : memory_(memory), policy_(policy), taint_unit_(policy) {
-  regs_.set(isa::kSp, TaintedWord{isa::layout::kStackTop});
+  // The stack pointer is the root of all stack-address provenance.
+  regs_.set(isa::kSp,
+            TaintedWord{isa::layout::kStackTop, mem::kStackAddrMask});
 }
 
 Cpu::~Cpu() = default;
@@ -99,6 +104,7 @@ void Cpu::set_executable_range(uint32_t begin, uint32_t end) {
   decode_cache_.assign(n, Instruction{});
   decode_valid_.assign(n, 0);
   elide_bits_.clear();  // any installed elision proof is for the old image
+  leak_elide_bits_.clear();
   leader_bits_.clear();
   if (sb_) sb_->reset();  // superblocks are derived state; refill lazily
 }
@@ -127,9 +133,10 @@ void Cpu::invalidate_decode_range(uint32_t addr, uint32_t len) {
        ++i) {
     if (i >= decode_valid_.size()) break;
     decode_valid_[i] = 0;
-    // Self-modifying code voids the static proof for this PC: the new
+    // Self-modifying code voids the static proofs for this PC: the new
     // instruction must be checked dynamically.
     if (i < elide_bits_.size()) elide_bits_[i] = 0;
+    if (i < leak_elide_bits_.size()) leak_elide_bits_[i] = 0;
   }
   if (sb_) sb_->on_invalidate(lo, hi - lo);
 }
@@ -182,6 +189,50 @@ bool Cpu::restore_state_keep_caches(const State& s) {
   // Decode cache, elide/leader bits and superblock translations survive:
   // they are derived from text bytes the caller proves unchanged, page by
   // page, via invalidate_decode_range on the delta-restored pages.
+  return true;
+}
+
+void Cpu::set_leak_elision(const std::vector<uint8_t>& elision) {
+  leak_elide_bits_.assign(decode_cache_.size(), 0);
+  const size_t n = elision.size() < leak_elide_bits_.size()
+                       ? elision.size()
+                       : leak_elide_bits_.size();
+  for (size_t i = 0; i < n; ++i) leak_elide_bits_[i] = elision[i] ? 1 : 0;
+  // Leak elision is consulted at syscall time, not baked into decodes or
+  // superblocks, so no cache flush is needed.
+}
+
+bool Cpu::kernel_output_leak(uint32_t addr, uint32_t len) {
+  if (!policy_.leak_detection || len == 0) return false;
+  if (policy_.mode == DetectionMode::kOff) return false;
+  if (pc_ >= text_begin_) {
+    const uint32_t idx = (pc_ - text_begin_) / 4;
+    if (idx < leak_elide_bits_.size() && leak_elide_bits_[idx]) return false;
+  }
+  const uint8_t planes = memory_.addr_planes_in(addr, len);
+  if (planes == 0) return false;
+  std::string classes;
+  if (planes & mem::kByteStackAddr) classes += "stack-addr";
+  if (planes & mem::kByteHeapAddr) {
+    classes += classes.empty() ? "heap-addr" : ",heap-addr";
+  }
+  if (planes & mem::kByteTextAddr) {
+    classes += classes.empty() ? "text-addr" : ",text-addr";
+  }
+  TaintBits t = 0;
+  if (planes & mem::kByteStackAddr) t |= mem::kStackAddrMask;
+  if (planes & mem::kByteHeapAddr) t |= mem::kHeapAddrMask;
+  if (planes & mem::kByteTextAddr) t |= mem::kTextAddrMask;
+  SecurityAlert alert;
+  alert.kind = AlertKind::kAddressLeak;
+  alert.pc = pc_;
+  alert.disasm = "syscall (output)";
+  alert.reg = isa::kA1;
+  alert.reg_value = memory_.first_addr_tainted(addr, len).value_or(addr);
+  alert.taint = t;
+  alert.region = std::move(classes);
+  alert_ = std::move(alert);
+  stop_ = StopReason::kSecurityAlert;
   return true;
 }
 
@@ -469,7 +520,11 @@ StopReason Cpu::execute(const Instruction& inst, bool elide) {
 
     // ---- kernel tainting primitives (the Section 4.4 RT-register trick) --
     case Op::kTaintSet:
-      regs_.set(inst.rd, TaintedWord{rs.value, mem::kAllTainted});
+      regs_.set(inst.rd,
+                TaintedWord{rs.value,
+                            static_cast<TaintBits>(
+                                mem::kAllTainted |
+                                (rs.taint & mem::kAddrMask))});
       ++stats_.alu_ops;
       break;
     case Op::kTaintClr:
@@ -511,11 +566,18 @@ StopReason Cpu::execute(const Instruction& inst, bool elide) {
                 imm_word(static_cast<uint32_t>(inst.imm & 0xffff)), true);
       ++stats_.alu_ops;
       break;
-    case Op::kLui:
-      regs_.set(inst.rt,
-                TaintedWord{static_cast<uint32_t>(inst.imm & 0xffff) << 16});
+    case Op::kLui: {
+      // `la label` in text expands to LUI/ORI of a code address: a constant
+      // that lands in the executable range carries text provenance (the
+      // ORI below OR-merges it through).
+      const uint32_t v = static_cast<uint32_t>(inst.imm & 0xffff) << 16;
+      const TaintBits t = text_begin_ != 0 && v >= text_begin_ && v < text_end_
+                              ? mem::kTextAddrMask
+                              : mem::kUntainted;
+      regs_.set(inst.rt, TaintedWord{v, t});
       ++stats_.alu_ops;
       break;
+    }
 
     // ---- loads ----
     case Op::kLb:
@@ -543,9 +605,8 @@ StopReason Cpu::execute(const Instruction& inst, bool elide) {
           result.value = static_cast<uint32_t>(
               static_cast<int16_t>(half.value & 0xffff));
           // Sign extension makes every result byte depend on the loaded
-          // half, so taint widens to the full word.
-          result.taint = mem::any_tainted(half.taint) ? mem::kAllTainted
-                                                      : mem::kUntainted;
+          // half, so taint widens to the full word (per plane).
+          result.taint = mem::widen_planes(half.taint);
         } else {
           result = half;
         }
@@ -554,14 +615,14 @@ StopReason Cpu::execute(const Instruction& inst, bool elide) {
         if (inst.op == Op::kLb) {
           result.value =
               static_cast<uint32_t>(static_cast<int8_t>(b.value));
-          result.taint = b.taint ? mem::kAllTainted : mem::kUntainted;
+          result.taint = mem::widen_planes(mem::planes_to_word(b.planes, 0));
         } else {
           result.value = b.value;
-          result.taint = b.taint ? 0x1 : mem::kUntainted;
+          result.taint = mem::planes_to_word(b.planes, 0);
         }
       }
-      if (policy_.per_word_taint && result.tainted()) {
-        result.taint = mem::kAllTainted;
+      if (policy_.per_word_taint) {
+        result.taint = mem::widen_planes(result.taint);
       }
       if (result.tainted()) ++stats_.tainted_loads;
       regs_.set(inst.rt, result);
@@ -581,10 +642,10 @@ StopReason Cpu::execute(const Instruction& inst, bool elide) {
       }
       const uint32_t store_len =
           inst.op == Op::kSw ? 4 : inst.op == Op::kSh ? 2 : 1;
-      // Only the taint of the bytes actually stored counts.
+      // Only the taint of the bytes actually stored counts (every plane).
       const TaintedWord stored{
           rt.value, static_cast<TaintBits>(
-                        rt.taint & ((1u << store_len) - 1))};
+                        rt.taint & (((1u << store_len) - 1) * 0x1111u))};
       if (detect_annotation(inst, ea, store_len, stored)) return stop_;
       if (rt.tainted()) ++stats_.tainted_stores;
       if (ea < text_end_ && ea + store_len > text_begin_) {
@@ -598,7 +659,7 @@ StopReason Cpu::execute(const Instruction& inst, bool elide) {
         memory_.store_half(ea, rt);
       } else {
         memory_.store_byte(
-            ea, {static_cast<uint8_t>(rt.value), mem::byte_tainted(rt.taint, 0)});
+            ea, {static_cast<uint8_t>(rt.value), mem::byte_planes(rt.taint, 0)});
       }
       break;
     }
@@ -623,7 +684,7 @@ StopReason Cpu::execute(const Instruction& inst, bool elide) {
         default: taken = sval >= 0; break;
       }
       if (inst.op == Op::kBltzal || inst.op == Op::kBgezal) {
-        regs_.set(isa::kRa, TaintedWord{pc_ + 4});
+        regs_.set(isa::kRa, TaintedWord{pc_ + 4, mem::kTextAddrMask});
       }
       // Branches compare data against bounds; the Table 1 compare rule
       // trusts validated values afterwards.
@@ -648,7 +709,8 @@ StopReason Cpu::execute(const Instruction& inst, bool elide) {
       ++stats_.jumps;
       break;
     case Op::kJal:
-      regs_.set(isa::kRa, TaintedWord{pc_ + 4});
+      // Link addresses are text addresses — the root of text provenance.
+      regs_.set(isa::kRa, TaintedWord{pc_ + 4, mem::kTextAddrMask});
       next_pc = inst.target;
       ++stats_.jumps;
       break;
@@ -667,7 +729,7 @@ StopReason Cpu::execute(const Instruction& inst, bool elide) {
           detect_pointer(inst, inst.rs, rs, AlertKind::kTaintedJumpTarget)) {
         return stop_;
       }
-      regs_.set(inst.rd, TaintedWord{pc_ + 4});
+      regs_.set(inst.rd, TaintedWord{pc_ + 4, mem::kTextAddrMask});
       next_pc = rs.value;
       break;
 

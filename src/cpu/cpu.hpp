@@ -73,6 +73,9 @@ enum class AlertKind : uint8_t {
   kAnnotatedRegionTainted,
   /// NX baseline: instruction fetch from non-executable memory.
   kNxViolation,
+  /// Address-leak direction (policy.leak_detection): SYS_WRITE/SYS_SEND
+  /// buffer holds bytes with stack/heap/text address provenance.
+  kAddressLeak,
 };
 
 /// The security exception record, mirroring the paper's alert transcripts
@@ -214,6 +217,20 @@ class Cpu {
   /// and returns true when [addr, addr+len) overlaps a protected region.
   bool annotation_kernel_write(uint32_t addr, uint32_t len);
 
+  /// Address-leak check for kernel-side output: the OS layer calls this
+  /// when SYS_WRITE/SYS_SEND is about to publish [addr, addr+len).  Under
+  /// policy.leak_detection, raises an address-leak alert and returns true
+  /// when the buffer holds any address-tainted byte — unless the leak
+  /// check at the current (syscall) PC is statically elided.
+  bool kernel_output_leak(uint32_t addr, uint32_t len);
+
+  /// Installs the leak-site prover's elision bitmap (one byte per text
+  /// instruction, 1 = no address-tainted byte can reach the output buffer
+  /// of the syscall at that PC).  Same lifecycle as set_check_elision:
+  /// cleared by set_executable_range and, per entry, by
+  /// invalidate_decode_range (self-modifying code voids the proof).
+  void set_leak_elision(const std::vector<uint8_t>& elision);
+
   /// Observer invoked on every retired instruction — the pipeline timing
   /// model subscribes here.  `ea` is the effective address for memory ops.
   using RetireHook =
@@ -294,6 +311,7 @@ class Cpu {
   std::vector<isa::Instruction> decode_cache_;
   std::vector<uint8_t> decode_valid_;
   std::vector<uint8_t> elide_bits_;  // per-instruction, from set_check_elision
+  std::vector<uint8_t> leak_elide_bits_;  // from set_leak_elision
 
   Engine engine_ = Engine::kStep;
   std::unique_ptr<SuperblockEngine> sb_;   // created lazily by set_engine

@@ -329,7 +329,14 @@ dispatch_top:
   }
 
   OP(Lui) {
-    regs.set(u->inst.rt, TaintedWord{u->value});
+    // Mirrors step(): a constant landing in the executable range carries
+    // text provenance (`la label` expands to LUI/ORI of a code address).
+    const mem::TaintBits lt =
+        c.text_begin_ != 0 && u->value >= c.text_begin_ &&
+                u->value < c.text_end_
+            ? mem::kTextAddrMask
+            : mem::kUntainted;
+    regs.set(u->inst.rt, TaintedWord{u->value, lt});
     ++st.alu_ops;
     ++st.instructions;
     NEXT();
@@ -592,7 +599,10 @@ dispatch_top:
       case Op::kMthi: regs.set_hi(a); break;
       case Op::kMtlo: regs.set_lo(a); break;
       case Op::kTaintSet:
-        regs.set(in.rd, TaintedWord{a.value, mem::kAllTainted});
+        regs.set(in.rd,
+                 TaintedWord{a.value, static_cast<mem::TaintBits>(
+                                          mem::kAllTainted |
+                                          (a.taint & mem::kAddrMask))});
         break;
       default:  // kTaintClr
         regs.set(in.rd, TaintedWord{a.value, mem::kUntainted});
@@ -621,8 +631,8 @@ dispatch_top:
       return;
     }
     TaintedWord result = c.memory_.load_word(ea);
-    if (policy.per_word_taint && result.tainted()) {
-      result.taint = mem::kAllTainted;
+    if (policy.per_word_taint) {
+      result.taint = mem::widen_planes(result.taint);
     }
     if (result.tainted()) ++st.tainted_loads;
     regs.set(in.rt, result);
@@ -650,8 +660,7 @@ dispatch_top:
       if (in.op == Op::kLh) {
         result.value =
             static_cast<uint32_t>(static_cast<int16_t>(half.value & 0xffff));
-        result.taint = mem::any_tainted(half.taint) ? mem::kAllTainted
-                                                    : mem::kUntainted;
+        result.taint = mem::widen_planes(half.taint);
       } else {
         result = half;
       }
@@ -659,14 +668,14 @@ dispatch_top:
       const mem::TaintedByte b = c.memory_.load_byte(ea);
       if (in.op == Op::kLb) {
         result.value = static_cast<uint32_t>(static_cast<int8_t>(b.value));
-        result.taint = b.taint ? mem::kAllTainted : mem::kUntainted;
+        result.taint = mem::widen_planes(mem::planes_to_word(b.planes, 0));
       } else {
         result.value = b.value;
-        result.taint = b.taint ? 0x1 : mem::kUntainted;
+        result.taint = mem::planes_to_word(b.planes, 0);
       }
     }
-    if (policy.per_word_taint && result.tainted()) {
-      result.taint = mem::kAllTainted;
+    if (policy.per_word_taint) {
+      result.taint = mem::widen_planes(result.taint);
     }
     if (result.tainted()) ++st.tainted_loads;
     regs.set(in.rt, result);
@@ -690,8 +699,7 @@ dispatch_top:
         c.detect_pointer(in, in.rs, base, AlertKind::kTaintedStoreAddress)) {
       return;
     }
-    const TaintedWord stored{val.value,
-                             static_cast<mem::TaintBits>(val.taint & 0xf)};
+    const TaintedWord stored{val.value, val.taint};
     if (c.detect_annotation(in, ea, 4, stored)) return;
     if (val.tainted()) ++st.tainted_stores;
     if (ea < c.text_end_ && ea + 4 > c.text_begin_) {
@@ -723,7 +731,8 @@ dispatch_top:
     }
     const uint32_t len = in.op == Op::kSh ? 2 : 1;
     const TaintedWord stored{
-        val.value, static_cast<mem::TaintBits>(val.taint & ((1u << len) - 1))};
+        val.value, static_cast<mem::TaintBits>(
+                       val.taint & (((1u << len) - 1) * 0x1111u))};
     if (c.detect_annotation(in, ea, len, stored)) return;
     if (val.tainted()) ++st.tainted_stores;
     if (ea < c.text_end_ && ea + len > c.text_begin_) {
@@ -737,7 +746,7 @@ dispatch_top:
       c.memory_.store_half(ea, val);
     } else {
       c.memory_.store_byte(ea, {static_cast<uint8_t>(val.value),
-                                mem::byte_tainted(val.taint, 0)});
+                                mem::byte_planes(val.taint, 0)});
     }
     ++st.instructions;
     if (cur->retired) {
@@ -749,15 +758,22 @@ dispatch_top:
 
   // -- fused pairs ----------------------------------------------------------
   OP(LuiOri) {
-    // lui writes an untainted constant, so the ori's sources are provably
-    // untainted: one evaluation bump, untainted or-merge.
+    // The lui half seeds text provenance from its OWN value (the fused
+    // constant's low half comes from the ori and must not affect the
+    // in-text test — step() checks `imm << 16` alone).  The ori or-merges
+    // that provenance into the fused constant; its data planes stay clean,
+    // so the single evaluation bump matches propagate() exactly.
     const Instruction& in = u->inst;
+    const uint32_t lui_v = static_cast<uint32_t>(in.imm & 0xffff) << 16;
+    const mem::TaintBits lt =
+        c.text_begin_ != 0 && lui_v >= c.text_begin_ && lui_v < c.text_end_
+            ? mem::kTextAddrMask
+            : mem::kUntainted;
     if (u->aux) {
-      regs.set(in.rt,
-               TaintedWord{static_cast<uint32_t>(in.imm & 0xffff) << 16});
+      regs.set(in.rt, TaintedWord{lui_v, lt});
     }
     ++tu.evaluations;
-    regs.set(u->inst2.rt, TaintedWord{u->value});
+    regs.set(u->inst2.rt, TaintedWord{u->value, lt});
     st.alu_ops += 2;
     st.instructions += 2;
     NEXT();
@@ -792,8 +808,8 @@ dispatch_top:
       return;
     }
     TaintedWord result = c.memory_.load_word(ea);
-    if (policy.per_word_taint && result.tainted()) {
-      result.taint = mem::kAllTainted;
+    if (policy.per_word_taint) {
+      result.taint = mem::widen_planes(result.taint);
     }
     if (result.tainted()) ++st.tainted_loads;
     regs.set(li.rt, result);
@@ -826,8 +842,7 @@ dispatch_top:
         c.detect_pointer(si, si.rs, base, AlertKind::kTaintedStoreAddress)) {
       return;
     }
-    const TaintedWord stored{val.value,
-                             static_cast<mem::TaintBits>(val.taint & 0xf)};
+    const TaintedWord stored{val.value, val.taint};
     if (c.detect_annotation(si, ea, 4, stored)) return;
     if (val.tainted()) ++st.tainted_stores;
     if (ea < c.text_end_ && ea + 4 > c.text_begin_) {
@@ -863,7 +878,7 @@ dispatch_top:
       default: taken = sval >= 0; break;
     }
     if (in.op == Op::kBltzal || in.op == Op::kBgezal) {
-      regs.set(isa::kRa, TaintedWord{u->pc + 4});
+      regs.set(isa::kRa, TaintedWord{u->pc + 4, mem::kTextAddrMask});
     }
     if (policy.compare_untaints &&
         (a.tainted() || regs.get(in.rt).tainted())) {
@@ -952,7 +967,7 @@ dispatch_top:
   }
 
   OP(Jal) {
-    regs.set(isa::kRa, TaintedWord{u->pc + 4});
+    regs.set(isa::kRa, TaintedWord{u->pc + 4, mem::kTextAddrMask});
     ++st.jumps;
     ++st.instructions;
     c.pc_ = u->inst.target;
@@ -982,7 +997,7 @@ dispatch_top:
         c.detect_pointer(in, in.rs, a, AlertKind::kTaintedJumpTarget)) {
       return;
     }
-    regs.set(in.rd, TaintedWord{u->pc + 4});
+    regs.set(in.rd, TaintedWord{u->pc + 4, mem::kTextAddrMask});
     ++st.instructions;
     c.pc_ = a.value;
     goto chain_next;

@@ -40,6 +40,12 @@ struct TaintPolicy {
   // Ablation: track taint per word instead of per byte (any tainted byte
   // taints the whole word).  The paper uses per-byte tracking.
   bool per_word_taint = false;
+
+  // Address-leak direction (DrTaint-style, the inverse of the paper's):
+  // SYS_WRITE/SYS_SEND buffers holding bytes with stack/heap/text address
+  // provenance raise an address-leak alert.  Off by default — address
+  // planes still propagate, only the output-site check is gated here.
+  bool leak_detection = false;
 };
 
 }  // namespace ptaint::cpu

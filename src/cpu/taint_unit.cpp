@@ -15,26 +15,27 @@ TaintBits or_merge(TaintBits a, TaintBits b) {
 
 // Shift rule: a tainted byte also taints its neighbour along the direction
 // of shifting.  For a left shift data moves towards the MSB, so taint of
-// byte i spreads to byte i+1; right shifts spread downwards.
+// byte i spreads to byte i+1; right shifts spread downwards.  The per-plane
+// masks keep the spread inside each 4-bit plane (no cross-plane carries).
 TaintBits smear(TaintBits t, bool left) {
-  TaintBits spread = left ? static_cast<TaintBits>((t << 1) & mem::kAllTainted)
-                          : static_cast<TaintBits>(t >> 1);
+  TaintBits spread = left ? static_cast<TaintBits>((t << 1) & 0xeeee)
+                          : static_cast<TaintBits>((t >> 1) & 0x7777);
   return static_cast<TaintBits>(t | spread);
 }
 
 // AND rule: a byte AND-ed with an untainted zero byte is constant zero
-// regardless of the other side, so its taint clears.
+// regardless of the other side, so its taint (every plane) clears.
 TaintBits and_rule(const mem::TaintedWord& a, const mem::TaintedWord& b) {
   TaintBits out = mem::kUntainted;
   for (int i = 0; i < 4; ++i) {
     const auto byte_a = static_cast<uint8_t>(a.value >> (8 * i));
     const auto byte_b = static_cast<uint8_t>(b.value >> (8 * i));
-    const bool ta = mem::byte_tainted(a.taint, i);
-    const bool tb = mem::byte_tainted(b.taint, i);
-    const bool a_is_const_zero = byte_a == 0 && !ta;
-    const bool b_is_const_zero = byte_b == 0 && !tb;
+    const uint8_t pa = mem::byte_planes(a.taint, i);
+    const uint8_t pb = mem::byte_planes(b.taint, i);
+    const bool a_is_const_zero = byte_a == 0 && !(pa & mem::kByteData);
+    const bool b_is_const_zero = byte_b == 0 && !(pb & mem::kByteData);
     if (a_is_const_zero || b_is_const_zero) continue;  // untainted result
-    if (ta || tb) out |= static_cast<TaintBits>(1u << i);
+    out |= mem::planes_to_word(static_cast<uint8_t>(pa | pb), i);
   }
   return out;
 }
@@ -42,7 +43,7 @@ TaintBits and_rule(const mem::TaintedWord& a, const mem::TaintedWord& b) {
 }  // namespace
 
 TaintBits TaintUnit::apply_granularity(TaintBits t) const {
-  if (policy_.per_word_taint && mem::any_tainted(t)) return mem::kAllTainted;
+  if (policy_.per_word_taint) return mem::widen_planes(t);
   return t;
 }
 
@@ -64,7 +65,11 @@ TaintOpResult TaintUnit::propagate(const TaintOpInputs& in) const {
       // form only).  A tainted shift amount taints the whole result, since
       // the attacker then controls the data placement.
       TaintBits t = smear(in.a.taint, left);
-      if (mem::any_tainted(in.b.taint)) t = mem::kAllTainted;
+      if (mem::any_tainted(in.b.taint)) {
+        t = static_cast<TaintBits>(mem::kAllTainted |
+                                   (mem::widen_planes(in.a.taint) &
+                                    mem::kAddrMask));
+      }
       out.result_taint = t;
       break;
     }
@@ -97,12 +102,26 @@ TaintOpResult TaintUnit::propagate(const TaintOpInputs& in) const {
         out.result_taint = mem::kUntainted;
         out.untaint_sources = true;
       } else {
-        out.result_taint = or_merge(in.a.taint, in.b.taint);
+        // A compare result is a fresh boolean, never an address: the data
+        // planes merge, the address planes do not survive.
+        out.result_taint = static_cast<TaintBits>(
+            or_merge(in.a.taint, in.b.taint) & mem::kDataMask);
       }
       break;
     }
     default:
       out.result_taint = or_merge(in.a.taint, in.b.taint);
+      if (op == Op::kSub || op == Op::kSubu) {
+        // Subtracting two values of the same address class yields a length
+        // (pointer difference), not an address: planes present on both
+        // sides cancel; a plane on one side survives (address ± offset).
+        for (TaintBits plane : {mem::kStackAddrMask, mem::kHeapAddrMask,
+                                mem::kTextAddrMask}) {
+          if ((in.a.taint & plane) != 0 && (in.b.taint & plane) != 0) {
+            out.result_taint &= static_cast<TaintBits>(~plane);
+          }
+        }
+      }
       break;
   }
   out.result_taint = apply_granularity(out.result_taint);

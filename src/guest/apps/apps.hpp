@@ -64,6 +64,24 @@ asmgen::Source fn_auth_flag();
 /// a tainted dereference.
 asmgen::Source fn_format_leak();
 
+// ---- address-leak -> precise-overwrite scenarios (leak direction) ----
+
+/// Telemetry daemon: PEEK ships the raw address of its request buffer to
+/// the client (stack-address disclosure); POKE writes a client word at a
+/// client address guarded only by a stack-range check.
+asmgen::Source leak_telemetry();
+
+/// Session daemon: the malloc'd session record's address doubles as the
+/// wire-visible session token (heap-address disclosure); SETU pokes a word
+/// at any data-segment address.
+asmgen::Source leak_session();
+
+/// Banner daemon: client bytes echo through fdprintf as the format string;
+/// "%x" prints the spilled request-buffer pointer in ASCII hex (every digit
+/// byte keeps the stack-address plane), then a maintenance poke lands at
+/// the leaked-and-computed address.
+asmgen::Source leak_banner();
+
 // ---- SPEC 2000 INT surrogates (Table 3 false-positive study) ----
 
 /// Compression (RLE + checksum) — BZIP2 surrogate.

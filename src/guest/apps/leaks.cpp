@@ -1,0 +1,348 @@
+// Address-leak -> precise-overwrite scenarios (the inverse taint direction).
+//
+// Each server first DISCLOSES an address-space fact over the kernel output
+// boundary — a raw stack pointer, a heap pointer recycled as a session
+// token, a %x-formatted stack address — and then offers a write primitive
+// whose only guard is a sloppy range check.  The range compare untaints the
+// incoming bytes (Table 1's compare rule), so the data-taint direction
+// never fires on the overwrite: without the leak detector these attacks
+// land silently, exactly like the Table 4 false negatives.  With
+// TaintPolicy::leak_detection on, the disclosure itself is the alert: the
+// output buffer carries stack/heap/text address-provenance planes when it
+// crosses SYS_WRITE / SYS_SEND.
+//
+// The leaked address is what makes the second phase *precise*: the attacker
+// computes the exact victim slot (an auth/uid flag) from it instead of
+// spraying.  Attack builders in core/attack.cpp run a reconnaissance
+// session first (reading the dbg_* drop, like the ghttpd scenario) and then
+// splice the computed addresses into the payload.
+#include "guest/apps/apps.hpp"
+
+namespace ptaint::guest::apps {
+
+asmgen::Source leak_telemetry() {
+  return {"leak_telemetry.s", R"(
+# Telemetry daemon: PEEK ships a debug pointer (the raw address of the
+# request buffer) to the client; POKE writes a client-supplied word to a
+# client-supplied "stack-ish" address.
+#
+# handle_session frame (288 bytes):
+#   sp+24              is_admin flag        <- overwrite target
+#   sp+28              debug pointer slot   <- the PEEK leak source
+#   sp+32 .. sp+271    reqbuf[240]
+#   sp+280/284         saved $s0/$ra
+    .data
+cmd_peek:  .asciiz "PEEK"
+cmd_poke:  .asciiz "POKE"
+cmd_quit:  .asciiz "QUIT"
+msg_stat:  .asciiz "telemetry: ok\n"
+msg_done:  .asciiz "bye\n"
+shellpath: .asciiz "/bin/sh"
+    .align 2
+dbg_reqbuf: .word 0
+
+    .text
+# handle_session(conn)
+handle_session:
+    addiu $sp, $sp, -288
+    sw $ra, 284($sp)
+    sw $s0, 280($sp)
+    move $s0, $a0
+    sw $zero, 24($sp)         # is_admin = 0
+    addiu $t0, $sp, 32
+    sw $t0, 28($sp)           # debug slot: &reqbuf
+    sw $t0, dbg_reqbuf        # reconnaissance aid (see header comment)
+hs_loop:
+    move $a0, $s0
+    addiu $a1, $sp, 32
+    li $a2, 240
+    jal recv
+    blez $v0, hs_done
+    addiu $t0, $sp, 32
+    addu $t0, $t0, $v0
+    sb $zero, 0($t0)
+    addiu $a0, $sp, 32
+    la $a1, cmd_peek
+    li $a2, 4
+    jal strncmp
+    beqz $v0, hs_peek
+    addiu $a0, $sp, 32
+    la $a1, cmd_poke
+    li $a2, 4
+    jal strncmp
+    beqz $v0, hs_poke
+    addiu $a0, $sp, 32
+    la $a1, cmd_quit
+    li $a2, 4
+    jal strncmp
+    beqz $v0, hs_done
+    move $a0, $s0
+    la $a1, msg_stat
+    jal fdputs
+    b hs_loop
+hs_peek:
+    # VULN (disclosure): a raw stack address crosses the kernel output
+    # boundary.  leak_detection alerts inside send's SYS_SEND.
+    move $a0, $s0
+    addiu $a1, $sp, 28
+    li $a2, 4
+    jal send
+    b hs_loop
+hs_poke:
+    # POKE <addr:4> <val:4> — "session scratch" write.  The guard only
+    # checks the address is in the stack region, so any leaked stack
+    # address passes — including this frame's own is_admin slot.  The
+    # range compare untaints the attacker bytes (Table 1), so the store
+    # below never trips the data-taint pointer check.
+    lw $t1, 36($sp)
+    lui $t2, 0x7fe0
+    sltu $t3, $t1, $t2
+    bnez $t3, hs_loop
+    lw $t4, 40($sp)
+    sw $t4, 0($t1)
+    b hs_loop
+hs_done:
+    move $a0, $s0
+    la $a1, msg_done
+    jal fdputs
+    lw $t0, 24($sp)
+    beqz $t0, hs_ret
+    la $a0, shellpath         # flag flipped: "maintenance" shell
+    jal exec
+hs_ret:
+    lw $s0, 280($sp)
+    lw $ra, 284($sp)
+    addiu $sp, $sp, 288
+    jr $ra
+
+main:
+    addiu $sp, $sp, -24
+    sw $ra, 20($sp)
+    sw $s0, 16($sp)
+    jal socket
+    move $s0, $v0
+    move $a0, $s0
+    jal bind
+    move $a0, $s0
+    jal listen
+    move $a0, $s0
+    jal accept
+    move $a0, $v0
+    jal handle_session
+    li $v0, 0
+    lw $s0, 16($sp)
+    lw $ra, 20($sp)
+    addiu $sp, $sp, 24
+    jr $ra
+)"};
+}
+
+asmgen::Source leak_session() {
+  return {"leak_session.s", R"(
+# Session daemon: the malloc'd session record's address doubles as the
+# wire-visible session token (SESS), and SETU pokes a word at any
+# "data-segment" address — the guard passes for every heap address,
+# including the record's own uid field.
+#
+# serve frame (128 bytes):
+#   sp+16              token slot: the raw heap pointer  <- SESS leak source
+#   sp+32 .. sp+111    reqbuf[80]
+#   sp+116/120/124     saved $s1/$s0/$ra
+    .data
+cmd_sess:  .asciiz "SESS"
+cmd_setu:  .asciiz "SETU"
+cmd_quit:  .asciiz "QUIT"
+msg_hello: .asciiz "session open\n"
+msg_done:  .asciiz "closing\n"
+shellpath: .asciiz "/bin/sh"
+    .align 2
+dbg_session: .word 0
+
+    .text
+# serve(conn)
+serve:
+    addiu $sp, $sp, -128
+    sw $ra, 124($sp)
+    sw $s0, 120($sp)
+    sw $s1, 116($sp)
+    move $s0, $a0
+    li $a0, 64
+    jal malloc                # session record {uid, flags, name[56]}
+    move $s1, $v0
+    sw $s1, dbg_session       # reconnaissance aid
+    li $t0, 1000
+    sw $t0, 0($s1)            # uid = 1000 (unprivileged)
+    sw $s1, 16($sp)           # token slot: the raw heap pointer
+    move $a0, $s0
+    la $a1, msg_hello
+    jal fdputs
+sv_loop:
+    move $a0, $s0
+    addiu $a1, $sp, 32
+    li $a2, 80
+    jal recv
+    blez $v0, sv_done
+    addiu $a0, $sp, 32
+    la $a1, cmd_sess
+    li $a2, 4
+    jal strncmp
+    beqz $v0, sv_sess
+    addiu $a0, $sp, 32
+    la $a1, cmd_setu
+    li $a2, 4
+    jal strncmp
+    beqz $v0, sv_setu
+    addiu $a0, $sp, 32
+    la $a1, cmd_quit
+    li $a2, 4
+    jal strncmp
+    beqz $v0, sv_done
+    b sv_loop
+sv_sess:
+    # VULN (disclosure): the heap pointer ships to the client as the
+    # session token.  leak_detection alerts inside send's SYS_SEND.
+    move $a0, $s0
+    addiu $a1, $sp, 16
+    li $a2, 4
+    jal send
+    b sv_loop
+sv_setu:
+    # SETU <addr:4> <val:4> — update a "record field".  The guard only
+    # rejects addresses below the data segment; the compare untaints the
+    # attacker bytes, and the store lands wherever the token pointed.
+    lw $t1, 36($sp)
+    lui $t2, 0x1000
+    sltu $t3, $t1, $t2
+    bnez $t3, sv_loop
+    lw $t4, 40($sp)
+    sw $t4, 0($t1)
+    b sv_loop
+sv_done:
+    move $a0, $s0
+    la $a1, msg_done
+    jal fdputs
+    lw $t0, 0($s1)
+    bnez $t0, sv_ret
+    la $a0, shellpath         # uid forged to 0: privileged shell
+    jal exec
+sv_ret:
+    lw $s1, 116($sp)
+    lw $s0, 120($sp)
+    lw $ra, 124($sp)
+    addiu $sp, $sp, 128
+    jr $ra
+
+main:
+    addiu $sp, $sp, -24
+    sw $ra, 20($sp)
+    sw $s0, 16($sp)
+    jal socket
+    move $s0, $v0
+    move $a0, $s0
+    jal bind
+    move $a0, $s0
+    jal listen
+    move $a0, $s0
+    jal accept
+    move $a0, $v0
+    jal serve
+    li $v0, 0
+    lw $s0, 16($sp)
+    lw $ra, 20($sp)
+    addiu $sp, $sp, 24
+    jr $ra
+)"};
+}
+
+asmgen::Source leak_banner() {
+  return {"leak_banner.s", R"(
+# Banner daemon: the greeting is echoed through fdprintf with the client's
+# bytes as the format string (wu-ftpd style).  A "%x" directive pops the
+# first vararg home slot — where the request-buffer pointer was just
+# spilled — and prints a stack address in ASCII hex: every emitted digit
+# byte still carries the stack-address provenance plane, so leak_detection
+# alerts inside __pf_putc's SYS_WRITE.  The maintenance phase then accepts
+# a poke guarded by the same sloppy stack-range check as leak-telemetry.
+#
+# handle frame (160 bytes):
+#   sp+24              audited flag         <- overwrite target
+#   sp+32 .. sp+127    reqbuf[96]
+#   sp+152/156         saved $s0/$ra
+    .data
+msg_done:  .asciiz "\nsession closed\n"
+shellpath: .asciiz "/bin/sh"
+    .align 2
+dbg_reqbuf: .word 0
+
+    .text
+# handle(conn)
+handle:
+    addiu $sp, $sp, -160
+    sw $ra, 156($sp)
+    sw $s0, 152($sp)
+    move $s0, $a0
+    sw $zero, 24($sp)         # audited = 0
+    addiu $t0, $sp, 32
+    sw $t0, dbg_reqbuf        # reconnaissance aid
+    # phase 1: greeting echo
+    move $a0, $s0
+    addiu $a1, $sp, 32
+    li $a2, 96
+    jal recv
+    blez $v0, h_done
+    addiu $t0, $sp, 32
+    addu $t0, $t0, $v0
+    sb $zero, 0($t0)
+    move $a0, $s0
+    addiu $a1, $sp, 32        # VULN: client bytes as the format string
+    addiu $a2, $sp, 32        # buffer pointer rides the first vararg slot
+    jal fdprintf              # "%x" formats the stack address onto the wire
+    # phase 2: maintenance poke, same sloppy stack-range guard
+    move $a0, $s0
+    addiu $a1, $sp, 32
+    li $a2, 96
+    jal recv
+    blez $v0, h_done
+    lw $t1, 36($sp)
+    lui $t2, 0x7fe0
+    sltu $t3, $t1, $t2
+    bnez $t3, h_done
+    lw $t4, 40($sp)
+    sw $t4, 0($t1)
+h_done:
+    move $a0, $s0
+    la $a1, msg_done
+    jal fdputs
+    lw $t0, 24($sp)
+    beqz $t0, h_ret
+    la $a0, shellpath         # audited flag forged: privileged shell
+    jal exec
+h_ret:
+    lw $s0, 152($sp)
+    lw $ra, 156($sp)
+    addiu $sp, $sp, 160
+    jr $ra
+
+main:
+    addiu $sp, $sp, -24
+    sw $ra, 20($sp)
+    sw $s0, 16($sp)
+    jal socket
+    move $s0, $v0
+    move $a0, $s0
+    jal bind
+    move $a0, $s0
+    jal listen
+    move $a0, $s0
+    jal accept
+    move $a0, $v0
+    jal handle
+    li $v0, 0
+    lw $s0, 16($sp)
+    lw $ra, 20($sp)
+    addiu $sp, $sp, 24
+    jr $ra
+)"};
+}
+
+}  // namespace ptaint::guest::apps

@@ -14,6 +14,9 @@ const std::vector<AppEntry>& registry() {
       {"ghttpd", &ghttpd},
       {"traceroute", &traceroute},
       {"globd", &globd},
+      {"leak-telemetry", &leak_telemetry},
+      {"leak-session", &leak_session},
+      {"leak-banner", &leak_banner},
       {"fn-int-overflow", &fn_int_overflow},
       {"fn-auth-flag", &fn_auth_flag},
       {"fn-format-leak", &fn_format_leak},

@@ -19,9 +19,13 @@ class RegisterFile {
     if ((reg & 31) != 0) regs_[reg & 31] = w;
   }
 
-  /// Clears only the taint bits of a register, preserving the value.  This is
-  /// the in-place untainting side effect of compare instructions (Table 1).
-  void untaint(uint8_t reg) { regs_[reg & 31].taint = kUntainted; }
+  /// Clears only the data-taint bits of a register, preserving the value.
+  /// This is the in-place untainting side effect of compare instructions
+  /// (Table 1).  Address provenance is sticky through compares: validating
+  /// an address's value does not stop it being an address.
+  void untaint(uint8_t reg) {
+    regs_[reg & 31].taint &= static_cast<TaintBits>(~kDataMask);
+  }
 
   TaintedWord hi() const { return hi_; }
   TaintedWord lo() const { return lo_; }

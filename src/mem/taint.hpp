@@ -4,24 +4,84 @@
 // bit with every byte of storage — memory, caches and registers alike.  A
 // 32-bit datum therefore carries a 4-bit taint vector; bit i covers byte i,
 // with byte 0 the least-significant byte.
+//
+// On top of the paper's data-taint direction this model tracks *address
+// taintedness* (the DrTaint-style inverse direction): three extra per-byte
+// planes record whether a byte may hold part of a stack, heap or text
+// address.  A word's TaintBits is therefore four 4-bit planes:
+//
+//   bits  0..3   data taint  (the paper's direction; byte i = bit i)
+//   bits  4..7   stack-address provenance
+//   bits  8..11  heap-address provenance
+//   bits 12..15  text-address provenance
+//
+// All behavioural gates of the original detector (`tainted()`,
+// `any_tainted`) test the data plane only, so adding the address planes
+// changes no pointer-taintedness verdict; the address planes feed the
+// leak detector at SYS_WRITE/SYS_SEND sites.
 #pragma once
 
 #include <cstdint>
 
 namespace ptaint::mem {
 
-/// Taint vector for a 32-bit word: bits 0..3 cover bytes 0..3 (LSB first).
-using TaintBits = uint8_t;
+/// Taint vector for a 32-bit word: four per-byte planes (see file comment).
+using TaintBits = uint16_t;
 
 inline constexpr TaintBits kUntainted = 0x0;
+/// All data bytes tainted (data plane only — the paper's full-word taint).
 inline constexpr TaintBits kAllTainted = 0xf;
 
-/// True when any byte of the word is tainted.  This is the OR-gate the
-/// pipeline detectors feed (Section 4.3).
-constexpr bool any_tainted(TaintBits t) { return (t & kAllTainted) != 0; }
+/// Plane masks.
+inline constexpr TaintBits kDataMask = 0x000f;
+inline constexpr TaintBits kStackAddrMask = 0x00f0;
+inline constexpr TaintBits kHeapAddrMask = 0x0f00;
+inline constexpr TaintBits kTextAddrMask = 0xf000;
+inline constexpr TaintBits kAddrMask = 0xfff0;
+inline constexpr TaintBits kAllPlanes = 0xffff;
 
-/// Taint of byte `i` (0 = LSB).
+/// Per-byte plane nibble (bit 0 data, bit 1 stack, bit 2 heap, bit 3 text)
+/// — the form a single byte's taint takes in memory and TaintedByte.
+inline constexpr uint8_t kByteData = 0x1;
+inline constexpr uint8_t kByteStackAddr = 0x2;
+inline constexpr uint8_t kByteHeapAddr = 0x4;
+inline constexpr uint8_t kByteTextAddr = 0x8;
+inline constexpr uint8_t kByteAddrMask = 0xe;
+
+/// True when any byte of the word is data-tainted.  This is the OR-gate the
+/// pipeline detectors feed (Section 4.3); address planes do not trip it.
+constexpr bool any_tainted(TaintBits t) { return (t & kDataMask) != 0; }
+
+/// True when any byte carries address provenance (any address plane).
+constexpr bool addr_tainted(TaintBits t) { return (t & kAddrMask) != 0; }
+
+/// Data taint of byte `i` (0 = LSB).
 constexpr bool byte_tainted(TaintBits t, int i) { return ((t >> i) & 1) != 0; }
+
+/// The plane nibble of byte `i`: gathers bit i of each plane.
+constexpr uint8_t byte_planes(TaintBits t, int i) {
+  return static_cast<uint8_t>(((t >> i) & 1) | (((t >> (4 + i)) & 1) << 1) |
+                              (((t >> (8 + i)) & 1) << 2) |
+                              (((t >> (12 + i)) & 1) << 3));
+}
+
+/// Scatters a plane nibble back into word position `i`.
+constexpr TaintBits planes_to_word(uint8_t nib, int i) {
+  return static_cast<TaintBits>(((nib & 1) << i) | (((nib >> 1) & 1) << (4 + i)) |
+                                (((nib >> 2) & 1) << (8 + i)) |
+                                (((nib >> 3) & 1) << (12 + i)));
+}
+
+/// Widens each non-empty plane to cover all four bytes — the taint shape of
+/// a sign-extended load, where every result byte derives from the source.
+constexpr TaintBits widen_planes(TaintBits t) {
+  TaintBits r = 0;
+  if (t & kDataMask) r |= kDataMask;
+  if (t & kStackAddrMask) r |= kStackAddrMask;
+  if (t & kHeapAddrMask) r |= kHeapAddrMask;
+  if (t & kTextAddrMask) r |= kTextAddrMask;
+  return r;
+}
 
 /// A 32-bit value together with its per-byte taint vector.  This is the unit
 /// that flows through the register file, the ALU taint-tracking logic and the
@@ -32,17 +92,24 @@ struct TaintedWord {
 
   constexpr TaintedWord() = default;
   constexpr TaintedWord(uint32_t v, TaintBits t = kUntainted)
-      : value(v), taint(t & kAllTainted) {}
+      : value(v), taint(t) {}
 
   constexpr bool tainted() const { return any_tainted(taint); }
   bool operator==(const TaintedWord&) const = default;
 };
 
-/// A single byte with its taint bit, as stored in memory and caches.
+/// A single byte with its plane nibble (bit 0 data, bits 1..3 address), as
+/// stored in memory and caches.
 struct TaintedByte {
   uint8_t value = 0;
-  bool taint = false;
+  uint8_t planes = 0;
 
+  constexpr TaintedByte() = default;
+  constexpr TaintedByte(uint8_t v, uint8_t p) : value(v), planes(p) {}
+  constexpr TaintedByte(uint8_t v, bool data_tainted)
+      : value(v), planes(data_tainted ? kByteData : 0) {}
+
+  constexpr bool tainted() const { return (planes & kByteData) != 0; }
   bool operator==(const TaintedByte&) const = default;
 };
 

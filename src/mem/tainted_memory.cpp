@@ -26,6 +26,11 @@ void set_bit(std::array<uint8_t, TaintedMemory::kPageSize / 8>& bits,
   }
 }
 
+uint8_t get_aprov(const std::array<uint8_t, TaintedMemory::kPageSize / 2>& a,
+                  uint32_t i) {
+  return static_cast<uint8_t>((a[i >> 1] >> ((i & 1) * 4)) & kByteAddrMask);
+}
+
 uint64_t next_memory_id() {
   static std::atomic<uint64_t> counter{0};
   return counter.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -38,6 +43,7 @@ TaintedMemory::TaintedMemory() : id_(next_memory_id()) {}
 void TaintedMemory::share_from(const TaintedMemory& other) {
   pages_ = other.pages_;  // every page shared, copy-on-write from here on
   tainted_total_ = other.tainted_total_;
+  addr_total_ = other.addr_total_;
   tainted_pages_ = other.tainted_pages_;
   base_id_ = other.id_;
   tracking_ = true;
@@ -66,6 +72,7 @@ void TaintedMemory::deep_copy_from(const TaintedMemory& other) {
   }
   // Page summaries deep-copy with the pages; the rollups transfer directly.
   tainted_total_ = other.tainted_total_;
+  addr_total_ = other.addr_total_;
   tainted_pages_ = other.tainted_pages_;
   base_id_ = 0;
   tracking_ = false;
@@ -97,6 +104,7 @@ std::optional<std::vector<uint32_t>> TaintedMemory::delta_restore(
   // Clean pages still share the base's blocks and the dirty ones were just
   // reverted, so the rollups are the base's rollups — no scan needed.
   tainted_total_ = base.tainted_total_;
+  addr_total_ = base.addr_total_;
   tainted_pages_ = base.tainted_pages_;
   memo_index_ = kNoPage;
   memo_page_ = nullptr;
@@ -154,28 +162,46 @@ TaintedByte TaintedMemory::load_byte_slow(uint32_t addr) const {
   ++qstats_.loads;
   const Page* p = find_page(addr);
   if (!p) return {};
-  if (p->tainted_bytes == 0) {
-    ++qstats_.clean_page_loads;
-    return {p->data[page_offset(addr)], false};
-  }
   const uint32_t off = page_offset(addr);
-  return {p->data[off], get_bit(p->taint, off)};
+  if ((p->tainted_bytes | p->addr_bytes) == 0) {
+    ++qstats_.clean_page_loads;
+    return {p->data[off], uint8_t{0}};
+  }
+  return {p->data[off], gather_planes1(*p, off)};
 }
 
 void TaintedMemory::store_byte_slow(uint32_t addr, TaintedByte b) {
   Page& p = page_for(addr);
   const uint32_t off = page_offset(addr);
   p.data[off] = b.value;
-  if (!b.taint && p.tainted_bytes == 0) return;  // clean page stays clean
-  store_byte_taint(p, off, b.taint);
+  if (b.planes == 0 && (p.tainted_bytes | p.addr_bytes) == 0) {
+    return;  // clean page stays clean
+  }
+  store_byte_taint(p, off, b.planes);
 }
 
-void TaintedMemory::store_byte_taint(Page& p, uint32_t off, bool tainted) {
+void TaintedMemory::store_byte_aprov(Page& p, uint32_t off, uint8_t nib) {
+  const uint8_t old = get_aprov(p.aprov, off);
+  if (old == nib) return;
+  const int sh = (off & 1) * 4;
+  uint8_t& slot = p.aprov[off >> 1];
+  slot = static_cast<uint8_t>((slot & ~(0xfu << sh)) | (nib << sh));
+  const int32_t delta = (nib != 0) - (old != 0);
+  p.addr_bytes = static_cast<uint32_t>(
+      static_cast<int64_t>(p.addr_bytes) + delta);
+  addr_total_ =
+      static_cast<uint64_t>(static_cast<int64_t>(addr_total_) + delta);
+}
+
+void TaintedMemory::store_byte_taint(Page& p, uint32_t off, uint8_t planes) {
+  const bool tainted = (planes & kByteData) != 0;
   const bool old = get_bit(p.taint, off);
   if (old != tainted) {
     set_bit(p.taint, off, tainted);
     adjust_taint(p, tainted ? 1 : -1);
   }
+  const uint8_t nib = static_cast<uint8_t>(planes & kByteAddrMask);
+  if (nib != 0 || p.addr_bytes != 0) store_byte_aprov(p, off, nib);
 }
 
 TaintedWord TaintedMemory::load_half(uint32_t addr) const {
@@ -188,19 +214,25 @@ TaintedWord TaintedMemory::load_half(uint32_t addr) const {
     const uint8_t* d = p->data.data() + off;
     TaintedWord w;
     w.value = static_cast<uint32_t>(d[0]) | (static_cast<uint32_t>(d[1]) << 8);
-    if (p->tainted_bytes == 0) {
+    if ((p->tainted_bytes | p->addr_bytes) == 0) {
       ++qstats_.clean_page_loads;
       return w;
     }
-    w.taint =
-        static_cast<TaintBits>((p->taint[off >> 3] >> (off & 7)) & 0x3);
+    if (p->tainted_bytes != 0) {
+      w.taint =
+          static_cast<TaintBits>((p->taint[off >> 3] >> (off & 7)) & 0x3);
+    }
+    if (p->addr_bytes != 0) {
+      w.taint |= planes_to_word(get_aprov(p->aprov, off), 0);
+      w.taint |= planes_to_word(get_aprov(p->aprov, off + 1), 1);
+    }
     return w;
   }
   TaintedWord w;
   for (int i = 0; i < 2; ++i) {
     TaintedByte b = load_byte(addr + i);
     w.value |= static_cast<uint32_t>(b.value) << (8 * i);
-    if (b.taint) w.taint |= static_cast<TaintBits>(1u << i);
+    w.taint |= planes_to_word(b.planes, i);
   }
   return w;
 }
@@ -211,8 +243,10 @@ void TaintedMemory::store_half(uint32_t addr, TaintedWord w) {
     const uint32_t off = page_offset(addr);
     p.data[off] = static_cast<uint8_t>(w.value);
     p.data[off + 1] = static_cast<uint8_t>(w.value >> 8);
+    if (w.taint == 0 && (p.tainted_bytes | p.addr_bytes) == 0) {
+      return;  // clean-page fast path
+    }
     const uint8_t fresh = static_cast<uint8_t>(w.taint & 0x3u);
-    if (fresh == 0 && p.tainted_bytes == 0) return;  // clean-page fast path
     const int sh = off & 7;
     uint8_t& t = p.taint[off >> 3];
     const uint8_t old = static_cast<uint8_t>((t >> sh) & 0x3u);
@@ -220,11 +254,19 @@ void TaintedMemory::store_half(uint32_t addr, TaintedWord w) {
       t = static_cast<uint8_t>((t & ~(0x3u << sh)) | (fresh << sh));
       adjust_taint(p, std::popcount(fresh) - std::popcount(old));
     }
+    if (addr_tainted(w.taint) || p.addr_bytes != 0) {
+      store_byte_aprov(p, off,
+                       static_cast<uint8_t>(byte_planes(w.taint, 0) &
+                                            kByteAddrMask));
+      store_byte_aprov(p, off + 1,
+                       static_cast<uint8_t>(byte_planes(w.taint, 1) &
+                                            kByteAddrMask));
+    }
     return;
   }
   for (int i = 0; i < 2; ++i) {
     store_byte(addr + i, {static_cast<uint8_t>(w.value >> (8 * i)),
-                          byte_tainted(w.taint, i)});
+                          byte_planes(w.taint, i)});
   }
 }
 
@@ -244,30 +286,37 @@ TaintedWord TaintedMemory::load_word_slow(uint32_t addr) const {
               (static_cast<uint32_t>(d[1]) << 8) |
               (static_cast<uint32_t>(d[2]) << 16) |
               (static_cast<uint32_t>(d[3]) << 24);
-    if (p->tainted_bytes == 0) {
+    if ((p->tainted_bytes | p->addr_bytes) == 0) {
       ++qstats_.clean_page_loads;
       return w;
     }
-    w.taint =
-        static_cast<TaintBits>((p->taint[off >> 3] >> (off & 7)) & 0xf);
+    w.taint = gather_taint4(*p, off);
     return w;
   }
   TaintedWord w;
   for (int i = 0; i < 4; ++i) {
     TaintedByte b = load_byte(addr + i);
     w.value |= static_cast<uint32_t>(b.value) << (8 * i);
-    if (b.taint) w.taint |= static_cast<TaintBits>(1u << i);
+    w.taint |= planes_to_word(b.planes, i);
   }
   return w;
 }
 
-void TaintedMemory::store_word_taint(Page& p, uint32_t off, uint8_t fresh) {
+void TaintedMemory::store_word_taint(Page& p, uint32_t off, TaintBits fresh) {
+  const uint8_t fresh_data = static_cast<uint8_t>(fresh & 0xfu);
   const int sh = off & 7;
   uint8_t& t = p.taint[off >> 3];
   const uint8_t old = static_cast<uint8_t>((t >> sh) & 0xfu);
-  if (old != fresh) {
-    t = static_cast<uint8_t>((t & ~(0xfu << sh)) | (fresh << sh));
-    adjust_taint(p, std::popcount(fresh) - std::popcount(old));
+  if (old != fresh_data) {
+    t = static_cast<uint8_t>((t & ~(0xfu << sh)) | (fresh_data << sh));
+    adjust_taint(p, std::popcount(fresh_data) - std::popcount(old));
+  }
+  if (addr_tainted(fresh) || p.addr_bytes != 0) {
+    for (int i = 0; i < 4; ++i) {
+      store_byte_aprov(
+          p, off + static_cast<uint32_t>(i),
+          static_cast<uint8_t>(byte_planes(fresh, i) & kByteAddrMask));
+    }
   }
 }
 
@@ -280,14 +329,15 @@ void TaintedMemory::store_word_slow(uint32_t addr, TaintedWord w) {
     d[1] = static_cast<uint8_t>(w.value >> 8);
     d[2] = static_cast<uint8_t>(w.value >> 16);
     d[3] = static_cast<uint8_t>(w.value >> 24);
-    const uint8_t fresh = static_cast<uint8_t>(w.taint & 0xfu);
-    if (fresh == 0 && p.tainted_bytes == 0) return;  // clean-page fast path
-    store_word_taint(p, off, fresh);
+    if (w.taint == 0 && (p.tainted_bytes | p.addr_bytes) == 0) {
+      return;  // clean-page fast path
+    }
+    store_word_taint(p, off, w.taint);
     return;
   }
   for (int i = 0; i < 4; ++i) {
     store_byte(addr + i, {static_cast<uint8_t>(w.value >> (8 * i)),
-                          byte_tainted(w.taint, i)});
+                          byte_planes(w.taint, i)});
   }
 }
 
@@ -308,6 +358,10 @@ void TaintedMemory::write_block(uint32_t addr, std::span<const uint8_t> data,
           adjust_taint(p, tainted ? 1 : -1);
         }
       }
+    }
+    if (p.addr_bytes != 0) {
+      // Overwritten bytes hold fresh kernel data: no address provenance.
+      for (uint32_t i = 0; i < chunk; ++i) store_byte_aprov(p, off + i, 0);
     }
     done += chunk;
     addr += chunk;
@@ -351,6 +405,22 @@ void TaintedMemory::set_taint(uint32_t addr, uint32_t len, bool tainted) {
   }
 }
 
+void TaintedMemory::set_addr_taint(uint32_t addr, uint32_t len,
+                                   uint8_t planes) {
+  const uint8_t nib = static_cast<uint8_t>(planes & kByteAddrMask);
+  uint32_t done = 0;
+  while (done < len) {
+    Page& p = page_for(addr);
+    const uint32_t off = page_offset(addr);
+    const uint32_t chunk = std::min<uint32_t>(kPageSize - off, len - done);
+    if (nib != 0 || p.addr_bytes != 0) {
+      for (uint32_t i = 0; i < chunk; ++i) store_byte_aprov(p, off + i, nib);
+    }
+    done += chunk;
+    addr += chunk;
+  }
+}
+
 bool TaintedMemory::any_tainted_in(uint32_t addr, uint32_t len) const {
   if (tainted_pages_ == 0 || len == 0) return false;
   // Walk page by page; the summary skips fully-untainted pages without
@@ -371,6 +441,45 @@ bool TaintedMemory::any_tainted_in(uint32_t addr, uint32_t len) const {
     addr += chunk;
   }
   return false;
+}
+
+uint8_t TaintedMemory::addr_planes_in(uint32_t addr, uint32_t len) const {
+  if (addr_total_ == 0 || len == 0) return 0;
+  uint8_t planes = 0;
+  uint32_t done = 0;
+  while (done < len) {
+    const uint32_t off = page_offset(addr);
+    const uint32_t chunk = std::min<uint32_t>(kPageSize - off, len - done);
+    const Page* p = find_page(addr);
+    if (p && p->addr_bytes != 0) {
+      for (uint32_t i = 0; i < chunk; ++i) {
+        planes |= get_aprov(p->aprov, off + i);
+      }
+      if (planes == kByteAddrMask) return planes;  // saturated
+    }
+    done += chunk;
+    addr += chunk;
+  }
+  return planes;
+}
+
+std::optional<uint32_t> TaintedMemory::first_addr_tainted(uint32_t addr,
+                                                          uint32_t len) const {
+  if (addr_total_ == 0 || len == 0) return std::nullopt;
+  uint32_t done = 0;
+  while (done < len) {
+    const uint32_t off = page_offset(addr);
+    const uint32_t chunk = std::min<uint32_t>(kPageSize - off, len - done);
+    const Page* p = find_page(addr);
+    if (p && p->addr_bytes != 0) {
+      for (uint32_t i = 0; i < chunk; ++i) {
+        if (get_aprov(p->aprov, off + i) != 0) return addr + i;
+      }
+    }
+    done += chunk;
+    addr += chunk;
+  }
+  return std::nullopt;
 }
 
 }  // namespace ptaint::mem

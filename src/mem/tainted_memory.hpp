@@ -7,12 +7,20 @@
 // stores scatter them back, so taintedness travels with the data through the
 // whole hierarchy exactly as the paper requires.
 //
-// Each page additionally carries a sparse taint summary: an exact count of
-// its tainted bytes, rolled up into a global tainted-byte total and a
-// tainted-page count.  Taint state is sparse in practice (most pages never
-// see a tainted byte), so loads from fully-untainted pages skip the
-// taint-bit gather entirely, stores of untainted data into clean pages skip
-// the scatter, `any_tainted_in` short-circuits to O(pages overlapped) and
+// Each byte additionally carries three *address-provenance* bits (stack /
+// heap / text — see mem/taint.hpp), stored as a nibble array per page.
+// They ride along through every load/store exactly like the data-taint bit
+// and feed the SYS_WRITE/SYS_SEND leak detector; they never trip the
+// pointer-taintedness gates, and all data-plane summaries and queries below
+// (`tainted_byte_count`, `any_tainted_in`, ...) keep their original
+// data-only semantics.
+//
+// Each page additionally carries sparse taint summaries: an exact count of
+// its data-tainted bytes and of its address-tainted bytes, rolled up into
+// global totals.  Taint state is sparse in practice (most pages never see a
+// tainted byte), so loads from fully-untainted pages skip the taint-bit
+// gather entirely, stores of untainted data into clean pages skip the
+// scatter, `any_tainted_in` short-circuits to O(pages overlapped) and
 // `tainted_byte_count` is O(1).  The summaries are derived from the taint
 // bitmaps and maintained exactly on every mutation, so they survive copies
 // (snapshot/restore) and `set_taint` by construction.
@@ -73,12 +81,11 @@ class TaintedMemory {
       ++qstats_.loads;
       const Page& p = *memo_page_;
       const uint32_t off = addr & (kPageSize - 1);
-      if (p.tainted_bytes == 0) {
+      if ((p.tainted_bytes | p.addr_bytes) == 0) {
         ++qstats_.clean_page_loads;
-        return {p.data[off], false};
+        return {p.data[off], uint8_t{0}};
       }
-      return {p.data[off],
-              static_cast<bool>((p.taint[off >> 3] >> (off & 7)) & 1)};
+      return {p.data[off], gather_planes1(p, off)};
     }
     return load_byte_slow(addr);
   }
@@ -87,18 +94,20 @@ class TaintedMemory {
       Page& p = *wmemo_page_;
       const uint32_t off = addr & (kPageSize - 1);
       p.data[off] = b.value;
-      if (!b.taint && p.tainted_bytes == 0) return;  // clean page stays clean
-      store_byte_taint(p, off, b.taint);
+      if (b.planes == 0 && (p.tainted_bytes | p.addr_bytes) == 0) {
+        return;  // clean page stays clean
+      }
+      store_byte_taint(p, off, b.planes);
       return;
     }
     store_byte_slow(addr, b);
   }
 
-  /// 16-bit accessors; taint bits land in positions 0..1.
+  /// 16-bit accessors; taint bits land in plane positions 0..1.
   TaintedWord load_half(uint32_t addr) const;
   void store_half(uint32_t addr, TaintedWord w);
 
-  /// 32-bit accessors; taint bits land in positions 0..3.  The aligned
+  /// 32-bit accessors; taint bits land in plane positions 0..3.  The aligned
   /// memo-hit case — virtually every data access in a running guest — is
   /// inlined here; everything else (memo miss, unaligned) takes the
   /// out-of-line slow path, which also refreshes the memo.
@@ -113,12 +122,11 @@ class TaintedMemory {
                 (static_cast<uint32_t>(d[1]) << 8) |
                 (static_cast<uint32_t>(d[2]) << 16) |
                 (static_cast<uint32_t>(d[3]) << 24);
-      if (p.tainted_bytes == 0) {
+      if ((p.tainted_bytes | p.addr_bytes) == 0) {
         ++qstats_.clean_page_loads;
         return w;
       }
-      w.taint =
-          static_cast<TaintBits>((p.taint[off >> 3] >> (off & 7)) & 0xf);
+      w.taint = gather_taint4(p, off);
       return w;
     }
     return load_word_slow(addr);
@@ -132,15 +140,17 @@ class TaintedMemory {
       d[1] = static_cast<uint8_t>(w.value >> 8);
       d[2] = static_cast<uint8_t>(w.value >> 16);
       d[3] = static_cast<uint8_t>(w.value >> 24);
-      const uint8_t fresh = static_cast<uint8_t>(w.taint & 0xfu);
-      if (fresh == 0 && p.tainted_bytes == 0) return;  // clean-page fast path
-      store_word_taint(p, off, fresh);
+      if (w.taint == 0 && (p.tainted_bytes | p.addr_bytes) == 0) {
+        return;  // clean-page fast path
+      }
+      store_word_taint(p, off, w.taint);
       return;
     }
     store_word_slow(addr, w);
   }
 
-  /// Bulk helpers used by the loader and the OS layer.
+  /// Bulk helpers used by the loader and the OS layer.  Overwriting bytes
+  /// clears their address planes (fresh kernel data carries none).
   void write_block(uint32_t addr, std::span<const uint8_t> data,
                    bool tainted = false);
   std::vector<uint8_t> read_block(uint32_t addr, uint32_t len) const;
@@ -148,28 +158,46 @@ class TaintedMemory {
   /// Reads a NUL-terminated guest string (bounded by `max_len`).
   std::string read_cstring(uint32_t addr, uint32_t max_len = 4096) const;
 
-  /// Marks `len` bytes tainted/untainted without touching the data — the
-  /// RT-register trick of Section 4.4, used by the syscall layer.
+  /// Marks `len` bytes data-tainted/untainted without touching the data —
+  /// the RT-register trick of Section 4.4, used by the syscall layer.
+  /// Address planes are untouched.
   void set_taint(uint32_t addr, uint32_t len, bool tainted);
 
-  /// True if any of `len` bytes starting at `addr` is tainted.  Pages whose
-  /// summary says fully-untainted are skipped without touching their taint
-  /// bitmap; with no tainted page anywhere this is O(1).
+  /// Overwrites the address-provenance planes of `len` bytes (kByte* bits
+  /// of mem/taint.hpp; 0 clears).  Data taint is untouched.
+  void set_addr_taint(uint32_t addr, uint32_t len, uint8_t planes);
+
+  /// True if any of `len` bytes starting at `addr` is data-tainted.  Pages
+  /// whose summary says fully-untainted are skipped without touching their
+  /// taint bitmap; with no tainted page anywhere this is O(1).
   bool any_tainted_in(uint32_t addr, uint32_t len) const;
 
-  /// Number of currently tainted bytes across all mapped pages.  O(1): the
-  /// page summaries keep the total incrementally.
+  /// OR of the address-provenance planes over `len` bytes (kByte* bits).
+  /// O(1) when no byte anywhere carries address taint.
+  uint8_t addr_planes_in(uint32_t addr, uint32_t len) const;
+
+  /// Address of the first byte in [addr, addr+len) carrying any address
+  /// plane; nullopt when the range is clean.  Used for leak-alert detail.
+  std::optional<uint32_t> first_addr_tainted(uint32_t addr,
+                                             uint32_t len) const;
+
+  /// Number of currently data-tainted bytes across all mapped pages.  O(1):
+  /// the page summaries keep the total incrementally.
   uint64_t tainted_byte_count() const { return tainted_total_; }
+
+  /// Number of bytes carrying any address-provenance plane.  O(1).
+  uint64_t addr_tainted_byte_count() const { return addr_total_; }
 
   /// Number of mapped pages (for footprint / area-overhead reporting).
   size_t mapped_pages() const { return pages_.size(); }
 
-  /// Number of mapped pages currently holding at least one tainted byte.
+  /// Number of mapped pages currently holding at least one data-tainted
+  /// byte.
   uint32_t tainted_page_count() const { return tainted_pages_; }
 
-  /// True when the page containing `addr` is mapped and fully untainted
-  /// (summary check only; an unmapped page reads as untainted zeroes but is
-  /// not "mapped and clean").
+  /// True when the page containing `addr` is mapped and fully untainted in
+  /// the data plane (summary check only; an unmapped page reads as
+  /// untainted zeroes but is not "mapped and clean").
   bool page_fully_untainted(uint32_t addr) const {
     const Page* p = find_page(addr);
     return p != nullptr && p->tainted_bytes == 0;
@@ -245,9 +273,48 @@ class TaintedMemory {
  private:
   struct Page {
     std::array<uint8_t, kPageSize> data{};
-    std::array<uint8_t, kPageSize / 8> taint{};  // 1 bit per byte
+    std::array<uint8_t, kPageSize / 8> taint{};  // 1 data bit per byte
+    // Address-provenance planes, one nibble per byte (low nibble = even
+    // byte): bit 1 stack, bit 2 heap, bit 3 text — the kByte* layout with
+    // the data bit always clear.
+    std::array<uint8_t, kPageSize / 2> aprov{};
     uint32_t tainted_bytes = 0;  // exact popcount of `taint`
+    uint32_t addr_bytes = 0;     // bytes with a non-zero aprov nibble
   };
+
+  /// Plane nibble of one byte: data bit from the bitmap + aprov nibble.
+  static uint8_t gather_planes1(const Page& p, uint32_t off) {
+    uint8_t planes = 0;
+    if (p.tainted_bytes != 0) {
+      planes = static_cast<uint8_t>((p.taint[off >> 3] >> (off & 7)) & 1);
+    }
+    if (p.addr_bytes != 0) {
+      planes |= static_cast<uint8_t>(
+          (p.aprov[off >> 1] >> ((off & 1) * 4)) & kByteAddrMask);
+    }
+    return planes;
+  }
+
+  /// Word TaintBits for an aligned 4-byte span (off % 4 == 0): the 4 data
+  /// bits share one bitmap byte, the 4 aprov nibbles share two array bytes.
+  static TaintBits gather_taint4(const Page& p, uint32_t off) {
+    TaintBits t = 0;
+    if (p.tainted_bytes != 0) {
+      t = static_cast<TaintBits>((p.taint[off >> 3] >> (off & 7)) & 0xf);
+    }
+    if (p.addr_bytes != 0) {
+      const uint32_t packed =
+          static_cast<uint32_t>(p.aprov[off >> 1]) |
+          (static_cast<uint32_t>(p.aprov[(off >> 1) + 1]) << 8);
+      if (packed != 0) {
+        for (int i = 0; i < 4; ++i) {
+          t |= planes_to_word(
+              static_cast<uint8_t>((packed >> (4 * i)) & kByteAddrMask), i);
+        }
+      }
+    }
+    return t;
+  }
 
   /// Returns an exclusively-owned page for writing, cloning a shared page
   /// (copy-on-write) or creating a missing one.  The memo-hit check is
@@ -284,12 +351,15 @@ class TaintedMemory {
   void store_byte_slow(uint32_t addr, TaintedByte b);
   TaintedWord load_word_slow(uint32_t addr) const;
   void store_word_slow(uint32_t addr, TaintedWord w);
-  /// Taint-bitmap updates for memo-hit stores (out of line: touching the
+  /// Taint updates for memo-hit stores (out of line: touching the
   /// bitmap means the page is or becomes tainted — off the hot path).
-  void store_byte_taint(Page& p, uint32_t off, bool tainted);
-  void store_word_taint(Page& p, uint32_t off, uint8_t fresh);
+  void store_byte_taint(Page& p, uint32_t off, uint8_t planes);
+  void store_word_taint(Page& p, uint32_t off, TaintBits fresh);
+  /// Overwrites one byte's aprov nibble, maintaining the summaries.
+  void store_byte_aprov(Page& p, uint32_t off, uint8_t nib);
 
-  /// Applies a tainted-byte delta to a page summary and the global rollups.
+  /// Applies a data-tainted-byte delta to a page summary and the global
+  /// rollups.
   void adjust_taint(Page& p, int32_t delta) {
     if (delta == 0) return;
     if (p.tainted_bytes == 0) ++tainted_pages_;
@@ -302,6 +372,7 @@ class TaintedMemory {
 
   std::unordered_map<uint32_t, std::shared_ptr<Page>> pages_;
   uint64_t tainted_total_ = 0;  // sum of Page::tainted_bytes
+  uint64_t addr_total_ = 0;     // sum of Page::addr_bytes
   uint32_t tainted_pages_ = 0;  // pages with tainted_bytes > 0
   mutable QueryStats qstats_;
   CowStats cstats_;

@@ -97,6 +97,11 @@ void SimOs::syscall(cpu::Cpu& cpu) {
     case kSysWrite:
     case kSysSend: {
       const uint32_t len = std::min(a2, kMaxIoChunk);
+      // Address-leak detector (the inverse taint direction): bytes carrying
+      // stack/heap/text provenance crossing the kernel output boundary
+      // disclose the address-space layout.  Checked before the sink sees
+      // the data, in both engines, since they share this path.
+      if (cpu.kernel_output_leak(a1, len)) return;
       std::vector<uint8_t> data = cpu.memory().read_block(a1, len);
       if (a0 < fds_.size()) {
         const Fd& f = fds_[a0];
@@ -145,9 +150,10 @@ void SimOs::syscall(cpu::Cpu& cpu) {
       return;
     case kSysBrk:
       // brk(0) queries; otherwise moves the break (never shrinks below the
-      // initial value the loader set).
+      // initial value the loader set).  The returned break is the root of
+      // heap address provenance: every heap pointer derives from it.
       if (a0 != 0 && a0 >= brk_) brk_ = a0;
-      ret(brk_);
+      regs.set(isa::kV0, TaintedWord{brk_, mem::kHeapAddrMask});
       return;
     case kSysGetpid:
       ret(4211);

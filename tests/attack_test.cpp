@@ -362,6 +362,92 @@ TEST(FalseNegatives, PercentNVariantOfLeakIsStillCaught) {
   EXPECT_TRUE(rep.detected());
 }
 
+// ---- address-leak -> precise-overwrite scenarios ----
+
+cpu::TaintPolicy leak_policy() {
+  cpu::TaintPolicy p;  // paper defaults
+  p.leak_detection = true;
+  return p;
+}
+
+class LeakScenarios : public ::testing::TestWithParam<AttackId> {};
+
+TEST_P(LeakScenarios, EscapesTheDataTaintDirection) {
+  // The overwrite phase is compare-validated, so the paper policy (data
+  // taint only) misses it — same class as the Table 4 false negatives.
+  auto r = make_scenario(GetParam())->run_attack(DetectionMode::kPointerTaint);
+  EXPECT_EQ(r.outcome, Outcome::kCompromised) << r.detail;
+}
+
+TEST_P(LeakScenarios, LeakDetectionAlertsAtTheDisclosure) {
+  auto r = make_scenario(GetParam())->run_attack_with(leak_policy());
+  ASSERT_EQ(r.outcome, Outcome::kDetected) << r.detail;
+  EXPECT_EQ(r.report.alert->kind, AlertKind::kAddressLeak);
+}
+
+TEST_P(LeakScenarios, UnprotectedAttackLands) {
+  auto r = make_scenario(GetParam())->run_attack(DetectionMode::kOff);
+  EXPECT_EQ(r.outcome, Outcome::kCompromised) << r.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLeaks, LeakScenarios,
+                         ::testing::Values(AttackId::kLeakTelemetry,
+                                           AttackId::kLeakSession,
+                                           AttackId::kLeakBanner));
+
+TEST(LeakScenarios2, TelemetryLeaksStackPlane) {
+  auto r = make_scenario(AttackId::kLeakTelemetry)
+               ->run_attack_with(leak_policy());
+  ASSERT_EQ(r.outcome, Outcome::kDetected) << r.detail;
+  EXPECT_NE(r.report.alert->region.find("stack-addr"), std::string::npos)
+      << r.report.alert->region;
+  EXPECT_EQ(r.report.alert_function, "send");
+}
+
+TEST(LeakScenarios2, SessionTokenLeaksHeapPlane) {
+  auto r =
+      make_scenario(AttackId::kLeakSession)->run_attack_with(leak_policy());
+  ASSERT_EQ(r.outcome, Outcome::kDetected) << r.detail;
+  EXPECT_NE(r.report.alert->region.find("heap-addr"), std::string::npos)
+      << r.report.alert->region;
+}
+
+TEST(LeakScenarios2, FormattedHexDigitsStillCarryTheStackPlane) {
+  // The %x conversion shifts/divides the pointer into ASCII digits; the
+  // per-byte provenance planes ride through, so the alert fires inside the
+  // formatter's one-byte putc, not at a raw pointer write.
+  auto r =
+      make_scenario(AttackId::kLeakBanner)->run_attack_with(leak_policy());
+  ASSERT_EQ(r.outcome, Outcome::kDetected) << r.detail;
+  EXPECT_NE(r.report.alert->region.find("stack-addr"), std::string::npos)
+      << r.report.alert->region;
+  EXPECT_EQ(r.report.alert_function, "__pf_putc");
+}
+
+TEST(LeakScenarios2, BenignSessionsRunCleanUnderLeakDetection) {
+  // The benign twins never ship an address, so leak detection must not
+  // false-positive on them even though it is armed.
+  struct Row {
+    asmgen::Source (*app)();
+    std::vector<std::string> session;
+  };
+  const Row rows[] = {
+      {&guest::apps::leak_telemetry, {"STAT", "QUIT"}},
+      {&guest::apps::leak_session, {"HELO", "QUIT"}},
+      {&guest::apps::leak_banner, {"hello from client", "status check"}},
+  };
+  for (const Row& row : rows) {
+    MachineConfig cfg;
+    cfg.policy = leak_policy();
+    Machine m(cfg);
+    m.load_sources(guest::link_with_runtime(row.app()));
+    m.os().net().add_session(row.session);
+    auto rep = m.run();
+    EXPECT_FALSE(rep.detected()) << rep.alert_line();
+    EXPECT_TRUE(rep.exited_cleanly()) << rep.fault;
+  }
+}
+
 // ---- no false positives on the benign twins ----
 
 class BenignCorpus : public ::testing::TestWithParam<int> {};
@@ -374,7 +460,7 @@ TEST_P(BenignCorpus, RunsCleanUnderFullPolicy) {
       << scenario->name() << ": " << r.detail;
 }
 
-INSTANTIATE_TEST_SUITE_P(AllScenarios, BenignCorpus, ::testing::Range(0, 12));
+INSTANTIATE_TEST_SUITE_P(AllScenarios, BenignCorpus, ::testing::Range(0, 15));
 
 }  // namespace
 }  // namespace ptaint::core

@@ -52,8 +52,8 @@ TEST(CpuEdge, SbStoresOnlyByte0Taint) {
   auto r = m.run();
   ASSERT_EQ(r.stop, StopReason::kExit);
   const uint32_t out = m.program().symbols.at("out");
-  EXPECT_TRUE(m.memory().load_byte(out).taint);
-  EXPECT_FALSE(m.memory().load_byte(out + 1).taint);
+  EXPECT_TRUE(m.memory().load_byte(out).tainted());
+  EXPECT_FALSE(m.memory().load_byte(out + 1).tainted());
 }
 
 TEST(CpuEdge, ShTaintMask) {
@@ -66,9 +66,9 @@ TEST(CpuEdge, ShTaintMask) {
   auto r = m.run();
   ASSERT_EQ(r.stop, StopReason::kExit);
   const uint32_t out = m.program().symbols.at("out");
-  EXPECT_TRUE(m.memory().load_byte(out).taint);
-  EXPECT_TRUE(m.memory().load_byte(out + 1).taint);
-  EXPECT_FALSE(m.memory().load_byte(out + 2).taint);
+  EXPECT_TRUE(m.memory().load_byte(out).tainted());
+  EXPECT_TRUE(m.memory().load_byte(out + 1).tainted());
+  EXPECT_FALSE(m.memory().load_byte(out + 2).tainted());
 }
 
 TEST(CpuEdge, LbSignExtensionWidensTaint) {

@@ -463,7 +463,7 @@ TEST(GuestIo, ScanfStrReadsWordAndTaintsIt) {
   EXPECT_TRUE(g.machine->memory().any_tainted_in(buf, 5));
   EXPECT_EQ(g.machine->memory().read_cstring(buf), "hello");
   // The terminating NUL is program data, not input.
-  EXPECT_FALSE(g.machine->memory().load_byte(buf + 5).taint);
+  EXPECT_FALSE(g.machine->memory().load_byte(buf + 5).tainted());
 }
 
 TEST(GuestIo, GetsReadsFullLine) {

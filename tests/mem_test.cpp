@@ -36,10 +36,10 @@ TEST(Memory, WordRoundTripLittleEndian) {
 TEST(Memory, TaintTravelsPerByte) {
   TaintedMemory m;
   m.store_word(0x20000000, TaintedWord{0xaabbccdd, 0b0110});
-  EXPECT_FALSE(m.load_byte(0x20000000).taint);
-  EXPECT_TRUE(m.load_byte(0x20000001).taint);
-  EXPECT_TRUE(m.load_byte(0x20000002).taint);
-  EXPECT_FALSE(m.load_byte(0x20000003).taint);
+  EXPECT_FALSE(m.load_byte(0x20000000).tainted());
+  EXPECT_TRUE(m.load_byte(0x20000001).tainted());
+  EXPECT_TRUE(m.load_byte(0x20000002).tainted());
+  EXPECT_FALSE(m.load_byte(0x20000003).tainted());
   EXPECT_EQ(m.load_word(0x20000000).taint, 0b0110);
 }
 
@@ -62,8 +62,8 @@ TEST(Memory, HalfAccess) {
   EXPECT_EQ(m.load_half(0x3000).value, 0xbc20u);
   EXPECT_EQ(m.load_half(0x3000).taint, 0b01);
   EXPECT_EQ(m.load_byte(0x3000).value, 0x20);
-  EXPECT_TRUE(m.load_byte(0x3000).taint);
-  EXPECT_FALSE(m.load_byte(0x3001).taint);
+  EXPECT_TRUE(m.load_byte(0x3000).tainted());
+  EXPECT_FALSE(m.load_byte(0x3001).tainted());
 }
 
 TEST(Memory, CrossPageAccess) {

@@ -12,10 +12,13 @@
 #include <cstdlib>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/attack.hpp"
 #include "core/machine.hpp"
 #include "core/spec_workloads.hpp"
+#include "guest/apps/apps.hpp"
+#include "guest/runtime.hpp"
 #include "isa/isa.hpp"
 
 namespace ptaint::core {
@@ -103,6 +106,84 @@ TEST(Superblock, BenignSpecSurrogateIdenticalToStepEngine) {
       prints[e] = fingerprint(*machine, r);
     }
     EXPECT_EQ(prints[0], prints[1]) << "engine divergence in spec workload";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Address-provenance parity: the leak->overwrite scenarios exercise the
+// second taint direction (stack/heap/text planes seeded at $sp, SYS_BRK and
+// jal, checked at kernel output).  Both engines must agree on the planes
+// byte-for-byte — in every register, across the guest's address space, and
+// in the policy-gated leak alert itself.
+
+/// FNV-1a over the address-plane nibbles of every mapped word in [lo, hi).
+uint64_t addr_plane_hash(Machine& m, uint32_t lo, uint32_t hi) {
+  uint64_t h = 1469598103934665603ull;
+  for (uint32_t a = lo; a < hi; a += 4) {
+    const mem::TaintBits planes = m.memory().load_word(a).taint & mem::kAddrMask;
+    if (!planes) continue;
+    h ^= (static_cast<uint64_t>(a) << 16) | planes;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+TEST(Superblock, LeakScenariosIdenticalUnderLeakDetection) {
+  cpu::TaintPolicy leak;  // paper rules + the address-leak direction
+  leak.leak_detection = true;
+  for (AttackId id : {AttackId::kLeakTelemetry, AttackId::kLeakSession,
+                      AttackId::kLeakBanner}) {
+    std::string prints[2];
+    const char* engines[2] = {"step", "superblock"};
+    for (int e = 0; e < 2; ++e) {
+      ScopedEngine pin(engines[e]);
+      auto machine = make_scenario(id)->prepare_attack(leak);
+      RunReport r = machine->run();
+      ASSERT_TRUE(r.detected()) << engines[e];
+      EXPECT_EQ(r.alert->kind, cpu::AlertKind::kAddressLeak) << engines[e];
+      std::ostringstream ss;
+      ss << fingerprint(*machine, r) << " aph_data="
+         << addr_plane_hash(*machine, 0x10000000u, 0x10020000u)
+         << " aph_stack="
+         << addr_plane_hash(*machine, 0x7ffe0000u, 0x80000000u);
+      prints[e] = ss.str();
+    }
+    EXPECT_EQ(prints[0], prints[1])
+        << "engine divergence in leak scenario " << static_cast<int>(id);
+  }
+}
+
+TEST(Superblock, BenignLeakAppSessionsIdenticalWithPlanes) {
+  // The benign twins run the same plane propagation without ever reaching
+  // the alert; the full plane image must still match across engines.
+  struct Row {
+    asmgen::Source (*app)();
+    std::vector<std::string> session;
+  };
+  const Row rows[] = {
+      {&guest::apps::leak_telemetry, {"STAT", "QUIT"}},
+      {&guest::apps::leak_session, {"HELO", "QUIT"}},
+      {&guest::apps::leak_banner, {"hello from client", "status check"}},
+  };
+  for (const Row& row : rows) {
+    std::string prints[2];
+    const char* engines[2] = {"step", "superblock"};
+    for (int e = 0; e < 2; ++e) {
+      ScopedEngine pin(engines[e]);
+      MachineConfig cfg;
+      cfg.policy.leak_detection = true;
+      Machine m(cfg);
+      m.load_sources(guest::link_with_runtime(row.app()));
+      m.os().net().add_session(row.session);
+      RunReport r = m.run();
+      EXPECT_TRUE(r.exited_cleanly()) << engines[e] << ": " << r.fault;
+      std::ostringstream ss;
+      ss << fingerprint(m, r) << " aph_data="
+         << addr_plane_hash(m, 0x10000000u, 0x10020000u) << " aph_stack="
+         << addr_plane_hash(m, 0x7ffe0000u, 0x80000000u);
+      prints[e] = ss.str();
+    }
+    EXPECT_EQ(prints[0], prints[1]) << "engine divergence in benign session";
   }
 }
 

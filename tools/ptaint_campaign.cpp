@@ -241,10 +241,11 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(s.machine_reuses));
     const SnapshotCache::Stats cs = cache.stats();
     std::fprintf(stderr,
-                 "time: snapshot cache %llu built (%.1fms) %llu hits, "
-                 "%llu pages mapped, %llu shared\n",
+                 "time: snapshot cache %llu built (%.1fms) %llu hits "
+                 "%llu misses, %llu pages mapped, %llu shared\n",
                  static_cast<unsigned long long>(cs.builds), cs.build_ms,
                  static_cast<unsigned long long>(cs.hits),
+                 static_cast<unsigned long long>(cs.misses),
                  static_cast<unsigned long long>(cs.snapshot_pages),
                  static_cast<unsigned long long>(cs.shared_pages));
   }

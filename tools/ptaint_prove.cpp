@@ -13,6 +13,12 @@
 // *unexplained* — on a non-attack program that indicates an analysis
 // modeling gap, and the CI sweep requires zero of them.
 //
+// With --leaks the tool reports the inverse taint direction instead: every
+// kernel-output site (SYS_WRITE / SYS_SEND syscall instruction) is either
+// proven clean — no byte of the output buffer can carry stack/heap/text
+// address provenance, so the dynamic leak check is elided there — or gets a
+// leak witness tracing an address introduction to the output buffer.
+//
 // Exit codes:
 //   0  every witness is source-rooted (or there are no may-tainted sites)
 //   1  unexplained witnesses present
@@ -86,6 +92,60 @@ struct Stats {
   size_t unexplained = 0; // may sites with no source-rooted witness
 };
 
+/// Emit one witness list as a JSON array (shared by both directions).
+void print_witnesses_json(const analysis::Cfg& cfg,
+                          const std::vector<analysis::Witness>& witnesses) {
+  auto func_name = [&](uint32_t pc) -> std::string {
+    const int f = cfg.function_at(pc);
+    return f >= 0 ? cfg.functions()[static_cast<size_t>(f)].name : "?";
+  };
+  bool first = true;
+  for (const analysis::Witness& w : witnesses) {
+    std::printf("%s\n    {\"site_pc\": \"0x%08x\", \"site\": \"%s\", "
+                "\"function\": \"%s\", \"complete\": %s, \"steps\": [",
+                first ? "" : ",", w.site_pc,
+                json_escape(isa::disassemble(cfg.inst_at(w.site_pc),
+                                             w.site_pc))
+                    .c_str(),
+                json_escape(func_name(w.site_pc)).c_str(),
+                w.complete ? "true" : "false");
+    first = false;
+    bool sfirst = true;
+    for (const analysis::WitnessStep& step : w.steps) {
+      std::printf("%s\n      {\"pc\": \"0x%08x\", \"event\": \"%s\", "
+                  "\"loc\": \"%s\"}",
+                  sfirst ? "" : ",", step.pc,
+                  json_escape(step.event).c_str(),
+                  json_escape(step.loc).c_str());
+      sfirst = false;
+    }
+    std::printf("%s]}", sfirst ? "" : "\n    ");
+  }
+  std::printf("%s]", first ? "" : "\n  ");
+}
+
+/// Print witnesses as text (shared by both directions); returns nothing,
+/// the caller prints the trailing count line.
+void print_witnesses_text(const analysis::Cfg& cfg,
+                          const std::vector<analysis::Witness>& witnesses) {
+  auto func_name = [&](uint32_t pc) -> std::string {
+    const int f = cfg.function_at(pc);
+    return f >= 0 ? cfg.functions()[static_cast<size_t>(f)].name : "?";
+  };
+  for (const analysis::Witness& w : witnesses) {
+    std::printf("\nwitness for %08x: %s  [in %s]%s\n", w.site_pc,
+                isa::disassemble(cfg.inst_at(w.site_pc), w.site_pc).c_str(),
+                func_name(w.site_pc).c_str(),
+                w.complete ? "" : "  (UNEXPLAINED: no source-rooted "
+                                  "path found)");
+    size_t n = 1;
+    for (const analysis::WitnessStep& step : w.steps) {
+      std::printf("  %2zu. %08x  %-44s -> %s\n", n++, step.pc,
+                  step.event.c_str(), step.loc.c_str());
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -96,6 +156,7 @@ int main(int argc, char** argv) {
   bool json = false;
   bool quiet = false;
   bool witnesses = true;
+  bool leaks = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -109,6 +170,9 @@ usage: ptaint-prove [options] program.s [more.s ...]
   --app NAME            prove a built-in guest app (exp1, wu-ftpd, ...)
   --list-apps           print the known app names, one per line, and exit
   --no-runtime          do not link the guest runtime
+  --leaks               report the address-leak direction: kernel-output
+                        sites proven clean vs. possibly leaking, with leak
+                        witnesses (address introduction -> output buffer)
   --json                emit the report as JSON (schema: docs/ANALYSIS.md)
   --no-witnesses        verdicts and elision stats only (faster)
   --no-compare-untaint  analyze under the ablated compare rule
@@ -127,6 +191,8 @@ exit codes: 0 all witnesses source-rooted, 1 unexplained witnesses,
       return 0;
     } else if (arg == "--no-runtime") {
       with_runtime = false;
+    } else if (arg == "--leaks") {
+      leaks = true;
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--no-witnesses") {
@@ -182,43 +248,58 @@ exit codes: 0 all witnesses source-rooted, 1 unexplained witnesses,
     if (!w.complete) ++st.unexplained;
   }
 
-  auto func_name = [&](uint32_t pc) -> std::string {
-    const int f = cfg.function_at(pc);
-    return f >= 0 ? cfg.functions()[static_cast<size_t>(f)].name : "?";
-  };
+  // Leak-direction stats (always computed; only reported under --leaks).
+  size_t leak_unexplained = 0;
+  for (const analysis::Witness& w : g2.leak_witnesses) {
+    if (!w.complete) ++leak_unexplained;
+  }
+
+  if (leaks) {
+    if (json && !quiet) {
+      std::printf("{\n");
+      std::printf("  \"schema\": 2,\n");
+      std::printf("  \"app\": \"%s\",\n", json_escape(app_name).c_str());
+      std::printf("  \"direction\": \"leak\",\n");
+      std::printf("  \"output_sites\": %zu,\n", g2.output_sites);
+      std::printf("  \"leak_clean\": %zu,\n", g2.leak_clean);
+      std::printf("  \"leak_possible\": %zu,\n", g2.leak_possible);
+      std::printf("  \"unexplained\": %zu,\n", leak_unexplained);
+      std::printf("  \"witnesses\": [");
+      print_witnesses_json(cfg, g2.leak_witnesses);
+      std::printf("\n}\n");
+    } else if (!quiet) {
+      std::printf("%zu kernel-output site(s): %zu leak check(s) elided "
+                  "(%.1f%%), %zu may leak an address\n",
+                  g2.output_sites, g2.leak_clean,
+                  g2.output_sites
+                      ? 100.0 * static_cast<double>(g2.leak_clean) /
+                            static_cast<double>(g2.output_sites)
+                      : 0.0,
+                  g2.leak_possible);
+      std::printf("%s", g2.leak_report(cfg).c_str());
+      if (witnesses) {
+        print_witnesses_text(cfg, g2.leak_witnesses);
+        std::printf("\n%zu leak witness(es), %zu unexplained\n",
+                    g2.leak_witnesses.size(), leak_unexplained);
+      }
+    }
+    return leak_unexplained == 0 ? 0 : 1;
+  }
 
   if (json && !quiet) {
     std::printf("{\n");
+    std::printf("  \"schema\": 2,\n");
     std::printf("  \"app\": \"%s\",\n", json_escape(app_name).c_str());
     std::printf("  \"sites\": %zu,\n", st.sites);
     std::printf("  \"gen1_clean\": %zu,\n", st.gen1_clean);
     std::printf("  \"gen2_clean\": %zu,\n", st.gen2_clean);
     std::printf("  \"may_tainted\": %zu,\n", st.may_sites);
     std::printf("  \"unexplained\": %zu,\n", st.unexplained);
+    std::printf("  \"output_sites\": %zu,\n", g2.output_sites);
+    std::printf("  \"leak_clean\": %zu,\n", g2.leak_clean);
     std::printf("  \"witnesses\": [");
-    bool first = true;
-    for (const analysis::Witness& w : g2.witnesses) {
-      std::printf("%s\n    {\"site_pc\": \"0x%08x\", \"site\": \"%s\", "
-                  "\"function\": \"%s\", \"complete\": %s, \"steps\": [",
-                  first ? "" : ",", w.site_pc,
-                  json_escape(isa::disassemble(cfg.inst_at(w.site_pc),
-                                               w.site_pc))
-                      .c_str(),
-                  json_escape(func_name(w.site_pc)).c_str(),
-                  w.complete ? "true" : "false");
-      first = false;
-      bool sfirst = true;
-      for (const analysis::WitnessStep& step : w.steps) {
-        std::printf("%s\n      {\"pc\": \"0x%08x\", \"event\": \"%s\", "
-                    "\"loc\": \"%s\"}",
-                    sfirst ? "" : ",", step.pc,
-                    json_escape(step.event).c_str(),
-                    json_escape(step.loc).c_str());
-        sfirst = false;
-      }
-      std::printf("%s]}", sfirst ? "" : "\n    ");
-    }
-    std::printf("%s]\n}\n", first ? "" : "\n  ");
+    print_witnesses_json(cfg, g2.witnesses);
+    std::printf("\n}\n");
   } else if (!quiet) {
     std::printf("%zu reachable dereference site(s): %zu proven clean by the "
                 "register-only analyzer, %zu by the gen-2 table "
@@ -232,19 +313,7 @@ exit codes: 0 all witnesses source-rooted, 1 unexplained witnesses,
                          : 0.0,
                 st.may_sites);
     if (witnesses) {
-      for (const analysis::Witness& w : g2.witnesses) {
-        std::printf("\nwitness for %08x: %s  [in %s]%s\n", w.site_pc,
-                    isa::disassemble(cfg.inst_at(w.site_pc), w.site_pc)
-                        .c_str(),
-                    func_name(w.site_pc).c_str(),
-                    w.complete ? "" : "  (UNEXPLAINED: no source-rooted "
-                                      "path found)");
-        size_t n = 1;
-        for (const analysis::WitnessStep& step : w.steps) {
-          std::printf("  %2zu. %08x  %-44s -> %s\n", n++, step.pc,
-                      step.event.c_str(), step.loc.c_str());
-        }
-      }
+      print_witnesses_text(cfg, g2.witnesses);
       std::printf("\n%zu witness(es), %zu unexplained\n",
                   g2.witnesses.size(), st.unexplained);
     }
