@@ -60,6 +60,9 @@ struct Function {
 class Cfg {
  public:
   explicit Cfg(const asmgen::Program& program);
+  // The Cfg borrows `program` for its whole lifetime; a temporary would
+  // leave program() dangling as soon as the full expression ends.
+  explicit Cfg(asmgen::Program&&) = delete;
 
   const asmgen::Program& program() const { return *program_; }
   const std::vector<isa::Instruction>& instructions() const { return insts_; }

@@ -97,7 +97,11 @@ std::string machine_key(const std::string& policy_name, uint64_t budget,
   std::string key = policy_name + "|b" + std::to_string(budget);
   if (elide) key += "|elide";
   if (engine) {
-    key += *engine == cpu::Engine::kStep ? "|step" : "|superblock";
+    switch (*engine) {
+      case cpu::Engine::kStep: key += "|step"; break;
+      case cpu::Engine::kSuperblock: key += "|superblock"; break;
+      case cpu::Engine::kJit: key += "|jit"; break;
+    }
   }
   return key;
 }

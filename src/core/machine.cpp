@@ -21,6 +21,7 @@ cpu::Engine resolve_engine(const std::optional<cpu::Engine>& configured) {
   if (const char* env = std::getenv("PTAINT_ENGINE")) {
     if (std::strcmp(env, "step") == 0) return cpu::Engine::kStep;
     if (std::strcmp(env, "superblock") == 0) return cpu::Engine::kSuperblock;
+    if (std::strcmp(env, "jit") == 0) return cpu::Engine::kJit;
   }
   return cpu::Engine::kSuperblock;
 }

@@ -1,7 +1,9 @@
 #include "cpu/cpu.hpp"
 
 #include <cstdio>
+#include <mutex>
 
+#include "cpu/jit/jit_engine.hpp"
 #include "cpu/superblock.hpp"
 
 namespace ptaint::cpu {
@@ -37,10 +39,20 @@ Cpu::Cpu(mem::TaintedMemory& memory, const TaintPolicy& policy)
 Cpu::~Cpu() = default;
 
 void Cpu::set_engine(Engine engine) {
+  if (engine == Engine::kJit && !JitEngine::supported()) {
+    static std::once_flag warned;
+    std::call_once(warned, [] {
+      std::fprintf(stderr,
+                   "ptaint: jit engine not supported on this host; "
+                   "falling back to superblock\n");
+    });
+    engine = Engine::kSuperblock;
+  }
   engine_ = engine;
-  if (engine == Engine::kSuperblock && sb_ == nullptr) {
+  if (engine != Engine::kStep && sb_ == nullptr) {
     sb_ = std::make_unique<SuperblockEngine>(*this);
   }
+  if (engine == Engine::kJit) sb_->enable_jit();
   if (sb_) sb_->reset();
 }
 
@@ -56,6 +68,11 @@ void Cpu::set_block_leaders(const std::vector<uint8_t>& leaders) {
 const SuperblockStats& Cpu::superblock_stats() const {
   static const SuperblockStats kZero;
   return sb_ ? sb_->stats() : kZero;
+}
+
+const JitStats& Cpu::jit_stats() const {
+  static const JitStats kZero;
+  return sb_ ? sb_->jit_stats() : kZero;
 }
 
 void Cpu::request_exit(int status) {
@@ -361,8 +378,9 @@ StopReason Cpu::run(uint64_t max_instructions) {
 
 StopReason Cpu::advance(uint64_t max_instructions) {
   // Retire hooks (trace/profile/pipeline) need per-instruction events the
-  // superblock handlers do not surface, so they force the reference path.
-  if (engine_ == Engine::kSuperblock && sb_ != nullptr && !retire_hook_) {
+  // superblock and JIT handlers do not surface, so they force the reference
+  // path.
+  if (engine_ != Engine::kStep && sb_ != nullptr && !retire_hook_) {
     return sb_->advance(max_instructions);
   }
   for (uint64_t i = 0; i < max_instructions; ++i) {

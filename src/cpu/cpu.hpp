@@ -27,13 +27,16 @@ namespace ptaint::cpu {
 
 class Cpu;
 class SuperblockEngine;
+class JitEngine;
+struct JitRuntime;
 
-/// Which execution engine drives the core (DESIGN.md §9).  Both produce
-/// byte-identical architectural state, stop reasons, alerts and statistics;
-/// the superblock engine is simply faster.
+/// Which execution engine drives the core (DESIGN.md §9, §12).  All three
+/// produce byte-identical architectural state, stop reasons, alerts and
+/// statistics; the translated tiers are simply faster.
 enum class Engine : uint8_t {
   kStep,        // reference interpreter: fetch/decode/execute per instruction
   kSuperblock,  // translated superblocks with threaded dispatch
+  kJit,         // hot superblocks compiled to host x86-64 (DESIGN.md §12)
 };
 
 /// Observability counters for the superblock engine (ptaint-run
@@ -51,6 +54,27 @@ struct SuperblockStats {
   uint64_t block_retired = 0;   // instructions retired inside superblocks
   uint64_t step_retired = 0;    // instructions retired via the step fallback
   uint64_t invalidations = 0;   // blocks retired by self-modifying stores
+};
+
+/// Observability counters for the JIT tier (ptaint-run --engine-stats;
+/// DESIGN.md §12).  Diagnostic only — never part of the cross-engine
+/// identity contract.
+struct JitStats {
+  // Cumulative compilation counters.
+  uint64_t blocks_compiled = 0;   // superblocks lowered to host code
+  uint64_t code_bytes = 0;        // bytes currently held in the code cache
+  // Cumulative execution counters.
+  uint64_t host_entries = 0;      // calls into compiled block bodies
+  uint64_t host_retired = 0;      // guest instructions retired in host code
+  // Blocks the compiler refused, by reason.  Such blocks stay on the
+  // interpreted superblock path forever (no_jit sticks until retranslation).
+  uint64_t bailout_syscall = 0;   // block contains a SYSCALL micro-op
+  uint64_t bailout_break = 0;     // block contains a BREAK micro-op
+  uint64_t bailout_arena_full = 0;  // code cache exhausted
+  // Compiled blocks retired through the graveyard (SMC / snapshot deltas).
+  // Their host code stays in the arena — a retired block may be the one
+  // executing — and is reclaimed only by reset().
+  uint64_t invalidations = 0;
 };
 
 /// OS-services interface; the simulated kernel (src/os) implements it.
@@ -204,6 +228,9 @@ class Cpu {
   /// Superblock-engine observability counters (zeros under kStep).
   const SuperblockStats& superblock_stats() const;
 
+  /// JIT-tier observability counters (zeros unless engine is kJit).
+  const JitStats& jit_stats() const;
+
   /// Marks the core stopped with kInstLimit if it is still running — the
   /// campaign executor's budget enforcement (mirrors run() exhausting its
   /// budget, so reports classify identically).
@@ -275,6 +302,8 @@ class Cpu {
 
  private:
   friend class SuperblockEngine;  // handlers mirror execute() bit-for-bit
+  friend class JitEngine;         // emitted code mirrors the same handlers
+  friend struct JitRuntime;       // out-of-line slow paths for emitted code
 
   StopReason execute(const isa::Instruction& inst, bool elide = false);
   bool detect_pointer(const isa::Instruction& inst, uint8_t reg,

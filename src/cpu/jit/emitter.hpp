@@ -1,0 +1,306 @@
+// Minimal x86-64 machine-code emitter for the JIT tier (DESIGN.md §12).
+//
+// Just enough of the instruction set to express the translated micro-op
+// bodies: 32/64-bit moves between registers and [base+disp]/[base+index]
+// memory operands, the ALU ops the PTA-32 fast paths need, setcc, rel32
+// jumps with back-patching, and absolute 64-bit calls.  Encodings follow
+// the Intel SDM; REX prefixes and the RSP/R12 SIB and RBP/R13 disp8=0
+// ModRM quirks are handled centrally in mem_operand().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ptaint::cpu::jit {
+
+enum Gp : uint8_t {
+  RAX = 0, RCX = 1, RDX = 2, RBX = 3, RSP = 4, RBP = 5, RSI = 6, RDI = 7,
+  R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14, R15 = 15,
+};
+
+// Condition codes for jcc/setcc (low nibble of the opcode).
+enum Cc : uint8_t {
+  CC_B = 0x2, CC_AE = 0x3, CC_E = 0x4, CC_NE = 0x5, CC_BE = 0x6, CC_A = 0x7,
+  CC_S = 0x8, CC_NS = 0x9, CC_L = 0xC, CC_GE = 0xD, CC_LE = 0xE, CC_G = 0xF,
+};
+
+class Emitter {
+ public:
+  const std::vector<uint8_t>& code() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+
+  // --- raw bytes -----------------------------------------------------------
+  void u8(uint8_t v) { buf_.push_back(v); }
+  void u32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void u64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  // --- moves ---------------------------------------------------------------
+  void mov_r64_m(Gp dst, Gp base, int32_t disp) {
+    rm({0x8B}, dst, base, -1, disp, kW);
+  }
+  void mov_r32_m(Gp dst, Gp base, int32_t disp) {
+    rm({0x8B}, dst, base, -1, disp, 0);
+  }
+  void mov_r32_m_bi(Gp dst, Gp base, Gp index, int32_t disp) {
+    rm({0x8B}, dst, base, index, disp, 0);
+  }
+  void movzx_r32_m8_bi(Gp dst, Gp base, Gp index, int32_t disp) {
+    rm({0x0F, 0xB6}, dst, base, index, disp, 0);
+  }
+  void movzx_r32_m16_bi(Gp dst, Gp base, Gp index, int32_t disp) {
+    rm({0x0F, 0xB7}, dst, base, index, disp, 0);
+  }
+  void movsx_r32_m8_bi(Gp dst, Gp base, Gp index, int32_t disp) {
+    rm({0x0F, 0xBE}, dst, base, index, disp, 0);
+  }
+  void movsx_r32_m16_bi(Gp dst, Gp base, Gp index, int32_t disp) {
+    rm({0x0F, 0xBF}, dst, base, index, disp, 0);
+  }
+  void mov_m_r64(Gp base, int32_t disp, Gp src) {
+    rm({0x89}, src, base, -1, disp, kW);
+  }
+  void mov_m_r32(Gp base, int32_t disp, Gp src) {
+    rm({0x89}, src, base, -1, disp, 0);
+  }
+  void mov_m_r32_bi(Gp base, Gp index, int32_t disp, Gp src) {
+    rm({0x89}, src, base, index, disp, 0);
+  }
+  void mov_m_r16_bi(Gp base, Gp index, int32_t disp, Gp src) {
+    u8(0x66);
+    rm({0x89}, src, base, index, disp, 0);
+  }
+  void mov_m_r8_bi(Gp base, Gp index, int32_t disp, Gp src) {
+    rm({0x88}, src, base, index, disp, 0);  // src must be al/cl/dl/bl
+  }
+  void mov_m32_imm(Gp base, int32_t disp, uint32_t imm) {
+    rm({0xC7}, static_cast<Gp>(0), base, -1, disp, 0);
+    u32(imm);
+  }
+  void mov_r64_imm(Gp dst, uint64_t imm) {
+    u8(0x48 | ((dst & 8) ? 1 : 0));
+    u8(0xB8 | (dst & 7));
+    u64(imm);
+  }
+  void mov_r32_imm(Gp dst, uint32_t imm) {
+    if (dst & 8) u8(0x41);
+    u8(0xB8 | (dst & 7));
+    u32(imm);
+  }
+  void mov_r64_r64(Gp dst, Gp src) { rr({0x89}, src, dst, kW); }
+  void mov_r32_r32(Gp dst, Gp src) { rr({0x89}, src, dst, 0); }
+
+  // --- ALU, register forms -------------------------------------------------
+  void add_r32_r32(Gp dst, Gp src) { rr({0x01}, src, dst, 0); }
+  void sub_r32_r32(Gp dst, Gp src) { rr({0x29}, src, dst, 0); }
+  void or_r32_r32(Gp dst, Gp src) { rr({0x09}, src, dst, 0); }
+  void or_r64_r64(Gp dst, Gp src) { rr({0x09}, src, dst, kW); }
+  void and_r32_r32(Gp dst, Gp src) { rr({0x21}, src, dst, 0); }
+  void xor_r32_r32(Gp dst, Gp src) { rr({0x31}, src, dst, 0); }
+  void cmp_r32_r32(Gp a, Gp b) { rr({0x39}, b, a, 0); }
+  void not_r32(Gp r) { rr({0xF7}, static_cast<Gp>(2), r, 0); }
+  void test_r32_r32(Gp a, Gp b) { rr({0x85}, b, a, 0); }
+  void test_r16_r16(Gp a, Gp b) {
+    u8(0x66);
+    rr({0x85}, b, a, 0);
+  }
+  void test_r8_imm(Gp r, uint8_t imm) {  // r must be al/cl/dl/bl
+    rr({0xF6}, static_cast<Gp>(0), r, 0);
+    u8(imm);
+  }
+
+  // --- ALU, immediate forms (opcode 0x81/0x83 with /ext) -------------------
+  void add_r32_imm(Gp r, int32_t imm) { alu_imm(0, r, imm); }
+  void or_r32_imm(Gp r, int32_t imm) { alu_imm(1, r, imm); }
+  void and_r32_imm(Gp r, int32_t imm) { alu_imm(4, r, imm); }
+  void sub_r32_imm(Gp r, int32_t imm) { alu_imm(5, r, imm); }
+  void xor_r32_imm(Gp r, int32_t imm) { alu_imm(6, r, imm); }
+  void cmp_r32_imm(Gp r, int32_t imm) { alu_imm(7, r, imm); }
+
+  // --- shifts --------------------------------------------------------------
+  void shl_r32_imm(Gp r, uint8_t n) { shift(4, r, n, 0); }
+  void shr_r32_imm(Gp r, uint8_t n) { shift(5, r, n, 0); }
+  void sar_r32_imm(Gp r, uint8_t n) { shift(7, r, n, 0); }
+  void shr_r64_imm(Gp r, uint8_t n) { shift(5, r, n, kW); }
+  void shl_r32_cl(Gp r) { rr({0xD3}, static_cast<Gp>(4), r, 0); }
+  void shr_r32_cl(Gp r) { rr({0xD3}, static_cast<Gp>(5), r, 0); }
+  void sar_r32_cl(Gp r) { rr({0xD3}, static_cast<Gp>(7), r, 0); }
+
+  // --- memory-operand compares / counter adds ------------------------------
+  void cmp_r32_m(Gp r, Gp base, int32_t disp) {
+    rm({0x3B}, r, base, -1, disp, 0);
+  }
+  void cmp_m64_imm(Gp base, int32_t disp, int32_t imm) {
+    mem_imm(7, base, disp, imm, kW);
+  }
+  void cmp_m64_r64(Gp base, int32_t disp, Gp r) {
+    rm({0x39}, r, base, -1, disp, kW);
+  }
+  void sub_m64_r64(Gp base, int32_t disp, Gp r) {
+    rm({0x29}, r, base, -1, disp, kW);
+  }
+  void add_m64_imm(Gp base, int32_t disp, int32_t imm) {
+    mem_imm(0, base, disp, imm, kW);
+  }
+  void sub_m64_imm(Gp base, int32_t disp, int32_t imm) {
+    mem_imm(5, base, disp, imm, kW);
+  }
+  void and_m16_imm(Gp base, int32_t disp, uint16_t imm) {
+    u8(0x66);  // operand-size prefix: 16-bit read-modify-write
+    const auto s = static_cast<int16_t>(imm);
+    const bool imm8 = s >= -128 && s <= 127;
+    rm({static_cast<uint8_t>(imm8 ? 0x83 : 0x81)}, static_cast<Gp>(4), base,
+       -1, disp, 0);
+    if (imm8) {
+      u8(static_cast<uint8_t>(s));
+    } else {
+      u8(static_cast<uint8_t>(imm));
+      u8(static_cast<uint8_t>(imm >> 8));
+    }
+  }
+
+  // --- setcc ---------------------------------------------------------------
+  void setcc_r8(Cc cc, Gp r) {  // r must be al/cl/dl/bl
+    rr({0x0F, static_cast<uint8_t>(0x90 | cc)}, static_cast<Gp>(0), r, 0);
+  }
+  void movzx_r32_r8(Gp dst, Gp src) { rr({0x0F, 0xB6}, dst, src, 0); }
+
+  // --- control flow --------------------------------------------------------
+  /// Emits jcc rel32 with a zero displacement; returns the fixup position.
+  size_t jcc(Cc cc) {
+    u8(0x0F);
+    u8(static_cast<uint8_t>(0x80 | cc));
+    const size_t pos = size();
+    u32(0);
+    return pos;
+  }
+  /// Emits jmp rel32 with a zero displacement; returns the fixup position.
+  size_t jmp() {
+    u8(0xE9);
+    const size_t pos = size();
+    u32(0);
+    return pos;
+  }
+  /// Emits jmp rel32 straight to a known (typically backward) target.
+  void jmp_to(size_t target) {
+    u8(0xE9);
+    const size_t pos = size();
+    u32(0);
+    patch(pos, target);
+  }
+  /// Points the rel32 at `pos` to the current position.
+  void patch_here(size_t pos) { patch(pos, size()); }
+  void patch(size_t pos, size_t target) {
+    const int64_t rel = static_cast<int64_t>(target) -
+                        (static_cast<int64_t>(pos) + 4);
+    for (int i = 0; i < 4; ++i) {
+      buf_[pos + static_cast<size_t>(i)] =
+          static_cast<uint8_t>(static_cast<uint64_t>(rel) >> (8 * i));
+    }
+  }
+  void call_r64(Gp r) { rr({0xFF}, static_cast<Gp>(2), r, 0); }
+  /// jmp qword [base + index + disp] (64-bit operand is the jmp default).
+  void jmp_m64_bi(Gp base, Gp index, int32_t disp) {
+    rm({0xFF}, static_cast<Gp>(4), base, index, disp, 0);
+  }
+  void push_r64(Gp r) {
+    if (r & 8) u8(0x41);
+    u8(0x50 | (r & 7));
+  }
+  void pop_r64(Gp r) {
+    if (r & 8) u8(0x41);
+    u8(0x58 | (r & 7));
+  }
+  void sub_rsp(uint8_t n) {
+    u8(0x48); u8(0x83); u8(0xEC); u8(n);
+  }
+  void add_rsp(uint8_t n) {
+    u8(0x48); u8(0x83); u8(0xC4); u8(n);
+  }
+  void ret() { u8(0xC3); }
+
+ private:
+  static constexpr uint8_t kW = 0x08;  // REX.W flag for rex()
+
+  void rex(uint8_t w, int reg, int index, int base) {
+    uint8_t r = 0x40 | w;
+    if (reg & 8) r |= 0x04;
+    if (index >= 0 && (index & 8)) r |= 0x02;
+    if (base & 8) r |= 0x01;
+    if (r != 0x40) u8(r);
+  }
+
+  /// ModRM (+SIB) for reg, [base + index*1 + disp].  index < 0 = none.
+  void mem_operand(int reg, int base, int index, int32_t disp) {
+    const bool need_sib = index >= 0 || (base & 7) == RSP;
+    const bool disp8 = disp >= -128 && disp <= 127;
+    // mod 00 with base rbp/r13 means rip/disp32-only; always use disp8/32.
+    uint8_t mod;
+    if (disp == 0 && (base & 7) != RBP) {
+      mod = 0x00;
+    } else if (disp8) {
+      mod = 0x40;
+    } else {
+      mod = 0x80;
+    }
+    const uint8_t rmfield = need_sib ? RSP : (base & 7);
+    u8(static_cast<uint8_t>(mod | ((reg & 7) << 3) | rmfield));
+    if (need_sib) {
+      const uint8_t idx = index >= 0 ? (index & 7) : RSP;  // RSP = no index
+      u8(static_cast<uint8_t>((idx << 3) | (base & 7)));
+    }
+    if (mod == 0x40) {
+      u8(static_cast<uint8_t>(disp));
+    } else if (mod == 0x80) {
+      u32(static_cast<uint32_t>(disp));
+    }
+  }
+
+  void rm(std::initializer_list<uint8_t> opcode, Gp reg, Gp base, int index,
+          int32_t disp, uint8_t w) {
+    rex(w, reg, index, base);
+    for (uint8_t b : opcode) u8(b);
+    mem_operand(reg, base, index, disp);
+  }
+
+  /// mod=11 register-direct form; `reg` may be an /ext digit.
+  void rr(std::initializer_list<uint8_t> opcode, Gp reg, Gp rmreg, uint8_t w) {
+    rex(w, reg, -1, rmreg);
+    for (uint8_t b : opcode) u8(b);
+    u8(static_cast<uint8_t>(0xC0 | ((reg & 7) << 3) | (rmreg & 7)));
+  }
+
+  void alu_imm(uint8_t ext, Gp r, int32_t imm) {
+    const bool imm8 = imm >= -128 && imm <= 127;
+    rr({static_cast<uint8_t>(imm8 ? 0x83 : 0x81)}, static_cast<Gp>(ext), r, 0);
+    if (imm8) {
+      u8(static_cast<uint8_t>(imm));
+    } else {
+      u32(static_cast<uint32_t>(imm));
+    }
+  }
+
+  void mem_imm(uint8_t ext, Gp base, int32_t disp, int32_t imm, uint8_t w) {
+    const bool imm8 = imm >= -128 && imm <= 127;
+    rm({static_cast<uint8_t>(imm8 ? 0x83 : 0x81)}, static_cast<Gp>(ext), base,
+       -1, disp, w);
+    if (imm8) {
+      u8(static_cast<uint8_t>(imm));
+    } else {
+      u32(static_cast<uint32_t>(imm));
+    }
+  }
+
+  void shift(uint8_t ext, Gp r, uint8_t n, uint8_t w) {
+    rr({0xC1}, static_cast<Gp>(ext), r, w);
+    u8(n);
+  }
+
+  std::vector<uint8_t> buf_;
+};
+
+}  // namespace ptaint::cpu::jit

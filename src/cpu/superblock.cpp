@@ -2,7 +2,21 @@
 
 #include <algorithm>
 
+#include "cpu/jit/jit_engine.hpp"
+
 namespace ptaint::cpu {
+
+// Out-of-line: JitEngine is incomplete in the header.
+SuperblockEngine::~SuperblockEngine() = default;
+
+void SuperblockEngine::enable_jit() {
+  if (jit_ == nullptr) jit_ = std::make_unique<JitEngine>(*this, cpu_);
+}
+
+const JitStats& SuperblockEngine::jit_stats() const {
+  static const JitStats kZero{};
+  return jit_ != nullptr ? jit_->stats() : kZero;
+}
 
 using isa::Instruction;
 using isa::Op;
@@ -223,6 +237,9 @@ void SuperblockEngine::reset() {
   stats_.guest_instructions = 0;
   stats_.uops = 0;
   stats_.fused_pairs = 0;
+  // Every translation is gone, so no compiled body can be mid-execution:
+  // the only safe point to rewind the code arena.
+  if (jit_ != nullptr) jit_->on_reset();
 }
 
 void SuperblockEngine::flush_all() {
@@ -230,6 +247,7 @@ void SuperblockEngine::flush_all() {
   ++gen_;
   for (auto& blk : blocks_) {
     blk->retired = true;
+    if (blk->host != nullptr && jit_ != nullptr) jit_->note_block_dropped(*blk);
     graveyard_.push_back(std::move(blk));
   }
   blocks_.clear();
@@ -249,6 +267,7 @@ void SuperblockEngine::on_invalidate(uint32_t addr, uint32_t len) {
     Block* blk = blocks_[i].get();
     if (blk->entry_pc < hi && blk->entry_pc + blk->byte_len > lo) {
       blk->retired = true;
+      if (blk->host != nullptr && jit_ != nullptr) jit_->note_block_dropped(*blk);
       block_at_[(blk->entry_pc - cpu_.text_begin_) / 4] = nullptr;
       --stats_.blocks;
       stats_.guest_instructions -= blk->guest_len;
@@ -1080,6 +1099,7 @@ chain_next: {
 StopReason SuperblockEngine::advance(uint64_t n) {
   Cpu& c = cpu_;
   ensure_capacity();
+  if (jit_ != nullptr && c.engine_ == Engine::kJit) return jit_->advance(n);
   uint64_t remaining = n;
   while (remaining > 0 && c.stop_ == StopReason::kRunning) {
     Block* blk = nullptr;

@@ -39,12 +39,22 @@ namespace ptaint::cpu {
 class SuperblockEngine {
  public:
   explicit SuperblockEngine(Cpu& cpu) : cpu_(cpu) {}
+  ~SuperblockEngine();  // out-of-line: unique_ptr to the incomplete JitEngine
 
   /// Runs until stop or until exactly `n` more instructions retire (same
   /// budget semantics as the step loop in Cpu::run, minus the kInstLimit
   /// marking).  Blocks longer than the remaining budget fall back to
-  /// single-stepping so budgets never overshoot.
+  /// single-stepping so budgets never overshoot.  Under Engine::kJit the
+  /// JIT trampoline takes over and uses this engine's translation cache and
+  /// interpreted dispatch for cold or non-JITable blocks.
   StopReason advance(uint64_t n);
+
+  /// Attaches the JIT tier (Engine::kJit).  Idempotent; the tier stays
+  /// attached but dormant if the engine later switches back.
+  void enable_jit();
+
+  /// JIT-tier counters (zeros when the tier was never enabled).
+  const JitStats& jit_stats() const;
 
   /// Retires every cached block overlapping [addr, addr+len) — the
   /// self-modifying-code path, forwarded from Cpu::invalidate_decode_range.
@@ -61,6 +71,8 @@ class SuperblockEngine {
   const SuperblockStats& stats() const { return stats_; }
 
  private:
+  friend class JitEngine;   // compiles Block micro-op arrays to host code
+  friend struct JitRuntime; // slow-path helpers re-enter the handler logic
   /// Micro-op kinds.  Order must match the dispatch table in exec_block.
   enum Kind : uint8_t {
     kEnd,  // fall off the block (CFG leader / size cap): set pc, exit
@@ -101,6 +113,13 @@ class SuperblockEngine {
     Block* succ = nullptr;
     uint32_t succ_pc = 0;
     uint64_t succ_gen = 0;
+    // JIT tier (DESIGN.md §12).  `host` points into the engine-owned code
+    // arena once the block compiles; `heat` counts trampoline entries until
+    // the compile threshold; `no_jit` latches a compiler bailout so the
+    // block stays on the interpreted path without re-scanning.
+    const uint8_t* host = nullptr;
+    uint32_t heat = 0;
+    uint8_t no_jit = 0;
     std::vector<MicroOp> uops;
   };
 
@@ -121,6 +140,7 @@ class SuperblockEngine {
   std::vector<std::unique_ptr<Block>> blocks_;     // live, owning
   std::vector<std::unique_ptr<Block>> graveyard_;  // invalidated mid-advance
   SuperblockStats stats_;
+  std::unique_ptr<JitEngine> jit_;  // attached by enable_jit (Engine::kJit)
 };
 
 }  // namespace ptaint::cpu

@@ -39,6 +39,13 @@ class RegisterFile {
     return n;
   }
 
+  /// Flat slot array for the JIT tier: 32 contiguous TaintedWords, slot 0 =
+  /// $zero.  Emitted code addresses slot i at byte offset 8*i, reading the
+  /// value dword at +0 and the taint word at +4 (the two trailing padding
+  /// bytes are never read).  Writers must preserve the $zero invariant —
+  /// the JIT never emits a store to slot 0, matching set()'s guard.
+  TaintedWord* flat_slots() { return regs_.data(); }
+
  private:
   std::array<TaintedWord, isa::kNumRegs> regs_{};
   TaintedWord hi_{};

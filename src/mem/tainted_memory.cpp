@@ -482,4 +482,28 @@ std::optional<uint32_t> TaintedMemory::first_addr_tainted(uint32_t addr,
   return std::nullopt;
 }
 
+TaintedMemory::JitLayout TaintedMemory::jit_layout() const {
+  // The emitted clean-page test reads tainted_bytes and addr_bytes as one
+  // aligned qword; pin the layout facts it depends on.
+  static_assert(offsetof(Page, data) == 0);
+  static_assert(offsetof(Page, tainted_bytes) % 8 == 0);
+  static_assert(offsetof(Page, addr_bytes) ==
+                offsetof(Page, tainted_bytes) + 4);
+  // TaintedMemory itself is not standard-layout (hash maps), so the memo
+  // offsets are measured from a live object instead of offsetof.
+  const char* base = reinterpret_cast<const char*>(this);
+  JitLayout l;
+  l.memo_index =
+      static_cast<uint32_t>(reinterpret_cast<const char*>(&memo_index_) - base);
+  l.memo_page =
+      static_cast<uint32_t>(reinterpret_cast<const char*>(&memo_page_) - base);
+  l.wmemo_index = static_cast<uint32_t>(
+      reinterpret_cast<const char*>(&wmemo_index_) - base);
+  l.wmemo_page =
+      static_cast<uint32_t>(reinterpret_cast<const char*>(&wmemo_page_) - base);
+  l.page_data = offsetof(Page, data);
+  l.page_summary = offsetof(Page, tainted_bytes);
+  return l;
+}
+
 }  // namespace ptaint::mem

@@ -270,6 +270,25 @@ class TaintedMemory {
   };
   const QueryStats& query_stats() const { return qstats_; }
 
+  /// Flat layout descriptor for the JIT tier (DESIGN.md §12).  Emitted code
+  /// replays the inline memo-hit fast paths above — one page-index compare,
+  /// one clean-page summary compare, then a raw access into Page::data —
+  /// against these byte offsets (memo fields relative to this object, page
+  /// fields relative to a Page).  The emitted path intentionally skips the
+  /// QueryStats bumps (diagnostic-only counters); every other observable
+  /// effect matches the inline accessors bit for bit.
+  struct JitLayout {
+    uint32_t memo_index;    // read-memo page index (uint32)
+    uint32_t memo_page;     // read-memo Page* (8 bytes)
+    uint32_t wmemo_index;   // write-memo page index (uint32)
+    uint32_t wmemo_page;    // write-memo Page* (8 bytes)
+    uint32_t page_data;     // Page::data — byte 0 of the page image
+    uint32_t page_summary;  // Page::tainted_bytes; one aligned qword read
+                            // here covers addr_bytes too, so "clean page"
+                            // is a single compare against 0
+  };
+  JitLayout jit_layout() const;
+
  private:
   struct Page {
     std::array<uint8_t, kPageSize> data{};

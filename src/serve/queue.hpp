@@ -35,7 +35,7 @@ struct JobSpec {
   std::string app;             // "spec" | "attack" | "guest"
   std::string payload;         // workload / scenario / registry app name
   std::string policy = "paper";  // ablation variant, coverage mode, "paper"
-  std::string engine;          // "" (default) | "step" | "superblock"
+  std::string engine;          // "" (default) | "step" | "superblock" | "jit"
   bool elide = false;
   std::vector<std::string> session;  // guest jobs: scripted client session
   std::string stdin_text;            // guest jobs: stdin bytes

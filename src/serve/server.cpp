@@ -284,6 +284,8 @@ campaign::Job ServeDaemon::build_job(const JobSpec& spec) {
     engine = cpu::Engine::kStep;
   } else if (spec.engine == "superblock") {
     engine = cpu::Engine::kSuperblock;
+  } else if (spec.engine == "jit") {
+    engine = cpu::Engine::kJit;
   } else if (!spec.engine.empty()) {
     throw std::invalid_argument("unknown engine: " + spec.engine);
   }

@@ -73,7 +73,8 @@ asmgen::Program small_program() {
 }
 
 TEST(CfgRecovery, BlocksFunctionsAndEdges) {
-  const Cfg cfg(small_program());
+  const asmgen::Program program = small_program();
+  const Cfg cfg(program);
   // Two functions: _start (entry) and the jal target `work`.
   ASSERT_EQ(cfg.functions().size(), 2u);
   EXPECT_EQ(cfg.functions()[0].entry, layout::kTextBase);
@@ -88,7 +89,8 @@ TEST(CfgRecovery, BlocksFunctionsAndEdges) {
 }
 
 TEST(CfgRecovery, JrRaResolvesToReturnSites) {
-  const Cfg cfg(small_program());
+  const asmgen::Program program = small_program();
+  const Cfg cfg(program);
   // The `jr $ra` block must flow back to the instruction after the jal.
   const uint32_t jr_pc = cfg.functions()[1].end - 4;
   const int jr_block = cfg.block_at(jr_pc);
@@ -101,7 +103,8 @@ TEST(CfgRecovery, JrRaResolvesToReturnSites) {
 }
 
 TEST(CfgRecovery, EverythingReachableInStraightLineProgram) {
-  const Cfg cfg(small_program());
+  const asmgen::Program program = small_program();
+  const Cfg cfg(program);
   const std::vector<bool> reach = cfg.reachable_blocks();
   for (size_t b = 0; b < cfg.blocks().size(); ++b) {
     EXPECT_TRUE(reach[b]) << "block " << b << " at "

@@ -14,7 +14,8 @@ namespace ptaint::analysis {
 namespace {
 
 std::vector<LintFinding> lint(const std::string& text) {
-  const Cfg cfg(asmgen::assemble(text));
+  const asmgen::Program program = asmgen::assemble(text);
+  const Cfg cfg(program);
   return run_lints(cfg);
 }
 
@@ -217,7 +218,8 @@ TEST(LintCorpus, GuestRuntimeLintsClean) {
   // ptaint-lint over every guest app and fails on findings.
   std::vector<asmgen::Source> units = guest::runtime();
   units.push_back({"main.s", ".text\nmain:\n  li $v0, 0\n  jr $ra\n"});
-  const Cfg cfg(asmgen::assemble(units));
+  const asmgen::Program program = asmgen::assemble(units);
+  const Cfg cfg(program);
   const auto findings = run_lints(cfg);
   EXPECT_TRUE(findings.empty()) << format_findings(findings);
 }

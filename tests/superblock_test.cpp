@@ -1,12 +1,16 @@
-// Superblock engine cross-engine identity.
+// Cross-engine identity: step vs superblock vs jit.
 //
-// The superblock engine is a pure performance substitution: translated
-// blocks must leave the machine in exactly the state the step interpreter
-// would — registers, taint bits, stop reason, alerts, and every CpuStats /
-// TaintUnit counter.  These tests pin that contract on the attack corpus,
-// on self-modifying code that rewrites a block while it is executing, and
-// across snapshot/restore boundaries that fall between (and inside)
-// superblocks.
+// The superblock and jit engines are pure performance substitutions:
+// translated blocks (interpreted or compiled to host code) must leave the
+// machine in exactly the state the step interpreter would — registers,
+// taint bits and address-provenance planes, stop reason, alerts, and every
+// CpuStats / TaintUnit counter.  These tests pin that contract three ways
+// on the attack corpus, on self-modifying code that rewrites a block while
+// it is executing (which for the jit also invalidates compiled host code),
+// and across snapshot/restore boundaries that fall between (and inside)
+// superblocks.  On hosts that cannot run emitted code the "jit" rows
+// silently exercise the superblock fallback, which must be just as
+// identical.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -16,6 +20,7 @@
 
 #include "core/attack.hpp"
 #include "core/machine.hpp"
+#include "cpu/jit/jit_engine.hpp"
 #include "core/spec_workloads.hpp"
 #include "guest/apps/apps.hpp"
 #include "guest/runtime.hpp"
@@ -45,6 +50,10 @@ class ScopedEngine {
  private:
   std::string saved_;
 };
+
+/// Every execution engine, reference interpreter first.
+constexpr const char* kAllEngines[] = {"step", "superblock", "jit"};
+constexpr int kNumEngines = 3;
 
 /// Full architectural fingerprint: run report, every stats counter, and the
 /// complete register file with taint bits.  Two engines agreeing on this
@@ -85,27 +94,31 @@ std::string run_scenario(AttackId id, const char* engine) {
   return fingerprint(*machine, r);
 }
 
-TEST(Superblock, AttackCorpusIdenticalToStepEngine) {
+TEST(Superblock, AttackCorpusIdenticalAcrossAllEngines) {
   // Every scenario in the corpus, detected and escaped alike, must end in
-  // the same architectural state under both engines.
+  // the same architectural state under all three engines.
   for (const auto& scenario : make_attack_corpus()) {
     const std::string step = run_scenario(scenario->id(), "step");
-    const std::string sb = run_scenario(scenario->id(), "superblock");
-    EXPECT_EQ(step, sb) << "engine divergence in " << scenario->name();
+    for (int e = 1; e < kNumEngines; ++e) {
+      EXPECT_EQ(step, run_scenario(scenario->id(), kAllEngines[e]))
+          << kAllEngines[e] << " divergence in " << scenario->name();
+    }
   }
 }
 
-TEST(Superblock, BenignSpecSurrogateIdenticalToStepEngine) {
+TEST(Superblock, BenignSpecSurrogateIdenticalAcrossAllEngines) {
   for (const SpecWorkload& w : make_spec_workloads(1)) {
-    std::string prints[2];
-    const char* engines[2] = {"step", "superblock"};
-    for (int e = 0; e < 2; ++e) {
-      ScopedEngine pin(engines[e]);
+    std::string prints[kNumEngines];
+    for (int e = 0; e < kNumEngines; ++e) {
+      ScopedEngine pin(kAllEngines[e]);
       auto machine = prepare_spec_workload(w);
       RunReport r = machine->run();
       prints[e] = fingerprint(*machine, r);
     }
-    EXPECT_EQ(prints[0], prints[1]) << "engine divergence in spec workload";
+    for (int e = 1; e < kNumEngines; ++e) {
+      EXPECT_EQ(prints[0], prints[e])
+          << kAllEngines[e] << " divergence in spec workload " << w.name;
+    }
   }
 }
 
@@ -133,14 +146,13 @@ TEST(Superblock, LeakScenariosIdenticalUnderLeakDetection) {
   leak.leak_detection = true;
   for (AttackId id : {AttackId::kLeakTelemetry, AttackId::kLeakSession,
                       AttackId::kLeakBanner}) {
-    std::string prints[2];
-    const char* engines[2] = {"step", "superblock"};
-    for (int e = 0; e < 2; ++e) {
-      ScopedEngine pin(engines[e]);
+    std::string prints[kNumEngines];
+    for (int e = 0; e < kNumEngines; ++e) {
+      ScopedEngine pin(kAllEngines[e]);
       auto machine = make_scenario(id)->prepare_attack(leak);
       RunReport r = machine->run();
-      ASSERT_TRUE(r.detected()) << engines[e];
-      EXPECT_EQ(r.alert->kind, cpu::AlertKind::kAddressLeak) << engines[e];
+      ASSERT_TRUE(r.detected()) << kAllEngines[e];
+      EXPECT_EQ(r.alert->kind, cpu::AlertKind::kAddressLeak) << kAllEngines[e];
       std::ostringstream ss;
       ss << fingerprint(*machine, r) << " aph_data="
          << addr_plane_hash(*machine, 0x10000000u, 0x10020000u)
@@ -148,8 +160,11 @@ TEST(Superblock, LeakScenariosIdenticalUnderLeakDetection) {
          << addr_plane_hash(*machine, 0x7ffe0000u, 0x80000000u);
       prints[e] = ss.str();
     }
-    EXPECT_EQ(prints[0], prints[1])
-        << "engine divergence in leak scenario " << static_cast<int>(id);
+    for (int e = 1; e < kNumEngines; ++e) {
+      EXPECT_EQ(prints[0], prints[e])
+          << kAllEngines[e] << " divergence in leak scenario "
+          << static_cast<int>(id);
+    }
   }
 }
 
@@ -166,24 +181,26 @@ TEST(Superblock, BenignLeakAppSessionsIdenticalWithPlanes) {
       {&guest::apps::leak_banner, {"hello from client", "status check"}},
   };
   for (const Row& row : rows) {
-    std::string prints[2];
-    const char* engines[2] = {"step", "superblock"};
-    for (int e = 0; e < 2; ++e) {
-      ScopedEngine pin(engines[e]);
+    std::string prints[kNumEngines];
+    for (int e = 0; e < kNumEngines; ++e) {
+      ScopedEngine pin(kAllEngines[e]);
       MachineConfig cfg;
       cfg.policy.leak_detection = true;
       Machine m(cfg);
       m.load_sources(guest::link_with_runtime(row.app()));
       m.os().net().add_session(row.session);
       RunReport r = m.run();
-      EXPECT_TRUE(r.exited_cleanly()) << engines[e] << ": " << r.fault;
+      EXPECT_TRUE(r.exited_cleanly()) << kAllEngines[e] << ": " << r.fault;
       std::ostringstream ss;
       ss << fingerprint(m, r) << " aph_data="
          << addr_plane_hash(m, 0x10000000u, 0x10020000u) << " aph_stack="
          << addr_plane_hash(m, 0x7ffe0000u, 0x80000000u);
       prints[e] = ss.str();
     }
-    EXPECT_EQ(prints[0], prints[1]) << "engine divergence in benign session";
+    for (int e = 1; e < kNumEngines; ++e) {
+      EXPECT_EQ(prints[0], prints[e])
+          << kAllEngines[e] << " divergence in benign session";
+    }
   }
 }
 
@@ -215,7 +232,7 @@ std::string smc_same_block_source() {
 }
 
 TEST(Superblock, SmcPatchInsideExecutingBlockTakesEffect) {
-  for (const char* engine : {"step", "superblock"}) {
+  for (const char* engine : kAllEngines) {
     ScopedEngine pin(engine);
     Machine m;
     m.load_source(smc_same_block_source());
@@ -255,18 +272,19 @@ TEST(Superblock, SmcInvalidatesHotSuperblockMidLoop) {
       li $v0, 1
       syscall
 )";
-  std::string prints[2];
-  const char* engines[2] = {"step", "superblock"};
-  for (int e = 0; e < 2; ++e) {
-    ScopedEngine pin(engines[e]);
+  std::string prints[kNumEngines];
+  for (int e = 0; e < kNumEngines; ++e) {
+    ScopedEngine pin(kAllEngines[e]);
     Machine m;
     m.load_source(source);
     RunReport r = m.run();
-    EXPECT_EQ(r.stop, cpu::StopReason::kExit) << engines[e];
-    EXPECT_EQ(r.exit_status, 150) << engines[e];
+    EXPECT_EQ(r.stop, cpu::StopReason::kExit) << kAllEngines[e];
+    EXPECT_EQ(r.exit_status, 150) << kAllEngines[e];
+    // Under the jit the loop is hot enough to compile before the patch, so
+    // the store must also retire the compiled host code.
     prints[e] = fingerprint(m, r);
   }
-  EXPECT_EQ(prints[0], prints[1]);
+  for (int e = 1; e < kNumEngines; ++e) EXPECT_EQ(prints[0], prints[e]);
 }
 
 // ---------------------------------------------------------------------------
@@ -295,9 +313,31 @@ TEST(Superblock, SnapshotRestoreBetweenSuperblocksMatchesUninterrupted) {
   RunReport rr = resumed.run();
   EXPECT_EQ(fingerprint(*whole, rw), fingerprint(resumed, rr));
 
-  // And the step engine agrees with all of the above.
+  // And the step and jit engines agree with all of the above.
   const std::string step = run_scenario(AttackId::kExp1Stack, "step");
   EXPECT_EQ(step, fingerprint(*whole, rw));
+  EXPECT_EQ(step, run_scenario(AttackId::kExp1Stack, "jit"));
+}
+
+TEST(Superblock, JitSnapshotRestoreBetweenSlicesMatchesUninterrupted) {
+  // Same shape as above, but the sliced run executes under the jit: the
+  // snapshot boundary falls while compiled host code is resident, and the
+  // restore path must flush translations and host code together.
+  auto scenario = make_scenario(AttackId::kExp1Stack);
+
+  ScopedEngine pin("jit");
+  auto whole = scenario->prepare_attack({});
+  RunReport rw = whole->run();
+
+  auto sliced = scenario->prepare_attack({});
+  sliced->run_for(37);
+  sliced->run_for(2000);  // deep enough that hot blocks compiled
+  MachineSnapshot snap = sliced->snapshot();
+
+  Machine resumed;
+  resumed.restore(snap);
+  RunReport rr = resumed.run();
+  EXPECT_EQ(fingerprint(*whole, rw), fingerprint(resumed, rr));
 }
 
 TEST(Superblock, RunForBudgetIsExactMidBlock) {
@@ -314,7 +354,7 @@ TEST(Superblock, RunForBudgetIsExactMidBlock) {
       xor $t2, $t1, $t0
       j loop
 )";
-  for (const char* engine : {"step", "superblock"}) {
+  for (const char* engine : kAllEngines) {
     ScopedEngine pin(engine);
     Machine m;
     m.load_source(source);
@@ -323,6 +363,28 @@ TEST(Superblock, RunForBudgetIsExactMidBlock) {
     m.run_for(1);
     EXPECT_EQ(m.report().cpu_stats.instructions, 1001u) << engine;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Unsupported-host fallback: requesting the jit on a host that cannot run
+// emitted code must silently select the superblock engine (after a one-line
+// warning) with identical results.  PTAINT_JIT_FORCE_UNSUPPORTED simulates
+// such a host anywhere.
+
+TEST(Superblock, JitFallsBackToSuperblockWhenUnsupported) {
+  ::setenv("PTAINT_JIT_FORCE_UNSUPPORTED", "1", 1);
+  EXPECT_FALSE(cpu::JitEngine::supported());
+  std::string forced;
+  {
+    ScopedEngine pin("jit");
+    auto machine = make_scenario(AttackId::kExp1Stack)->prepare_attack({});
+    EXPECT_EQ(machine->cpu().engine(), cpu::Engine::kSuperblock);
+    RunReport r = machine->run();
+    EXPECT_EQ(machine->cpu().jit_stats().blocks_compiled, 0u);
+    forced = fingerprint(*machine, r);
+  }
+  ::unsetenv("PTAINT_JIT_FORCE_UNSUPPORTED");
+  EXPECT_EQ(forced, run_scenario(AttackId::kExp1Stack, "superblock"));
 }
 
 }  // namespace

@@ -24,7 +24,7 @@
 //   --elide         engine machines run with static check-elision on
 //                   (with --check the serial reference stays dynamic-only,
 //                   proving elision changes no verdict)
-//   --engine E      step | superblock: pin the parallel side's execution
+//   --engine E      step | superblock | jit: pin the parallel side's
 //                   engine (default resolves PTAINT_ENGINE, then
 //                   superblock).  The serial reference always runs the
 //                   step interpreter, so --check with the default engine
@@ -71,7 +71,7 @@ using Clock = std::chrono::steady_clock;
          "  --time        wall-clock + executor stats on stderr\n"
          "  --check       engine vs serial verdict diff + speedup\n"
          "  --elide       run engine machines with static check-elision\n"
-         "  --engine E    step | superblock (parallel side; serial\n"
+         "  --engine E    step | superblock | jit (parallel side; serial\n"
          "                reference is always the step interpreter)\n"
          "  --static-check  bidirectional static/dynamic consistency\n";
   std::exit(4);
@@ -138,6 +138,8 @@ int main(int argc, char** argv) {
         engine = cpu::Engine::kStep;
       } else if (name == "superblock") {
         engine = cpu::Engine::kSuperblock;
+      } else if (name == "jit") {
+        engine = cpu::Engine::kJit;
       } else {
         usage();
       }

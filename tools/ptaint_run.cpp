@@ -27,8 +27,9 @@
 //   --pipeline            enable the timing model and print its stats
 //   --max-instr N         instruction budget (default 200M)
 //   --no-elide            skip the static analyzer; run every dynamic check
-//   --engine E            step | superblock (default superblock; see below)
-//   --engine-stats        print superblock/taint-summary observability stats
+//   --engine E            step | superblock | jit (default superblock)
+//   --engine-stats        print superblock/JIT/taint-summary observability
+//                         stats
 //   --quiet               suppress everything except guest stdout
 //
 // Static check-elision is ON by default: the src/analysis pass proves most
@@ -40,8 +41,10 @@
 // The execution engine defaults to the superblock translator (DESIGN.md §9),
 // which is verdict- and statistics-identical to the reference step
 // interpreter; --engine step (or PTAINT_ENGINE=step) pins the reference
-// path.  Trace/profile/pipeline runs use the step path regardless, since
-// they subscribe to per-retire events.
+// path.  --engine jit (DESIGN.md §12) compiles hot superblocks to host
+// x86-64 on top of the same translation cache; on non-x86-64 hosts it
+// falls back to superblock with a warning.  Trace/profile/pipeline runs
+// use the step path regardless, since they subscribe to per-retire events.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -126,8 +129,8 @@ usage: ptaint-run [options] program.s [more.s ...]
   --trace N / --profile / --pipeline
   --listing             print the assembled text segment and exit
   --no-elide            disable static check-elision (check every site)
-  --engine E            step | superblock (default; also PTAINT_ENGINE)
-  --engine-stats        block cache, fusion and clean-page counters
+  --engine E            step | superblock | jit (default; also PTAINT_ENGINE)
+  --engine-stats        block cache, fusion, JIT and clean-page counters
   --max-instr N / --quiet
 exit codes: 0 clean exit, 1 nonzero guest exit, 2 security alert,
             3 fault/instruction budget, 4 usage or assembly error
@@ -196,6 +199,8 @@ exit codes: 0 clean exit, 1 nonzero guest exit, 2 security alert,
         cfg.engine = cpu::Engine::kStep;
       } else if (engine == "superblock") {
         cfg.engine = cpu::Engine::kSuperblock;
+      } else if (engine == "jit") {
+        cfg.engine = cpu::Engine::kJit;
       } else {
         usage();
       }
@@ -294,10 +299,11 @@ exit codes: 0 clean exit, 1 nonzero guest exit, 2 security alert,
     const auto ull = [](uint64_t v) {
       return static_cast<unsigned long long>(v);
     };
+    const cpu::Engine eng = machine.cpu().engine();
     std::fprintf(stderr, "engine: %s\n",
-                 machine.cpu().engine() == cpu::Engine::kSuperblock
-                     ? "superblock"
-                     : "step");
+                 eng == cpu::Engine::kJit          ? "jit"
+                 : eng == cpu::Engine::kSuperblock ? "superblock"
+                                                   : "step");
     std::fprintf(stderr,
                  "blocks: %llu cached (%llu translated, %llu invalidated), "
                  "avg %.1f insts/block\n",
@@ -318,6 +324,19 @@ exit codes: 0 clean exit, 1 nonzero guest exit, 2 security alert,
                  "(%llu block entries)\n",
                  ull(sb.block_retired), ull(sb.step_retired),
                  ull(sb.blocks_entered));
+    if (eng == cpu::Engine::kJit) {
+      const cpu::JitStats& js = machine.cpu().jit_stats();
+      std::fprintf(stderr,
+                   "jit: %llu blocks compiled (%llu code bytes), "
+                   "%llu host entries, %llu retired in host code\n",
+                   ull(js.blocks_compiled), ull(js.code_bytes),
+                   ull(js.host_entries), ull(js.host_retired));
+      std::fprintf(stderr,
+                   "jit bailouts: %llu syscall, %llu break, %llu arena-full; "
+                   "%llu compiled blocks invalidated\n",
+                   ull(js.bailout_syscall), ull(js.bailout_break),
+                   ull(js.bailout_arena_full), ull(js.invalidations));
+    }
     std::fprintf(
         stderr, "clean-page loads: %llu of %llu (%.1f%% hit rate)\n",
         ull(q.clean_page_loads), ull(q.loads),
