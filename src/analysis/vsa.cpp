@@ -7,6 +7,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -1853,12 +1854,23 @@ VsaAnalysis VsaEngine::finish(const VsaOptions& options) {
   res.leak_sites = leak_sites_;
   res.output_sites = leak_sites_.size();
   res.leak_elision.assign(cfg_.instructions().size(), 0);
-  for (const LeakSite& site : res.leak_sites) {
+  for (LeakSite& site : res.leak_sites) {
+    for (const auto& [begin, end] : options.may_publish) {
+      if (site.pc >= begin && site.pc < end) site.annotated = true;
+    }
     if (!site.reachable) {
       if (!exhausted_) {
         res.leak_elision[cfg_.index_of(site.pc)] = 1;
         ++res.leak_clean;
       }
+      continue;
+    }
+    // Annotated sites are explained, not clean: the program declared it
+    // publishes pointers here on purpose, so they leave the "possible"
+    // pile without joining the proof bitmap (the dynamic waiver is the
+    // Machine layer's set_publish_ranges, not an elision).
+    if (site.annotated) {
+      ++res.leak_annotated;
       continue;
     }
     if (site.may_planes != 0) {
@@ -1871,6 +1883,14 @@ VsaAnalysis VsaEngine::finish(const VsaOptions& options) {
   if (options.witnesses) {
     build_witnesses(res);
     build_leak_witnesses(res);
+    // Annotated sites are explained by declaration; their flow traces
+    // would only count as "unexplained" noise.
+    if (!options.may_publish.empty()) {
+      std::erase_if(res.leak_witnesses, [&](const Witness& w) {
+        const LeakSite* site = res.leak_site_at(w.site_pc);
+        return site != nullptr && site->annotated;
+      });
+    }
   }
   return res;
 }
@@ -1940,12 +1960,26 @@ std::string VsaAnalysis::leak_report(const Cfg& cfg) const {
   std::string out;
   char line[256];
   for (const LeakSite& s : leak_sites) {
-    if (!s.reachable || s.may_planes == 0) continue;
+    if (!s.reachable || (s.may_planes == 0 && !s.annotated)) continue;
     const int f = cfg.function_at(s.pc);
-    std::snprintf(line, sizeof line, "%x: syscall (output)  may leak %-30s  [in %s]\n",
-                  s.pc, plane_classes(s.may_planes).c_str(),
-                  f >= 0 ? cfg.functions()[static_cast<size_t>(f)].name.c_str()
-                         : "?");
+    if (s.annotated) {
+      std::snprintf(line, sizeof line,
+                    "%x: syscall (output)  annotated may-publish%s  [in %s]\n",
+                    s.pc,
+                    s.may_planes ? (" (" + plane_classes(s.may_planes) + ")")
+                                       .c_str()
+                                 : "",
+                    f >= 0
+                        ? cfg.functions()[static_cast<size_t>(f)].name.c_str()
+                        : "?");
+    } else {
+      std::snprintf(line, sizeof line,
+                    "%x: syscall (output)  may leak %-30s  [in %s]\n", s.pc,
+                    plane_classes(s.may_planes).c_str(),
+                    f >= 0
+                        ? cfg.functions()[static_cast<size_t>(f)].name.c_str()
+                        : "?");
+    }
     out += line;
   }
   return out;
@@ -1974,9 +2008,10 @@ VsaAnalysis analyze_vsa(const Cfg& cfg, const cpu::TaintPolicy& policy,
   return engine.finish(options);
 }
 
-Gen2Elision gen2_elision(const Cfg& cfg, const cpu::TaintPolicy& policy) {
+Gen2Elision gen2_elision(const Cfg& cfg, const cpu::TaintPolicy& policy,
+                         const VsaOptions& options) {
   const TaintAnalysis g1 = analyze_taint(cfg, policy);
-  const VsaAnalysis g2 = analyze_vsa(cfg, policy);
+  const VsaAnalysis g2 = analyze_vsa(cfg, policy, options);
   Gen2Elision r;
   r.elision = g1.elision;
   for (size_t i = 0; i < r.elision.size() && i < g2.elision.size(); ++i) {
@@ -1995,7 +2030,33 @@ Gen2Elision gen2_elision(const Cfg& cfg, const cpu::TaintPolicy& policy) {
   r.leak_elision = g2.leak_elision;
   r.output_sites = g2.output_sites;
   r.leak_clean = g2.leak_clean;
+  r.leak_annotated = g2.leak_annotated;
   return r;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> resolve_publish_ranges(
+    const asmgen::Program& program, const std::vector<std::string>& names,
+    bool strict) {
+  std::vector<std::pair<uint32_t, uint32_t>> ranges;
+  const uint32_t text_end =
+      isa::layout::kTextBase + 4 * static_cast<uint32_t>(program.text.size());
+  for (const std::string& name : names) {
+    bool found = false;
+    for (size_t i = 0; i < program.function_labels.size(); ++i) {
+      if (program.function_labels[i].second != name) continue;
+      const uint32_t begin = program.function_labels[i].first;
+      const uint32_t end = i + 1 < program.function_labels.size()
+                               ? program.function_labels[i + 1].first
+                               : text_end;
+      ranges.emplace_back(begin, end);
+      found = true;
+      break;
+    }
+    if (!found && strict) {
+      throw std::out_of_range("unknown may_publish function: " + name);
+    }
+  }
+  return ranges;
 }
 
 }  // namespace ptaint::analysis

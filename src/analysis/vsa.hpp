@@ -63,6 +63,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/cfg.hpp"
@@ -96,6 +97,10 @@ struct LeakSite {
   /// planes (mem/taint.hpp layout; data nibble unused) the output buffer
   /// may hold.  0 = provably clean: the dynamic leak check cannot fire.
   mem::TaintBits may_planes = 0;
+  /// The site sits inside a VsaOptions::may_publish range: the program
+  /// legitimately publishes pointers here, so the prover treats it as
+  /// explained (it is neither "possible" nor "clean" — it is waived).
+  bool annotated = false;
 };
 
 struct VsaAnalysis {
@@ -110,6 +115,7 @@ struct VsaAnalysis {
   size_t output_sites = 0;   // syscall instructions (potential output sites)
   size_t leak_possible = 0;  // reachable sites that may leak an address
   size_t leak_clean = 0;     // sites whose dynamic leak check is elided
+  size_t leak_annotated = 0; // sites waived by a may_publish annotation
 
   /// Witnesses for every reachable may-tainted site, ascending by site PC.
   /// Empty unless VsaOptions::witnesses was set.
@@ -134,6 +140,15 @@ struct VsaAnalysis {
 
 struct VsaOptions {
   bool witnesses = false;
+  /// §5.3-style may-publish annotations for the leak direction: text PC
+  /// ranges (end-exclusive) whose kernel-output sites are declared
+  /// legitimate pointer publishers.  Mirrors the dynamic waiver installed
+  /// via cpu::Cpu::set_publish_ranges — an annotated site never raises a
+  /// dynamic leak alert, and the prover marks it explained instead of
+  /// reporting it as a possible leak.  Annotated sites never join the
+  /// leak-elision bitmap: that bitmap remains a *proof* of plane-freedom,
+  /// the annotation is a waiver the Machine layer applies separately.
+  std::vector<std::pair<uint32_t, uint32_t>> may_publish;
 };
 
 VsaAnalysis analyze_vsa(const Cfg& cfg, const cpu::TaintPolicy& policy,
@@ -155,8 +170,20 @@ struct Gen2Elision {
   std::vector<uint8_t> leak_elision;
   size_t output_sites = 0;
   size_t leak_clean = 0;
+  size_t leak_annotated = 0;  // waived by VsaOptions::may_publish
 };
 
-Gen2Elision gen2_elision(const Cfg& cfg, const cpu::TaintPolicy& policy);
+Gen2Elision gen2_elision(const Cfg& cfg, const cpu::TaintPolicy& policy,
+                         const VsaOptions& options = {});
+
+/// Resolves function-label names to [begin, end) text PC ranges: each
+/// function spans from its label to the next function label (or text end).
+/// With `strict`, an unknown name throws std::out_of_range (the
+/// load-program contract, mirroring Machine::protect_symbol); otherwise
+/// unknown names are skipped (the restore path, where the program may
+/// legitimately differ).
+std::vector<std::pair<uint32_t, uint32_t>> resolve_publish_ranges(
+    const asmgen::Program& program, const std::vector<std::string>& names,
+    bool strict);
 
 }  // namespace ptaint::analysis

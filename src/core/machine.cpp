@@ -113,6 +113,7 @@ void Machine::load_program(asmgen::Program program) {
   cpu_->regs().set(isa::kSp, TaintedWord{layout::kStackTop - aslr_offset(),
                                          mem::kStackAddrMask});
   setup_argv();
+  apply_may_publish(/*strict=*/true);
   if (config_.static_elision) apply_static_elision();
 }
 
@@ -198,6 +199,12 @@ void Machine::protect_symbol(const std::string& symbol, uint32_t len) {
   cpu_->protect_region(program_.symbols.at(symbol), len, symbol);
 }
 
+void Machine::apply_may_publish(bool strict) {
+  if (config_.may_publish.empty()) return;
+  cpu_->set_publish_ranges(
+      analysis::resolve_publish_ranges(program_, config_.may_publish, strict));
+}
+
 MachineSnapshot Machine::snapshot() {
   MachineSnapshot s;
   s.program = program_;
@@ -262,6 +269,9 @@ void Machine::restore(const MachineSnapshot& snapshot) {
   // reverted pages whose decodes were just invalidated (those sites are
   // simply re-checked dynamically, which can never change a verdict).
   if (config_.static_elision && !caches_kept) apply_static_elision();
+  // The waiver ranges are config-derived (not snapshot state, like the
+  // policy itself) and must track whatever program the restore installed.
+  apply_may_publish(/*strict=*/false);
 }
 
 cpu::StopReason Machine::run_for(uint64_t n) {

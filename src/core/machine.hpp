@@ -58,6 +58,15 @@ struct MachineConfig {
   /// variable (any value other than empty or "0"); either source wins.
   bool no_cow = false;
 
+  /// §5.3-style escape hatch for the address-leak direction: names of
+  /// guest functions that legitimately publish pointers (a %p debug
+  /// printer, a handle-shipping protocol).  Kernel-output leak checks at
+  /// sites inside these functions are suppressed, and the leak-site prover
+  /// treats them as explained.  Resolved against the loaded program's
+  /// function labels; load_* throws std::out_of_range for unknown names
+  /// (mirroring protect_symbol).  Active with or without static_elision.
+  std::vector<std::string> may_publish;
+
   /// Stack ASLR baseline (paper §2 related work): the initial stack
   /// pointer is lowered by a seed-derived, word-aligned offset drawn from
   /// `aslr_entropy_bits` bits of entropy.  0 disables randomization.
@@ -204,6 +213,11 @@ class Machine {
   void setup_argv();
   void install_retire_hook();
   size_t apply_static_elision();
+  /// Resolves config_.may_publish against the loaded program and installs
+  /// the waiver ranges on the core.  `strict` (the load path) throws for
+  /// unknown names; the restore path skips them — a restored snapshot may
+  /// carry a different program.
+  void apply_may_publish(bool strict);
 
   MachineConfig config_;
   bool no_cow_ = false;  // resolved once from config + PTAINT_NO_COW

@@ -226,6 +226,11 @@ bool Cpu::kernel_output_leak(uint32_t addr, uint32_t len) {
     const uint32_t idx = (pc_ - text_begin_) / 4;
     if (idx < leak_elide_bits_.size() && leak_elide_bits_[idx]) return false;
   }
+  // §5.3-style annotation: output sites inside a may-publish function are
+  // waived — the program is declared to publish pointers there on purpose.
+  for (const auto& [begin, end] : publish_ranges_) {
+    if (pc_ >= begin && pc_ < end) return false;
+  }
   const uint8_t planes = memory_.addr_planes_in(addr, len);
   if (planes == 0) return false;
   std::string classes;

@@ -15,6 +15,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cpu/taint_policy.hpp"
@@ -251,6 +252,18 @@ class Cpu {
   /// check at the current (syscall) PC is statically elided.
   bool kernel_output_leak(uint32_t addr, uint32_t len);
 
+  /// §5.3-style escape hatch for the leak direction: PC ranges whose
+  /// kernel-output checks are suppressed because the program legitimately
+  /// publishes pointers there (a %p debug printer, a protocol that ships
+  /// handles).  The annotation is per *output site*, not per datum — taint
+  /// propagation and every other detector are unaffected.  Resolved from
+  /// MachineConfig::may_publish function names by the Machine layer;
+  /// orthogonal to set_leak_elision (which is a proof, not a waiver) and
+  /// active with or without static elision.
+  void set_publish_ranges(std::vector<std::pair<uint32_t, uint32_t>> ranges) {
+    publish_ranges_ = std::move(ranges);
+  }
+
   /// Installs the leak-site prover's elision bitmap (one byte per text
   /// instruction, 1 = no address-tainted byte can reach the output buffer
   /// of the syscall at that PC).  Same lifecycle as set_check_elision:
@@ -341,6 +354,8 @@ class Cpu {
   std::vector<uint8_t> decode_valid_;
   std::vector<uint8_t> elide_bits_;  // per-instruction, from set_check_elision
   std::vector<uint8_t> leak_elide_bits_;  // from set_leak_elision
+  // Annotated may-publish PC ranges, end-exclusive (set_publish_ranges).
+  std::vector<std::pair<uint32_t, uint32_t>> publish_ranges_;
 
   Engine engine_ = Engine::kStep;
   std::unique_ptr<SuperblockEngine> sb_;   // created lazily by set_engine

@@ -128,6 +128,49 @@ void TaintedMemory::forget_base() {
   dirty_.clear();
 }
 
+std::vector<std::pair<uint32_t, std::shared_ptr<TaintedMemory::Page>>>
+TaintedMemory::page_blocks() const {
+  std::vector<std::pair<uint32_t, std::shared_ptr<Page>>> out;
+  out.reserve(pages_.size());
+  for (const auto& [idx, page] : pages_) out.emplace_back(idx, page);
+  return out;
+}
+
+void TaintedMemory::replace_page_block(uint32_t idx,
+                                       std::shared_ptr<Page> block) {
+  auto it = pages_.find(idx);
+  if (it == pages_.end()) return;
+  it->second = std::move(block);
+  // The old block may be what the memos point at.
+  memo_index_ = kNoPage;
+  memo_page_ = nullptr;
+  wmemo_index_ = kNoPage;
+  wmemo_page_ = nullptr;
+}
+
+void TaintedMemory::adopt_page_blocks(
+    std::vector<std::pair<uint32_t, std::shared_ptr<Page>>> blocks) {
+  pages_.clear();
+  pages_.reserve(blocks.size());
+  tainted_total_ = 0;
+  addr_total_ = 0;
+  tainted_pages_ = 0;
+  for (auto& [idx, page] : blocks) {
+    tainted_total_ += page->tainted_bytes;
+    addr_total_ += page->addr_bytes;
+    if (page->tainted_bytes > 0) ++tainted_pages_;
+    pages_[idx] = std::move(page);
+  }
+  base_id_ = 0;
+  tracking_ = false;
+  dirty_.clear();
+  memo_index_ = kNoPage;
+  memo_page_ = nullptr;
+  wmemo_index_ = kNoPage;
+  wmemo_page_ = nullptr;
+  qstats_ = {};
+}
+
 size_t TaintedMemory::shared_page_count() const {
   size_t n = 0;
   for (const auto& [idx, page] : pages_) {

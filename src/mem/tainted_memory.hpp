@@ -46,6 +46,7 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "mem/taint.hpp"
@@ -56,6 +57,25 @@ class TaintedMemory {
  public:
   static constexpr uint32_t kPageShift = 12;
   static constexpr uint32_t kPageSize = 1u << kPageShift;
+
+  /// One page image: data bytes plus the taint bitmap and the
+  /// address-provenance nibble array, with exact sparse summaries.  Pages
+  /// are immutable ref-counted blocks (see the COW notes above): anyone
+  /// holding a shared_ptr<Page> alongside another owner may read it but
+  /// never write it — mutation only ever happens through page_for(), which
+  /// clones shared blocks first.  Public so the content-addressed snapshot
+  /// store (mem/page_store.hpp, DESIGN.md §13) can hash, compress and
+  /// rebuild page images.
+  struct Page {
+    std::array<uint8_t, kPageSize> data{};
+    std::array<uint8_t, kPageSize / 8> taint{};  // 1 data bit per byte
+    // Address-provenance planes, one nibble per byte (low nibble = even
+    // byte): bit 1 stack, bit 2 heap, bit 3 text — the kByte* layout with
+    // the data bit always clear.
+    std::array<uint8_t, kPageSize / 2> aprov{};
+    uint32_t tainted_bytes = 0;  // exact popcount of `taint`
+    uint32_t addr_bytes = 0;     // bytes with a non-zero aprov nibble
+  };
 
   TaintedMemory();
   /// Copies share every page copy-on-write; behaviour is indistinguishable
@@ -246,6 +266,28 @@ class TaintedMemory {
   /// it last copied from its base; 0 when not tracking a base.
   size_t dirty_page_count() const { return dirty_.size(); }
 
+  // --- content-addressed snapshot store hooks (DESIGN.md §13) -------------
+
+  /// Every mapped (page index, block) pair, in unspecified order.  The
+  /// blocks are the live ref-counted pages; holding them alongside this
+  /// memory pins them shared (so any write through this memory clones
+  /// first — the usual COW contract).
+  std::vector<std::pair<uint32_t, std::shared_ptr<Page>>> page_blocks() const;
+
+  /// Swaps the block at `idx` for `block`, which must hold byte-identical
+  /// content (the store interning a freshly built page for an existing
+  /// canonical duplicate).  Summaries and rollups are untouched — equal
+  /// content means equal summaries; the page memos are reset because they
+  /// may point at the superseded block.
+  void replace_page_block(uint32_t idx, std::shared_ptr<Page> block);
+
+  /// Rebuilds this memory wholesale from (index, block) pairs — snapshot
+  /// rehydration from the store.  Rollups are recomputed from the block
+  /// summaries; memos, delta tracking and dirty state are reset (the next
+  /// restore from this memory is a full one).
+  void adopt_page_blocks(
+      std::vector<std::pair<uint32_t, std::shared_ptr<Page>>> blocks);
+
   /// Pages still shared with another TaintedMemory (ref-count > 1).
   /// O(mapped pages) — reporting only, not for hot paths.
   size_t shared_page_count() const;
@@ -290,17 +332,6 @@ class TaintedMemory {
   JitLayout jit_layout() const;
 
  private:
-  struct Page {
-    std::array<uint8_t, kPageSize> data{};
-    std::array<uint8_t, kPageSize / 8> taint{};  // 1 data bit per byte
-    // Address-provenance planes, one nibble per byte (low nibble = even
-    // byte): bit 1 stack, bit 2 heap, bit 3 text — the kByte* layout with
-    // the data bit always clear.
-    std::array<uint8_t, kPageSize / 2> aprov{};
-    uint32_t tainted_bytes = 0;  // exact popcount of `taint`
-    uint32_t addr_bytes = 0;     // bytes with a non-zero aprov nibble
-  };
-
   /// Plane nibble of one byte: data bit from the bitmap + aprov nibble.
   static uint8_t gather_planes1(const Page& p, uint32_t off) {
     uint8_t planes = 0;

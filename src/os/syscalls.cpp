@@ -202,4 +202,45 @@ void SimOs::syscall(cpu::Cpu& cpu) {
   }
 }
 
+
+SimOs::Persist SimOs::persist() const {
+  Persist p;
+  p.vfs = vfs_.persist();
+  p.net = net_.persist();
+  p.fds.reserve(fds_.size());
+  for (const Fd& fd : fds_) {
+    p.fds.emplace_back(static_cast<uint8_t>(fd.kind),
+                       static_cast<int32_t>(fd.handle));
+  }
+  p.stdin_data = stdin_data_;
+  p.stdin_pos = stdin_pos_;
+  p.stdout_text = stdout_;
+  p.stderr_text = stderr_;
+  p.exec_log = exec_log_;
+  p.taint_inputs = taint_inputs_;
+  p.brk = brk_;
+  p.uid = uid_;
+  p.stats = stats_;
+  return p;
+}
+
+void SimOs::restore_persist(const Persist& p) {
+  vfs_.restore_persist(p.vfs);
+  net_.restore_persist(p.net);
+  fds_.clear();
+  fds_.reserve(p.fds.size());
+  for (const auto& [kind, handle] : p.fds) {
+    fds_.push_back({static_cast<Fd::Kind>(kind), static_cast<int>(handle)});
+  }
+  stdin_data_ = p.stdin_data;
+  stdin_pos_ = static_cast<size_t>(p.stdin_pos);
+  stdout_ = p.stdout_text;
+  stderr_ = p.stderr_text;
+  exec_log_ = p.exec_log;
+  taint_inputs_ = p.taint_inputs;
+  brk_ = p.brk;
+  uid_ = p.uid;
+  stats_ = p.stats;
+}
+
 }  // namespace ptaint::os

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cpu/cpu.hpp"
@@ -76,6 +77,27 @@ class SimOs : public cpu::Os {
 
   // cpu::Os
   void syscall(cpu::Cpu& cpu) override;
+
+  /// Plain-data image of the whole OS state for snapshot serialization
+  /// (core/snapshot_io.cpp, DESIGN.md §13).  Everything a syscall can
+  /// observe or mutate is covered, so a restored SimOs continues
+  /// byte-identically.
+  struct Persist {
+    Vfs::Persist vfs;
+    VirtualNetwork::Persist net;
+    std::vector<std::pair<uint8_t, int32_t>> fds;  // Fd kind + handle
+    std::vector<uint8_t> stdin_data;
+    uint64_t stdin_pos = 0;
+    std::string stdout_text;
+    std::string stderr_text;
+    std::vector<std::string> exec_log;
+    bool taint_inputs = true;
+    uint32_t brk = 0;
+    uint32_t uid = 1000;
+    OsStats stats;
+  };
+  Persist persist() const;
+  void restore_persist(const Persist& p);
 
  private:
   struct Fd {

@@ -61,4 +61,24 @@ void Vfs::close(int handle) {
   }
 }
 
+Vfs::Persist Vfs::persist() const {
+  Persist p;
+  p.files = files_;
+  p.open_files.reserve(open_files_.size());
+  for (const OpenFile& f : open_files_) {
+    p.open_files.push_back({f.path, f.pos, f.writable, f.open});
+  }
+  return p;
+}
+
+void Vfs::restore_persist(const Persist& p) {
+  files_ = p.files;
+  open_files_.clear();
+  open_files_.reserve(p.open_files.size());
+  for (const Persist::OpenFile& f : p.open_files) {
+    open_files_.push_back(
+        {f.path, static_cast<size_t>(f.pos), f.writable, f.open});
+  }
+}
+
 }  // namespace ptaint::os

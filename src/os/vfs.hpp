@@ -33,6 +33,22 @@ class Vfs {
   bool write(int handle, std::span<const uint8_t> data);
   void close(int handle);
 
+  /// Plain-data image of the whole VFS for snapshot serialization
+  /// (core/snapshot_io.cpp, DESIGN.md §13): the file map plus the open-file
+  /// table with its handle order preserved.
+  struct Persist {
+    struct OpenFile {
+      std::string path;
+      uint64_t pos = 0;
+      bool writable = false;
+      bool open = false;
+    };
+    std::map<std::string, std::vector<uint8_t>> files;
+    std::vector<OpenFile> open_files;
+  };
+  Persist persist() const;
+  void restore_persist(const Persist& p);
+
  private:
   struct OpenFile {
     std::string path;

@@ -43,4 +43,29 @@ const std::string& VirtualNetwork::transcript(size_t index) const {
   return sessions_.at(index).session.transcript;
 }
 
+VirtualNetwork::Persist VirtualNetwork::persist() const {
+  Persist p;
+  p.sessions.reserve(sessions_.size());
+  for (const Live& live : sessions_) {
+    p.sessions.push_back({live.session.requests, live.session.transcript,
+                          live.next_chunk, live.accepted});
+  }
+  p.next_accept = next_accept_;
+  return p;
+}
+
+void VirtualNetwork::restore_persist(const Persist& p) {
+  sessions_.clear();
+  sessions_.reserve(p.sessions.size());
+  for (const Persist::Session& s : p.sessions) {
+    Live live;
+    live.session.requests = s.requests;
+    live.session.transcript = s.transcript;
+    live.next_chunk = static_cast<size_t>(s.next_chunk);
+    live.accepted = s.accepted;
+    sessions_.push_back(std::move(live));
+  }
+  next_accept_ = static_cast<size_t>(p.next_accept);
+}
+
 }  // namespace ptaint::os

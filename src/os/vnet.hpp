@@ -45,6 +45,22 @@ class VirtualNetwork {
   const std::string& transcript(size_t index) const;
   size_t session_count() const { return sessions_.size(); }
 
+  /// Plain-data image for snapshot serialization (core/snapshot_io.cpp,
+  /// DESIGN.md §13): every session with its delivery cursor, plus the
+  /// accept cursor.
+  struct Persist {
+    struct Session {
+      std::vector<std::vector<uint8_t>> requests;
+      std::string transcript;
+      uint64_t next_chunk = 0;
+      bool accepted = false;
+    };
+    std::vector<Session> sessions;
+    uint64_t next_accept = 0;
+  };
+  Persist persist() const;
+  void restore_persist(const Persist& p);
+
  private:
   struct Live {
     ClientSession session;

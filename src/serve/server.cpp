@@ -67,9 +67,22 @@ std::string verdict_line(uint64_t id, const std::string& row) {
          ", \"result\": " + row + "}";
 }
 
+/// Config flags layered over the environment: either source attaches the
+/// store, an explicit --snapshot-dir wins over PTAINT_SNAPSHOT_DIR.
+campaign::StoreOptions resolve_store(const ServeDaemon::Config& config) {
+  campaign::StoreOptions opts = campaign::StoreOptions::from_env();
+  if (config.snapshot_store) opts.enabled = true;
+  if (!config.snapshot_dir.empty()) {
+    opts.enabled = true;
+    opts.disk_dir = config.snapshot_dir;
+  }
+  return opts;
+}
+
 }  // namespace
 
-ServeDaemon::ServeDaemon(Config config) : config_(std::move(config)) {}
+ServeDaemon::ServeDaemon(Config config)
+    : config_(std::move(config)), cache_(resolve_store(config_)) {}
 
 ServeDaemon::~ServeDaemon() {
   if (running_.load()) stop();
@@ -162,6 +175,9 @@ void ServeDaemon::wait() {
     listen_fd_ = -1;
     ::unlink(config_.socket_path.c_str());
   }
+  // Make every queued page/blob durable before the process exits, so a
+  // restarted daemon's disk scan sees the full warm set.
+  cache_.flush_disk();
 }
 
 ServeDaemon::Stats ServeDaemon::stats() const {
@@ -502,11 +518,37 @@ std::string ServeDaemon::status_json() {
      << fork_counters_.machine_reuses.load(std::memory_order_relaxed)
      << ", \"snapshot_cache\": {\"builds\": " << cs.builds
      << ", \"hits\": " << cs.hits << ", \"misses\": " << cs.misses
-     << ", \"build_ms\": ";
-  char ms[32];
-  std::snprintf(ms, sizeof ms, "%.3f", cs.build_ms);
-  ss << ms << ", \"snapshot_pages\": " << cs.snapshot_pages
-     << ", \"shared_pages\": " << cs.shared_pages << "}"
+     << ", \"hit_rate\": ";
+  char buf[32];
+  const uint64_t requests = cs.hits + cs.misses;
+  std::snprintf(buf, sizeof buf, "%.4f",
+                requests ? static_cast<double>(cs.hits) / requests : 0.0);
+  ss << buf << ", \"build_ms\": ";
+  std::snprintf(buf, sizeof buf, "%.3f", cs.build_ms);
+  ss << buf << ", \"snapshot_pages\": " << cs.snapshot_pages
+     << ", \"shared_pages\": " << cs.shared_pages
+     << ", \"dehydrations\": " << cs.dehydrations
+     << ", \"rehydrations\": " << cs.rehydrations
+     << ", \"disk_rehydrations\": " << cs.disk_rehydrations
+     << ", \"stored_snapshots\": " << cs.stored_snapshots
+     << ", \"hydrated_snapshots\": " << cs.hydrated_snapshots
+     << ", \"store_enabled\": " << (cs.store_enabled ? "true" : "false");
+  if (cs.store_enabled) {
+    const mem::PageStore::Stats& ps = cs.store;
+    ss << ", \"store\": {\"canonical_pages\": " << ps.canonical_pages
+       << ", \"interned_refs\": " << ps.interned_refs
+       << ", \"dedup_hits\": " << ps.dedup_hits
+       << ", \"hot_pages\": " << ps.hot_pages
+       << ", \"compressed_pages\": " << ps.compressed_pages
+       << ", \"disk_pages\": " << ps.disk_pages
+       << ", \"uncompressed_bytes\": " << ps.uncompressed_bytes
+       << ", \"compressed_bytes\": " << ps.compressed_bytes
+       << ", \"evictions\": " << ps.evictions
+       << ", \"decompressions\": " << ps.decompressions
+       << ", \"disk_reads\": " << ps.disk_reads
+       << ", \"disk_writes\": " << ps.disk_writes << "}";
+  }
+  ss << "}"
      << ", \"tenants\": {";
   bool first = true;
   for (const auto& [tenant, c] : qs.tenants) {

@@ -53,6 +53,13 @@ class ServeDaemon {
     int spec_scale = 1;                   // SPEC surrogate input scale
     uint64_t default_timeout_ms = 60'000; // per-job deadline when unset
     bool quiet = true;                    // no stderr chatter
+    /// Content-addressed snapshot store (DESIGN.md §13).  snapshot_store
+    /// attaches a memory-only store; snapshot_dir additionally persists
+    /// pages + snapshot blobs so a restarted daemon rehydrates warm state
+    /// instead of rebuilding.  Either also resolves from the environment
+    /// (PTAINT_SNAPSHOT_STORE / PTAINT_SNAPSHOT_DIR).
+    bool snapshot_store = false;
+    std::string snapshot_dir;
   };
 
   struct Stats {

@@ -5,6 +5,8 @@
 // matching benign workloads must run clean (no false positives).
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "core/attack.hpp"
 #include "guest/apps/apps.hpp"
 #include "guest/runtime.hpp"
@@ -422,6 +424,73 @@ TEST(LeakScenarios2, FormattedHexDigitsStillCarryTheStackPlane) {
   EXPECT_NE(r.report.alert->region.find("stack-addr"), std::string::npos)
       << r.report.alert->region;
   EXPECT_EQ(r.report.alert_function, "__pf_putc");
+}
+
+TEST(MayPublish, AnnotatedPublisherSuppressesTheLeakAlert) {
+  // Reference: the PEEK reply ships &reqbuf over the wire and the leak
+  // check fires inside `send`.
+  {
+    MachineConfig cfg;
+    cfg.policy = leak_policy();
+    Machine m(cfg);
+    m.load_sources(guest::link_with_runtime(guest::apps::leak_telemetry()));
+    m.os().net().add_session({"PEEK", "QUIT"});
+    auto rep = m.run();
+    ASSERT_TRUE(rep.detected());
+    ASSERT_EQ(rep.alert_function, "send");
+  }
+  // §5.3 waiver: declaring `send` a legitimate pointer publisher silences
+  // exactly that site; the run completes like an unprotected one.
+  {
+    MachineConfig cfg;
+    cfg.policy = leak_policy();
+    cfg.may_publish = {"send"};
+    Machine m(cfg);
+    m.load_sources(guest::link_with_runtime(guest::apps::leak_telemetry()));
+    m.os().net().add_session({"PEEK", "QUIT"});
+    auto rep = m.run();
+    EXPECT_FALSE(rep.detected()) << rep.alert_line();
+    EXPECT_TRUE(rep.exited_cleanly()) << rep.fault;
+  }
+}
+
+TEST(MayPublish, WaiverIsScopedToTheAnnotatedFunction) {
+  // Waiving an unrelated function must not mask the disclosure in send.
+  MachineConfig cfg;
+  cfg.policy = leak_policy();
+  cfg.may_publish = {"main"};
+  Machine m(cfg);
+  m.load_sources(guest::link_with_runtime(guest::apps::leak_telemetry()));
+  m.os().net().add_session({"PEEK", "QUIT"});
+  auto rep = m.run();
+  ASSERT_TRUE(rep.detected());
+  EXPECT_EQ(rep.alert_function, "send");
+}
+
+TEST(MayPublish, UnknownFunctionThrowsOnLoad) {
+  MachineConfig cfg;
+  cfg.may_publish = {"no_such_function"};
+  Machine m(cfg);
+  EXPECT_THROW(
+      m.load_sources(guest::link_with_runtime(guest::apps::leak_telemetry())),
+      std::out_of_range);
+}
+
+TEST(MayPublish, WaiverSurvivesSnapshotRestore) {
+  MachineConfig cfg;
+  cfg.policy = leak_policy();
+  cfg.may_publish = {"send"};
+  Machine m(cfg);
+  m.load_sources(guest::link_with_runtime(guest::apps::leak_telemetry()));
+  m.os().net().add_session({"PEEK", "QUIT"});
+  MachineSnapshot snap = m.snapshot();
+  ASSERT_FALSE(m.run().detected());
+
+  Machine fork(cfg);  // same config: the waiver re-resolves on restore
+  fork.restore(snap);
+  auto rep = fork.run();
+  EXPECT_FALSE(rep.detected()) << rep.alert_line();
+  EXPECT_TRUE(rep.exited_cleanly());
 }
 
 TEST(LeakScenarios2, BenignSessionsRunCleanUnderLeakDetection) {

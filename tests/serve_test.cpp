@@ -537,6 +537,33 @@ TEST_F(ServeDaemonTest, StatusExposesQueueAndSnapshotCacheCounters) {
   EXPECT_GE(cache->get_u64("hits"), 1u);
 }
 
+TEST_F(ServeDaemonTest, StatusExposesStoreCountersWhenStoreBacked) {
+  config_.snapshot_store = true;  // memory-only store, no disk tier
+  boot();
+  Client client(config_.socket_path);
+  client.send_line(
+      "{\"cmd\": \"submit\", \"stream\": true, \"jobs\": ["
+      "{\"app\": \"attack\", \"payload\": \"exp1-stack-smash\"}, "
+      "{\"app\": \"attack\", \"payload\": \"exp1-stack-smash\"}]}");
+  ASSERT_TRUE(client.read_line().has_value());  // accepted
+  ASSERT_TRUE(client.read_line().has_value());  // two verdicts
+  ASSERT_TRUE(client.read_line().has_value());
+
+  const std::string status = client.request("{\"cmd\": \"status\"}");
+  const JsonValue v = JsonValue::parse(status);
+  const JsonValue* cache = v.get("snapshot_cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_NE(status.find("\"store_enabled\": true"), std::string::npos);
+  EXPECT_NE(status.find("\"hit_rate\": "), std::string::npos);
+  // The built snapshot was dehydrated into the store on build.
+  EXPECT_GE(cache->get_u64("stored_snapshots"), 1u);
+  const JsonValue* store = cache->get("store");
+  ASSERT_NE(store, nullptr) << "store-backed status must nest store stats";
+  EXPECT_GT(store->get_u64("canonical_pages"), 0u);
+  EXPECT_GE(store->get_u64("interned_refs"),
+            store->get_u64("canonical_pages"));
+}
+
 TEST_F(ServeDaemonTest, GuestSessionJobRunsCustomApp) {
   boot();
   Client client(config_.socket_path);

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -360,6 +361,64 @@ TEST(GoldenWitness, Exp3FormatVfprintfBothEngines) {
                         "sw $21,0($3)");
   expect_golden_witness(core::AttackId::kExp3Format, "superblock", "vfprintf",
                         "sw $21,0($3)");
+}
+
+// ---- may-publish annotations (leak direction, §5.3 escape hatch) -----------
+
+TEST(MayPublishProver, AnnotatedSitesAreExplainedNotPossible) {
+  const asmgen::Program p = asmgen::assemble(
+      guest::link_with_runtime(guest::apps::leak_telemetry()));
+  const Cfg cfg(p);
+  cpu::TaintPolicy policy;
+  policy.leak_detection = true;
+
+  VsaOptions plain;
+  plain.witnesses = true;
+  const VsaAnalysis before = analyze_vsa(cfg, policy, plain);
+  ASSERT_GT(before.leak_possible, 0u)
+      << "the telemetry app's send must be a possible leak site";
+  EXPECT_EQ(before.leak_annotated, 0u);
+
+  VsaOptions annotated = plain;
+  annotated.may_publish = resolve_publish_ranges(p, {"send"}, true);
+  const VsaAnalysis after = analyze_vsa(cfg, policy, annotated);
+  EXPECT_GT(after.leak_annotated, 0u);
+  EXPECT_LT(after.leak_possible, before.leak_possible)
+      << "annotated sites leave the possible-leak bucket";
+  // The waiver is not a proof: annotated sites never join the leak-check
+  // elision bitmap (identical bitmaps with and without the annotation).
+  EXPECT_EQ(after.leak_elision, before.leak_elision);
+  EXPECT_EQ(after.leak_clean, before.leak_clean);
+  // Annotated sites carry no witness (nothing to explain to the user).
+  for (const Witness& w : after.leak_witnesses) {
+    const LeakSite* site = after.leak_site_at(w.site_pc);
+    ASSERT_NE(site, nullptr);
+    EXPECT_FALSE(site->annotated);
+  }
+}
+
+TEST(MayPublishProver, Gen2ElisionCarriesAnnotationCounts) {
+  const asmgen::Program p = asmgen::assemble(
+      guest::link_with_runtime(guest::apps::leak_telemetry()));
+  const Cfg cfg(p);
+  cpu::TaintPolicy policy;
+  policy.leak_detection = true;
+  VsaOptions options;
+  options.may_publish = resolve_publish_ranges(p, {"send"}, true);
+  const Gen2Elision gen2 = gen2_elision(Cfg(p), policy, options);
+  EXPECT_GT(gen2.leak_annotated, 0u);
+}
+
+TEST(MayPublishProver, ResolveRangesMirrorsProtectSymbolContract) {
+  const asmgen::Program p = asmgen::assemble(
+      guest::link_with_runtime(guest::apps::leak_telemetry()));
+  const auto ranges = resolve_publish_ranges(p, {"send"}, true);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_LT(ranges[0].first, ranges[0].second);
+  EXPECT_THROW(resolve_publish_ranges(p, {"no_such_fn"}, true),
+               std::out_of_range);
+  // Non-strict (the restore path) skips unknown names instead.
+  EXPECT_TRUE(resolve_publish_ranges(p, {"no_such_fn"}, false).empty());
 }
 
 }  // namespace

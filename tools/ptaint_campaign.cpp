@@ -242,14 +242,40 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(s.machine_builds),
                  static_cast<unsigned long long>(s.machine_reuses));
     const SnapshotCache::Stats cs = cache.stats();
+    const unsigned long long requests = cs.hits + cs.misses;
     std::fprintf(stderr,
                  "time: snapshot cache %llu built (%.1fms) %llu hits "
-                 "%llu misses, %llu pages mapped, %llu shared\n",
+                 "%llu misses (%.1f%% hit rate), %llu pages mapped, "
+                 "%llu shared\n",
                  static_cast<unsigned long long>(cs.builds), cs.build_ms,
                  static_cast<unsigned long long>(cs.hits),
                  static_cast<unsigned long long>(cs.misses),
+                 requests ? 100.0 * static_cast<double>(cs.hits) /
+                                static_cast<double>(requests)
+                          : 0.0,
                  static_cast<unsigned long long>(cs.snapshot_pages),
                  static_cast<unsigned long long>(cs.shared_pages));
+    if (cs.store_enabled) {
+      const ptaint::mem::PageStore::Stats& ps = cs.store;
+      std::fprintf(
+          stderr,
+          "time: snapshot store %llu canonical pages for %llu refs "
+          "(%.2fx dedup), %llu hot %llu compressed (%.2fx) %llu on disk, "
+          "%llu rehydrations (%.1fms, %llu from disk)\n",
+          static_cast<unsigned long long>(ps.canonical_pages),
+          static_cast<unsigned long long>(ps.interned_refs),
+          ps.canonical_pages ? static_cast<double>(ps.interned_refs) /
+                                   static_cast<double>(ps.canonical_pages)
+                             : 0.0,
+          static_cast<unsigned long long>(ps.hot_pages),
+          static_cast<unsigned long long>(ps.compressed_pages),
+          ps.compressed_bytes ? static_cast<double>(ps.uncompressed_bytes) /
+                                    static_cast<double>(ps.compressed_bytes)
+                              : 0.0,
+          static_cast<unsigned long long>(ps.disk_pages),
+          static_cast<unsigned long long>(cs.rehydrations), cs.hydrate_ms,
+          static_cast<unsigned long long>(cs.disk_rehydrations));
+    }
   }
   return exit_code_for(results);
 }

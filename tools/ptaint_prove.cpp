@@ -157,6 +157,7 @@ int main(int argc, char** argv) {
   bool quiet = false;
   bool witnesses = true;
   bool leaks = false;
+  std::vector<std::string> may_publish;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -173,6 +174,9 @@ usage: ptaint-prove [options] program.s [more.s ...]
   --leaks               report the address-leak direction: kernel-output
                         sites proven clean vs. possibly leaking, with leak
                         witnesses (address introduction -> output buffer)
+  --may-publish FUNC    annotate FUNC (repeatable) as a legitimate pointer
+                        publisher: its output sites count as explained,
+                        not leaking (mirrors MachineConfig::may_publish)
   --json                emit the report as JSON (schema: docs/ANALYSIS.md)
   --no-witnesses        verdicts and elision stats only (faster)
   --no-compare-untaint  analyze under the ablated compare rule
@@ -193,6 +197,8 @@ exit codes: 0 all witnesses source-rooted, 1 unexplained witnesses,
       with_runtime = false;
     } else if (arg == "--leaks") {
       leaks = true;
+    } else if (arg == "--may-publish") {
+      may_publish.push_back(value());
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--no-witnesses") {
@@ -227,6 +233,13 @@ exit codes: 0 all witnesses source-rooted, 1 unexplained witnesses,
   const analysis::TaintAnalysis g1 = analysis::analyze_taint(cfg, policy);
   analysis::VsaOptions opts;
   opts.witnesses = witnesses;
+  try {
+    opts.may_publish =
+        analysis::resolve_publish_ranges(program, may_publish, true);
+  } catch (const std::out_of_range& e) {
+    std::cerr << "ptaint-prove: " << e.what() << "\n";
+    return 4;
+  }
   const analysis::VsaAnalysis g2 = analysis::analyze_vsa(cfg, policy, opts);
 
   Stats st;
@@ -263,19 +276,21 @@ exit codes: 0 all witnesses source-rooted, 1 unexplained witnesses,
       std::printf("  \"output_sites\": %zu,\n", g2.output_sites);
       std::printf("  \"leak_clean\": %zu,\n", g2.leak_clean);
       std::printf("  \"leak_possible\": %zu,\n", g2.leak_possible);
+      std::printf("  \"leak_annotated\": %zu,\n", g2.leak_annotated);
       std::printf("  \"unexplained\": %zu,\n", leak_unexplained);
       std::printf("  \"witnesses\": [");
       print_witnesses_json(cfg, g2.leak_witnesses);
       std::printf("\n}\n");
     } else if (!quiet) {
       std::printf("%zu kernel-output site(s): %zu leak check(s) elided "
-                  "(%.1f%%), %zu may leak an address\n",
+                  "(%.1f%%), %zu may leak an address, %zu annotated "
+                  "may-publish\n",
                   g2.output_sites, g2.leak_clean,
                   g2.output_sites
                       ? 100.0 * static_cast<double>(g2.leak_clean) /
                             static_cast<double>(g2.output_sites)
                       : 0.0,
-                  g2.leak_possible);
+                  g2.leak_possible, g2.leak_annotated);
       std::printf("%s", g2.leak_report(cfg).c_str());
       if (witnesses) {
         print_witnesses_text(cfg, g2.leak_witnesses);

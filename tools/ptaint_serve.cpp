@@ -16,6 +16,10 @@
 //   --spec-scale N     SPEC surrogate input scale for matrix cells
 //   --timeout-ms N     default per-job deadline (default 60000)
 //   --slice N          instructions per deadline-check slice
+//   --snapshot-store   content-addressed snapshot store (DESIGN.md §13):
+//                      snapshot pages deduped/compressed across keys
+//   --snapshot-dir D   snapshot store with a disk tier in directory D; a
+//                      restarted daemon rehydrates warm snapshots from it
 //   --verbose          startup/shutdown chatter on stderr
 //
 // Exit codes: 0 clean shutdown (signal or protocol `shutdown`), 1 startup
@@ -44,6 +48,10 @@ namespace {
                "  --spec-scale N  SPEC surrogate input scale\n"
                "  --timeout-ms N  default per-job deadline (default 60000)\n"
                "  --slice N       instructions per deadline-check slice\n"
+               "  --snapshot-store   content-addressed snapshot store "
+               "(memory only)\n"
+               "  --snapshot-dir D   store with disk tier: a restarted "
+               "daemon rehydrates warm snapshots from D\n"
                "  --verbose       startup/shutdown chatter on stderr\n";
   std::exit(4);
 }
@@ -78,6 +86,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--slice") {
       config.slice_instructions = std::strtoull(value().c_str(), nullptr, 0);
       if (config.slice_instructions == 0) usage();
+    } else if (arg == "--snapshot-store") {
+      config.snapshot_store = true;
+    } else if (arg == "--snapshot-dir") {
+      config.snapshot_dir = value();
     } else if (arg == "--verbose") {
       config.quiet = false;
     } else {
