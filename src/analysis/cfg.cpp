@@ -80,6 +80,7 @@ void Cfg::build_blocks() {
     entries.emplace_back(program_->entry, "<entry>");
   }
   std::sort(entries.begin(), entries.end());
+  functions_.reserve(entries.size());
   for (size_t i = 0; i < entries.size(); ++i) {
     Function f;
     f.entry = entries[i].first;
@@ -89,12 +90,25 @@ void Cfg::build_blocks() {
     functions_.push_back(std::move(f));
   }
 
+  // Every terminator marks the following instruction as a leader, so the
+  // block count is exactly the leader count.
+  blocks_.reserve(static_cast<size_t>(
+      std::count(leader_.begin(), leader_.end(), true)));
   block_of_.assign(insts_.size(), -1);
+  // Blocks are built in ascending address order and functions_ is sorted by
+  // entry, so a running index replaces the per-block binary search.
+  size_t fi = 0;
   size_t i = 0;
   while (i < insts_.size()) {
     BasicBlock bb;
     bb.begin = text_begin_ + 4 * static_cast<uint32_t>(i);
-    bb.function = function_at(bb.begin);
+    while (fi + 1 < functions_.size() && functions_[fi + 1].entry <= bb.begin) {
+      ++fi;
+    }
+    bb.function = (fi < functions_.size() &&
+                   functions_[fi].entry <= bb.begin && bb.begin < functions_[fi].end)
+                      ? static_cast<int>(fi)
+                      : -1;
     size_t j = i;
     for (;;) {
       block_of_[j] = static_cast<int>(blocks_.size());

@@ -243,6 +243,34 @@ void lint_clobbered_callee_saved(const Cfg& cfg,
   }
 }
 
+/// Info-level: sites where the recovered CFG falls back to conservative
+/// fanout — `jr $other` targets every labeled block, `jalr` calls every
+/// known function.  These are exactly the spots where function summaries
+/// and elision precision degrade (the VSA smashes the abstract state), so
+/// the sweep surfaces them for annotation or rewriting.
+void lint_analysis_opaque(const Cfg& cfg, std::vector<LintFinding>& out) {
+  char msg[128];
+  for (const BasicBlock& bb : cfg.blocks()) {
+    const uint32_t last_pc = bb.end - 4;
+    const Instruction& last = cfg.inst_at(last_pc);
+    if (bb.indirect_jump) {
+      std::snprintf(msg, sizeof msg,
+                    "computed jump: fanout assumed over all %zu labeled "
+                    "blocks",
+                    bb.succs.size());
+    } else if (last.op == Op::kJalr) {
+      std::snprintf(msg, sizeof msg,
+                    "indirect call: summaries smashed, fanout over all %zu "
+                    "function entries",
+                    bb.call_succs.size());
+    } else {
+      continue;
+    }
+    out.push_back({LintKind::kAnalysisOpaque, last_pc,
+                   func_name(cfg, bb.function), msg});
+  }
+}
+
 }  // namespace
 
 const char* to_string(LintKind kind) {
@@ -251,8 +279,13 @@ const char* to_string(LintKind kind) {
     case LintKind::kUnreachableBlock: return "unreachable-block";
     case LintKind::kStackImbalance: return "stack-imbalance";
     case LintKind::kClobberedCalleeSaved: return "clobbered-callee-saved";
+    case LintKind::kAnalysisOpaque: return "analysis-opaque";
   }
   return "?";
+}
+
+bool lint_is_info(LintKind kind) {
+  return kind == LintKind::kAnalysisOpaque;
 }
 
 std::vector<LintFinding> run_lints(const Cfg& cfg) {
@@ -261,6 +294,7 @@ std::vector<LintFinding> run_lints(const Cfg& cfg) {
   lint_unreachable(cfg, findings);
   lint_stack_imbalance(cfg, findings);
   lint_clobbered_callee_saved(cfg, findings);
+  lint_analysis_opaque(cfg, findings);
   std::sort(findings.begin(), findings.end(),
             [](const LintFinding& a, const LintFinding& b) {
               if (a.pc != b.pc) return a.pc < b.pc;

@@ -10,6 +10,11 @@
 //                           `jr $ra` (constant-delta tracking)
 //   * clobbered-callee-saved — an s-register or $fp written inside a
 //                           returning function that never spills it
+//   * analysis-opaque     — info-level: a computed jump or indirect call
+//                           the recovered CFG can only over-approximate
+//                           (fanout to every labeled block / every function
+//                           entry), i.e. where static summary precision
+//                           degrades.  Informational: never fails the lint.
 #pragma once
 
 #include <cstdint>
@@ -25,9 +30,14 @@ enum class LintKind {
   kUnreachableBlock,
   kStackImbalance,
   kClobberedCalleeSaved,
+  kAnalysisOpaque,
 };
 
 const char* to_string(LintKind kind);
+
+/// Info-level findings are advisory (they flag analysis precision cliffs,
+/// not program bugs) and do not count toward ptaint-lint's exit status.
+bool lint_is_info(LintKind kind);
 
 struct LintFinding {
   LintKind kind;

@@ -19,14 +19,20 @@ StackHeights compute_stack_heights(const Cfg& cfg) {
   };
   constexpr Delta kUnknown{};
   const auto& blocks = cfg.blocks();
-  StackHeights heights;
+  StackHeights heights(cfg.instructions().size());
 
+  // One in-state vector reused across functions (blocks belong to at most
+  // one function, and `touched` undoes the previous function's entries).
+  std::vector<std::optional<Delta>> in(blocks.size());
+  std::vector<int> touched;
   for (const Function& f : cfg.functions()) {
-    std::vector<std::optional<Delta>> in(blocks.size());
+    for (int b : touched) in[static_cast<size_t>(b)].reset();
+    touched.clear();
     std::deque<int> worklist;
     const int entry_block = cfg.block_at(f.entry);
     if (entry_block < 0) continue;
     in[static_cast<size_t>(entry_block)] = Delta{true, 0};
+    touched.push_back(entry_block);
     worklist.push_back(entry_block);
 
     while (!worklist.empty()) {
@@ -61,6 +67,7 @@ StackHeights compute_stack_heights(const Cfg& cfg) {
         auto us = static_cast<size_t>(succ);
         const Delta next =
             !in[us].has_value() ? d : (*in[us] == d ? d : kUnknown);
+        if (!in[us].has_value()) touched.push_back(succ);
         if (!in[us].has_value() || next != *in[us]) {
           // A conflicting join invalidates heights already recorded from the
           // earlier visit; the revisit below overwrites per-PC entries, and

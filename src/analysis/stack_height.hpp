@@ -9,31 +9,50 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
+#include <vector>
 
 #include "analysis/cfg.hpp"
+#include "isa/isa.hpp"
 
 namespace ptaint::analysis {
 
 class StackHeights {
  public:
+  StackHeights() = default;
+  /// Sized for `text_words` instructions starting at kTextBase.  Dense:
+  /// at()/set() are hot in the value-set analysis (every block entry) and
+  /// the fixpoint here touches every instruction, so an array beats a map.
+  explicit StackHeights(size_t text_words)
+      : known_(text_words, 0), delta_(text_words, 0) {}
+
   /// Delta of $sp (in bytes, relative to function entry) *before* the
   /// instruction at `pc` executes.  nullopt when unknown (non-constant
   /// adjustment, or conflicting deltas at a join).
   std::optional<int32_t> at(uint32_t pc) const {
-    auto it = delta_.find(pc);
-    if (it == delta_.end()) return std::nullopt;
-    return it->second;
+    const size_t i = index(pc);
+    if (i >= known_.size() || known_[i] == 0) return std::nullopt;
+    return delta_[i];
   }
 
-  void set(uint32_t pc, int32_t delta) { delta_[pc] = delta; }
-  void erase(uint32_t pc) { delta_.erase(pc); }
-
-  const std::map<uint32_t, int32_t>& all() const { return delta_; }
+  void set(uint32_t pc, int32_t delta) {
+    const size_t i = index(pc);
+    if (i < known_.size()) {
+      known_[i] = 1;
+      delta_[i] = delta;
+    }
+  }
+  void erase(uint32_t pc) {
+    const size_t i = index(pc);
+    if (i < known_.size()) known_[i] = 0;
+  }
 
  private:
-  std::map<uint32_t, int32_t> delta_;  // pc -> known delta; absent = unknown
+  static size_t index(uint32_t pc) {
+    return static_cast<size_t>(pc - isa::layout::kTextBase) / 4;
+  }
+  std::vector<uint8_t> known_;  // 0 = unknown delta at that instruction
+  std::vector<int32_t> delta_;
 };
 
 /// Runs the per-function constant-$sp-delta fixpoint over every recovered

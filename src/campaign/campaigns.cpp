@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "analysis/cfg.hpp"
+#include "analysis/summary_cache.hpp"
 #include "analysis/taint_analyzer.hpp"
 #include "analysis/vsa.hpp"
 #include "core/attack.hpp"
@@ -671,17 +672,12 @@ StaticCheckReport static_check(const std::string& campaign,
                                int spec_scale) {
   StaticCheckReport out;
 
-  // Program per payload (link-identical across the policy column) and
-  // analyses per payload x policy, both built on first use.  Each cache
-  // entry holds the same pair of results Machine::apply_static_elision
-  // unions into the gen-2 table, so the backward check validates exactly
-  // the bitmap elided runs execute under.
-  struct Statics {
-    analysis::TaintAnalysis g1;
-    analysis::VsaAnalysis g2;
-  };
+  // Program per payload (link-identical across the policy column); the
+  // analyses come from the process-wide summary cache — the same entries
+  // Machine::apply_static_elision unions into the gen-2 table, so the
+  // backward check validates exactly the cached bitmaps elided runs
+  // execute under (and the campaign machines usually left them warm).
   std::map<std::string, asmgen::Program> programs;
-  std::map<std::string, Statics> analyses;
   auto program_for = [&](const JobResult& r) -> const asmgen::Program& {
     auto it = programs.find(r.payload);
     if (it != programs.end()) return it->second;
@@ -721,26 +717,17 @@ StaticCheckReport static_check(const std::string& campaign,
       continue;
     }
     ++out.alerts_checked;
-    const std::string key = r.payload + "|" + r.policy;
-    auto it = analyses.find(key);
-    if (it == analyses.end()) {
-      const std::optional<cpu::TaintPolicy> policy = policy_by_name(r.policy);
-      if (!policy) {
-        throw std::invalid_argument("static_check: unknown policy " +
-                                    r.policy);
-      }
-      const analysis::Cfg cfg(program_for(r));
-      Statics st;
-      st.g1 = analysis::analyze_taint(cfg, *policy);
-      st.g2 = analysis::analyze_vsa(cfg, *policy);
-      it = analyses.emplace(key, std::move(st)).first;
+    const std::optional<cpu::TaintPolicy> policy = policy_by_name(r.policy);
+    if (!policy) {
+      throw std::invalid_argument("static_check: unknown policy " + r.policy);
     }
-    const Statics& st = it->second;
+    const std::shared_ptr<const analysis::CachedAnalysis> st =
+        analysis::SummaryCache::instance().analyze(program_for(r), *policy);
     if (is_leak) {
       // Forward: the aprov layer must hold a may-leak witness for the
       // kernel-output site; backward: the site must not be in the leak
       // elision bitmap (a leak-elided run would skip the check).
-      if (!st.g2.predicts_leak(alert.pc)) {
+      if (!st->g2.predicts_leak(alert.pc)) {
         char line[256];
         std::snprintf(line, sizeof line,
                       "%s / %s / %s: leak alert at %08x (%s) has no prover "
@@ -749,7 +736,7 @@ StaticCheckReport static_check(const std::string& campaign,
                       alert.pc, alert.disasm.c_str());
         out.missed.push_back(line);
       }
-      const analysis::LeakSite* site = st.g2.leak_site_at(alert.pc);
+      const analysis::LeakSite* site = st->g2.leak_site_at(alert.pc);
       if (site && site->reachable && site->may_planes == 0) {
         char line[256];
         std::snprintf(line, sizeof line,
@@ -762,7 +749,7 @@ StaticCheckReport static_check(const std::string& campaign,
       continue;
     }
     // Forward: the prover must hold a may-taint witness for the alert site.
-    if (!st.g2.predicts_alert(alert.pc)) {
+    if (!st->g2.predicts_alert(alert.pc)) {
       char line[256];
       std::snprintf(line, sizeof line,
                     "%s / %s / %s: dynamic alert at %08x (%s) has no "
@@ -776,7 +763,7 @@ StaticCheckReport static_check(const std::string& campaign,
     auto clean = [&](const analysis::DerefSite* s) {
       return s && s->reachable && !may_be_tainted(s->may_taint);
     };
-    if (clean(st.g1.site_at(alert.pc)) || clean(st.g2.site_at(alert.pc))) {
+    if (clean(st->g1.site_at(alert.pc)) || clean(st->g2.site_at(alert.pc))) {
       char line[256];
       std::snprintf(line, sizeof line,
                     "%s / %s / %s: dynamic alert at %08x (%s) sits in the "

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "analysis/summary_cache.hpp"
 #include "analysis/taint_analyzer.hpp"
 #include "analysis/vsa.hpp"
 
@@ -124,23 +125,20 @@ size_t Machine::enable_static_elision() {
 
 size_t Machine::apply_static_elision() {
   if (program_.text.empty()) return 0;
-  const analysis::Cfg cfg(program_);
   // Second-generation table: the register-only analyzer's bitmap unioned
   // with the memory-aware value-set prover's (vsa.cpp), so every gen-1
   // elision survives and sites whose cleanliness transits memory join them.
-  const analysis::Gen2Elision gen2 =
-      analysis::gen2_elision(cfg, config_.policy);
-  cpu_->set_check_elision(gen2.elision);
-  cpu_->set_leak_elision(gen2.leak_elision);
+  // The summary cache memoizes the whole result set per (program, policy),
+  // so rebooting the same guest — or a near-identical campaign variant —
+  // skips CFG recovery and both fixpoints.
+  const std::shared_ptr<const analysis::CachedAnalysis> cached =
+      analysis::SummaryCache::instance().analyze(program_, config_.policy);
+  cpu_->set_check_elision(cached->gen2.elision);
+  cpu_->set_leak_elision(cached->gen2.leak_elision);
   // Hand the recovered block boundaries to the superblock engine so its
   // translations align with the static CFG (translation hint only).
-  std::vector<uint8_t> leaders(program_.text.size(), 0);
-  for (const auto& block : cfg.blocks()) {
-    const size_t i = (block.begin - cfg.text_begin()) / 4;
-    if (i < leaders.size()) leaders[i] = 1;
-  }
-  cpu_->set_block_leaders(leaders);
-  return gen2.gen2_clean;
+  cpu_->set_block_leaders(cached->block_leaders);
+  return cached->gen2.gen2_clean;
 }
 
 uint32_t Machine::aslr_offset() const {

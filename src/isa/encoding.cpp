@@ -1,6 +1,7 @@
 // Binary encoding of PTA-32 instructions, following the classic MIPS-I
 // opcode/funct assignments so that encodings round-trip and tools stay
 // recognisable next to SimpleScalar disassembly.
+#include <array>
 #include <cassert>
 
 #include "isa/isa.hpp"
@@ -95,6 +96,31 @@ constexpr Enc kEncTable[] = {
     {Op::kSh, kOpcSh, 0},                {Op::kSw, kOpcSw, 0},
 };
 
+// decode() runs once per text word on every Cfg construction — a hot path
+// for the incremental analyzer, which rebuilds the Cfg per re-analysis.
+// Direct-indexed tables derived from kEncTable at compile time replace the
+// per-instruction linear scans.
+struct DecodeTables {
+  std::array<Op, 64> special{};  // funct -> Op
+  std::array<Op, 64> primary{};  // opcode -> Op
+  std::array<Op, 32> regimm{};   // rt selector -> Op
+};
+
+constexpr DecodeTables make_decode_tables() {
+  DecodeTables t;
+  for (auto& e : t.special) e = Op::kInvalid;
+  for (auto& e : t.primary) e = Op::kInvalid;
+  for (auto& e : t.regimm) e = Op::kInvalid;
+  for (const Enc& e : kEncTable) {
+    if (e.opcode == kOpcSpecial) t.special[e.funct] = e.op;
+    else if (e.opcode == kOpcRegimm) t.regimm[e.funct] = e.op;
+    else t.primary[e.opcode] = e.op;
+  }
+  return t;
+}
+
+constexpr DecodeTables kDecode = make_decode_tables();
+
 const Enc* find_enc(Op op) {
   for (const auto& e : kEncTable) {
     if (e.op == op) return &e;
@@ -102,28 +128,11 @@ const Enc* find_enc(Op op) {
   return nullptr;
 }
 
-Op special_op(uint32_t funct) {
-  for (const auto& e : kEncTable) {
-    if (e.opcode == kOpcSpecial && e.funct == funct) return e.op;
-  }
-  return Op::kInvalid;
-}
+Op special_op(uint32_t funct) { return kDecode.special[funct & 0x3f]; }
 
-Op regimm_op(uint32_t rt) {
-  for (const auto& e : kEncTable) {
-    if (e.opcode == kOpcRegimm && e.funct == rt) return e.op;
-  }
-  return Op::kInvalid;
-}
+Op regimm_op(uint32_t rt) { return kDecode.regimm[rt & 0x1f]; }
 
-Op primary_op(uint32_t opcode) {
-  for (const auto& e : kEncTable) {
-    if (e.opcode == opcode && opcode != kOpcSpecial && opcode != kOpcRegimm) {
-      return e.op;
-    }
-  }
-  return Op::kInvalid;
-}
+Op primary_op(uint32_t opcode) { return kDecode.primary[opcode & 0x3f]; }
 
 }  // namespace
 

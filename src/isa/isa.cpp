@@ -77,11 +77,22 @@ constexpr OpInfo kOpTable[] = {
     {Op::kJal, "jal", Format::kJ, OpClass::kJump},
 };
 
-const OpInfo* find_info(Op op) {
-  for (const auto& info : kOpTable) {
-    if (info.op == op) return &info;
+// kOpTable is laid out in Op declaration order (kInvalid has no row), so a
+// lookup is a bounds-checked index, not a scan — op_class/op_format sit on
+// the decoder's and every static analyzer's per-instruction hot path.
+constexpr bool table_in_enum_order() {
+  for (size_t i = 0; i < std::size(kOpTable); ++i) {
+    if (kOpTable[i].op != static_cast<Op>(i + 1)) return false;
   }
-  return nullptr;
+  return true;
+}
+static_assert(table_in_enum_order(),
+              "kOpTable rows must stay in Op declaration order");
+
+const OpInfo* find_info(Op op) {
+  const size_t i = static_cast<size_t>(op);
+  if (i == 0 || i > std::size(kOpTable)) return nullptr;
+  return &kOpTable[i - 1];
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "analysis/summary_cache.hpp"
 #include "campaign/campaigns.hpp"
 #include "campaign/report.hpp"
 #include "serve/json.hpp"
@@ -549,6 +550,8 @@ std::string ServeDaemon::status_json() {
        << ", \"disk_writes\": " << ps.disk_writes << "}";
   }
   ss << "}"
+     << ", \"analysis_cache\": "
+     << analysis::SummaryCache::instance().stats().json()
      << ", \"tenants\": {";
   bool first = true;
   for (const auto& [tenant, c] : qs.tenants) {

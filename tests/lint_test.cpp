@@ -201,6 +201,43 @@ TEST(LintClobberedCalleeSaved, DunderHelpersOptOut) {
   EXPECT_FALSE(has(findings, LintKind::kClobberedCalleeSaved));
 }
 
+// ---- analysis-opaque -------------------------------------------------------
+
+TEST(LintAnalysisOpaque, ComputedJumpFires) {
+  // `jr $t0` is not a return: the CFG assumes fanout over every labeled
+  // block, which is exactly where summary precision degrades.
+  const auto findings = lint(std::string(".text\n_start:\n"
+                                         "  la $t0, hop\n"
+                                         "  jr $t0\n"
+                                         "hop:\n") +
+                             kExit);
+  ASSERT_TRUE(has(findings, LintKind::kAnalysisOpaque));
+  const auto it = std::find_if(
+      findings.begin(), findings.end(),
+      [](const LintFinding& f) { return f.kind == LintKind::kAnalysisOpaque; });
+  EXPECT_NE(it->message.find("computed jump"), std::string::npos);
+}
+
+TEST(LintAnalysisOpaque, IndirectCallFires) {
+  const auto findings = lint(std::string(".text\n_start:\n"
+                                         "  la $t0, f\n"
+                                         "  jalr $t0\n") +
+                             kExit + "f:\n  jr $ra\n");
+  ASSERT_TRUE(has(findings, LintKind::kAnalysisOpaque));
+}
+
+TEST(LintAnalysisOpaque, DirectCallsAndReturnsAreClean) {
+  const auto findings = lint(std::string(".text\n_start:\n"
+                                         "  jal f\n") +
+                             kExit + "f:\n  jr $ra\n");
+  EXPECT_FALSE(has(findings, LintKind::kAnalysisOpaque));
+}
+
+TEST(LintAnalysisOpaque, IsInfoLevelNotAnError) {
+  EXPECT_TRUE(lint_is_info(LintKind::kAnalysisOpaque));
+  EXPECT_FALSE(lint_is_info(LintKind::kUseBeforeDef));
+}
+
 // ---- formatting & corpus ---------------------------------------------------
 
 TEST(LintFormat, FindingLineCarriesPcKindAndFunction) {

@@ -49,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/summary_cache.hpp"
 #include "campaign/campaigns.hpp"
 #include "campaign/executor.hpp"
 #include "campaign/report.hpp"
@@ -276,6 +277,18 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(cs.rehydrations), cs.hydrate_ms,
           static_cast<unsigned long long>(cs.disk_rehydrations));
     }
+    const analysis::CacheStats as = analysis::SummaryCache::instance().stats();
+    std::fprintf(stderr,
+                 "time: analysis cache %llu lookups %llu hits %llu warm "
+                 "(%llu fallbacks) %llu cold, %llu fns invalidated, "
+                 "%.1fms analyzing\n",
+                 static_cast<unsigned long long>(as.lookups),
+                 static_cast<unsigned long long>(as.hits),
+                 static_cast<unsigned long long>(as.warm_hits),
+                 static_cast<unsigned long long>(as.warm_fallbacks),
+                 static_cast<unsigned long long>(as.cold_misses),
+                 static_cast<unsigned long long>(as.invalidated_fns),
+                 static_cast<double>(as.analysis_micros) / 1000.0);
   }
   return exit_code_for(results);
 }

@@ -14,12 +14,14 @@
 //   0  no findings
 //   1  lint findings reported
 //   4  usage or assembly error
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -100,8 +102,63 @@ void print_json(const asmgen::Program& program,
 [[noreturn]] void usage() {
   std::cerr << "usage: ptaint-lint [options] program.s [more.s ...]\n"
                "       ptaint-lint --app NAME\n"
+               "       ptaint-lint --all-apps [--jobs N]\n"
                "run ptaint-lint --help for the option list\n";
   std::exit(4);
+}
+
+size_t error_count(const std::vector<analysis::LintFinding>& findings) {
+  size_t n = 0;
+  for (const analysis::LintFinding& f : findings) {
+    if (!analysis::lint_is_info(f.kind)) ++n;
+  }
+  return n;
+}
+
+/// Parallel sweep over every registry app: assemble, recover, lint on
+/// `jobs` threads.  Output is emitted in registry order whatever the
+/// schedule, so the sweep's stdout is deterministic.
+int lint_all_apps(int jobs, bool quiet) {
+  const auto& registry = guest::apps::registry();
+  struct Row {
+    std::string report;
+    size_t findings = 0;
+    size_t info = 0;
+  };
+  std::vector<Row> rows(registry.size());
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const size_t i = next.fetch_add(1);
+      if (i >= registry.size()) return;
+      const asmgen::Program program =
+          asmgen::assemble(guest::link_with_runtime(registry[i].make()));
+      const analysis::Cfg cfg(program);
+      const std::vector<analysis::LintFinding> findings =
+          analysis::run_lints(cfg);
+      rows[i].report = analysis::format_findings(findings);
+      rows[i].findings = error_count(findings);
+      rows[i].info = findings.size() - rows[i].findings;
+    }
+  };
+  const int n = std::max(1, std::min<int>(jobs, static_cast<int>(registry.size())));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(n));
+  for (int t = 0; t < n; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  size_t total = 0;
+  for (size_t i = 0; i < registry.size(); ++i) {
+    total += rows[i].findings;
+    if (!quiet) {
+      std::printf("%s: %zu finding(s), %zu info\n", registry[i].name,
+                  rows[i].findings, rows[i].info);
+      std::fputs(rows[i].report.c_str(), stdout);
+    }
+  }
+  std::fprintf(stderr, "%zu finding(s) across %zu apps\n", total,
+               registry.size());
+  return total == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -114,6 +171,8 @@ int main(int argc, char** argv) {
   bool elision_stats = false;
   bool quiet = false;
   bool json = false;
+  bool all_apps = false;
+  int jobs = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -125,6 +184,9 @@ int main(int argc, char** argv) {
       std::printf("%s", R"(ptaint-lint: static analyzer for PTA-32 assembly
 usage: ptaint-lint [options] program.s [more.s ...]
   --app NAME            lint a built-in guest app (exp1, wu-ftpd, ...)
+  --all-apps            lint every built-in app (the CI sweep in one run)
+  --jobs N              with --all-apps, lint on N threads (deterministic
+                        output order regardless of schedule)
   --list-apps           print the known app names, one per line, and exit
   --no-runtime          do not link the guest runtime
   --taint-report        print statically-possible tainted dereference sites
@@ -138,6 +200,11 @@ exit codes: 0 no findings, 1 findings, 4 usage or assembly error
       return 0;
     } else if (arg == "--app") {
       sources.push_back(app_source(value()));
+    } else if (arg == "--all-apps") {
+      all_apps = true;
+    } else if (arg == "--jobs") {
+      jobs = std::atoi(value().c_str());
+      if (jobs < 1) jobs = 1;
     } else if (arg == "--list-apps") {
       for (const auto& e : guest::apps::registry()) {
         std::printf("%s\n", e.name);
@@ -162,6 +229,7 @@ exit codes: 0 no findings, 1 findings, 4 usage or assembly error
       sources.push_back({arg, read_file(arg)});
     }
   }
+  if (all_apps) return lint_all_apps(jobs, quiet);
   if (sources.empty()) usage();
 
   std::vector<asmgen::Source> units;
@@ -200,11 +268,13 @@ exit codes: 0 no findings, 1 findings, 4 usage or assembly error
       }
     }
   }
+  const size_t errors = error_count(findings);
   if (!json) {
     std::fprintf(stderr,
-                 "%zu finding(s) in %zu instructions, %zu functions\n",
-                 findings.size(), cfg.instructions().size(),
+                 "%zu finding(s) (%zu info) in %zu instructions, "
+                 "%zu functions\n",
+                 errors, findings.size() - errors, cfg.instructions().size(),
                  cfg.functions().size());
   }
-  return findings.empty() ? 0 : 1;
+  return errors == 0 ? 0 : 1;
 }

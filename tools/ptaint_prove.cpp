@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "analysis/cfg.hpp"
+#include "analysis/summary_cache.hpp"
 #include "analysis/taint_analyzer.hpp"
 #include "analysis/vsa.hpp"
 #include "guest/apps/registry.hpp"
@@ -157,6 +158,7 @@ int main(int argc, char** argv) {
   bool quiet = false;
   bool witnesses = true;
   bool leaks = false;
+  int jobs = 1;
   std::vector<std::string> may_publish;
 
   for (int i = 1; i < argc; ++i) {
@@ -177,6 +179,8 @@ usage: ptaint-prove [options] program.s [more.s ...]
   --may-publish FUNC    annotate FUNC (repeatable) as a legitimate pointer
                         publisher: its output sites count as explained,
                         not leaking (mirrors MachineConfig::may_publish)
+  --jobs N              iterate the value-set fixpoint on N threads
+                        (results are byte-identical to --jobs 1)
   --json                emit the report as JSON (schema: docs/ANALYSIS.md)
   --no-witnesses        verdicts and elision stats only (faster)
   --no-compare-untaint  analyze under the ablated compare rule
@@ -199,6 +203,9 @@ exit codes: 0 all witnesses source-rooted, 1 unexplained witnesses,
       leaks = true;
     } else if (arg == "--may-publish") {
       may_publish.push_back(value());
+    } else if (arg == "--jobs") {
+      jobs = std::atoi(value().c_str());
+      if (jobs < 1) jobs = 1;
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--no-witnesses") {
@@ -230,7 +237,6 @@ exit codes: 0 all witnesses source-rooted, 1 unexplained witnesses,
   }
 
   const analysis::Cfg cfg(program);
-  const analysis::TaintAnalysis g1 = analysis::analyze_taint(cfg, policy);
   analysis::VsaOptions opts;
   opts.witnesses = witnesses;
   try {
@@ -240,7 +246,12 @@ exit codes: 0 all witnesses source-rooted, 1 unexplained witnesses,
     std::cerr << "ptaint-prove: " << e.what() << "\n";
     return 4;
   }
-  const analysis::VsaAnalysis g2 = analysis::analyze_vsa(cfg, policy, opts);
+  analysis::SummaryCache& cache = analysis::SummaryCache::instance();
+  if (jobs > 1) cache.set_jobs(jobs);
+  const std::shared_ptr<const analysis::CachedAnalysis> cached =
+      cache.analyze(program, policy, opts);
+  const analysis::TaintAnalysis& g1 = cached->g1;
+  const analysis::VsaAnalysis& g2 = cached->g2;
 
   Stats st;
   for (size_t i = 0; i < g1.sites.size(); ++i) {
@@ -278,6 +289,7 @@ exit codes: 0 all witnesses source-rooted, 1 unexplained witnesses,
       std::printf("  \"leak_possible\": %zu,\n", g2.leak_possible);
       std::printf("  \"leak_annotated\": %zu,\n", g2.leak_annotated);
       std::printf("  \"unexplained\": %zu,\n", leak_unexplained);
+      std::printf("  \"analysis_cache\": %s,\n", cache.stats().json(false).c_str());
       std::printf("  \"witnesses\": [");
       print_witnesses_json(cfg, g2.leak_witnesses);
       std::printf("\n}\n");
@@ -312,6 +324,7 @@ exit codes: 0 all witnesses source-rooted, 1 unexplained witnesses,
     std::printf("  \"unexplained\": %zu,\n", st.unexplained);
     std::printf("  \"output_sites\": %zu,\n", g2.output_sites);
     std::printf("  \"leak_clean\": %zu,\n", g2.leak_clean);
+    std::printf("  \"analysis_cache\": %s,\n", cache.stats().json(false).c_str());
     std::printf("  \"witnesses\": [");
     print_witnesses_json(cfg, g2.witnesses);
     std::printf("\n}\n");
